@@ -1,0 +1,5 @@
+"""Benchmark package: one regenerator per paper figure/claim.
+
+The __init__ makes ``benchmarks`` importable as a package so that the
+suite runs identically under ``pytest`` and ``python -m pytest``.
+"""

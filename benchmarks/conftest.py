@@ -1,0 +1,35 @@
+"""Benchmark harness helpers.
+
+Every benchmark regenerates one figure (or design claim) of the paper:
+it runs the full scenario on the simulated System S, prints the same
+rows/series the paper reports, writes them under ``benchmarks/results/``
+for inspection, and asserts the qualitative *shape* (who wins, where the
+crossovers are) — absolute numbers differ from the paper's testbed by
+construction.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+def emit(results_dir: pathlib.Path, name: str, lines: list[str]) -> None:
+    """Print a figure's series and persist it under benchmarks/results/."""
+    text = "\n".join(lines)
+    print(f"\n===== {name} =====")
+    print(text)
+    (results_dir / f"{name}.txt").write_text(text + "\n")

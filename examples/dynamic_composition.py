@@ -1,0 +1,74 @@
+#!/usr/bin/env python
+"""Use case 5.3 — on-demand dynamic application composition (Fig. 10).
+
+Six applications compose through exported streams and a shared profile
+store:
+
+* C1 readers (Twitter/MySpace) export negative-sentiment profiles;
+* C2 query apps (Twitter/Blog/Facebook search) import them, enrich the
+  profiles with gender/age/location attributes, and store them;
+* C3 segmentation jobs are *not* running initially — the orchestrator
+  submits one per attribute whenever 1500 new profiles with that
+  attribute accumulated, and cancels it once its sink sees final
+  punctuation.
+
+The orchestrator also registers C2->C1 dependencies so starting the C2
+layer automatically pulls C1 up first (uptime requirement 0 — C1 builds
+no state).
+
+Run:  python examples/dynamic_composition.py
+"""
+
+from repro import ManagedApplication, OrcaDescriptor, SystemS
+from repro.apps.datastore import ProfileDataStore
+from repro.apps.orchestrators import CompositionOrca
+from repro.apps.socialmedia import build_all_socialmedia_applications
+
+
+def main() -> None:
+    system = SystemS(hosts=6, seed=42)
+    store = ProfileDataStore()
+    results = []
+    apps = build_all_socialmedia_applications(store, results=results, profile_rate=8)
+
+    logic = CompositionOrca(threshold=1500, c1_gc_timeout=5.0)
+    descriptor = OrcaDescriptor(
+        name="CompositionOrca",
+        logic=lambda: logic,
+        applications=[
+            ManagedApplication(name=name, application=app)
+            for name, app in apps.items()
+        ],
+        metric_poll_interval=5.0,
+    )
+    system.submit_orchestrator(descriptor)
+
+    print("running 400 s ...")
+    system.run_for(400.0)
+
+    print("\njob timeline (expansion / contraction, Fig. 10):")
+    for kind, app_name, when in logic.events:
+        marker = "+" if kind == "submit" else "-"
+        print(f"  {when:7.1f}  {marker} {app_name}")
+
+    print(f"\nC3 jobs spawned: {len(logic.c3_history)}")
+    for when, attribute, job_id in logic.c3_history:
+        print(f"  t={when:7.1f}  attribute={attribute:9s}  {job_id}")
+
+    print(f"\nsegmentation results produced: {len(results)}")
+    for result in results[:3]:
+        attribute = result["attribute"]
+        buckets = result["segmentation"]
+        total = result["profiles"]
+        print(f"  {attribute} over {total} profiles:")
+        for bucket, counts in sorted(buckets.items())[:4]:
+            print(f"    {bucket:10s} {counts}")
+
+    print(f"\nprofile store size (deduplicated): {len(store)}")
+    print(f"store writes (incl. duplicates):   {store.total_writes}")
+    running = sorted(job.app_name for job in system.sam.running_jobs())
+    print(f"running at the end: {running}")
+
+
+if __name__ == "__main__":
+    main()

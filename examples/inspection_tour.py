@@ -1,0 +1,69 @@
+#!/usr/bin/env python
+"""A tour of the ORCA inspection API (Sec. 4.2) and the visualization tools.
+
+The paper's second key challenge: events must come with enough context to
+"disambiguate logical and physical views of an application".  This example
+submits the Fig. 2 application and walks through every inspection query
+the paper lists, plus the DOT/ASCII renderings of both views.
+
+Run:  python examples/inspection_tour.py
+"""
+
+from repro import ManagedApplication, Orchestrator, OrcaDescriptor, SystemS
+from repro.apps.figure2 import build_figure2_application
+from repro.tools import (
+    render_application_ascii,
+    render_deployment_ascii,
+    render_system_dot,
+)
+
+
+class TourOrca(Orchestrator):
+    def handleOrcaStart(self, context):
+        self.job = self.orca.submit_application("Figure2")
+
+
+def main() -> None:
+    system = SystemS(hosts=2, seed=42)
+    app = build_figure2_application()
+    service = system.submit_orchestrator(
+        OrcaDescriptor(
+            name="Tour",
+            logic=TourOrca,
+            applications=[ManagedApplication(name=app.name, application=app)],
+        )
+    )
+    system.run_for(5.0)
+    job = service.logic.job
+
+    print("== logical view (what the developer wrote, Fig. 2) ==")
+    print(render_application_ascii(app))
+
+    print("\n== physical view (what actually runs, Fig. 3) ==")
+    print(render_deployment_ascii(job))
+
+    print("\n== the paper's inspection queries (Sec. 4.2) ==")
+    pe_id = service.pe_of_operator(job.job_id, "c1.op4")
+    print(f"PE id for operator instance c1.op4:            {pe_id}")
+    print(f"Which operators reside in {pe_id}?              "
+          f"{service.operators_in_pe(pe_id)}")
+    print(f"Which composites reside in {pe_id}?             "
+          f"{sorted(service.composites_in_pe(pe_id))}")
+    print(f"Enclosing composite of c1.op4:                 "
+          f"{service.enclosing_composite('Figure2', 'c1.op4')}")
+    print(f"Same-OS-process neighbours of c1.op4:          "
+          f"{service.colocated_operators(job.job_id, 'c1.op4')}")
+    print(f"Host of {pe_id}:                                "
+          f"{service.host_of_pe(pe_id)}")
+    print(f"All PEs of {job.job_id}:                           "
+          f"{service.pes_of_job(job.job_id)}")
+    print(f"Operators of type Split:                       "
+          f"{service.operators_of_type('Figure2', 'Split')}")
+
+    print("\n== Graphviz rendering of the live system ==")
+    dot = render_system_dot(system)
+    print(dot[:400] + "\n  ... (render with: dot -Tsvg)")
+
+
+if __name__ == "__main__":
+    main()

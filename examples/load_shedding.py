@@ -1,0 +1,123 @@
+#!/usr/bin/env python
+"""Load shedding under transient overload — the paper's Sec. 1 example.
+
+"When the application is overloaded due to a transient high input data
+rate, it may need to temporarily apply load shedding policies to maintain
+answer timeliness."
+
+The application: a bursty source -> LoadShedder -> Throttle (models a
+slow consumer; its custom ``nBuffered`` gauge is the congestion signal)
+-> sink.  The orchestrator polls the gauge and adapts through control
+commands (Sec. 3: the ORCA service routes control commands to operator
+instances):
+
+* backlog above the high-water mark -> raise the shedding fraction;
+* backlog back at zero              -> stop shedding.
+
+Run:  python examples/load_shedding.py
+"""
+
+from repro import ManagedApplication, Orchestrator, OrcaDescriptor, SystemS
+from repro.orca import OperatorMetricScope
+from repro.spl import Application
+from repro.spl.library import CallbackSource, LoadShedder, Sink, Throttle
+
+
+def build_bursty_app(burst_start=100.0, burst_end=200.0) -> Application:
+    def generate(now, count):
+        rate = 30 if burst_start <= now < burst_end else 4
+        return [{"seq": count + i, "ts": now} for i in range(rate)]
+
+    app = Application("Bursty")
+    g = app.graph
+    src = g.add_operator(
+        "src", CallbackSource, params={"generator": generate, "period": 1.0},
+        partition="p1",
+    )
+    shed = g.add_operator(
+        "shed", LoadShedder, params={"fraction": 0.0}, partition="p1"
+    )
+    slow = g.add_operator(
+        "slow", Throttle, params={"rate": 8.0}, partition="p2"
+    )
+    sink = g.add_operator("sink", Sink, params={"record": False}, partition="p2")
+    g.connect(src.oport(0), shed.iport(0))
+    g.connect(shed.oport(0), slow.iport(0))
+    g.connect(slow.oport(0), sink.iport(0))
+    return app
+
+
+class SheddingOrca(Orchestrator):
+    """Backlog-driven shedding policy (high/low water marks)."""
+
+    HIGH_WATER = 40.0
+    STEP = 0.3
+
+    def __init__(self):
+        super().__init__()
+        self.job = None
+        self.actions = []
+        self.backlog_series = []
+        self._fraction = 0.0
+
+    def handleOrcaStart(self, context):
+        scope = OperatorMetricScope("backlog")
+        scope.addOperatorInstanceFilter("slow")
+        scope.addOperatorMetric("nBuffered")
+        self.orca.registerEventScope(scope)
+        self.job = self.orca.submit_application("Bursty")
+
+    def handleOperatorMetricEvent(self, context, scopes):
+        self.backlog_series.append((context.collection_ts, context.value))
+        if context.value > self.HIGH_WATER and self._fraction < 0.9:
+            self._fraction = min(self._fraction + self.STEP, 0.9)
+        elif context.value == 0 and self._fraction > 0.0:
+            self._fraction = 0.0
+        else:
+            return
+        self.orca.send_control(
+            self.job.job_id, "shed", "setSheddingFraction",
+            {"fraction": self._fraction},
+        )
+        self.actions.append((self.orca.now, self._fraction))
+
+
+def main() -> None:
+    system = SystemS(hosts=2, seed=42)
+    app = build_bursty_app()
+    logic = SheddingOrca()
+    system.submit_orchestrator(
+        OrcaDescriptor(
+            name="SheddingOrca",
+            logic=lambda: logic,
+            applications=[ManagedApplication(name=app.name, application=app)],
+            metric_poll_interval=5.0,
+        )
+    )
+    print("running 300 s (burst between t=100 and t=200) ...")
+    system.run_for(300.0)
+
+    print("\nbacklog at the slow consumer (and shedding reactions):")
+    actions = dict(
+        (round(t), f) for t, f in logic.actions
+    )
+    for ts, backlog in logic.backlog_series:
+        if ts % 15 < 5:
+            bar = "#" * int(min(backlog, 70))
+            note = ""
+            for t, fraction in logic.actions:
+                if abs(t - ts) <= 5:
+                    note = f"   <- set shedding to {fraction:.1f}"
+            print(f"  t={ts:5.0f}  backlog={backlog:5.0f}  {bar}{note}")
+
+    job = logic.job
+    shed_op = job.operator_instance("shed")
+    print(f"\ntuples shed during the burst: {int(shed_op.metric('nShed').value)}")
+    print(f"shedding actions taken: {logic.actions}")
+    final_backlog = logic.backlog_series[-1][1]
+    print(f"final backlog: {final_backlog:.0f} (shedding released: "
+          f"{logic.actions[-1][1] == 0.0})")
+
+
+if __name__ == "__main__":
+    main()

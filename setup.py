@@ -1,0 +1,15 @@
+"""Setup shim.
+
+The modern PEP 660 editable-install path requires the ``wheel`` package
+(setuptools < 70 shells out to ``bdist_wheel`` while preparing metadata).
+In offline environments without ``wheel`` installed, pip falls back to the
+legacy ``setup.py develop`` path through this shim:
+
+    pip install -e . --no-build-isolation --no-use-pep517
+
+All project metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

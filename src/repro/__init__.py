@@ -1,0 +1,62 @@
+"""repro — reproduction of "Building User-defined Runtime Adaptation
+Routines for Stream Processing Applications" (Jacques-Silva et al.,
+PVLDB 5(12), 2012).
+
+The package provides:
+
+* :mod:`repro.spl` — an SPL-like composition layer (operators, composite
+  operators, compiler producing PE partitions and ADL XML);
+* :mod:`repro.runtime` — a deterministic simulated System S middleware
+  (SAM / SRM / host controllers / PEs / dynamic import-export / failures);
+* :mod:`repro.orca` — the paper's contribution: the orchestrator
+  framework (ORCA logic base class + ORCA service with event scopes,
+  contexts, epochs, stream-graph inspection, actuation, and application
+  dependency management);
+* :mod:`repro.apps` — the paper's three use-case applications and their
+  orchestrators (sentiment adaptation, replica failover, dynamic
+  composition), plus synthetic workloads.
+
+Quickstart::
+
+    from repro import SystemS, OrcaDescriptor, ManagedApplication
+    from repro.apps.figure2 import build_figure2_application
+
+    system = SystemS(hosts=2)
+    app = build_figure2_application()
+    descriptor = OrcaDescriptor(
+        name="MyOrca", logic=MyOrca,
+        applications=[ManagedApplication(name=app.name, application=app)],
+    )
+    service = system.submit_orchestrator(descriptor)
+    service.submit_application(app.name)
+    system.run_for(60.0)
+"""
+
+from repro.errors import ReproError
+from repro.orca import (
+    AppConfig,
+    ManagedApplication,
+    Orchestrator,
+    OrcaDescriptor,
+    OrcaService,
+)
+from repro.runtime import Host, SystemConfig, SystemS
+from repro.spl import Application, CompositeDefinition, HostPool
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AppConfig",
+    "Application",
+    "CompositeDefinition",
+    "Host",
+    "HostPool",
+    "ManagedApplication",
+    "Orchestrator",
+    "OrcaDescriptor",
+    "OrcaService",
+    "ReproError",
+    "SystemConfig",
+    "SystemS",
+    "__version__",
+]

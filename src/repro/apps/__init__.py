@@ -1,0 +1,17 @@
+"""The paper's use-case applications and orchestrators.
+
+* :mod:`repro.apps.sentiment` — the Twitter sentiment-analysis application
+  of Fig. 1 / Sec. 5.1 (adaptation to incoming data distribution);
+* :mod:`repro.apps.trend` — the "Trend Calculator" financial application
+  of Sec. 5.2 (adaptation to failures via replica failover);
+* :mod:`repro.apps.socialmedia` — the C1/C2/C3 social-media profiling
+  applications of Sec. 5.3 (on-demand dynamic composition);
+* :mod:`repro.apps.figure2` — the split/merge composite application of
+  Figs. 2-3;
+* :mod:`repro.apps.orchestrators` — the three ORCA logics as library code;
+* :mod:`repro.apps.workloads` — seeded synthetic workload generators that
+  stand in for the paper's Twitter/MySpace/stock feeds;
+* :mod:`repro.apps.datastore` / :mod:`repro.apps.hadoop` — the external
+  components the applications interact with (deduplicating profile store,
+  simulated Hadoop model-recomputation jobs).
+"""

@@ -1,0 +1,129 @@
+"""The split/merge composite application of Figs. 2-3.
+
+``composite1`` is a reusable split-and-merge sub-graph of four operators
+(op3: Split, op4/op5: workers, op6: Merge).  The application instantiates
+it twice — ``c1`` processing data from ``op1`` and ``c2`` processing data
+from ``op2`` — exactly as Fig. 2.
+
+The partition tags reproduce the physical layout of Fig. 3:
+
+* PE 1: ``op1``, ``c1.op3``, ``c1.op5`` — part of the first composite;
+* PE 2: ``c1.op4``, ``c1.op6``, ``c2.op4``, ``c2.op6`` — *operators of two
+  different composite instances fused into one PE*;
+* PE 3: ``op2``, ``c2.op3``, ``c2.op5`` plus the sinks.
+
+With two hosts, the load-balancing scheduler puts PEs 1 and 2 on one host
+and PE 3 on the other (Fig. 3's two-host split).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from repro.spl.application import Application
+from repro.spl.composite import CompositeBuilder, CompositeDefinition
+from repro.spl.library import Beacon, Functor, Merge, Sink, Split
+from repro.spl.tuples import StreamTuple
+
+
+def _make_worker(tag: str):
+    def work(tup: StreamTuple) -> Dict[str, Any]:
+        values = dict(tup.values)
+        values.setdefault("path", [])
+        values = {**values, "path": values["path"] + [tag]}
+        return values
+
+    return work
+
+
+def make_composite1(
+    pe_map: Optional[Dict[str, str]] = None,
+) -> CompositeDefinition:
+    """The reusable composite of Fig. 2.
+
+    ``pe_map`` maps internal operator names (op3..op6) to partition tags,
+    letting callers choose the fusion (Fig. 3 uses different partitions
+    for different instances).
+    """
+    pe_map = pe_map or {}
+
+    def assemble(b: CompositeBuilder) -> None:
+        op3 = b.add_operator(
+            "op3",
+            Split,
+            params={"router": lambda t: t.get("iter", 0) % 2, "n_outputs": 2},
+            partition=pe_map.get("op3"),
+        )
+        op4 = b.add_operator(
+            "op4",
+            Functor,
+            params={"fn": _make_worker("op4")},
+            partition=pe_map.get("op4"),
+        )
+        op5 = b.add_operator(
+            "op5",
+            Functor,
+            params={"fn": _make_worker("op5")},
+            partition=pe_map.get("op5"),
+        )
+        op6 = b.add_operator(
+            "op6", Merge, params={"n_inputs": 2}, partition=pe_map.get("op6")
+        )
+        b.connect(b.input(0), op3.iport(0))
+        b.connect(op3.oport(0), op4.iport(0))
+        b.connect(op3.oport(1), op5.iport(0))
+        b.connect(op4.oport(0), op6.iport(0))
+        b.connect(op5.oport(0), op6.iport(1))
+        b.bind_output(0, op6.oport(0))
+
+    return CompositeDefinition("composite1", n_inputs=1, n_outputs=1, assemble=assemble)
+
+
+def build_figure2_application(
+    per_tick: int = 2, period: float = 1.0, limit: Optional[int] = None
+) -> Application:
+    """The Fig. 2 application with the Fig. 3 partitioning."""
+    app = Application("Figure2")
+    g = app.graph
+    op1 = g.add_operator(
+        "op1",
+        Beacon,
+        params={"values": {"origin": "op1"}, "per_tick": per_tick,
+                "period": period, "limit": limit},
+        partition="pe1",
+    )
+    # First instance: op3'/op5' in PE 1, op4'/op6' in PE 2 (Fig. 3).
+    # (Instantiated before op2 so the deterministic PE numbering matches
+    # the paper's figure: the shared PE is number 2.)
+    c1 = g.instantiate(
+        make_composite1({"op3": "pe1", "op5": "pe1", "op4": "pe2", "op6": "pe2"}),
+        "c1",
+        inputs=[op1.oport(0)],
+    )
+    op2 = g.add_operator(
+        "op2",
+        Beacon,
+        params={"values": {"origin": "op2"}, "per_tick": per_tick,
+                "period": period, "limit": limit},
+        partition="pe3",
+    )
+    # Second instance: op3''/op5'' in PE 3, op4''/op6'' in PE 2.
+    c2 = g.instantiate(
+        make_composite1({"op3": "pe3", "op5": "pe3", "op4": "pe2", "op6": "pe2"}),
+        "c2",
+        inputs=[op2.oport(0)],
+    )
+    sink1 = g.add_operator("sink1", Sink, partition="pe1")
+    sink2 = g.add_operator("sink2", Sink, partition="pe3")
+    g.connect(c1.output(0), sink1.iport(0))
+    g.connect(c2.output(0), sink2.iport(0))
+    return app
+
+
+def expected_figure3_layout() -> Dict[int, List[str]]:
+    """The PE -> operators mapping of Fig. 3 (for tests and the bench)."""
+    return {
+        1: ["op1", "c1.op3", "c1.op5", "sink1"],
+        2: ["c1.op4", "c1.op6", "c2.op4", "c2.op6"],
+        3: ["op2", "c2.op3", "c2.op5", "sink2"],
+    }

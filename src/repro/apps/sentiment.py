@@ -1,0 +1,280 @@
+"""The sentiment-analysis application of Fig. 1 / Sec. 5.1.
+
+Pipeline (operator numbering follows Fig. 1):
+
+* ``op1`` TweetSource — consumes the (synthetic) Twitter feed;
+* ``op3`` SentimentClassifier — filters to the product of interest and
+  classifies each tweet as positive/negative by keyword matching;
+* ``op5`` CauseMatcher — correlates each negative tweet with a known
+  cause from the (reloadable) cause model, stores the tweet in the corpus
+  for later batch processing, and maintains the two custom metrics the
+  orchestrator subscribes to: ``nKnownCause`` and ``nUnknownCause``;
+* ``op6`` Aggregate — aggregates causes over tumbling windows to find the
+  top causes of user frustration;
+* ``op7`` Display — sink consumed by the display application.
+
+The adaptation logic (Fig. 1's op8/op9) is deliberately *absent* from the
+graph: the whole point of the paper is that it moves to the ORCA logic
+(:class:`repro.apps.orchestrators.SentimentOrca`).  For the ablation
+benchmark we also provide :func:`build_embedded_adaptation_application`,
+the pre-orchestrator variant in which op8/op9 live in the graph.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.apps.datastore import CauseModelStore, CorpusStore
+from repro.apps.workloads import TweetWorkload
+from repro.spl.application import Application
+from repro.spl.library import Aggregate, CallbackSource, Sink
+from repro.spl.metrics import MetricKind
+from repro.spl.operators import Operator, OperatorContext
+from repro.spl.tuples import StreamTuple
+
+NEGATIVE_WORDS = frozenset(("hate", "broken", "terrible", "awful", "annoying"))
+POSITIVE_WORDS = frozenset(("love", "great", "awesome", "amazing", "happy"))
+
+
+class SentimentClassifier(Operator):
+    """Filters to the product of interest; classifies sentiment (op3).
+
+    Parameters: ``product``.  Output attributes add ``sentiment``
+    ('pos'/'neg') and ``tokens``.  Tweets about other products are
+    discarded (counted in the ``nOffTopic`` custom metric).
+    """
+
+    def __init__(self, ctx: OperatorContext) -> None:
+        super().__init__(ctx)
+        self.product: str = self.param("product", "iphone")
+        self.n_off_topic = self.create_custom_metric(
+            "nOffTopic", MetricKind.COUNTER, "tweets not about the product"
+        )
+
+    def on_tuple(self, tup: StreamTuple, port: int) -> None:
+        tokens = tup["text"].split()
+        if self.product not in tokens:
+            self.n_off_topic.increment()
+            return
+        negative = any(t in NEGATIVE_WORDS for t in tokens)
+        positive = any(t in POSITIVE_WORDS for t in tokens)
+        sentiment = "neg" if negative and not positive else "pos"
+        self.submit(tup.with_values(sentiment=sentiment, tokens=tokens))
+
+
+class CauseMatcher(Operator):
+    """Correlates negative tweets with known causes (op5).
+
+    Parameters: ``model_store`` (:class:`CauseModelStore`) and ``corpus``
+    (:class:`CorpusStore`).  The operator reloads the model whenever the
+    store's version changes — the paper's "the new set of causes is then
+    automatically reloaded".
+    """
+
+    def __init__(self, ctx: OperatorContext) -> None:
+        super().__init__(ctx)
+        self.model_store: CauseModelStore = self.param("model_store")
+        self.corpus: CorpusStore = self.param("corpus")
+        self._model = self.model_store.current
+        self.n_known = self.create_custom_metric(
+            "nKnownCause", MetricKind.COUNTER, "negative tweets with a known cause"
+        )
+        self.n_unknown = self.create_custom_metric(
+            "nUnknownCause", MetricKind.COUNTER, "negative tweets with unknown cause"
+        )
+        self.n_reloads = self.create_custom_metric(
+            "nModelReloads", MetricKind.COUNTER, "cause model reloads"
+        )
+        #: optional shared dict mirroring the counters — the embedded
+        #: (pre-orchestrator) variant's op8 reads it, standing in for the
+        #: custom-metric stream s' of Fig. 1.
+        self.metrics_mirror: Optional[Dict[str, float]] = self.param(
+            "metrics_mirror", None
+        )
+
+    def on_tuple(self, tup: StreamTuple, port: int) -> None:
+        if self.model_store.version != self._model.version:
+            self._model = self.model_store.current
+            self.n_reloads.increment()
+        if tup.get("sentiment") != "neg":
+            return
+        self.corpus.append(tup["text"], ts=self.now())
+        cause = self._model.knows(tup["tokens"])
+        if cause is None:
+            self.n_unknown.increment()
+            cause = "unknown"
+        else:
+            self.n_known.increment()
+        if self.metrics_mirror is not None:
+            self.metrics_mirror["nKnownCause"] = self.n_known.value
+            self.metrics_mirror["nUnknownCause"] = self.n_unknown.value
+        self.submit(tup.with_values(cause=cause))
+
+
+def _aggregate_causes(batch: List[StreamTuple]) -> Dict[str, Any]:
+    counts = Counter(t["cause"] for t in batch)
+    top = counts.most_common(3)
+    return {
+        "window_size": len(batch),
+        "top_causes": [c for c, _ in top],
+        "counts": dict(counts),
+    }
+
+
+def build_sentiment_application(
+    workload: TweetWorkload,
+    corpus: CorpusStore,
+    model_store: CauseModelStore,
+    product: str = "iphone",
+    source_period: float = 1.0,
+    aggregate_window: int = 20,
+    display_consumer: Optional[Callable[[StreamTuple], None]] = None,
+    matcher_mirror: Optional[Dict[str, float]] = None,
+) -> Application:
+    """Assemble the Sec. 5.1 application (control logic NOT included)."""
+    app = Application("SentimentAnalysis")
+    g = app.graph
+    op1 = g.add_operator(
+        "op1",
+        CallbackSource,
+        params={"generator": workload.generator(), "period": source_period},
+        partition="ingest",
+    )
+    op3 = g.add_operator(
+        "op3", SentimentClassifier, params={"product": product}, partition="ingest"
+    )
+    op5 = g.add_operator(
+        "op5",
+        CauseMatcher,
+        params={
+            "model_store": model_store,
+            "corpus": corpus,
+            "metrics_mirror": matcher_mirror,
+        },
+        partition="analytics",
+    )
+    op6 = g.add_operator(
+        "op6",
+        Aggregate,
+        params={"count": aggregate_window, "aggregator": _aggregate_causes},
+        partition="analytics",
+    )
+    op7 = g.add_operator(
+        "op7",
+        Sink,
+        params={"consumer": display_consumer, "record": False},
+        partition="analytics",
+    )
+    g.connect(op1.oport(0), op3.iport(0))
+    g.connect(op3.oport(0), op5.iport(0))
+    g.connect(op5.oport(0), op6.iport(0))
+    g.connect(op6.oport(0), op7.iport(0))
+    return app
+
+
+class EmbeddedAdaptationMonitor(Operator):
+    """The pre-orchestrator op8: watches the known/unknown counters.
+
+    Used only by the ablation variant: this operator receives the
+    aggregated stream, reads the CauseMatcher's counters through the
+    shared mirror (standing in for the custom-metric stream s' of
+    Fig. 1), and emits a trigger tuple when unknown > known.
+    """
+
+    def __init__(self, ctx: OperatorContext) -> None:
+        super().__init__(ctx)
+        self.threshold: float = float(self.param("threshold", 1.0))
+        self.smoothing: int = int(self.param("smoothing", 5))
+        self.matcher_metrics = self.param("matcher_metrics")  # dict-like proxy
+        self._prev_known = 0.0
+        self._prev_unknown = 0.0
+        self._recent: List[tuple] = []
+
+    def on_tuple(self, tup: StreamTuple, port: int) -> None:
+        # Same policy as the orchestrated variant: the counters are
+        # cumulative, the condition looks at the mix of *recent* tweets.
+        known = self.matcher_metrics.get("nKnownCause", 0.0)
+        unknown = self.matcher_metrics.get("nUnknownCause", 0.0)
+        d_known = known - self._prev_known
+        d_unknown = unknown - self._prev_unknown
+        self._prev_known, self._prev_unknown = known, unknown
+        if d_known == 0 and d_unknown == 0:
+            return
+        self._recent.append((d_known, d_unknown))
+        if len(self._recent) > self.smoothing:
+            self._recent.pop(0)
+        sum_known = sum(k for k, _ in self._recent)
+        sum_unknown = sum(u for _, u in self._recent)
+        ratio = sum_unknown / max(sum_known, 1.0)
+        if ratio > self.threshold:
+            self.submit({"trigger": True, "ratio": ratio})
+
+
+class EmbeddedAdaptationActuator(Operator):
+    """The pre-orchestrator op9: calls the external recomputation script."""
+
+    N_OUTPUTS = 0
+
+    def __init__(self, ctx: OperatorContext) -> None:
+        super().__init__(ctx)
+        self.script: Callable[[], Any] = self.param("script")
+        self.min_interval: float = float(self.param("min_interval", 600.0))
+        self._last_trigger: Optional[float] = None
+        self.n_triggers = self.create_custom_metric("nTriggers", MetricKind.COUNTER)
+
+    def on_tuple(self, tup: StreamTuple, port: int) -> None:
+        now = self.now()
+        if self._last_trigger is not None and now - self._last_trigger < self.min_interval:
+            return
+        self._last_trigger = now
+        self.n_triggers.increment()
+        self.script()
+
+
+def build_embedded_adaptation_application(
+    workload: TweetWorkload,
+    corpus: CorpusStore,
+    model_store: CauseModelStore,
+    script: Callable[[], Any],
+    product: str = "iphone",
+    source_period: float = 1.0,
+    aggregate_window: int = 20,
+    threshold: float = 1.0,
+    min_interval: float = 600.0,
+) -> Application:
+    """Fig. 1 as-is: data processing AND control logic in one graph.
+
+    This is the baseline the paper argues against — the adaptation logic
+    (op8/op9) is welded into the graph, so neither part can be reused.
+    The ablation benchmark compares it against the orchestrated variant.
+    """
+    matcher_metrics: Dict[str, float] = {}
+    app = build_sentiment_application(
+        workload,
+        corpus,
+        model_store,
+        product=product,
+        source_period=source_period,
+        aggregate_window=aggregate_window,
+        matcher_mirror=matcher_metrics,
+    )
+    app.name = "SentimentAnalysisEmbedded"
+    g = app.graph
+    op8 = g.add_operator(
+        "op8",
+        EmbeddedAdaptationMonitor,
+        params={"threshold": threshold, "matcher_metrics": matcher_metrics},
+        partition="analytics",
+    )
+    op9 = g.add_operator(
+        "op9",
+        EmbeddedAdaptationActuator,
+        params={"script": script, "min_interval": min_interval},
+        partition="analytics",
+    )
+    # splice: op6 -> op8 -> op9 (in addition to op6 -> op7)
+    op6 = g.operator("op6")
+    g.connect(op6.oport(0), op8.iport(0))
+    g.connect(op8.oport(0), op9.iport(0))
+    return app

@@ -1,0 +1,304 @@
+"""The C1/C2/C3 social-media profiling applications of Sec. 5.3.
+
+Three application categories compose dynamically through exported streams
+and a shared profile data store:
+
+* **C1** (``TwitterStreamReader``, ``MySpaceStreamReader``) — read a
+  site's update stream, keep profiles posting negatively about the
+  product of interest, and *export* them (properties
+  ``{"category": "C1", ...}``);
+* **C2** (``TwitterQuery``, ``BlogQuery``, ``FacebookQuery``) — *import*
+  every C1 stream, run keyword-based searches against their site to
+  enrich the profile with extra attributes, and integrate results into
+  the deduplicating data store.  Each C2 application maintains custom
+  metrics ``nProfiles_gender`` / ``nProfiles_age`` / ``nProfiles_location``
+  counting profiles it stored carrying each attribute (duplicates across
+  C2 apps included — exactly the caveat Sec. 5.3 notes);
+* **C3** (``AttributeAggregator``) — submitted on demand with an
+  ``attribute`` parameter; reads the data store (no duplicates), computes
+  the sentiment segmentation for that attribute, and signals completion
+  through the sink's final-punctuation metric, upon which the
+  orchestrator cancels it.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import Counter
+from typing import Any, Dict, List, Optional
+
+from repro.apps.datastore import ProfileDataStore
+from repro.apps.workloads import ProfileWorkload, _LOCATIONS
+from repro.spl.application import Application
+from repro.spl.library import CallbackSource, Export, Filter, Import, Sink
+from repro.spl.metrics import MetricKind
+from repro.spl.operators import Operator, OperatorContext
+from repro.spl.tuples import StreamTuple
+
+SEGMENT_ATTRIBUTES = ("gender", "age", "location")
+
+
+# ---------------------------------------------------------------------------
+# C1: stream readers
+# ---------------------------------------------------------------------------
+
+
+def build_c1_application(
+    app_name: str,
+    workload: ProfileWorkload,
+    source_period: float = 1.0,
+) -> Application:
+    """A C1 application: site stream -> negative filter -> export."""
+    app = Application(app_name)
+    g = app.graph
+    src = g.add_operator(
+        "reader",
+        CallbackSource,
+        params={"generator": workload.generator(), "period": source_period},
+    )
+    neg = g.add_operator(
+        "negfilter",
+        Filter,
+        params={"predicate": lambda t: t["sentiment"] == "neg"},
+    )
+    exp = g.add_operator(
+        "export",
+        Export,
+        params={"properties": {"category": "C1", "site": workload.source}},
+    )
+    g.connect(src.oport(0), neg.iport(0))
+    g.connect(neg.oport(0), exp.iport(0))
+    return app
+
+
+# ---------------------------------------------------------------------------
+# C2: keyword-search enrichment
+# ---------------------------------------------------------------------------
+
+
+class ProfileEnricher(Operator):
+    """Simulated keyword-based search against one site (C2 core).
+
+    Parameters: ``site`` (which site is queried), ``datastore``
+    (:class:`ProfileDataStore`), ``discover_probability`` (chance the
+    search reveals each missing attribute), ``seed``.
+
+    The discovered attributes model the paper's "search results are
+    integrated into existing profiles in a data store".  The custom
+    ``nProfiles_<attr>`` counters count stored profiles carrying each
+    attribute after enrichment.
+    """
+
+    def __init__(self, ctx: OperatorContext) -> None:
+        super().__init__(ctx)
+        self.site: str = self.param("site")
+        self.datastore: ProfileDataStore = self.param("datastore")
+        self.discover_probability: float = float(
+            self.param("discover_probability", 0.35)
+        )
+        self._rng = random.Random(int(self.param("seed", 97)))
+        self._attr_metrics = {
+            attr: self.create_custom_metric(
+                f"nProfiles_{attr}",
+                MetricKind.COUNTER,
+                f"profiles stored with the {attr} attribute",
+            )
+            for attr in SEGMENT_ATTRIBUTES
+        }
+
+    def _search(self, profile: Dict[str, Any]) -> Dict[str, Any]:
+        """The keyword query: probabilistically fill missing attributes."""
+        discovered = dict(profile.get("attributes", {}))
+        rng = self._rng
+        if "gender" not in discovered and rng.random() < self.discover_probability:
+            discovered["gender"] = rng.choice(("f", "m"))
+        if "age" not in discovered and rng.random() < self.discover_probability:
+            discovered["age"] = rng.randint(16, 75)
+        if "location" not in discovered and rng.random() < self.discover_probability:
+            discovered["location"] = rng.choice(_LOCATIONS)
+        return discovered
+
+    def on_tuple(self, tup: StreamTuple, port: int) -> None:
+        attributes = self._search(tup.values)
+        attributes["sentiment"] = tup["sentiment"]
+        self.datastore.upsert(tup["profile_id"], attributes)
+        for attr, metric in self._attr_metrics.items():
+            if attr in attributes:
+                metric.increment()
+        self.submit(
+            {
+                "profile_id": tup["profile_id"],
+                "site": self.site,
+                "attributes": attributes,
+            }
+        )
+
+
+def build_c2_application(
+    app_name: str,
+    site: str,
+    datastore: ProfileDataStore,
+    discover_probability: float = 0.35,
+    seed: int = 97,
+) -> Application:
+    """A C2 application: import C1 profiles -> enrich -> store."""
+    app = Application(app_name)
+    g = app.graph
+    imp = g.add_operator(
+        "import",
+        Import,
+        params={"subscription": {"category": "C1"}},
+    )
+    enrich = g.add_operator(
+        "enrich",
+        ProfileEnricher,
+        params={
+            "site": site,
+            "datastore": datastore,
+            "discover_probability": discover_probability,
+            "seed": seed,
+        },
+    )
+    done = g.add_operator("stored", Sink, params={"record": False})
+    g.connect(imp.oport(0), enrich.iport(0))
+    g.connect(enrich.oport(0), done.iport(0))
+    return app
+
+
+# ---------------------------------------------------------------------------
+# C3: on-demand segmentation
+# ---------------------------------------------------------------------------
+
+
+class DataStoreSource(Operator):
+    """Batch source: reads every stored profile with the target attribute.
+
+    The ``attribute`` comes from the submission-time parameters (each C3
+    job targets one attribute).  After the last batch it emits FINAL
+    punctuation — the signal Sec. 5.3's orchestrator watches (via the
+    sink's ``nFinalPunctsProcessed`` built-in metric) to cancel the job.
+    """
+
+    N_INPUTS = 0
+    N_OUTPUTS = 1
+
+    def __init__(self, ctx: OperatorContext) -> None:
+        super().__init__(ctx)
+        self.datastore: ProfileDataStore = self.param("datastore")
+        self.batch_size = int(self.param("batch_size", 200))
+        self.period = float(self.param("period", 0.5))
+        self.attribute = ctx.get_submission_time_value("attribute")
+        self._pending: List[tuple] = []
+        self._started = False
+
+    def on_initialize(self) -> None:
+        self._pending = self.datastore.profiles_with_attribute(self.attribute or "")
+        self.ctx.schedule(self.period, self._emit_batch)
+
+    def _emit_batch(self) -> None:
+        batch, self._pending = (
+            self._pending[: self.batch_size],
+            self._pending[self.batch_size:],
+        )
+        for profile_id, attrs in batch:
+            self.submit(
+                {
+                    "profile_id": profile_id,
+                    "attribute": self.attribute,
+                    "value": attrs.get(self.attribute),
+                    "sentiment": attrs.get("sentiment", "neg"),
+                }
+            )
+        if self._pending:
+            self.ctx.schedule(self.period, self._emit_batch)
+        else:
+            self.submit_final()
+
+
+class SentimentSegmenter(Operator):
+    """Correlates sentiment with one profile attribute (C3 core).
+
+    Accumulates per-attribute-value sentiment counts; on FINAL emits one
+    result tuple with the segmentation and forwards the punctuation.
+    """
+
+    def __init__(self, ctx: OperatorContext) -> None:
+        super().__init__(ctx)
+        self.attribute = ctx.get_submission_time_value("attribute")
+        self._counts: Dict[Any, Counter] = {}
+        self.n_profiles = self.create_custom_metric(
+            "nProfilesSegmented", MetricKind.COUNTER
+        )
+
+    @staticmethod
+    def _bucket(attribute: Optional[str], value: Any) -> Any:
+        if attribute == "age" and isinstance(value, int):
+            return f"{(value // 10) * 10}s"
+        return value
+
+    def on_tuple(self, tup: StreamTuple, port: int) -> None:
+        bucket = self._bucket(self.attribute, tup["value"])
+        self._counts.setdefault(bucket, Counter())[tup["sentiment"]] += 1
+        self.n_profiles.increment()
+
+    def on_all_ports_final(self) -> None:
+        segmentation = {
+            str(bucket): dict(counts) for bucket, counts in self._counts.items()
+        }
+        self.submit(
+            {
+                "attribute": self.attribute,
+                "segmentation": segmentation,
+                "profiles": int(self.n_profiles.value),
+            }
+        )
+        # base class forwards FINAL afterwards
+
+
+def build_c3_application(
+    datastore: ProfileDataStore,
+    results: Optional[List[Dict[str, Any]]] = None,
+    app_name: str = "AttributeAggregator",
+) -> Application:
+    """The C3 application; submit with params={"attribute": ...}."""
+    app = Application(app_name)
+    app.declare_parameter("attribute")
+    g = app.graph
+    src = g.add_operator(
+        "storeread", DataStoreSource, params={"datastore": datastore}
+    )
+    seg = g.add_operator("segment", SentimentSegmenter)
+    sink_params: Dict[str, Any] = {"record": False}
+    if results is not None:
+        sink_params["consumer"] = lambda tup: results.append(dict(tup.values))
+    out = g.add_operator("sink", Sink, params=sink_params)
+    g.connect(src.oport(0), seg.iport(0))
+    g.connect(seg.oport(0), out.iport(0))
+    return app
+
+
+def build_all_socialmedia_applications(
+    datastore: ProfileDataStore,
+    results: Optional[List[Dict[str, Any]]] = None,
+    profile_rate: int = 10,
+    seed: int = 23,
+) -> Dict[str, Application]:
+    """All six applications of the Sec. 5.3 experiment, by name."""
+    twitter = ProfileWorkload(source="twitter", rate=profile_rate, seed=seed)
+    myspace = ProfileWorkload(source="myspace", rate=profile_rate, seed=seed + 1)
+    return {
+        "TwitterStreamReader": build_c1_application("TwitterStreamReader", twitter),
+        "MySpaceStreamReader": build_c1_application("MySpaceStreamReader", myspace),
+        "TwitterQuery": build_c2_application(
+            "TwitterQuery", "twitter", datastore, seed=seed + 10
+        ),
+        "BlogQuery": build_c2_application(
+            "BlogQuery", "boardreader", datastore, seed=seed + 11
+        ),
+        "FacebookQuery": build_c2_application(
+            "FacebookQuery", "facebook", datastore, seed=seed + 12
+        ),
+        "AttributeAggregator": build_c3_application(
+            datastore, results=results
+        ),
+    }

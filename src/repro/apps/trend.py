@@ -1,0 +1,196 @@
+"""The "Trend Calculator" financial application of Sec. 5.2.
+
+Processes a stock-market stream and applies, per incoming symbol, a set of
+financial algorithms over a **600-second sliding time window**: minimum
+and maximum trade prices, average price, and the Bollinger bands above and
+below the average.
+
+By design the application employs **no checkpointing** (the paper: "to
+reduce end-to-end latency and increase application throughput") — so when
+a PE crashes, its windows are lost and the application "needs to process
+tuples for 600 seconds to fully recover its state".  Each emitted result
+carries a ``coverage`` attribute (seconds of data in the window) so
+experiments can mark results as trustworthy/diverged, reproducing the
+dashed-box divergence of Fig. 9(b).
+
+The partitioning puts the source in its own PE and the calculator+sink in
+another, so killing the calculator PE loses all window state while the
+feed keeps flowing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.apps.workloads import TradeWorkload
+from repro.spl.application import Application
+from repro.spl.library import CallbackSource
+from repro.spl.metrics import MetricKind
+from repro.spl.operators import Operator, OperatorContext
+from repro.spl.tuples import StreamTuple
+from repro.spl.windows import SlidingTimeWindow
+
+
+@dataclass
+class TrendPoint:
+    """One output sample recorded by the result recorder."""
+
+    ts: float
+    symbol: str
+    minimum: float
+    maximum: float
+    average: float
+    upper_band: float
+    lower_band: float
+    coverage: float  #: seconds of data backing the numbers
+    window_count: int
+
+
+class TrendRecorderHub:
+    """Collects the output streams of every replica (stands in for the GUI).
+
+    One Application object backs all replica jobs, so the sink identifies
+    its replica from the ``replica`` submission-time parameter and records
+    into the hub under that key.
+    """
+
+    def __init__(self) -> None:
+        self._points: Dict[str, List[TrendPoint]] = {}
+
+    def record(self, replica: str, tup: StreamTuple) -> None:
+        self._points.setdefault(replica, []).append(
+            TrendPoint(
+                ts=tup["ts"],
+                symbol=tup["symbol"],
+                minimum=tup["min"],
+                maximum=tup["max"],
+                average=tup["avg"],
+                upper_band=tup["upper"],
+                lower_band=tup["lower"],
+                coverage=tup["coverage"],
+                window_count=tup["count"],
+            )
+        )
+
+    def replicas(self) -> List[str]:
+        return sorted(self._points)
+
+    def points(self, replica: str) -> List[TrendPoint]:
+        return list(self._points.get(replica, []))
+
+    def points_for(self, replica: str, symbol: str) -> List[TrendPoint]:
+        return [p for p in self._points.get(replica, []) if p.symbol == symbol]
+
+    def series(
+        self, replica: str, symbol: str, attr: str = "average"
+    ) -> List[tuple]:
+        return [(p.ts, getattr(p, attr)) for p in self.points_for(replica, symbol)]
+
+
+class RecordingSink(Operator):
+    """Replica-aware terminal operator feeding a :class:`TrendRecorderHub`."""
+
+    N_OUTPUTS = 0
+
+    def __init__(self, ctx: OperatorContext) -> None:
+        super().__init__(ctx)
+        self.hub: Optional[TrendRecorderHub] = self.param("hub", None)
+        self.replica = ctx.get_submission_time_value("replica", "0") or "0"
+
+    def on_tuple(self, tup: StreamTuple, port: int) -> None:
+        if self.hub is not None:
+            self.hub.record(self.replica, tup)
+
+
+class TrendCalculator(Operator):
+    """Per-symbol sliding-window min/max/avg/Bollinger (the algorithms of
+    Sec. 5.2).
+
+    Parameters: ``window_span`` (default 600 s), ``bollinger_k``
+    (default 2.0).
+    """
+
+    def __init__(self, ctx: OperatorContext) -> None:
+        super().__init__(ctx)
+        self.window_span = float(self.param("window_span", 600.0))
+        self.bollinger_k = float(self.param("bollinger_k", 2.0))
+        self._windows: Dict[str, SlidingTimeWindow] = {}
+        self.n_symbols = self.create_custom_metric(
+            "nSymbols", MetricKind.GAUGE, "distinct symbols with open windows"
+        )
+
+    def window_for(self, symbol: str) -> SlidingTimeWindow:
+        window = self._windows.get(symbol)
+        if window is None:
+            window = SlidingTimeWindow(self.window_span)
+            self._windows[symbol] = window
+            self.n_symbols.set(len(self._windows))
+        return window
+
+    def on_tuple(self, tup: StreamTuple, port: int) -> None:
+        symbol = tup["symbol"]
+        window = self.window_for(symbol)
+        now = self.now()
+        window.insert(now, tup["price"])
+        upper, lower = window.bollinger_bands(self.bollinger_k)
+        self.submit(
+            {
+                "symbol": symbol,
+                "ts": now,
+                "min": window.minimum(),
+                "max": window.maximum(),
+                "avg": window.mean(),
+                "upper": upper,
+                "lower": lower,
+                "coverage": window.coverage,
+                "count": len(window),
+            }
+        )
+
+
+def build_trend_application(
+    workload_factory: Callable[[], TradeWorkload],
+    hub: Optional[TrendRecorderHub] = None,
+    window_span: float = 600.0,
+    source_period: float = 1.0,
+    app_name: str = "TrendCalculator",
+) -> Application:
+    """Assemble the Trend Calculator.
+
+    Two PEs: ``feed`` (source) and ``calc`` (calculator + output sink).
+    The ``replica`` submission-time parameter labels output for the GUI.
+    ``workload_factory`` builds one independent (identically seeded) feed
+    per submitted replica, so healthy replicas see the same market data —
+    which is what makes the two graphs of Fig. 9(a) identical.
+    """
+    app = Application(app_name)
+    app.declare_parameter("replica", "0")
+    g = app.graph
+
+    def make_generator() -> Callable[[float, int], List[Dict[str, Any]]]:
+        # Called once per operator *instance* => one identically-seeded
+        # independent feed per replica job.
+        return workload_factory().generator()
+
+    src = g.add_operator(
+        "feed",
+        CallbackSource,
+        params={"generator_factory": make_generator, "period": source_period},
+        partition="feed",
+    )
+    calc = g.add_operator(
+        "calc",
+        TrendCalculator,
+        params={"window_span": window_span},
+        partition="calc",
+    )
+    out = g.add_operator(
+        "out",
+        RecordingSink,
+        params={"hub": hub},
+        partition="calc",
+    )
+    g.connect(src.oport(0), calc.iport(0))
+    g.connect(calc.oport(0), out.iport(0))
+    return app

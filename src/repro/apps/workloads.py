@@ -1,0 +1,199 @@
+"""Synthetic workload generators.
+
+The paper's experiments consume live feeds (Twitter's 10% sample stream,
+MySpace, stock tickers).  Offline we generate seeded synthetic equivalents
+that preserve the *properties the experiments measure*:
+
+* tweets carry a product, a sentiment, and a root-cause phrase whose
+  distribution shifts at a configurable time (Fig. 8's "around epoch 250
+  we feed a stream of tweets in which users complain about antenna
+  issues");
+* stock trades follow per-symbol random walks (Sec. 5.2's windowed
+  min/max/average/Bollinger computations need plausible numeric series);
+* social profiles arrive with a source, a topic sentiment, and a random
+  subset of the attributes (gender/age/location) whose discovery counts
+  drive the dynamic composition of Sec. 5.3.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Sequence
+
+#: Vocabulary of non-cause filler words for tweet text.
+_FILLER = (
+    "today", "really", "again", "why", "just", "phone", "using", "my",
+    "the", "this", "update", "new", "still", "ever", "worst", "love",
+)
+
+_POSITIVE_WORDS = ("love", "great", "awesome", "amazing", "happy")
+_NEGATIVE_WORDS = ("hate", "broken", "terrible", "awful", "annoying")
+
+_FIRST_NAMES = (
+    "alex", "sam", "jo", "pat", "max", "kim", "lee", "ray", "dana", "cruz",
+)
+
+_LOCATIONS = ("ny", "sf", "chicago", "austin", "boston", "seattle")
+
+
+@dataclass
+class CausePhase:
+    """One phase of the tweet workload: from ``start`` on, draw causes
+    according to ``cause_weights``."""
+
+    start: float
+    cause_weights: Dict[str, float]
+
+
+@dataclass
+class TweetWorkload:
+    """Seeded tweet stream with a cause-distribution shift.
+
+    Defaults model the paper's experiment: pre-shift complaints are about
+    ``flash`` and ``screen`` (the pre-computed model's known causes);
+    post-shift complaints are overwhelmingly about ``antenna``.
+    """
+
+    product: str = "iphone"
+    rate: int = 5  #: tweets per generation tick
+    negative_fraction: float = 0.65
+    product_fraction: float = 0.8  #: rest mention other products
+    phases: Sequence[CausePhase] = field(
+        default_factory=lambda: (
+            CausePhase(0.0, {"flash": 0.5, "screen": 0.4, "battery": 0.1}),
+            CausePhase(
+                250.0,
+                {"antenna": 0.75, "flash": 0.1, "screen": 0.1, "battery": 0.05},
+            ),
+        )
+    )
+    seed: int = 7
+
+    def __post_init__(self) -> None:
+        self._rng = random.Random(self.seed)
+
+    def _phase_at(self, now: float) -> CausePhase:
+        current = self.phases[0]
+        for phase in self.phases:
+            if phase.start <= now:
+                current = phase
+        return current
+
+    def _draw_cause(self, now: float) -> str:
+        weights = self._phase_at(now).cause_weights
+        causes = list(weights)
+        return self._rng.choices(causes, weights=[weights[c] for c in causes])[0]
+
+    def make_tweet(self, now: float) -> Dict[str, Any]:
+        rng = self._rng
+        negative = rng.random() < self.negative_fraction
+        on_product = rng.random() < self.product_fraction
+        product = self.product if on_product else rng.choice(("android", "tablet"))
+        words: List[str] = [product]
+        if negative:
+            cause = self._draw_cause(now)
+            words.append(rng.choice(_NEGATIVE_WORDS))
+            words.append(cause)
+        else:
+            cause = ""
+            words.append(rng.choice(_POSITIVE_WORDS))
+        words.extend(rng.choice(_FILLER) for _ in range(rng.randint(3, 6)))
+        rng.shuffle(words)
+        return {
+            "text": " ".join(words),
+            "user": rng.choice(_FIRST_NAMES) + str(rng.randint(1, 999)),
+            "product": product,
+            "true_sentiment": "neg" if negative else "pos",
+            "true_cause": cause,
+            "ts": now,
+        }
+
+    def generator(self) -> Callable[[float, int], List[Dict[str, Any]]]:
+        """A tick generator for :class:`~repro.spl.library.CallbackSource`."""
+
+        def generate(now: float, count: int) -> List[Dict[str, Any]]:
+            return [self.make_tweet(now) for _ in range(self.rate)]
+
+        return generate
+
+
+@dataclass
+class TradeWorkload:
+    """Per-symbol random-walk stock trades."""
+
+    symbols: Sequence[str] = ("IBM", "MSFT", "GOOG")
+    rate: int = 3  #: trades per tick (one per random symbol)
+    start_price: float = 100.0
+    volatility: float = 0.5
+    seed: int = 11
+
+    def __post_init__(self) -> None:
+        self._rng = random.Random(self.seed)
+        self._prices: Dict[str, float] = {s: self.start_price for s in self.symbols}
+
+    def make_trade(self, now: float) -> Dict[str, Any]:
+        rng = self._rng
+        symbol = rng.choice(list(self.symbols))
+        price = self._prices[symbol] + rng.gauss(0.0, self.volatility)
+        price = max(price, 1.0)
+        self._prices[symbol] = price
+        return {
+            "symbol": symbol,
+            "price": round(price, 4),
+            "volume": rng.randint(1, 500),
+            "ts": now,
+        }
+
+    def generator(self) -> Callable[[float, int], List[Dict[str, Any]]]:
+        def generate(now: float, count: int) -> List[Dict[str, Any]]:
+            return [self.make_trade(now) for _ in range(self.rate)]
+
+        return generate
+
+
+@dataclass
+class ProfileWorkload:
+    """Social-media profiles with partially-known attributes.
+
+    ``source`` tags the originating site (the two C1 applications use
+    different sources); each profile carries a random subset of the
+    segmentation attributes, plus a sentiment on the configured topic —
+    C1 applications forward only negative-sentiment profiles.
+    """
+
+    source: str = "twitter"
+    rate: int = 10
+    negative_fraction: float = 0.7
+    attribute_probabilities: Dict[str, float] = field(
+        default_factory=lambda: {"gender": 0.6, "age": 0.45, "location": 0.3}
+    )
+    seed: int = 23
+
+    def __post_init__(self) -> None:
+        self._rng = random.Random(self.seed + hash(self.source) % 1000)
+        self._next_id = 0
+
+    def make_profile(self, now: float) -> Dict[str, Any]:
+        rng = self._rng
+        self._next_id += 1
+        attrs: Dict[str, Any] = {}
+        if rng.random() < self.attribute_probabilities.get("gender", 0):
+            attrs["gender"] = rng.choice(("f", "m"))
+        if rng.random() < self.attribute_probabilities.get("age", 0):
+            attrs["age"] = rng.randint(16, 75)
+        if rng.random() < self.attribute_probabilities.get("location", 0):
+            attrs["location"] = rng.choice(_LOCATIONS)
+        return {
+            "profile_id": f"{self.source}-{self._next_id}",
+            "source": self.source,
+            "sentiment": "neg" if rng.random() < self.negative_fraction else "pos",
+            "attributes": attrs,
+            "ts": now,
+        }
+
+    def generator(self) -> Callable[[float, int], List[Dict[str, Any]]]:
+        def generate(now: float, count: int) -> List[Dict[str, Any]]:
+            return [self.make_profile(now) for _ in range(self.rate)]
+
+        return generate

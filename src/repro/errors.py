@@ -1,0 +1,125 @@
+"""Exception hierarchy for the repro package.
+
+All errors raised by the library derive from :class:`ReproError` so that
+callers can catch everything coming out of the simulated middleware or the
+orchestrator with a single ``except`` clause.  The sub-hierarchy mirrors the
+components of the system: SPL compilation, the System S runtime, and the
+orchestrator (ORCA) service.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this library."""
+
+
+# ---------------------------------------------------------------------------
+# SPL / compilation errors
+# ---------------------------------------------------------------------------
+
+
+class SPLError(ReproError):
+    """Base class for errors in application composition or compilation."""
+
+
+class SchemaError(SPLError):
+    """A tuple does not conform to the schema of the stream carrying it."""
+
+
+class GraphError(SPLError):
+    """Invalid logical graph construction (bad ports, duplicate names...)."""
+
+
+class CompositeError(GraphError):
+    """Invalid composite operator definition or instantiation."""
+
+
+class CompilationError(SPLError):
+    """The compiler could not partition the application into PEs."""
+
+
+class ConstraintError(CompilationError):
+    """Partition or placement constraints are unsatisfiable."""
+
+
+class ADLError(SPLError):
+    """Malformed ADL document (serialization or parsing)."""
+
+
+# ---------------------------------------------------------------------------
+# Runtime (System S) errors
+# ---------------------------------------------------------------------------
+
+
+class RuntimeFault(ReproError):
+    """Base class for errors raised by the simulated System S runtime."""
+
+
+class SubmissionError(RuntimeFault):
+    """A job could not be submitted (no hosts, bad ADL, name clash...)."""
+
+
+class PlacementError(SubmissionError):
+    """The scheduler could not place every PE on a host."""
+
+
+class CancellationError(RuntimeFault):
+    """A job could not be cancelled."""
+
+
+class UnknownJobError(RuntimeFault):
+    """A job id does not name a job known to SAM."""
+
+
+class UnknownPEError(RuntimeFault):
+    """A PE id does not name a PE known to the runtime."""
+
+
+class UnknownHostError(RuntimeFault):
+    """A host name does not name a host registered with SRM."""
+
+
+class PEControlError(RuntimeFault):
+    """An invalid PE lifecycle operation (e.g. restarting a running PE)."""
+
+
+# ---------------------------------------------------------------------------
+# Orchestrator (ORCA) errors
+# ---------------------------------------------------------------------------
+
+
+class OrcaError(ReproError):
+    """Base class for orchestrator errors."""
+
+
+class ScopeError(OrcaError):
+    """Invalid event scope definition or registration."""
+
+
+class OrcaPermissionError(OrcaError):
+    """The ORCA logic acted on a job it did not start (Sec. 3 of the paper)."""
+
+
+class InspectionError(OrcaError):
+    """A stream-graph inspection query referenced an unknown entity."""
+
+
+class DependencyError(OrcaError):
+    """Invalid application dependency registration (unknown config...)."""
+
+
+class DependencyCycleError(DependencyError):
+    """Registering the dependency would create a cycle (Sec. 4.4)."""
+
+
+class StarvationError(DependencyError):
+    """Cancelling the application would starve a running dependent (Sec. 4.4)."""
+
+
+class DescriptorError(OrcaError):
+    """Malformed orchestrator descriptor document."""
+
+
+class ActuationError(OrcaError):
+    """An actuation request failed (e.g. host pools changed post-submit)."""

@@ -1,0 +1,33 @@
+"""The command tool: user-generated events.
+
+Sec. 3 of the paper: "The ORCA service can also receive user-generated
+events via a command tool, which generates a direct call to the ORCA
+service.  This direct call also does not interfere with the application
+hot path."
+
+Operators (e.g. human operations staff) use this to nudge a running
+orchestrator: force a failover, request an extra replica, flip a feature
+flag in the adaptation policy...
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Dict, Optional
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.orca.service import OrcaService
+
+
+class OrcaCommandTool:
+    """CLI-equivalent front end for injecting user events."""
+
+    def __init__(self, service: "OrcaService") -> None:
+        self._service = service
+
+    def submit_event(self, name: str, payload: Optional[Dict[str, Any]] = None) -> None:
+        """Deliver a user event directly to the ORCA service."""
+        self._service.inject_user_event(name, payload or {})
+
+    def set_metric_poll_interval(self, seconds: float) -> None:
+        """Operator override of the SRM polling rate."""
+        self._service.set_metric_poll_interval(seconds)

@@ -1,0 +1,175 @@
+"""Event contexts.
+
+Sec. 4.2 of the paper: "for each event, the ORCA service delivers two
+items" — the keys of all matching subscopes and the **context** of the
+event: "a slice of the application runtime information in which the event
+occurs ... the minimum information required to characterize each type of
+event".  Contexts can be used to further query the ORCA service and
+inspect the logical/physical representation of the application.
+
+Field names are snake_case; the camelCase names used verbatim in the
+paper's code listings (``context.instanceName``, ``context.epoch``...) are
+provided as read-only aliases so the paper's Figs. 5-6 translate
+one-to-one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+
+@dataclass(frozen=True)
+class OrcaStartContext:
+    """Delivered once, when the ORCA service has loaded the ORCA logic."""
+
+    orca_id: str
+    time: float
+
+
+@dataclass(frozen=True)
+class OperatorMetricContext:
+    """An operator-scope metric value observed at one SRM poll."""
+
+    instance_name: str  #: operator full (instance) name
+    operator_kind: str
+    metric: str  #: metric name
+    value: float
+    epoch: int  #: logical clock: one epoch per SRM poll round (Sec. 4.2)
+    job_id: str
+    app_name: str
+    pe_id: str
+    collection_ts: float  #: when the host controller sampled the value
+    is_custom: bool
+
+    @property
+    def instanceName(self) -> str:  # noqa: N802 - paper-parity alias
+        return self.instance_name
+
+
+@dataclass(frozen=True)
+class OperatorPortMetricContext:
+    """A port-scope operator metric value (e.g. queueSize of input port 0)."""
+
+    instance_name: str
+    operator_kind: str
+    port: int
+    metric: str
+    value: float
+    epoch: int
+    job_id: str
+    app_name: str
+    pe_id: str
+    collection_ts: float
+    is_custom: bool
+
+    @property
+    def instanceName(self) -> str:  # noqa: N802 - paper-parity alias
+        return self.instance_name
+
+
+@dataclass(frozen=True)
+class PEMetricContext:
+    """A PE-scope metric value."""
+
+    pe_id: str
+    metric: str
+    value: float
+    epoch: int
+    job_id: str
+    app_name: str
+    host: Optional[str]
+    collection_ts: float
+    is_custom: bool
+
+
+@dataclass(frozen=True)
+class PEFailureContext:
+    """A PE crash, pushed by SAM through the ORCA service (Sec. 4.2).
+
+    SAM provides "the PE id, the failure detection timestamp, and the
+    crash reason"; the ORCA service adds an epoch that groups PE failures
+    belonging to the same physical event (e.g. one host failure).
+    """
+
+    pe_id: str
+    pe_index: int
+    job_id: str
+    app_name: str
+    reason: str
+    detection_ts: float
+    epoch: int
+    host: Optional[str]
+    operators: tuple = ()  #: full names of operators hosted by the failed PE
+
+    @property
+    def peId(self) -> str:  # noqa: N802 - paper-parity alias
+        return self.pe_id
+
+
+@dataclass(frozen=True)
+class HostFailureContext:
+    """A host went down (detected by SRM via missed heartbeats)."""
+
+    host: str
+    detection_ts: float
+    epoch: int
+    affected_pe_ids: tuple = ()
+
+
+@dataclass(frozen=True)
+class JobSubmissionContext:
+    """A managed application was submitted (directly or by the dependency
+    manager)."""
+
+    job_id: str
+    app_name: str
+    config_id: Optional[str]  #: AppConfig id when the dependency manager submitted
+    time: float
+    explicit: bool  #: True when the ORCA logic asked for this app directly
+
+
+@dataclass(frozen=True)
+class JobCancellationContext:
+    """A managed application was cancelled (directly or garbage-collected)."""
+
+    job_id: str
+    app_name: str
+    config_id: Optional[str]
+    time: float
+    garbage_collected: bool  #: True when the dependency manager GC'd it
+
+
+@dataclass(frozen=True)
+class TimerContext:
+    """A timer created through the ORCA service expired."""
+
+    timer_id: str
+    scheduled_for: float
+    time: float
+    payload: Any = None
+    periodic: bool = False
+
+
+@dataclass(frozen=True)
+class UserEventContext:
+    """A user-generated event, injected via the command tool (Sec. 4.1)."""
+
+    name: str
+    time: float
+    payload: Dict[str, Any] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class EventTransaction:
+    """Transaction id attached to every delivered event.
+
+    This implements the paper's *future work* item (Sec. 7): "adding
+    transaction IDs to delivered events, and associating actuations taking
+    place via the ORCA service to the event transaction ID", enabling
+    reliable delivery and actuation replay.
+    """
+
+    txn_id: int
+    event_type: str
+    enqueued_at: float

@@ -1,0 +1,59 @@
+"""Epoch assignment.
+
+Sec. 4.2 of the paper defines two epoch mechanisms:
+
+* **Metric epochs** — "the epoch value is incremented at each SRM query
+  and serves as a logical clock for the ORCA logic"; every metric event
+  produced from one poll round shares the epoch, so handlers can check
+  whether several metric values were measured together (Fig. 6 line 19).
+* **Failure epochs** — "the ORCA service increments the epoch value based
+  on the crash reason (e.g. host failure) and the detection timestamp",
+  so multiple PE failure deliveries caused by one physical event (a host
+  going down) share an epoch.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+
+class MetricEpochCounter:
+    """One epoch per SRM metric poll."""
+
+    def __init__(self) -> None:
+        self._epoch = 0
+
+    def next(self) -> int:
+        self._epoch += 1
+        return self._epoch
+
+    @property
+    def current(self) -> int:
+        return self._epoch
+
+
+class FailureEpochTracker:
+    """Groups failure notifications into physical-event epochs.
+
+    Two failures belong to the same epoch iff they share the crash reason
+    and the detection timestamp (within ``tolerance`` seconds, to absorb
+    notification jitter).
+    """
+
+    def __init__(self, tolerance: float = 1e-9) -> None:
+        self.tolerance = tolerance
+        self._epoch = 0
+        self._last_key: Optional[Tuple[str, float]] = None
+
+    def epoch_for(self, reason: str, detection_ts: float) -> int:
+        if self._last_key is not None:
+            last_reason, last_ts = self._last_key
+            if last_reason == reason and abs(detection_ts - last_ts) <= self.tolerance:
+                return self._epoch
+        self._epoch += 1
+        self._last_key = (reason, detection_ts)
+        return self._epoch
+
+    @property
+    def current(self) -> int:
+        return self._epoch

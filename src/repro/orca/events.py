@@ -1,0 +1,58 @@
+"""Internal event records and the one-at-a-time delivery queue.
+
+Sec. 4.2 of the paper: "Events are delivered to the ORCA logic one at a
+time.  If other events occur while an event handling routine is under
+execution, these events are queued by the ORCA service in the order they
+were received."
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Deque, List, Optional
+
+
+@dataclass
+class OrcaEvent:
+    """One queued event: type, context, and the matching subscope keys.
+
+    ``txn_id`` implements the paper's future-work reliable-delivery hook:
+    every delivered event carries a transaction id, and actuations issued
+    while handling the event are attributed to it (see
+    :meth:`repro.orca.service.OrcaService.actuation_log`).
+    """
+
+    event_type: str
+    context: Any
+    scope_keys: List[str] = field(default_factory=list)
+    txn_id: int = 0
+    enqueued_at: float = 0.0
+
+
+class EventQueue:
+    """FIFO queue with delivery bookkeeping."""
+
+    def __init__(self) -> None:
+        self._queue: Deque[OrcaEvent] = deque()
+        self._next_txn = 1
+        self.delivered_count = 0
+        self.dropped_count = 0
+
+    def push(self, event: OrcaEvent) -> OrcaEvent:
+        event.txn_id = self._next_txn
+        self._next_txn += 1
+        self._queue.append(event)
+        return event
+
+    def pop(self) -> Optional[OrcaEvent]:
+        if not self._queue:
+            return None
+        self.delivered_count += 1
+        return self._queue.popleft()
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    def __bool__(self) -> bool:
+        return bool(self._queue)

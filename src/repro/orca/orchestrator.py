@@ -1,0 +1,104 @@
+"""Orchestrator — the base class of the ORCA logic.
+
+Sec. 3 of the paper: "Developers write the ORCA logic ... by inheriting an
+Orchestrator class.  The Orchestrator class contains the signature of all
+event handling methods that can be specialized.  The ORCA logic can invoke
+routines from the ORCA service by using a reference received during
+construction."
+
+Handler names match the paper's listings (Figs. 5-6) exactly.  Every
+handler except :meth:`handleOrcaStart` receives the matched subscope keys
+alongside the event context.  The only event that is always in scope is
+the start notification (Sec. 4.1); all other events are delivered only if
+they match a registered subscope.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List
+
+from repro.orca.contexts import (
+    HostFailureContext,
+    JobCancellationContext,
+    JobSubmissionContext,
+    OperatorMetricContext,
+    OperatorPortMetricContext,
+    OrcaStartContext,
+    PEFailureContext,
+    PEMetricContext,
+    TimerContext,
+    UserEventContext,
+)
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.orca.service import OrcaService
+
+
+class Orchestrator:
+    """Base class for user-written adaptation logic."""
+
+    def __init__(self) -> None:
+        #: Reference to the ORCA service, set before handleOrcaStart runs.
+        self._orca: "OrcaService" = None  # type: ignore[assignment]
+
+    @property
+    def orca(self) -> "OrcaService":
+        return self._orca
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def handleOrcaStart(self, context: OrcaStartContext) -> None:  # noqa: N802
+        """Always delivered once the ORCA service has loaded this logic."""
+
+    # -- metric events --------------------------------------------------------------
+
+    def handleOperatorMetricEvent(  # noqa: N802
+        self, context: OperatorMetricContext, scopes: List[str]
+    ) -> None:
+        """An operator metric matched at least one registered subscope."""
+
+    def handleOperatorPortMetricEvent(  # noqa: N802
+        self, context: OperatorPortMetricContext, scopes: List[str]
+    ) -> None:
+        """An operator port metric matched at least one registered subscope."""
+
+    def handlePEMetricEvent(  # noqa: N802
+        self, context: PEMetricContext, scopes: List[str]
+    ) -> None:
+        """A PE metric matched at least one registered subscope."""
+
+    # -- failure events -----------------------------------------------------------------
+
+    def handlePEFailureEvent(  # noqa: N802
+        self, context: PEFailureContext, scopes: List[str]
+    ) -> None:
+        """A PE of a managed job crashed."""
+
+    def handleHostFailureEvent(  # noqa: N802
+        self, context: HostFailureContext, scopes: List[str]
+    ) -> None:
+        """A host went down (detected via missed heartbeats)."""
+
+    # -- job dynamics ----------------------------------------------------------------------
+
+    def handleJobSubmissionEvent(  # noqa: N802
+        self, context: JobSubmissionContext, scopes: List[str]
+    ) -> None:
+        """A managed application was submitted (Sec. 4.4)."""
+
+    def handleJobCancellationEvent(  # noqa: N802
+        self, context: JobCancellationContext, scopes: List[str]
+    ) -> None:
+        """A managed application was cancelled or garbage-collected."""
+
+    # -- timers and user events ----------------------------------------------------------------
+
+    def handleTimerEvent(  # noqa: N802
+        self, context: TimerContext, scopes: List[str]
+    ) -> None:
+        """A timer created through the ORCA service expired."""
+
+    def handleUserEvent(  # noqa: N802
+        self, context: UserEventContext, scopes: List[str]
+    ) -> None:
+        """A user event was injected via the command tool."""

@@ -1,0 +1,284 @@
+"""Event scopes.
+
+Sec. 4.1 of the paper: the ORCA service event scope is a **disjunction of
+subscopes**; an event is delivered when it matches at least one registered
+subscope (and only once, even when several match).  A subscope names an
+event *type* (PE failure, operator metric, ...) and may be refined with
+attribute filters.  Filter semantics:
+
+* conditions on the **same attribute are disjunctive** ("application A or
+  application B"),
+* conditions on **different attributes are conjunctive** ("application A
+  *and* contained within composite type composite1"),
+* composite filters match through **any nesting depth** — which is why the
+  equivalent SQL formulation needs a recursive query (see
+  :mod:`repro.orca.sqlbaseline`).
+
+The ``add*Filter`` method names follow the paper's Fig. 5 verbatim.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Set, Union
+
+from repro.errors import ScopeError
+
+Values = Union[str, int, Iterable]
+
+
+def _as_set(values: Values) -> Set:
+    if isinstance(values, (str, int)):
+        return {values}
+    result = set(values)
+    if not result:
+        raise ScopeError("filter needs at least one value")
+    return result
+
+
+def to_string(metric_name: str) -> str:
+    """Paper-parity helper: Fig. 6 calls ``toString(OperatorMetricScope::queueSize)``.
+
+    Our metric identifiers are already strings, so this is the identity —
+    kept so the paper's listings translate literally.
+    """
+    return metric_name
+
+
+class EventScope:
+    """Base class: one subscope with attribute filters."""
+
+    #: Event type this subscope selects; set by subclasses.
+    EVENT_TYPE = ""
+
+    def __init__(self, key: str) -> None:
+        if not key:
+            raise ScopeError("subscope key must be non-empty")
+        self.key = key
+        self._filters: Dict[str, Set] = {}
+
+    # -- filter framework ------------------------------------------------------
+
+    def _add(self, attribute: str, values: Values) -> None:
+        self._filters.setdefault(attribute, set()).update(_as_set(values))
+
+    def filters(self) -> Mapping[str, Set]:
+        return dict(self._filters)
+
+    def matches(self, attrs: Mapping[str, object]) -> bool:
+        """Evaluate this subscope against an event's attribute map.
+
+        ``attrs`` maps attribute name to either a scalar or a collection
+        (collections arise from containment chains: an operator is "in"
+        every enclosing composite).  Missing attribute => no match for any
+        filter on it.
+        """
+        for attribute, allowed in self._filters.items():
+            actual = attrs.get(attribute)
+            if actual is None:
+                return False
+            if isinstance(actual, (set, frozenset, list, tuple)):
+                if not allowed.intersection(actual):
+                    return False
+            else:
+                if actual not in allowed:
+                    return False
+        return True
+
+    # -- filters common to most subscopes -----------------------------------------
+
+    def addApplicationFilter(self, names: Values) -> "EventScope":  # noqa: N802
+        self._add("application", names)
+        return self
+
+    def addJobFilter(self, job_ids: Values) -> "EventScope":  # noqa: N802
+        self._add("job", job_ids)
+        return self
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.key!r}, filters={self._filters})"
+
+
+class _GraphScopedMixin:
+    """Filters that need the stream-graph containment information."""
+
+    def addCompositeTypeFilter(self, kinds: Values) -> "EventScope":  # noqa: N802
+        self._add("composite_type", kinds)  # type: ignore[attr-defined]
+        return self  # type: ignore[return-value]
+
+    def addCompositeInstanceFilter(self, names: Values) -> "EventScope":  # noqa: N802
+        self._add("composite_instance", names)  # type: ignore[attr-defined]
+        return self  # type: ignore[return-value]
+
+
+class OperatorMetricScope(_GraphScopedMixin, EventScope):
+    """Operator-scope metric events (Fig. 5 of the paper)."""
+
+    EVENT_TYPE = "operator_metric"
+
+    #: Built-in metric identifiers, mirroring ``OperatorMetricScope::...``
+    queueSize = "queueSize"
+    nTuplesProcessed = "nTuplesProcessed"
+    nTuplesSubmitted = "nTuplesSubmitted"
+    nPunctsProcessed = "nPunctsProcessed"
+    nFinalPunctsProcessed = "nFinalPunctsProcessed"
+
+    def addOperatorTypeFilter(self, kinds: Values) -> "OperatorMetricScope":  # noqa: N802
+        self._add("operator_type", kinds)
+        return self
+
+    def addOperatorInstanceFilter(self, names: Values) -> "OperatorMetricScope":  # noqa: N802
+        self._add("operator_instance", names)
+        return self
+
+    def addOperatorMetric(self, names: Values) -> "OperatorMetricScope":  # noqa: N802
+        self._add("metric_name", names)
+        return self
+
+    def addPEFilter(self, pe_ids: Values) -> "OperatorMetricScope":  # noqa: N802
+        self._add("pe", pe_ids)
+        return self
+
+    def addHostFilter(self, hosts: Values) -> "OperatorMetricScope":  # noqa: N802
+        self._add("host", hosts)
+        return self
+
+
+class OperatorPortMetricScope(OperatorMetricScope):
+    """Port-scope operator metric events (queueSize of one input port...)."""
+
+    EVENT_TYPE = "operator_port_metric"
+
+    def addPortFilter(self, ports: Values) -> "OperatorPortMetricScope":  # noqa: N802
+        self._add("port", ports)
+        return self
+
+
+class PEMetricScope(EventScope):
+    """PE-scope metric events."""
+
+    EVENT_TYPE = "pe_metric"
+
+    nTuplesProcessed = "nTuplesProcessed"
+    nTupleBytesProcessed = "nTupleBytesProcessed"
+    nTuplesSubmitted = "nTuplesSubmitted"
+    nRestarts = "nRestarts"
+
+    def addPEMetric(self, names: Values) -> "PEMetricScope":  # noqa: N802
+        self._add("metric_name", names)
+        return self
+
+    def addPEFilter(self, pe_ids: Values) -> "PEMetricScope":  # noqa: N802
+        self._add("pe", pe_ids)
+        return self
+
+    def addHostFilter(self, hosts: Values) -> "PEMetricScope":  # noqa: N802
+        self._add("host", hosts)
+        return self
+
+
+class PEFailureScope(_GraphScopedMixin, EventScope):
+    """PE failure events (Fig. 5 line 10)."""
+
+    EVENT_TYPE = "pe_failure"
+
+    def addPEFilter(self, pe_ids: Values) -> "PEFailureScope":  # noqa: N802
+        self._add("pe", pe_ids)
+        return self
+
+    def addHostFilter(self, hosts: Values) -> "PEFailureScope":  # noqa: N802
+        self._add("host", hosts)
+        return self
+
+    def addReasonFilter(self, reasons: Values) -> "PEFailureScope":  # noqa: N802
+        self._add("reason", reasons)
+        return self
+
+
+class HostFailureScope(EventScope):
+    """Host failure events."""
+
+    EVENT_TYPE = "host_failure"
+
+    def addHostFilter(self, hosts: Values) -> "HostFailureScope":  # noqa: N802
+        self._add("host", hosts)
+        return self
+
+
+class JobSubmissionScope(EventScope):
+    """Job submission notifications (generated by the ORCA service itself)."""
+
+    EVENT_TYPE = "job_submission"
+
+    def addConfigFilter(self, config_ids: Values) -> "JobSubmissionScope":  # noqa: N802
+        self._add("config", config_ids)
+        return self
+
+
+class JobCancellationScope(EventScope):
+    """Job cancellation notifications (generated by the ORCA service itself)."""
+
+    EVENT_TYPE = "job_cancellation"
+
+    def addConfigFilter(self, config_ids: Values) -> "JobCancellationScope":  # noqa: N802
+        self._add("config", config_ids)
+        return self
+
+
+class TimerScope(EventScope):
+    """Timer expirations."""
+
+    EVENT_TYPE = "timer"
+
+    def addTimerFilter(self, timer_ids: Values) -> "TimerScope":  # noqa: N802
+        self._add("timer", timer_ids)
+        return self
+
+
+class UserEventScope(EventScope):
+    """User-generated events injected through the command tool."""
+
+    EVENT_TYPE = "user"
+
+    def addNameFilter(self, names: Values) -> "UserEventScope":  # noqa: N802
+        self._add("name", names)
+        return self
+
+
+class ScopeRegistry:
+    """The set of subscopes registered with one ORCA service.
+
+    Matching returns the keys of *all* matching subscopes (the first item
+    the service delivers alongside the context, Sec. 4.2); the service
+    still delivers the event only once.
+    """
+
+    def __init__(self) -> None:
+        self._scopes: List[EventScope] = []
+
+    def register(self, scope: EventScope) -> None:
+        if not isinstance(scope, EventScope):
+            raise ScopeError(f"not an event scope: {scope!r}")
+        if any(s.key == scope.key for s in self._scopes):
+            raise ScopeError(f"subscope key {scope.key!r} already registered")
+        self._scopes.append(scope)
+
+    def unregister(self, key: str) -> bool:
+        before = len(self._scopes)
+        self._scopes = [s for s in self._scopes if s.key != key]
+        return len(self._scopes) != before
+
+    def matching_keys(self, event_type: str, attrs: Mapping[str, object]) -> List[str]:
+        return [
+            scope.key
+            for scope in self._scopes
+            if scope.EVENT_TYPE == event_type and scope.matches(attrs)
+        ]
+
+    def scopes_of_type(self, event_type: str) -> List[EventScope]:
+        return [s for s in self._scopes if s.EVENT_TYPE == event_type]
+
+    def __len__(self) -> int:
+        return len(self._scopes)
+
+    def __iter__(self):
+        return iter(self._scopes)

@@ -1,0 +1,620 @@
+"""OrcaService — the orchestrator runtime daemon.
+
+Fig. 4 of the paper: users submit the orchestrator descriptor to SAM,
+which forks a process for the ORCA service; the service loads the ORCA
+logic shared library, invokes the start callback, and from then on
+
+* **generates events**: from itself (start, job submission/cancellation,
+  timers), from SRM metric polls (default every 15 s, adjustable), from
+  SAM failure push notifications (one extra RPC), and from the command
+  tool (user events);
+* **matches** every event against the registered scope (disjunction of
+  subscopes; delivered once with *all* matching keys);
+* **delivers** events to the ORCA logic one at a time, in arrival order,
+  with context + epoch;
+* **actuates** on behalf of the logic: submit/cancel managed applications,
+  restart/stop PEs, rewrite host pools to exclusive, send operator control
+  commands, run external commands — refusing to act on jobs this
+  orchestrator did not start (Sec. 3);
+* **inspects**: the in-memory stream graph queries of Sec. 4.2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.errors import ActuationError, DescriptorError, OrcaPermissionError
+from repro.orca.commandtool import OrcaCommandTool
+from repro.orca.contexts import (
+    HostFailureContext,
+    JobCancellationContext,
+    JobSubmissionContext,
+    OperatorMetricContext,
+    OperatorPortMetricContext,
+    OrcaStartContext,
+    PEFailureContext,
+    PEMetricContext,
+    TimerContext,
+    UserEventContext,
+)
+from repro.orca.dependencies import DependencyManager
+from repro.orca.descriptor import ManagedApplication, OrcaDescriptor
+from repro.orca.epochs import FailureEpochTracker, MetricEpochCounter
+from repro.orca.events import EventQueue, OrcaEvent
+from repro.orca.scopes import ScopeRegistry, EventScope
+from repro.orca.streamgraph import StreamGraph
+from repro.orca.timers import TimerHandle, TimerService
+from repro.spl.adl import adl_from_xml, adl_to_xml
+from repro.spl.compiler import CompiledApplication, SPLCompiler
+from repro.runtime.job import Job, JobState
+from repro.runtime.pe import PERuntime
+from repro.runtime.srm import MetricSample
+from repro.runtime.system import SystemS
+
+
+@dataclass
+class ActuationRecord:
+    """One actuation, attributed to the event transaction that caused it.
+
+    Implements the future-work hook of Sec. 7 (actuation replay): every
+    actuation is logged with the transaction id of the event being handled
+    (0 when issued outside a handler).
+    """
+
+    txn_id: int
+    action: str
+    detail: str
+    time: float
+
+
+class OrcaService:
+    """The runtime half of an orchestrator."""
+
+    def __init__(self, orca_id: str, system: SystemS, descriptor: OrcaDescriptor) -> None:
+        self.orca_id = orca_id
+        self.system = system
+        self.descriptor = descriptor
+        self.kernel = system.kernel
+        self.logic = descriptor.create_logic()
+        self.logic._orca = self
+        self.scopes = ScopeRegistry()
+        self.queue = EventQueue()
+        self.graph = StreamGraph()
+        self.deps = DependencyManager(self)
+        self.timers = TimerService(self)
+        self.command_tool = OrcaCommandTool(self)
+        self.metric_epochs = MetricEpochCounter()
+        self.failure_epochs = FailureEpochTracker()
+        self.jobs: Dict[str, Job] = {}
+        self.actuation_log: List[ActuationRecord] = []
+        #: every delivered event, in delivery order (Sec. 7 reliable-
+        #: delivery hook: replaying the journal re-derives the actuations)
+        self.event_journal: List[OrcaEvent] = []
+        self.handler_errors: List[tuple] = []
+        self._compiled: Dict[str, CompiledApplication] = {}
+        self._poll_interval = (
+            descriptor.metric_poll_interval
+            if descriptor.metric_poll_interval is not None
+            else system.config.orca_poll_interval
+        )
+        self._poll_handle = None
+        self._drain_scheduled = False
+        self._current_txn = 0
+        self._alive = True
+
+    # -- boot / shutdown ---------------------------------------------------------
+
+    def _boot(self) -> None:
+        """Load managed applications, deliver the start event, start polling."""
+        for managed in self.descriptor.applications:
+            self._register_application(managed)
+        self._enqueue(
+            "orca_start",
+            OrcaStartContext(orca_id=self.orca_id, time=self.now),
+            attrs={},
+            always=True,
+        )
+        self._poll_handle = self.kernel.schedule(
+            self._poll_interval, self._poll_metrics, label=f"{self.orca_id}-poll"
+        )
+
+    def _register_application(self, managed: ManagedApplication) -> None:
+        if managed.application is not None:
+            compiled = SPLCompiler(
+                managed.compile_strategy, managed.compile_target_pe_count
+            ).compile(managed.application)
+            self._compiled[managed.name] = compiled
+            self.graph.add_application(adl_from_xml(adl_to_xml(compiled)))
+        elif managed.adl_xml is not None:
+            self.graph.add_application(adl_from_xml(managed.adl_xml))
+
+    def add_managed_application(self, managed: ManagedApplication) -> None:
+        """Dynamically add an application to a *running* orchestrator.
+
+        This is the paper's Sec. 7 future-work item ("allow developers to
+        dynamically add an application to the orchestrator, e.g.
+        applications developed after orchestrator deployment").
+        """
+        if self.descriptor.manages(managed.name):
+            raise DescriptorError(f"application {managed.name!r} already managed")
+        self.descriptor.applications.append(managed)
+        self._register_application(managed)
+
+    def shutdown(self) -> None:
+        self._alive = False
+        if self._poll_handle is not None:
+            self._poll_handle.cancel()
+        self.timers.cancel_all()
+
+    # -- time ------------------------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        return self.kernel.now
+
+    # -- scope registration -------------------------------------------------------------
+
+    def register_event_scope(self, scope: EventScope) -> None:
+        self.scopes.register(scope)
+
+    def unregister_event_scope(self, key: str) -> bool:
+        return self.scopes.unregister(key)
+
+    # paper-parity aliases (Fig. 5: _orca->registerEventScope(oms))
+    registerEventScope = register_event_scope  # noqa: N815
+    unregisterEventScope = unregister_event_scope  # noqa: N815
+
+    # -- event machinery ---------------------------------------------------------------------
+
+    def _enqueue(
+        self,
+        event_type: str,
+        context: Any,
+        attrs: Dict[str, Any],
+        always: bool = False,
+    ) -> bool:
+        """Match, queue, and schedule delivery.  Returns True if queued."""
+        if not self._alive:
+            return False
+        keys = self.scopes.matching_keys(event_type, attrs)
+        if not keys and not always:
+            self.queue.dropped_count += 1
+            return False
+        self.queue.push(
+            OrcaEvent(
+                event_type=event_type,
+                context=context,
+                scope_keys=keys,
+                enqueued_at=self.now,
+            )
+        )
+        self._schedule_drain()
+        return True
+
+    def _schedule_drain(self) -> None:
+        if not self._drain_scheduled and self.queue:
+            self._drain_scheduled = True
+            self.kernel.call_soon(self._drain_one, label=f"{self.orca_id}-deliver")
+
+    def _drain_one(self) -> None:
+        self._drain_scheduled = False
+        event = self.queue.pop()
+        if event is None:
+            return
+        self._deliver(event)
+        self._schedule_drain()
+
+    _DISPATCH: Dict[str, tuple] = {
+        "orca_start": ("handleOrcaStart", False),
+        "operator_metric": ("handleOperatorMetricEvent", True),
+        "operator_port_metric": ("handleOperatorPortMetricEvent", True),
+        "pe_metric": ("handlePEMetricEvent", True),
+        "pe_failure": ("handlePEFailureEvent", True),
+        "host_failure": ("handleHostFailureEvent", True),
+        "job_submission": ("handleJobSubmissionEvent", True),
+        "job_cancellation": ("handleJobCancellationEvent", True),
+        "timer": ("handleTimerEvent", True),
+        "user": ("handleUserEvent", True),
+    }
+
+    def _deliver(self, event: OrcaEvent) -> None:
+        handler_name, takes_scopes = self._DISPATCH[event.event_type]
+        handler = getattr(self.logic, handler_name)
+        self.event_journal.append(event)
+        self._current_txn = event.txn_id
+        try:
+            if takes_scopes:
+                handler(event.context, list(event.scope_keys))
+            else:
+                handler(event.context)
+        except Exception as exc:  # isolate user-code failures (memory isolation)
+            self.handler_errors.append((event.event_type, exc))
+        finally:
+            self._current_txn = 0
+
+    # -- metric polling -------------------------------------------------------------------------
+
+    @property
+    def metric_poll_interval(self) -> float:
+        return self._poll_interval
+
+    def set_metric_poll_interval(self, seconds: float) -> None:
+        """Change the SRM polling rate at any point of execution (Sec. 4.2)."""
+        if seconds <= 0:
+            raise ActuationError("poll interval must be positive")
+        self._poll_interval = seconds
+        if self._poll_handle is not None:
+            self._poll_handle.cancel()
+        if self._alive:
+            self._poll_handle = self.kernel.schedule(
+                seconds, self._poll_metrics, label=f"{self.orca_id}-poll"
+            )
+
+    def _poll_metrics(self) -> None:
+        if not self._alive:
+            return
+        job_ids = [
+            job_id
+            for job_id, job in self.jobs.items()
+            if job.state in (JobState.SUBMITTED, JobState.RUNNING)
+        ]
+        samples = self.system.srm.get_metrics(job_ids)
+        epoch = self.metric_epochs.next()
+        for sample in samples:
+            self._emit_metric_event(sample, epoch)
+        self._poll_handle = self.kernel.schedule(
+            self._poll_interval, self._poll_metrics, label=f"{self.orca_id}-poll"
+        )
+
+    def _emit_metric_event(self, sample: MetricSample, epoch: int) -> None:
+        if sample.operator is None:
+            context = PEMetricContext(
+                pe_id=sample.pe_id,
+                metric=sample.name,
+                value=sample.value,
+                epoch=epoch,
+                job_id=sample.job_id,
+                app_name=sample.app_name,
+                host=self.graph.host_of_pe(sample.pe_id),
+                collection_ts=sample.collection_ts,
+                is_custom=sample.is_custom,
+            )
+            attrs = self.graph.pe_event_attrs(
+                sample.app_name, sample.job_id, sample.pe_id
+            )
+            attrs["metric_name"] = sample.name
+            self._enqueue("pe_metric", context, attrs)
+            return
+        base_attrs = self.graph.operator_event_attrs(
+            sample.app_name, sample.operator, sample.job_id, sample.pe_id
+        )
+        base_attrs["metric_name"] = sample.name
+        kind = base_attrs["operator_type"]
+        if sample.port is None:
+            context = OperatorMetricContext(
+                instance_name=sample.operator,
+                operator_kind=kind,
+                metric=sample.name,
+                value=sample.value,
+                epoch=epoch,
+                job_id=sample.job_id,
+                app_name=sample.app_name,
+                pe_id=sample.pe_id,
+                collection_ts=sample.collection_ts,
+                is_custom=sample.is_custom,
+            )
+            self._enqueue("operator_metric", context, base_attrs)
+        else:
+            base_attrs["port"] = sample.port
+            context = OperatorPortMetricContext(
+                instance_name=sample.operator,
+                operator_kind=kind,
+                port=sample.port,
+                metric=sample.name,
+                value=sample.value,
+                epoch=epoch,
+                job_id=sample.job_id,
+                app_name=sample.app_name,
+                pe_id=sample.pe_id,
+                collection_ts=sample.collection_ts,
+                is_custom=sample.is_custom,
+            )
+            self._enqueue("operator_port_metric", context, base_attrs)
+
+    # -- failure events -----------------------------------------------------------------------------
+
+    def _receive_pe_failure(self, pe: PERuntime, reason: str, detection_ts: float) -> None:
+        """SAM pushes a PE crash of a managed job (Sec. 4.2).
+
+        The reaction is delayed by one extra remote procedure call from SAM
+        to the ORCA service (Sec. 3) — modelled as ``orca_rpc_latency``.
+        """
+        self.kernel.schedule(
+            self.system.config.orca_rpc_latency,
+            self._emit_pe_failure,
+            pe,
+            reason,
+            detection_ts,
+            label=f"{self.orca_id}-pefailure-rpc",
+        )
+
+    def _emit_pe_failure(self, pe: PERuntime, reason: str, detection_ts: float) -> None:
+        job = pe.job
+        if job.job_id not in self.jobs:
+            return
+        epoch = self.failure_epochs.epoch_for(reason, detection_ts)
+        context = PEFailureContext(
+            pe_id=pe.pe_id,
+            pe_index=pe.index,
+            job_id=job.job_id,
+            app_name=job.app_name,
+            reason=reason,
+            detection_ts=detection_ts,
+            epoch=epoch,
+            host=pe.host_name,
+            operators=tuple(pe.spec.operators),
+        )
+        attrs = self.graph.pe_event_attrs(job.app_name, job.job_id, pe.pe_id)
+        attrs["reason"] = reason
+        self._enqueue("pe_failure", context, attrs)
+
+    def _receive_host_failure(self, host_name: str, detection_ts: float) -> None:
+        affected = tuple(
+            pe.pe_id
+            for job in self.jobs.values()
+            if job.state is JobState.RUNNING
+            for pe in job.pes
+            if pe.host_name == host_name
+        )
+        epoch = self.failure_epochs.epoch_for("host_failure", detection_ts)
+        context = HostFailureContext(
+            host=host_name,
+            detection_ts=detection_ts,
+            epoch=epoch,
+            affected_pe_ids=affected,
+        )
+        self._enqueue("host_failure", context, {"host": host_name})
+
+    # -- timers and user events ---------------------------------------------------------------------
+
+    def create_timer(
+        self,
+        delay: float,
+        payload: Any = None,
+        periodic: bool = False,
+        timer_id: Optional[str] = None,
+    ) -> TimerHandle:
+        return self.timers.create_timer(delay, payload, periodic, timer_id)
+
+    def _emit_timer_event(self, handle: TimerHandle, payload: Any) -> None:
+        context = TimerContext(
+            timer_id=handle.timer_id,
+            scheduled_for=handle.scheduled_for,
+            time=self.now,
+            payload=payload,
+            periodic=handle.periodic,
+        )
+        self._enqueue("timer", context, {"timer": handle.timer_id})
+
+    def inject_user_event(self, name: str, payload: Dict[str, Any]) -> None:
+        context = UserEventContext(name=name, time=self.now, payload=dict(payload))
+        self._enqueue("user", context, {"name": name})
+
+    # -- actuation: job lifecycle ----------------------------------------------------------------------
+
+    def submit_application(
+        self, app_name: str, params: Optional[Dict[str, str]] = None
+    ) -> Job:
+        """Submit a managed application directly (outside the config system)."""
+        return self._submit_managed(app_name, params, config_id=None, explicit=True)
+
+    def _submit_managed(
+        self,
+        app_name: str,
+        params: Optional[Dict[str, str]],
+        config_id: Optional[str],
+        explicit: bool,
+    ) -> Job:
+        compiled = self._get_compiled(app_name)
+        job = self.system.sam.submit_job(compiled, params=params, owner_orca=self.orca_id)
+        self.jobs[job.job_id] = job
+        self.graph.register_job(
+            job.job_id,
+            app_name,
+            {pe.index: (pe.pe_id, pe.host_name) for pe in job.pes},
+        )
+        self._log_actuation("submit", f"{app_name} -> {job.job_id}")
+        context = JobSubmissionContext(
+            job_id=job.job_id,
+            app_name=app_name,
+            config_id=config_id,
+            time=self.now,
+            explicit=explicit,
+        )
+        attrs: Dict[str, Any] = {"application": app_name, "job": job.job_id}
+        if config_id is not None:
+            attrs["config"] = config_id
+        self._enqueue("job_submission", context, attrs)
+        return job
+
+    def cancel_job(self, job_id: str) -> None:
+        """Cancel a job this orchestrator started."""
+        self._check_owned(job_id)
+        self._cancel_managed(job_id, config_id=None, garbage_collected=False)
+
+    def _cancel_managed(
+        self, job_id: str, config_id: Optional[str], garbage_collected: bool
+    ) -> None:
+        job = self._check_owned(job_id)
+        self.system.sam.cancel_job(job_id)
+        self.graph.unregister_job(job_id)
+        self._log_actuation(
+            "cancel", f"{job.app_name} ({job_id}) gc={garbage_collected}"
+        )
+        context = JobCancellationContext(
+            job_id=job_id,
+            app_name=job.app_name,
+            config_id=config_id,
+            time=self.now,
+            garbage_collected=garbage_collected,
+        )
+        attrs: Dict[str, Any] = {"application": job.app_name, "job": job_id}
+        if config_id is not None:
+            attrs["config"] = config_id
+        self._enqueue("job_cancellation", context, attrs)
+
+    def _get_compiled(self, app_name: str) -> CompiledApplication:
+        managed = self.descriptor.application(app_name)
+        compiled = self._compiled.get(app_name)
+        if compiled is None:
+            if managed.application is None:
+                raise ActuationError(
+                    f"application {app_name!r} was registered by ADL only; "
+                    "it cannot be submitted from this orchestrator"
+                )
+            compiled = SPLCompiler(
+                managed.compile_strategy, managed.compile_target_pe_count
+            ).compile(managed.application)
+            self._compiled[app_name] = compiled
+        return compiled
+
+    def _check_owned(self, job_id: str) -> Job:
+        job = self.jobs.get(job_id)
+        if job is None:
+            raise OrcaPermissionError(
+                f"orchestrator {self.orca_id} did not start job {job_id!r} "
+                "(Sec. 3: acting on foreign jobs is a runtime error)"
+            )
+        return job
+
+    def job_is_running(self, job_id: str) -> bool:
+        job = self.jobs.get(job_id)
+        return job is not None and job.state in (JobState.SUBMITTED, JobState.RUNNING)
+
+    # -- actuation: PE control ------------------------------------------------------------------------------
+
+    def restart_pe(self, pe_id: str) -> None:
+        """Restart a crashed/stopped PE of a job this orchestrator owns."""
+        job_id = self.graph.job_of_pe(pe_id)
+        self._check_owned(job_id)
+        self.system.sam.restart_pe(job_id, pe_id)
+        self._log_actuation("restart_pe", pe_id)
+
+    def stop_pe(self, pe_id: str) -> None:
+        job_id = self.graph.job_of_pe(pe_id)
+        self._check_owned(job_id)
+        self.system.sam.stop_pe(job_id, pe_id)
+        self._log_actuation("stop_pe", pe_id)
+
+    def send_control(
+        self, job_id: str, op_full_name: str, command: str, payload: Dict[str, Any]
+    ) -> None:
+        """Deliver a control command to a running operator instance (Sec. 3)."""
+        job = self._check_owned(job_id)
+        pe = job.pe_of_operator(op_full_name)
+        pe.send_control(op_full_name, command, payload)
+        self._log_actuation("control", f"{op_full_name}:{command}")
+
+    # -- actuation: placement ----------------------------------------------------------------------------------
+
+    def set_exclusive_host_pools(self, app_name: str) -> None:
+        """Rewrite an application's host pools to exclusive (Sec. 4.3).
+
+        Must happen before the application is submitted; the pool change is
+        interpreted by SAM when instantiating the PEs.
+        """
+        managed = self.descriptor.application(app_name)
+        if managed.application is None:
+            raise ActuationError(
+                f"application {app_name!r} was registered by ADL only"
+            )
+        for job in self.jobs.values():
+            if job.app_name == app_name and job.state in (
+                JobState.SUBMITTED,
+                JobState.RUNNING,
+            ):
+                raise ActuationError(
+                    "host pool configuration change must occur before the "
+                    f"application is submitted; {app_name!r} is running as "
+                    f"{job.job_id}"
+                )
+        managed.application.host_pools.make_all_exclusive()
+        self._compiled.pop(app_name, None)  # recompile with the new ADL
+        self._register_application(managed)
+        self._log_actuation("exclusive_pools", app_name)
+
+    # -- actuation: external commands ----------------------------------------------------------------------------
+
+    def run_external(
+        self,
+        command: Callable[[], Any],
+        duration: float = 0.0,
+        on_complete: Optional[Callable[[Any], None]] = None,
+    ):
+        """Invoke an external component (e.g. the Hadoop job of Sec. 5.1).
+
+        ``command`` runs after ``duration`` simulated seconds (the external
+        job's latency); its return value is passed to ``on_complete``.
+        """
+        self._log_actuation("external", getattr(command, "__name__", "command"))
+
+        def finish() -> None:
+            result = command()
+            if on_complete is not None:
+                on_complete(result)
+
+        return self.kernel.schedule(duration, finish, label=f"{self.orca_id}-external")
+
+    def _log_actuation(self, action: str, detail: str) -> None:
+        self.actuation_log.append(
+            ActuationRecord(
+                txn_id=self._current_txn, action=action, detail=detail, time=self.now
+            )
+        )
+
+    def actuations_for(self, txn_id: int) -> List[ActuationRecord]:
+        """All actuations attributed to one event transaction (Sec. 7)."""
+        return [r for r in self.actuation_log if r.txn_id == txn_id]
+
+    def journal_entry(self, txn_id: int) -> Optional[OrcaEvent]:
+        """The delivered event with the given transaction id, if any."""
+        for event in self.event_journal:
+            if event.txn_id == txn_id:
+                return event
+        return None
+
+    # -- inspection API (Sec. 4.2) -----------------------------------------------------------------------------------
+
+    def operators_in_pe(self, pe_id: str) -> List[str]:
+        return self.graph.operators_in_pe(pe_id)
+
+    def composites_in_pe(self, pe_id: str):
+        return self.graph.composites_in_pe(pe_id)
+
+    def enclosing_composite(self, app_name: str, op_full_name: str) -> Optional[str]:
+        return self.graph.enclosing_composite(app_name, op_full_name)
+
+    def pe_of_operator(self, job_id: str, op_full_name: str) -> str:
+        return self.graph.pe_of_operator(job_id, op_full_name)
+
+    def host_of_pe(self, pe_id: str) -> Optional[str]:
+        return self.graph.host_of_pe(pe_id)
+
+    def pes_of_job(self, job_id: str) -> List[str]:
+        return self.graph.pes_of_job(job_id)
+
+    def job_of_pe(self, pe_id: str) -> str:
+        return self.graph.job_of_pe(pe_id)
+
+    def operators_of_type(self, app_name: str, kind: str) -> List[str]:
+        return self.graph.operators_of_type(app_name, kind)
+
+    def colocated_operators(self, job_id: str, op_full_name: str) -> List[str]:
+        return self.graph.colocated_operators(job_id, op_full_name)
+
+    def job(self, job_id: str) -> Job:
+        return self._check_owned(job_id)
+
+    def __repr__(self) -> str:
+        return f"OrcaService({self.orca_id}, logic={type(self.logic).__name__})"

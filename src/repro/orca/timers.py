@@ -1,0 +1,83 @@
+"""Timer events.
+
+Timer expiration is one of the event kinds the ORCA service generates
+itself (Sec. 4.1).  The sentiment orchestrator of Sec. 5.1, for example,
+suppresses Hadoop-job resubmission within a 10-minute window — policies
+like that are naturally written against timers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Dict, Optional
+
+from repro.sim.kernel import ScheduledEvent
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.orca.service import OrcaService
+
+
+@dataclass
+class TimerHandle:
+    """Returned by ``create_timer``; supports cancellation."""
+
+    timer_id: str
+    scheduled_for: float
+    periodic: bool
+    _event: Optional[ScheduledEvent] = None
+    cancelled: bool = False
+
+    def cancel(self) -> None:
+        self.cancelled = True
+        if self._event is not None:
+            self._event.cancel()
+
+
+class TimerService:
+    """Creates kernel-backed timers that surface as ORCA timer events."""
+
+    def __init__(self, service: "OrcaService") -> None:
+        self._service = service
+        self._timers: Dict[str, TimerHandle] = {}
+
+    def create_timer(
+        self,
+        delay: float,
+        payload: Any = None,
+        periodic: bool = False,
+        timer_id: Optional[str] = None,
+    ) -> TimerHandle:
+        service = self._service
+        if timer_id is None:
+            timer_id = service.system.ids.timers.allocate()
+        if delay < 0:
+            raise ValueError("timer delay must be >= 0")
+        handle = TimerHandle(
+            timer_id=timer_id,
+            scheduled_for=service.now + delay,
+            periodic=periodic,
+        )
+
+        def fire() -> None:
+            if handle.cancelled:
+                return
+            service._emit_timer_event(handle, payload)
+            if periodic and not handle.cancelled:
+                handle.scheduled_for = service.now + delay
+                handle._event = service.kernel.schedule(delay, fire, label=f"timer-{timer_id}")
+
+        handle._event = service.kernel.schedule(delay, fire, label=f"timer-{timer_id}")
+        self._timers[timer_id] = handle
+        return handle
+
+    def cancel_timer(self, timer_id: str) -> bool:
+        handle = self._timers.pop(timer_id, None)
+        if handle is None:
+            return False
+        handle.cancel()
+        return True
+
+    def cancel_all(self) -> None:
+        for handle in self._timers.values():
+            handle.cancel()
+        self._timers.clear()

@@ -1,0 +1,24 @@
+"""Simulated System S runtime.
+
+This package is the substrate of the paper: the middleware the orchestrator
+plugs into.  It reproduces the three daemons of Sec. 2.2 — SAM (job
+lifecycle), SRM (hosts, liveness, metrics collection) and per-host HCs —
+plus PEs that genuinely execute operator code over a discrete-event kernel,
+dynamic import/export stream connections, and failure injection/detection.
+"""
+
+from repro.runtime.host import Host, HostState
+from repro.runtime.job import Job, JobState
+from repro.runtime.pe import PERuntime, PEState
+from repro.runtime.system import SystemConfig, SystemS
+
+__all__ = [
+    "Host",
+    "HostState",
+    "Job",
+    "JobState",
+    "PERuntime",
+    "PEState",
+    "SystemConfig",
+    "SystemS",
+]

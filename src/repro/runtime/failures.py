@@ -1,0 +1,71 @@
+"""Failure injection.
+
+The paper's Sec. 5.2 experiment "forcefully trigger[s] an orchestrator
+event" by killing a PE of the active replica.  The injector provides that
+kill switch — immediate or scheduled — plus whole-host failures, which SRM
+then detects through missed heartbeats.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import UnknownHostError, UnknownPEError
+from repro.sim.kernel import Kernel, ScheduledEvent
+from repro.runtime.hc import HostController
+from repro.runtime.pe import PEState
+from repro.runtime.sam import SAM
+
+
+class FailureInjector:
+    """Deterministic fault injection for experiments and tests."""
+
+    def __init__(self, kernel: Kernel, sam: SAM) -> None:
+        self.kernel = kernel
+        self.sam = sam
+        self.injected = 0
+
+    def crash_pe(
+        self,
+        job_id: str,
+        pe_index: Optional[int] = None,
+        pe_id: Optional[str] = None,
+        reason: str = "injected_fault",
+        at: Optional[float] = None,
+    ) -> Optional[ScheduledEvent]:
+        """Crash one PE of a job, now or at an absolute simulated time."""
+        job = self.sam.get_job(job_id)
+        if pe_id is not None:
+            pe = job.pe_by_id(pe_id)
+        elif pe_index is not None:
+            pe = job.pe_by_index(pe_index)
+        else:
+            raise UnknownPEError("crash_pe needs pe_index or pe_id")
+
+        def do_crash() -> None:
+            if pe.state is PEState.RUNNING:
+                self.injected += 1
+                pe.crash(reason)
+
+        if at is None:
+            do_crash()
+            return None
+        return self.kernel.schedule_at(at, do_crash, label=f"crash-{pe.pe_id}")
+
+    def fail_host(
+        self, host_name: str, at: Optional[float] = None
+    ) -> Optional[ScheduledEvent]:
+        """Take a whole host down (kills its HC and every local PE)."""
+        hc: Optional[HostController] = self.sam.hcs.get(host_name)
+        if hc is None:
+            raise UnknownHostError(f"unknown host {host_name!r}")
+
+        def do_fail() -> None:
+            if hc.alive:
+                self.injected += 1
+                hc.kill()
+
+        if at is None:
+            do_fail()
+            return None
+        return self.kernel.schedule_at(at, do_fail, label=f"fail-{host_name}")

@@ -1,0 +1,46 @@
+"""Host model.
+
+Hosts are the machines available to the System S runtime for application
+deployment (tracked by SRM, Sec. 2.2).  Each host runs a Host Controller;
+host failure kills every PE placed on the host and is detected by SRM via
+missed heartbeats.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import FrozenSet, Iterable, Optional
+
+
+class HostState(enum.Enum):
+    UP = "up"
+    DOWN = "down"
+
+
+class Host:
+    """A machine that can run PEs."""
+
+    def __init__(
+        self,
+        name: str,
+        tags: Iterable[str] = (),
+        capacity: Optional[int] = None,
+    ) -> None:
+        self.name = name
+        self.tags: FrozenSet[str] = frozenset(tags)
+        #: Maximum number of PEs the host may run (None = unbounded).
+        self.capacity = capacity
+        self.state = HostState.UP
+
+    @property
+    def is_up(self) -> bool:
+        return self.state is HostState.UP
+
+    def mark_down(self) -> None:
+        self.state = HostState.DOWN
+
+    def mark_up(self) -> None:
+        self.state = HostState.UP
+
+    def __repr__(self) -> str:
+        return f"Host({self.name}, {self.state.value}, tags={sorted(self.tags)})"

@@ -1,0 +1,155 @@
+"""Dynamic import/export stream connections.
+
+Sec. 2.1 of the paper: "SPL allows applications to import and export
+streams to/from other applications.  Developers must associate a stream ID
+or properties with a stream produced by an application, and then use such
+ID or properties to consume this same stream in another application.  When
+both applications are executing, the SPL runtime automatically connects the
+exporter and importer operators."
+
+The registry tracks every Export/Import operator of every running job and
+routes published items to all matching importers with transport latency.
+Connections appear and disappear as jobs are submitted and cancelled —
+this is the mechanism behind incremental deployment and the C1/C2/C3
+composition of Sec. 5.3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+from repro.sim.kernel import Kernel
+from repro.spl.tuples import Punctuation, StreamTuple
+from repro.runtime.job import Job
+
+Item = Union[StreamTuple, Punctuation]
+
+
+@dataclass
+class ExportEntry:
+    job: Job
+    op_name: str
+    pe_index: int
+    stream_id: Optional[str]
+    properties: Dict[str, Any]
+
+
+@dataclass
+class ImportEntry:
+    job: Job
+    op_name: str
+    pe_index: int
+    stream_id: Optional[str]
+    subscription: Dict[str, Any]
+
+
+def subscription_matches(export: ExportEntry, import_: ImportEntry) -> bool:
+    """Whether an import's criteria select an export."""
+    if import_.stream_id is not None:
+        return export.stream_id == import_.stream_id
+    if import_.subscription:
+        return all(
+            export.properties.get(key) == value
+            for key, value in import_.subscription.items()
+        )
+    return False
+
+
+class ImportExportRegistry:
+    """System-wide matching of exported and imported streams."""
+
+    def __init__(self, kernel: Kernel, latency: float = 0.001) -> None:
+        self.kernel = kernel
+        self.latency = latency
+        self._exports: Dict[str, List[ExportEntry]] = {}
+        self._imports: Dict[str, List[ImportEntry]] = {}
+        #: quick lookup: (job_id, export op name) -> entry
+        self._export_index: Dict[Tuple[str, str], ExportEntry] = {}
+
+    # -- job lifecycle -----------------------------------------------------------
+
+    def connect_job(self, job: Job) -> None:
+        """Register the job's Import/Export operators."""
+        app = job.compiled.application
+        exports = []
+        for spec_info in app.export_specs():
+            entry = ExportEntry(
+                job=job,
+                op_name=spec_info["operator"],
+                pe_index=job.compiled.pe_of(spec_info["operator"]),
+                stream_id=spec_info["stream_id"],
+                properties=spec_info["properties"],
+            )
+            exports.append(entry)
+            self._export_index[(job.job_id, entry.op_name)] = entry
+        imports = []
+        for spec_info in app.import_specs():
+            imports.append(
+                ImportEntry(
+                    job=job,
+                    op_name=spec_info["operator"],
+                    pe_index=job.compiled.pe_of(spec_info["operator"]),
+                    stream_id=spec_info["stream_id"],
+                    subscription=spec_info["subscription"],
+                )
+            )
+        if exports:
+            self._exports[job.job_id] = exports
+        if imports:
+            self._imports[job.job_id] = imports
+
+    def disconnect_job(self, job_id: str) -> None:
+        self._exports.pop(job_id, None)
+        self._imports.pop(job_id, None)
+        self._export_index = {
+            key: entry for key, entry in self._export_index.items() if key[0] != job_id
+        }
+
+    # -- publication ----------------------------------------------------------------
+
+    def publish(self, job_id: str, export_op_name: str, item: Item) -> int:
+        """Route an exported item to every matching importer.
+
+        Returns the number of importers the item was sent to.
+        """
+        export = self._export_index.get((job_id, export_op_name))
+        if export is None:
+            return 0
+        sent = 0
+        for entries in self._imports.values():
+            for import_ in entries:
+                if import_.job.job_id == job_id:
+                    continue  # no self-import loops
+                if not import_.job.is_running:
+                    continue
+                if subscription_matches(export, import_):
+                    pe = import_.job.pe_by_index(import_.pe_index)
+                    self.kernel.schedule(
+                        self.latency,
+                        pe.deliver_import,
+                        import_.op_name,
+                        item,
+                        label=f"import->{import_.op_name}",
+                    )
+                    sent += 1
+        return sent
+
+    # -- introspection ----------------------------------------------------------------
+
+    def connections(self) -> List[Tuple[ExportEntry, ImportEntry]]:
+        """All currently matched (export, import) pairs among running jobs."""
+        pairs = []
+        for exports in self._exports.values():
+            for export in exports:
+                if not export.job.is_running:
+                    continue
+                for entries in self._imports.values():
+                    for import_ in entries:
+                        if import_.job.job_id == export.job.job_id:
+                            continue
+                        if import_.job.is_running and subscription_matches(
+                            export, import_
+                        ):
+                            pairs.append((export, import_))
+        return pairs

@@ -1,0 +1,276 @@
+"""PE (processing element) runtime container.
+
+A PE is the runtime container for one or more fused operators and maps to
+an operating system process (Sec. 2.1).  The PE instantiates its operators
+at start, routes tuples between them (synchronously when fused, through
+the transport when crossing PE boundaries), maintains the PE-level
+built-in metrics, and models the two lifecycle disruptions the paper's
+use cases rely on:
+
+* **crash** — operator instances are discarded *without* shutdown hooks;
+  scheduled work is cancelled; in-flight tuples toward the PE are lost.
+* **restart** — fresh operator instances with empty state (windows refill
+  from scratch, which is what Fig. 9(b) shows).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Tuple, Union
+
+from repro.errors import PEControlError
+from repro.sim.kernel import Kernel, ScheduledEvent
+from repro.spl.compiler import CompiledApplication, PESpec
+from repro.spl.library import Export, Import
+from repro.spl.metrics import MetricKind, MetricRegistry, PEMetricName, OperatorMetricName
+from repro.spl.operators import Operator, OperatorContext
+from repro.spl.tuples import Punctuation, StreamTuple
+from repro.runtime.transport import Transport
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.runtime.job import Job
+
+Item = Union[StreamTuple, Punctuation]
+
+
+class PEState(enum.Enum):
+    CONSTRUCTED = "constructed"
+    RUNNING = "running"
+    STOPPED = "stopped"
+    CRASHED = "crashed"
+
+
+class PERuntime:
+    """Runtime container executing a slice of an application graph."""
+
+    def __init__(
+        self,
+        pe_id: str,
+        spec: PESpec,
+        job: "Job",
+        kernel: Kernel,
+        transport: Transport,
+        publish_export: Callable[[str, str, Item], None],
+        host_name: Optional[str] = None,
+    ) -> None:
+        self.pe_id = pe_id
+        self.spec = spec
+        self.job = job
+        self.kernel = kernel
+        self.transport = transport
+        self.publish_export = publish_export
+        self.host_name = host_name
+        self.state = PEState.CONSTRUCTED
+        self.operators: Dict[str, Operator] = {}
+        self.metrics = MetricRegistry()
+        self._pending: List[ScheduledEvent] = []
+        self.last_crash_reason: Optional[str] = None
+        self.on_crash: Optional[Callable[["PERuntime", str], None]] = None
+        self._routes = self._build_routes(job.compiled)
+        self._create_pe_metrics()
+
+    # -- construction helpers -------------------------------------------------
+
+    @property
+    def index(self) -> int:
+        return self.spec.index
+
+    @property
+    def is_running(self) -> bool:
+        return self.state is PEState.RUNNING
+
+    def _create_pe_metrics(self) -> None:
+        self.metrics.create(PEMetricName.N_TUPLES_PROCESSED, MetricKind.COUNTER)
+        self.metrics.create(PEMetricName.N_TUPLE_BYTES_PROCESSED, MetricKind.COUNTER)
+        self.metrics.create(PEMetricName.N_TUPLES_SUBMITTED, MetricKind.COUNTER)
+        self.metrics.create(PEMetricName.N_RESTARTS, MetricKind.COUNTER)
+
+    def _build_routes(
+        self, compiled: CompiledApplication
+    ) -> Dict[Tuple[str, int], List[Tuple[str, int, int]]]:
+        """(src op, out port) -> [(dst op, in port, dst PE index)] for local ops."""
+        local = set(self.spec.operators)
+        routes: Dict[Tuple[str, int], List[Tuple[str, int, int]]] = {}
+        for edge in compiled.application.graph.edges:
+            src_name = edge.src.full_name
+            if src_name not in local:
+                continue
+            routes.setdefault((src_name, edge.src_port), []).append(
+                (edge.dst.full_name, edge.dst_port, compiled.pe_of(edge.dst.full_name))
+            )
+        return routes
+
+    # -- lifecycle --------------------------------------------------------------
+
+    def start(self) -> None:
+        if self.state is PEState.RUNNING:
+            raise PEControlError(f"PE {self.pe_id} already running")
+        self._instantiate_operators()
+        self.state = PEState.RUNNING
+        for operator in self.operators.values():
+            operator.on_initialize()
+
+    def _instantiate_operators(self) -> None:
+        graph = self.job.compiled.application.graph
+        self.operators = {}
+        for op_name in self.spec.operators:
+            spec = graph.operators[op_name]
+            ctx = OperatorContext(
+                spec=spec,
+                job_id=self.job.job_id,
+                app_name=self.job.app_name,
+                submission_params=self.job.params,
+                now_fn=lambda: self.kernel.now,
+                submit_fn=self._make_submit(op_name),
+                punct_fn=self._make_punct(op_name),
+                schedule_fn=self._schedule_guarded,
+                pe_id=self.pe_id,
+            )
+            operator = spec.op_class(ctx)
+            if isinstance(operator, Export):
+                operator.bind_export(
+                    lambda item, name=op_name: self.publish_export(
+                        self.job.job_id, name, item
+                    )
+                )
+            self.operators[op_name] = operator
+
+    def stop(self) -> None:
+        """Graceful stop: shutdown hooks run, pending work cancelled."""
+        if self.state is not PEState.RUNNING:
+            return
+        for operator in self.operators.values():
+            operator.on_shutdown()
+        self._cancel_pending()
+        self.state = PEState.STOPPED
+
+    def crash(self, reason: str = "crash") -> None:
+        """Abrupt process death: no shutdown hooks, state is lost."""
+        if self.state is not PEState.RUNNING:
+            return
+        self._cancel_pending()
+        self.operators = {}
+        self.state = PEState.CRASHED
+        self.last_crash_reason = reason
+        if self.on_crash is not None:
+            self.on_crash(self, reason)
+
+    def restart(self) -> None:
+        """Bring a stopped/crashed PE back with fresh operator state."""
+        if self.state is PEState.RUNNING:
+            raise PEControlError(f"PE {self.pe_id} is running; stop it first")
+        self.metrics.get(PEMetricName.N_RESTARTS).increment()
+        self._instantiate_operators()
+        self.state = PEState.RUNNING
+        for operator in self.operators.values():
+            operator.on_initialize()
+
+    def _cancel_pending(self) -> None:
+        for handle in self._pending:
+            handle.cancel()
+        self._pending = []
+
+    def _schedule_guarded(self, delay: float, callback: Callable[[], None]) -> ScheduledEvent:
+        """Schedule operator work that silently no-ops if the PE is down."""
+
+        def guarded() -> None:
+            if self.state is PEState.RUNNING:
+                callback()
+
+        handle = self.kernel.schedule(delay, guarded, label=f"{self.pe_id}-opwork")
+        self._pending.append(handle)
+        if len(self._pending) > 256:
+            self._pending = [h for h in self._pending if not h.cancelled]
+        return handle
+
+    # -- tuple routing ---------------------------------------------------------
+
+    def _make_submit(self, op_name: str) -> Callable[[int, StreamTuple], None]:
+        def submit(port: int, tup: StreamTuple) -> None:
+            self._route(op_name, port, tup)
+
+        return submit
+
+    def _make_punct(self, op_name: str) -> Callable[[int, Punctuation], None]:
+        def submit_punct(port: int, punct: Punctuation) -> None:
+            self._route(op_name, port, punct)
+
+        return submit_punct
+
+    def _route(self, src_op: str, src_port: int, item: Item) -> None:
+        if self.state is not PEState.RUNNING:
+            return
+        if isinstance(item, StreamTuple):
+            self.metrics.get(PEMetricName.N_TUPLES_SUBMITTED).increment()
+        for dst_name, dst_port, dst_pe_index in self._routes.get((src_op, src_port), ()):
+            if dst_pe_index == self.index:
+                self._deliver_local(dst_name, dst_port, item)
+            else:
+                dst_pe = self.job.pe_by_index(dst_pe_index)
+                self.transport.send(dst_pe, dst_name, dst_port, item)
+
+    def receive(self, op_full_name: str, port: int, item: Item) -> None:
+        """Entry point for the transport and the import registry."""
+        if self.state is not PEState.RUNNING:
+            return
+        self._deliver_local(op_full_name, port, item)
+
+    def _deliver_local(self, op_full_name: str, port: int, item: Item) -> None:
+        operator = self.operators.get(op_full_name)
+        if operator is None:
+            return
+        if isinstance(item, StreamTuple):
+            self.metrics.get(PEMetricName.N_TUPLES_PROCESSED).increment()
+            self.metrics.get(PEMetricName.N_TUPLE_BYTES_PROCESSED).increment(
+                item.size_bytes
+            )
+        operator._process(item, port)
+
+    def deliver_import(self, op_full_name: str, item: Item) -> None:
+        """Deliver an item from the import/export registry to an Import op."""
+        if self.state is not PEState.RUNNING:
+            return
+        operator = self.operators.get(op_full_name)
+        if isinstance(operator, Import):
+            if isinstance(item, StreamTuple):
+                self.metrics.get(PEMetricName.N_TUPLES_PROCESSED).increment()
+                self.metrics.get(PEMetricName.N_TUPLE_BYTES_PROCESSED).increment(
+                    item.size_bytes
+                )
+            operator.deliver(item)
+
+    # -- metrics ------------------------------------------------------------------
+
+    def update_queue_metrics(self) -> None:
+        """Refresh queueSize gauges from transport in-flight counts.
+
+        Called by the host controller just before a metric snapshot so the
+        gauges reflect the backlog at collection time.
+        """
+        for op_name, operator in self.operators.items():
+            total = 0
+            for port in range(operator.n_inputs):
+                backlog = self.transport.queue_size(self.pe_id, op_name, port)
+                total += backlog
+                gauge = operator.metrics.get_or_create(
+                    OperatorMetricName.QUEUE_SIZE, MetricKind.GAUGE, port=port
+                )
+                gauge.set(backlog)
+            operator.metrics.get_or_create(
+                OperatorMetricName.QUEUE_SIZE, MetricKind.GAUGE
+            ).set(total)
+
+    def send_control(self, op_full_name: str, command: str, payload: dict) -> None:
+        """Route a control command to one operator instance (Sec. 3)."""
+        operator = self.operators.get(op_full_name)
+        if operator is None:
+            raise PEControlError(
+                f"PE {self.pe_id}: operator {op_full_name!r} not running here"
+            )
+        operator.on_control(command, payload)
+
+    def __repr__(self) -> str:
+        return (
+            f"PERuntime({self.pe_id}, job={self.job.job_id}, #{self.index}, "
+            f"{self.state.value}, host={self.host_name})"
+        )

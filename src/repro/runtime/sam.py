@@ -1,0 +1,259 @@
+"""SAM — Streams Application Manager.
+
+Sec. 2.2 of the paper: SAM receives application submission and cancellation
+requests, spawns all PEs of a job according to their placement constraints,
+and can stop and restart PEs.  Our extension for orchestration (Sec. 3):
+SAM "keeps track of all orchestrators running in the system and their
+associated jobs" and, on a PE crash notification, identifies which ORCA
+service manages the crashed PE and pushes the failure to it.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from repro.errors import (
+    CancellationError,
+    PEControlError,
+    SubmissionError,
+    UnknownJobError,
+)
+from repro.sim.kernel import Kernel
+from repro.spl.compiler import CompiledApplication
+from repro.runtime.hc import HostController
+from repro.runtime.ids import IdRegistry
+from repro.runtime.imports import ImportExportRegistry
+from repro.runtime.job import Job, JobState
+from repro.runtime.pe import PERuntime, PEState
+from repro.runtime.scheduler import PlacementScheduler
+from repro.runtime.srm import SRM
+from repro.runtime.transport import Transport
+
+
+class SAM:
+    """Job lifecycle manager and orchestrator registry."""
+
+    def __init__(
+        self,
+        kernel: Kernel,
+        srm: SRM,
+        hcs: Dict[str, HostController],
+        transport: Transport,
+        import_export: ImportExportRegistry,
+        ids: IdRegistry,
+        pe_spawn_delay: float = 0.1,
+        pe_restart_delay: float = 1.0,
+        failure_notification_delay: float = 0.05,
+        auto_restart_pes: bool = False,
+    ) -> None:
+        self.kernel = kernel
+        self.srm = srm
+        self.hcs = hcs
+        self.transport = transport
+        self.import_export = import_export
+        self.ids = ids
+        self.pe_spawn_delay = pe_spawn_delay
+        self.pe_restart_delay = pe_restart_delay
+        self.failure_notification_delay = failure_notification_delay
+        self.auto_restart_pes = auto_restart_pes
+        self.scheduler = PlacementScheduler()
+        self.jobs: Dict[str, Job] = {}
+        #: host -> job id holding it through an exclusive pool
+        self.reserved_hosts: Dict[str, str] = {}
+        #: orca id -> failure callback installed by the ORCA service
+        self._orca_failure_sinks: Dict[str, Callable] = {}
+        #: orca id -> host failure callback installed by the ORCA service
+        self._orca_host_sinks: Dict[str, Callable] = {}
+        srm.on_host_failure = self._on_host_failure
+        for hc in hcs.values():
+            hc.on_pe_crash = self._on_local_pe_crash
+        #: restart counter for bookkeeping/tests
+        self.restarts_issued = 0
+
+    # -- submission -------------------------------------------------------------
+
+    def submit_job(
+        self,
+        compiled: CompiledApplication,
+        params: Optional[Dict[str, str]] = None,
+        owner_orca: Optional[str] = None,
+    ) -> Job:
+        """Create a job, place and spawn its PEs."""
+        resolved = compiled.application.resolve_parameters(params)
+        job_id = self.ids.jobs.allocate()
+        load = self._pes_per_host()
+        try:
+            placement = self.scheduler.place(
+                compiled,
+                hosts=list(self.srm.hosts.values()),
+                load=load,
+                reserved=self.reserved_hosts,
+                job_id=job_id,
+            )
+        except Exception as exc:
+            # Roll back any reservations the scheduler made before failing.
+            self._release_reservations(job_id)
+            raise SubmissionError(
+                f"cannot place application {compiled.name!r}: {exc}"
+            ) from exc
+        job = Job(
+            job_id=job_id,
+            compiled=compiled,
+            params=resolved,
+            submit_time=self.kernel.now,
+            owner_orca=owner_orca,
+        )
+        job.reserved_hosts = list(placement.newly_reserved)
+        for pe_spec in compiled.pes:
+            pe = PERuntime(
+                pe_id=self.ids.pes.allocate(),
+                spec=pe_spec,
+                job=job,
+                kernel=self.kernel,
+                transport=self.transport,
+                publish_export=self.import_export.publish,
+            )
+            host_name = placement.assignment[pe_spec.index]
+            self.hcs[host_name].add_pe(pe)
+            job.pes.append(pe)
+        self.jobs[job_id] = job
+        self.kernel.schedule(self.pe_spawn_delay, self._spawn_job_pes, job)
+        return job
+
+    def _spawn_job_pes(self, job: Job) -> None:
+        if job.state is not JobState.SUBMITTED:
+            return
+        for pe in job.pes:
+            if pe.state is PEState.CONSTRUCTED:
+                pe.start()
+        job.state = JobState.RUNNING
+        self.import_export.connect_job(job)
+
+    # -- cancellation -----------------------------------------------------------------
+
+    def cancel_job(self, job_id: str) -> Job:
+        job = self.get_job(job_id)
+        if job.state in (JobState.CANCELLED, JobState.CANCELLING):
+            raise CancellationError(f"job {job_id} already cancelled")
+        job.state = JobState.CANCELLING
+        self.import_export.disconnect_job(job_id)
+        for pe in job.pes:
+            pe.stop()
+            if pe.host_name and pe.host_name in self.hcs:
+                self.hcs[pe.host_name].remove_pe(pe.pe_id)
+        self._release_reservations(job_id)
+        self.srm.drop_job_metrics(job_id)
+        job.state = JobState.CANCELLED
+        job.cancel_time = self.kernel.now
+        return job
+
+    def _release_reservations(self, job_id: str) -> None:
+        self.reserved_hosts = {
+            host: owner
+            for host, owner in self.reserved_hosts.items()
+            if owner != job_id
+        }
+
+    # -- PE control ----------------------------------------------------------------------
+
+    def restart_pe(self, job_id: str, pe_id: str) -> None:
+        """Restart a crashed/stopped PE after the configured restart delay."""
+        job = self.get_job(job_id)
+        pe = job.pe_by_id(pe_id)
+        if pe.state is PEState.RUNNING:
+            raise PEControlError(f"PE {pe_id} is running; cannot restart")
+        self.restarts_issued += 1
+        self.kernel.schedule(self.pe_restart_delay, self._do_restart, job, pe)
+
+    def _do_restart(self, job: Job, pe: PERuntime) -> None:
+        if job.state is not JobState.RUNNING:
+            return
+        if pe.state is PEState.RUNNING:
+            return
+        pe.restart()
+
+    def stop_pe(self, job_id: str, pe_id: str) -> None:
+        job = self.get_job(job_id)
+        pe = job.pe_by_id(pe_id)
+        pe.stop()
+
+    # -- failure notification path ----------------------------------------------------------
+
+    def _on_local_pe_crash(self, pe: PERuntime, reason: str) -> None:
+        """A host controller reports a local PE crash."""
+        detection_ts = self.kernel.now
+        self.kernel.schedule(
+            self.failure_notification_delay,
+            self._dispatch_pe_failure,
+            pe,
+            reason,
+            detection_ts,
+        )
+
+    def _on_host_failure(self, host_name: str, detection_ts: float) -> None:
+        """SRM reports a host failure (missed heartbeats)."""
+        hc = self.hcs.get(host_name)
+        if hc is not None and hc.alive:
+            hc.kill()
+        for job in self.jobs.values():
+            if job.state is not JobState.RUNNING:
+                continue
+            for pe in job.pes:
+                if pe.host_name == host_name and pe.state is PEState.CRASHED:
+                    self._dispatch_pe_failure(pe, "host_failure", detection_ts)
+        for sink in self._orca_host_sinks.values():
+            sink(host_name, detection_ts)
+
+    def _dispatch_pe_failure(
+        self, pe: PERuntime, reason: str, detection_ts: float
+    ) -> None:
+        job = pe.job
+        if job.state is not JobState.RUNNING:
+            return
+        sink = None
+        if job.owner_orca is not None:
+            sink = self._orca_failure_sinks.get(job.owner_orca)
+        if sink is not None:
+            # One extra RPC from SAM to the ORCA service (Sec. 3): the
+            # notification delay was already applied by the caller.
+            sink(pe, reason, detection_ts)
+        elif self.auto_restart_pes:
+            self.restart_pe(job.job_id, pe.pe_id)
+
+    # -- orchestrator registry ------------------------------------------------------------
+
+    def register_orca(
+        self,
+        orca_id: str,
+        failure_sink: Callable,
+        host_failure_sink: Optional[Callable] = None,
+    ) -> None:
+        """An ORCA service subscribes to failures of the jobs it owns."""
+        self._orca_failure_sinks[orca_id] = failure_sink
+        if host_failure_sink is not None:
+            self._orca_host_sinks[orca_id] = host_failure_sink
+
+    def unregister_orca(self, orca_id: str) -> None:
+        self._orca_failure_sinks.pop(orca_id, None)
+        self._orca_host_sinks.pop(orca_id, None)
+
+    # -- queries ------------------------------------------------------------------------------
+
+    def get_job(self, job_id: str) -> Job:
+        try:
+            return self.jobs[job_id]
+        except KeyError:
+            raise UnknownJobError(f"unknown job {job_id!r}") from None
+
+    def running_jobs(self) -> List[Job]:
+        return [j for j in self.jobs.values() if j.state is JobState.RUNNING]
+
+    def _pes_per_host(self) -> Dict[str, int]:
+        load: Dict[str, int] = {}
+        for job in self.jobs.values():
+            if job.state in (JobState.CANCELLED,):
+                continue
+            for pe in job.pes:
+                if pe.host_name is not None and pe.state is not PEState.STOPPED:
+                    load[pe.host_name] = load.get(pe.host_name, 0) + 1
+        return load

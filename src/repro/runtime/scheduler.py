@@ -1,0 +1,169 @@
+"""PE placement scheduler.
+
+Sec. 2.1 of the paper: "during runtime, PEs are distributed over hosts
+according to host placement constraints informed by developers (e.g. PEs 1
+and 3 cannot run on the same host) as well as the resource availability of
+hosts and load balance".  Sec. 4.3 adds exclusive host pools: sets of hosts
+that cannot be used by any other application, which the replica-failover
+orchestrator (Sec. 5.2) relies on.
+
+The scheduler is stateless; SAM passes in the current cluster occupancy and
+reservation map and records the decisions the scheduler returns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.errors import PlacementError
+from repro.spl.compiler import CompiledApplication, PESpec
+from repro.spl.hostpool import DEFAULT_POOL, HostPool
+from repro.runtime.host import Host
+
+
+@dataclass
+class PlacementResult:
+    """Host assignment for every PE plus any new exclusive reservations."""
+
+    assignment: Dict[int, str]  #: PE index -> host name
+    newly_reserved: List[str] = field(default_factory=list)
+
+
+class PlacementScheduler:
+    """Places the PEs of one job onto cluster hosts."""
+
+    def place(
+        self,
+        compiled: CompiledApplication,
+        hosts: List[Host],
+        load: Dict[str, int],
+        reserved: Dict[str, str],
+        job_id: str,
+    ) -> PlacementResult:
+        """Compute a host for every PE of ``compiled``.
+
+        ``load`` is the current number of PEs per host; ``reserved`` maps a
+        host name to the job id holding it exclusively.  Raises
+        :class:`PlacementError` when constraints cannot be met.
+        """
+        pools = compiled.application.host_pools
+        live = [h for h in hosts if h.is_up]
+        if not live:
+            raise PlacementError("no hosts are up")
+
+        newly_reserved: List[str] = []
+        # Resolve the candidate host list per pool name (None = default).
+        pool_candidates: Dict[Optional[str], List[Host]] = {}
+        pes_per_pool: Dict[Optional[str], List[PESpec]] = {}
+        for pe in compiled.pes:
+            pes_per_pool.setdefault(pe.host_pool, []).append(pe)
+        for pool_name, pool_pes in pes_per_pool.items():
+            if pool_name is not None:
+                pool = pools.get(pool_name)
+            elif "default" in pools:
+                # Unpinned PEs fall into the application's own default pool
+                # when it declares one — this is how the exclusive-pool
+                # actuation (Sec. 4.3) captures pool-less applications.
+                pool = pools.get("default")
+            else:
+                pool = DEFAULT_POOL
+            candidates = self._resolve_pool(
+                pool, pool_pes, live, load, reserved, job_id, newly_reserved
+            )
+            pool_candidates[pool_name] = candidates
+
+        # Place PEs respecting exlocation / colocation tags, balancing load.
+        running_load = dict(load)
+        assignment: Dict[int, str] = {}
+        exloc_hosts: Dict[str, List[str]] = {}  # tag -> hosts already used
+        coloc_hosts: Dict[str, str] = {}  # tag -> chosen host
+        for pe in sorted(compiled.pes, key=lambda p: p.index):
+            candidates = list(pool_candidates[pe.host_pool])
+            # colocation pins the PE to an already-chosen host
+            pinned: Optional[str] = None
+            for tag in sorted(pe.host_colocations):
+                if tag in coloc_hosts:
+                    if pinned is not None and coloc_hosts[tag] != pinned:
+                        raise PlacementError(
+                            f"PE {pe.index}: contradictory colocation tags"
+                        )
+                    pinned = coloc_hosts[tag]
+            if pinned is not None:
+                candidates = [h for h in candidates if h.name == pinned]
+            # exlocation removes hosts already used by peers with the tag
+            for tag in pe.host_exlocations:
+                used = exloc_hosts.get(tag, [])
+                candidates = [h for h in candidates if h.name not in used]
+            # capacity
+            candidates = [
+                h
+                for h in candidates
+                if h.capacity is None or running_load.get(h.name, 0) < h.capacity
+            ]
+            if not candidates:
+                raise PlacementError(
+                    f"no host satisfies constraints of PE {pe.index} "
+                    f"(pool={pe.host_pool!r}, exloc={sorted(pe.host_exlocations)}, "
+                    f"coloc={sorted(pe.host_colocations)}) in job {job_id}"
+                )
+            chosen = min(
+                candidates, key=lambda h: (running_load.get(h.name, 0), h.name)
+            )
+            assignment[pe.index] = chosen.name
+            running_load[chosen.name] = running_load.get(chosen.name, 0) + 1
+            for tag in pe.host_exlocations:
+                exloc_hosts.setdefault(tag, []).append(chosen.name)
+            for tag in pe.host_colocations:
+                coloc_hosts[tag] = chosen.name
+        return PlacementResult(assignment=assignment, newly_reserved=newly_reserved)
+
+    # -- helpers -----------------------------------------------------------------
+
+    def _resolve_pool(
+        self,
+        pool: HostPool,
+        pool_pes: List[PESpec],
+        live: List[Host],
+        load: Dict[str, int],
+        reserved: Dict[str, str],
+        job_id: str,
+        newly_reserved: List[str],
+    ) -> List[Host]:
+        """Candidate hosts for a pool; reserves hosts for exclusive pools."""
+        matching = [
+            h
+            for h in live
+            if pool.matches_host(h.name, h.tags)
+            and reserved.get(h.name, job_id) == job_id
+        ]
+        if not pool.exclusive:
+            if pool.size is not None:
+                matching = sorted(
+                    matching, key=lambda h: (load.get(h.name, 0), h.name)
+                )[: pool.size]
+            if not matching:
+                raise PlacementError(f"host pool {pool.name!r} matches no usable host")
+            return matching
+        # Exclusive pool: only hosts that are currently empty (no other
+        # job's PEs) and unreserved can be taken over.
+        free = [
+            h
+            for h in matching
+            if load.get(h.name, 0) == 0 and h.name not in reserved
+        ]
+        want = pool.size if pool.size is not None else max(1, len(pool_pes))
+        take = sorted(free, key=lambda h: h.name)[:want]
+        if pool.size is not None and len(take) < pool.size:
+            raise PlacementError(
+                f"exclusive pool {pool.name!r} requires {pool.size} free hosts, "
+                f"only {len(take)} available"
+            )
+        if not take:
+            raise PlacementError(
+                f"exclusive pool {pool.name!r}: no free host to reserve"
+            )
+        for host in take:
+            reserved[host.name] = job_id
+            newly_reserved.append(host.name)
+        return take

@@ -1,0 +1,148 @@
+"""SRM — Streams Resource Manager.
+
+Sec. 2.2 of the paper: SRM maintains which hosts are available, tracks the
+liveness of system components and PEs, detects and notifies process/host
+failures, and "serves as a collector for all metrics maintained by the
+system" — built-in and custom metrics of all SPL applications.
+
+The ORCA service periodically *pulls* metric snapshots from SRM (default
+every 15 seconds, Sec. 4.2); that pull "does not generate further remote
+calls to operators" because host controllers push updated values on their
+own fixed 3-second cadence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
+
+from repro.errors import UnknownHostError
+from repro.sim.kernel import Kernel
+from repro.runtime.host import Host
+
+
+@dataclass(frozen=True)
+class MetricSample:
+    """One metric value as stored by SRM.
+
+    ``operator`` is None for PE-level metrics; ``port`` is None for
+    operator/PE scope (non-port) metrics.
+    """
+
+    job_id: str
+    app_name: str
+    pe_id: str
+    operator: Optional[str]
+    port: Optional[int]
+    name: str
+    value: float
+    collection_ts: float
+    is_custom: bool
+
+
+#: Storage key: (job, pe, operator-or-None, port-or-None, metric name).
+_Key = Tuple[str, str, Optional[str], Optional[int], str]
+
+
+class SRM:
+    """Host registry, liveness tracking, and the system-wide metric store."""
+
+    def __init__(
+        self,
+        kernel: Kernel,
+        heartbeat_timeout: float = 3.0,
+        sweep_interval: float = 1.0,
+    ) -> None:
+        self.kernel = kernel
+        self.heartbeat_timeout = heartbeat_timeout
+        self.sweep_interval = sweep_interval
+        self.hosts: Dict[str, Host] = {}
+        self._heartbeats: Dict[str, float] = {}
+        self._metrics: Dict[_Key, MetricSample] = {}
+        #: SAM installs this to learn about host failures.
+        self.on_host_failure: Optional[Callable[[str, float], None]] = None
+        self._sweeping = False
+
+    # -- host registry ----------------------------------------------------------
+
+    def register_host(self, host: Host) -> None:
+        self.hosts[host.name] = host
+
+    def host(self, name: str) -> Host:
+        try:
+            return self.hosts[name]
+        except KeyError:
+            raise UnknownHostError(f"unknown host {name!r}") from None
+
+    def up_hosts(self) -> List[Host]:
+        return [h for h in self.hosts.values() if h.is_up]
+
+    # -- liveness -----------------------------------------------------------------
+
+    def start(self) -> None:
+        """Begin the heartbeat sweep loop."""
+        if not self._sweeping:
+            self._sweeping = True
+            self.kernel.schedule(self.sweep_interval, self._sweep)
+
+    def heartbeat(self, host_name: str, ts: float) -> None:
+        self._heartbeats[host_name] = ts
+
+    def _sweep(self) -> None:
+        now = self.kernel.now
+        for name, host in self.hosts.items():
+            if not host.is_up:
+                continue
+            last = self._heartbeats.get(name)
+            if last is None:
+                continue
+            if now - last > self.heartbeat_timeout:
+                host.mark_down()
+                if self.on_host_failure is not None:
+                    self.on_host_failure(name, now)
+        self.kernel.schedule(self.sweep_interval, self._sweep)
+
+    # -- metrics --------------------------------------------------------------------
+
+    def store_metrics(self, samples: Iterable[MetricSample]) -> None:
+        """Upsert the latest value of each metric (host controllers push here)."""
+        for sample in samples:
+            key = (
+                sample.job_id,
+                sample.pe_id,
+                sample.operator,
+                sample.port,
+                sample.name,
+            )
+            self._metrics[key] = sample
+
+    def get_metrics(self, job_ids: Optional[Iterable[str]] = None) -> List[MetricSample]:
+        """Snapshot of all stored metrics, optionally restricted to some jobs.
+
+        This is the call the ORCA service makes on every poll; the response
+        "contains all metrics associated with a set of jobs" (Sec. 4.2).
+        """
+        if job_ids is None:
+            return list(self._metrics.values())
+        wanted = set(job_ids)
+        return [s for s in self._metrics.values() if s.job_id in wanted]
+
+    def drop_job_metrics(self, job_id: str) -> None:
+        """Forget all metrics of a cancelled job."""
+        self._metrics = {
+            key: sample
+            for key, sample in self._metrics.items()
+            if sample.job_id != job_id
+        }
+
+    def metric_value(
+        self,
+        job_id: str,
+        pe_id: str,
+        operator: Optional[str],
+        name: str,
+        port: Optional[int] = None,
+    ) -> Optional[float]:
+        """Point query (tests and tools)."""
+        sample = self._metrics.get((job_id, pe_id, operator, port, name))
+        return sample.value if sample else None

@@ -1,0 +1,175 @@
+"""SystemS — the facade wiring the whole simulated middleware together.
+
+Constructing a :class:`SystemS` builds the kernel, SRM, per-host HCs, the
+transport, the import/export registry, SAM and the failure injector, and
+starts the periodic daemon loops.  Orchestrators are submitted through
+:meth:`SystemS.submit_orchestrator`, mirroring the paper's Fig. 4 flow
+(user submits the ORCA descriptor to SAM, which forks the ORCA service
+process).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Union
+
+from repro.sim.clock import Clock
+from repro.sim.kernel import Kernel
+from repro.sim.rand import RandomStreams
+from repro.spl.application import Application
+from repro.spl.compiler import CompiledApplication, SPLCompiler
+from repro.runtime.failures import FailureInjector
+from repro.runtime.hc import HostController
+from repro.runtime.host import Host
+from repro.runtime.ids import IdRegistry
+from repro.runtime.imports import ImportExportRegistry
+from repro.runtime.job import Job
+from repro.runtime.sam import SAM
+from repro.runtime.srm import SRM
+from repro.runtime.transport import Transport
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.orca.descriptor import OrcaDescriptor
+    from repro.orca.service import OrcaService
+
+
+@dataclass
+class SystemConfig:
+    """Timing constants and policies of the simulated middleware.
+
+    Defaults follow the paper where it states them: PEs/operators deliver
+    updated metric values to SRM every 3 seconds; the ORCA service polls
+    SRM every 15 seconds (changeable at runtime); PE failure events are
+    pushed immediately, costing one extra RPC.
+    """
+
+    metric_push_interval: float = 3.0
+    heartbeat_interval: float = 1.0
+    heartbeat_timeout: float = 3.0
+    sweep_interval: float = 1.0
+    transport_latency: float = 0.001
+    pe_spawn_delay: float = 0.1
+    pe_restart_delay: float = 1.0
+    failure_notification_delay: float = 0.05
+    orca_rpc_latency: float = 0.002
+    orca_poll_interval: float = 15.0
+    auto_restart_pes: bool = False
+
+
+class SystemS:
+    """One simulated System S instance."""
+
+    def __init__(
+        self,
+        hosts: Union[int, Sequence[Host]] = 4,
+        config: Optional[SystemConfig] = None,
+        seed: int = 42,
+    ) -> None:
+        self.config = config or SystemConfig()
+        self.kernel = Kernel(Clock())
+        self.random = RandomStreams(seed)
+        self.ids = IdRegistry()
+        if isinstance(hosts, int):
+            host_list: List[Host] = [Host(f"host{i + 1}") for i in range(hosts)]
+        else:
+            host_list = list(hosts)
+        self.srm = SRM(
+            self.kernel,
+            heartbeat_timeout=self.config.heartbeat_timeout,
+            sweep_interval=self.config.sweep_interval,
+        )
+        self.transport = Transport(self.kernel, latency=self.config.transport_latency)
+        self.import_export = ImportExportRegistry(
+            self.kernel, latency=self.config.transport_latency
+        )
+        self.hcs: Dict[str, HostController] = {}
+        for host in host_list:
+            self.srm.register_host(host)
+            hc = HostController(
+                host,
+                self.kernel,
+                self.srm,
+                metric_push_interval=self.config.metric_push_interval,
+                heartbeat_interval=self.config.heartbeat_interval,
+            )
+            self.hcs[host.name] = hc
+        self.sam = SAM(
+            kernel=self.kernel,
+            srm=self.srm,
+            hcs=self.hcs,
+            transport=self.transport,
+            import_export=self.import_export,
+            ids=self.ids,
+            pe_spawn_delay=self.config.pe_spawn_delay,
+            pe_restart_delay=self.config.pe_restart_delay,
+            failure_notification_delay=self.config.failure_notification_delay,
+            auto_restart_pes=self.config.auto_restart_pes,
+        )
+        self.failures = FailureInjector(self.kernel, self.sam)
+        self.orcas: Dict[str, "OrcaService"] = {}
+        self.srm.start()
+        for hc in self.hcs.values():
+            hc.start()
+
+    # -- time ---------------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        return self.kernel.now
+
+    def run_for(self, duration: float) -> None:
+        self.kernel.run_for(duration)
+
+    def run_until(self, time: float) -> None:
+        self.kernel.run_until(time)
+
+    # -- job convenience -------------------------------------------------------
+
+    def compile(
+        self,
+        application: Application,
+        strategy: str = "manual",
+        target_pe_count: int = 0,
+    ) -> CompiledApplication:
+        return SPLCompiler(strategy, target_pe_count).compile(application)
+
+    def submit_job(
+        self,
+        app: Union[Application, CompiledApplication],
+        params: Optional[Dict[str, str]] = None,
+    ) -> Job:
+        """Submit a plain (non-orchestrated) job."""
+        compiled = app if isinstance(app, CompiledApplication) else self.compile(app)
+        return self.sam.submit_job(compiled, params=params)
+
+    def cancel_job(self, job_id: str) -> Job:
+        return self.sam.cancel_job(job_id)
+
+    # -- orchestrator submission --------------------------------------------------
+
+    def submit_orchestrator(
+        self,
+        descriptor: "OrcaDescriptor",
+    ) -> "OrcaService":
+        """Fig. 4: submit an orchestrator descriptor to SAM.
+
+        SAM 'forks a new process' for the ORCA service, which loads the
+        ORCA logic and invokes its start callback.  Returns the running
+        service.
+        """
+        from repro.orca.service import OrcaService  # late import: layer cycle
+
+        orca_id = self.ids.orcas.allocate()
+        service = OrcaService(orca_id=orca_id, system=self, descriptor=descriptor)
+        self.orcas[orca_id] = service
+        self.sam.register_orca(
+            orca_id, service._receive_pe_failure, service._receive_host_failure
+        )
+        service._boot()
+        return service
+
+    def cancel_orchestrator(self, orca_id: str) -> None:
+        service = self.orcas.pop(orca_id, None)
+        if service is not None:
+            service.shutdown()
+            self.sam.unregister_orca(orca_id)

@@ -1,0 +1,79 @@
+"""Inter-PE stream transport.
+
+Tuples crossing a PE boundary travel through the transport with a small
+configurable latency, modelling the TCP hop between operating system
+processes.  The number of items in flight toward each destination input
+port backs the ``queueSize`` built-in metric (the metric Fig. 5 of the
+paper subscribes to for Split/Merge operators).
+
+Intra-PE connections do not use the transport at all: fused operators call
+each other synchronously, which is exactly why fusion removes queueing —
+and why the orchestrator may care about partitioning (Sec. 4.3).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, Tuple, Union
+
+from repro.sim.kernel import Kernel
+from repro.spl.tuples import Punctuation, StreamTuple
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.runtime.pe import PERuntime
+
+Item = Union[StreamTuple, Punctuation]
+
+
+class Transport:
+    """Delivers items between PEs with latency and in-flight accounting."""
+
+    def __init__(self, kernel: Kernel, latency: float = 0.001) -> None:
+        self.kernel = kernel
+        self.latency = latency
+        #: (pe_id, operator full name, port) -> items scheduled but not delivered
+        self._in_flight: Dict[Tuple[str, str, int], int] = {}
+        self.total_sent = 0
+        self.total_delivered = 0
+        self.total_dropped = 0
+
+    def send(
+        self,
+        dst_pe: "PERuntime",
+        op_full_name: str,
+        port: int,
+        item: Item,
+    ) -> None:
+        """Schedule delivery of ``item`` to an input port of a remote PE."""
+        key = (dst_pe.pe_id, op_full_name, port)
+        self._in_flight[key] = self._in_flight.get(key, 0) + 1
+        self.total_sent += 1
+        self.kernel.schedule(
+            self.latency,
+            self._deliver,
+            dst_pe,
+            op_full_name,
+            port,
+            item,
+            label=f"transport->{op_full_name}[{port}]",
+        )
+
+    def _deliver(
+        self, dst_pe: "PERuntime", op_full_name: str, port: int, item: Item
+    ) -> None:
+        key = (dst_pe.pe_id, op_full_name, port)
+        count = self._in_flight.get(key, 0)
+        if count <= 1:
+            self._in_flight.pop(key, None)
+        else:
+            self._in_flight[key] = count - 1
+        if not dst_pe.is_running:
+            # Receiving process is down: the tuple is lost (the paper's
+            # Sec. 5.2: crashes of stateless PEs "may lead to tuple loss").
+            self.total_dropped += 1
+            return
+        self.total_delivered += 1
+        dst_pe.receive(op_full_name, port, item)
+
+    def queue_size(self, pe_id: str, op_full_name: str, port: int) -> int:
+        """Items currently in flight toward one input port."""
+        return self._in_flight.get((pe_id, op_full_name, port), 0)

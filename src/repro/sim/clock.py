@@ -1,0 +1,34 @@
+"""Simulated wall clock.
+
+The clock is advanced only by the :class:`~repro.sim.kernel.Kernel`; every
+component that needs the current time holds a reference to the shared clock
+and reads :attr:`Clock.now`.  Times are floating-point seconds since the
+start of the simulation.
+"""
+
+from __future__ import annotations
+
+
+class Clock:
+    """Monotonically advancing simulated time in seconds."""
+
+    __slots__ = ("_now",)
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = float(start)
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    def _advance_to(self, time: float) -> None:
+        """Move the clock forward.  Only the kernel may call this."""
+        if time < self._now:
+            raise ValueError(
+                f"clock cannot move backwards: {time} < {self._now}"
+            )
+        self._now = time
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Clock(now={self._now:.3f})"

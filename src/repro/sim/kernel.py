@@ -1,0 +1,169 @@
+"""Discrete-event simulation kernel.
+
+The kernel owns a priority queue of scheduled callbacks keyed by
+``(time, sequence)``.  Ties in time are broken by scheduling order, which
+makes runs fully deterministic.  Components schedule work with
+:meth:`Kernel.schedule` (relative delay) or :meth:`Kernel.schedule_at`
+(absolute time) and may cancel the returned handle.
+
+The kernel deliberately has no notion of threads: the "application
+submission thread" and "cancellation thread" of the paper's Sec. 4.4, PE
+metric pushes, SRM polls and failure detections are all modelled as chains
+of scheduled callbacks on one clock.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Optional
+
+from repro.sim.clock import Clock
+
+
+class ScheduledEvent:
+    """Handle for a scheduled callback; supports cancellation."""
+
+    __slots__ = ("time", "seq", "callback", "args", "cancelled", "label")
+
+    def __init__(
+        self,
+        time: float,
+        seq: int,
+        callback: Callable[..., Any],
+        args: tuple,
+        label: str = "",
+    ) -> None:
+        self.time = time
+        self.seq = seq
+        self.callback = callback
+        self.args = args
+        self.cancelled = False
+        self.label = label
+
+    def cancel(self) -> None:
+        """Prevent the callback from running (idempotent)."""
+        self.cancelled = True
+
+    def __lt__(self, other: "ScheduledEvent") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self.cancelled else "pending"
+        return f"ScheduledEvent(t={self.time:.3f}, {self.label or self.callback}, {state})"
+
+
+class Kernel:
+    """Deterministic discrete-event scheduler over a shared :class:`Clock`."""
+
+    def __init__(self, clock: Optional[Clock] = None) -> None:
+        self.clock = clock if clock is not None else Clock()
+        self._heap: list[ScheduledEvent] = []
+        self._seq = 0
+        self._events_processed = 0
+        self._running = False
+
+    # -- scheduling ---------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        """Current simulated time (seconds)."""
+        return self.clock.now
+
+    @property
+    def events_processed(self) -> int:
+        """Number of callbacks executed so far (for tests and stats)."""
+        return self._events_processed
+
+    def schedule(
+        self,
+        delay: float,
+        callback: Callable[..., Any],
+        *args: Any,
+        label: str = "",
+    ) -> ScheduledEvent:
+        """Schedule ``callback(*args)`` to run ``delay`` seconds from now."""
+        if delay < 0:
+            raise ValueError(f"delay must be >= 0, got {delay}")
+        return self.schedule_at(self.clock.now + delay, callback, *args, label=label)
+
+    def schedule_at(
+        self,
+        time: float,
+        callback: Callable[..., Any],
+        *args: Any,
+        label: str = "",
+    ) -> ScheduledEvent:
+        """Schedule ``callback(*args)`` at absolute simulated ``time``."""
+        if time < self.clock.now:
+            raise ValueError(
+                f"cannot schedule in the past: {time} < {self.clock.now}"
+            )
+        event = ScheduledEvent(time, self._seq, callback, args, label)
+        self._seq += 1
+        heapq.heappush(self._heap, event)
+        return event
+
+    def call_soon(
+        self, callback: Callable[..., Any], *args: Any, label: str = ""
+    ) -> ScheduledEvent:
+        """Schedule a callback at the current time (after pending same-time work)."""
+        return self.schedule_at(self.clock.now, callback, *args, label=label)
+
+    # -- execution ----------------------------------------------------------
+
+    def step(self) -> bool:
+        """Run the single next pending event.  Returns False if none remain."""
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self.clock._advance_to(event.time)
+            self._events_processed += 1
+            event.callback(*event.args)
+            return True
+        return False
+
+    def run_until(self, time: float) -> None:
+        """Process all events with timestamp <= ``time``; leave clock at ``time``.
+
+        Events scheduled during execution are processed too as long as they
+        fall within the horizon, so chained periodic activities (metric
+        pushes, polls) advance naturally.
+        """
+        if time < self.clock.now:
+            raise ValueError(f"cannot run into the past: {time} < {self.clock.now}")
+        self._running = True
+        try:
+            while self._heap:
+                event = self._heap[0]
+                if event.cancelled:
+                    heapq.heappop(self._heap)
+                    continue
+                if event.time > time:
+                    break
+                heapq.heappop(self._heap)
+                self.clock._advance_to(event.time)
+                self._events_processed += 1
+                event.callback(*event.args)
+            self.clock._advance_to(time)
+        finally:
+            self._running = False
+
+    def run_for(self, duration: float) -> None:
+        """Convenience wrapper: run ``duration`` seconds past the current time."""
+        self.run_until(self.clock.now + duration)
+
+    def run(self, max_events: int = 1_000_000) -> None:
+        """Drain the event queue completely (bounded by ``max_events``)."""
+        count = 0
+        while self.step():
+            count += 1
+            if count >= max_events:
+                raise RuntimeError(
+                    f"kernel did not quiesce within {max_events} events; "
+                    "likely an unbounded periodic activity — use run_until()"
+                )
+
+    def pending_count(self) -> int:
+        """Number of not-yet-cancelled events in the queue."""
+        return sum(1 for event in self._heap if not event.cancelled)

@@ -1,0 +1,41 @@
+"""SPL-like application composition layer.
+
+This package plays the role of IBM's Streams Processing Language (SPL)
+toolchain in the paper: applications are assembled as logical graphs of
+operators and composite operators, partitioned into processing elements
+(PEs) by the compiler, and described by an ADL (application description
+language) XML document that the runtime and the orchestrator both consume.
+"""
+
+from repro.spl.application import Application
+from repro.spl.composite import CompositeDefinition
+from repro.spl.compiler import CompiledApplication, SPLCompiler
+from repro.spl.graph import LogicalGraph, OperatorSpec, PortRef
+from repro.spl.hostpool import HostPool
+from repro.spl.metrics import Metric, MetricKind, OperatorMetricName, PEMetricName
+from repro.spl.operators import Operator, OperatorContext
+from repro.spl.schema import Attribute, TupleSchema
+from repro.spl.tuples import FinalMarker, Punctuation, StreamTuple, WindowMarker
+
+__all__ = [
+    "Application",
+    "CompositeDefinition",
+    "CompiledApplication",
+    "SPLCompiler",
+    "LogicalGraph",
+    "OperatorSpec",
+    "PortRef",
+    "HostPool",
+    "Metric",
+    "MetricKind",
+    "OperatorMetricName",
+    "PEMetricName",
+    "Operator",
+    "OperatorContext",
+    "Attribute",
+    "TupleSchema",
+    "FinalMarker",
+    "Punctuation",
+    "StreamTuple",
+    "WindowMarker",
+]

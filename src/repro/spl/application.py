@@ -1,0 +1,106 @@
+"""Application: a named logical graph plus its host pools.
+
+An :class:`Application` is what a developer submits: the logical operator
+graph, the host pools it may run on, and declared submission-time
+parameters.  Compiling it (see :mod:`repro.spl.compiler`) produces the PE
+partitioning and the ADL document that the runtime and the orchestrator
+consume.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from repro.errors import GraphError
+from repro.spl.graph import LogicalGraph
+from repro.spl.hostpool import HostPool, HostPoolSet
+
+
+class Application:
+    """A composable streaming application."""
+
+    def __init__(self, name: str, version: str = "1.0") -> None:
+        if not name or any(ch in name for ch in ".,/ "):
+            raise GraphError(f"invalid application name {name!r}")
+        self.name = name
+        self.version = version
+        self.graph = LogicalGraph()
+        self.host_pools = HostPoolSet()
+        #: Declared submission-time parameters and their defaults; a value
+        #: of ``None`` marks the parameter as required at submission.
+        self.parameters: Dict[str, Optional[str]] = {}
+
+    # -- host pools ------------------------------------------------------------
+
+    def add_host_pool(self, pool: HostPool) -> HostPool:
+        self.host_pools.add(pool)
+        return pool
+
+    # -- submission-time parameters ----------------------------------------------
+
+    def declare_parameter(self, name: str, default: Optional[str] = None) -> None:
+        """Declare a submission-time parameter (SPL submission values)."""
+        self.parameters[name] = default
+
+    def resolve_parameters(self, given: Optional[Dict[str, str]] = None) -> Dict[str, str]:
+        """Merge given submission values over declared defaults; check required."""
+        given = dict(given or {})
+        unknown = set(given) - set(self.parameters)
+        if unknown:
+            raise GraphError(
+                f"application {self.name!r}: unknown submission parameters {sorted(unknown)}"
+            )
+        resolved: Dict[str, str] = {}
+        for name, default in self.parameters.items():
+            if name in given:
+                resolved[name] = given[name]
+            elif default is not None:
+                resolved[name] = default
+            else:
+                raise GraphError(
+                    f"application {self.name!r}: required parameter {name!r} missing"
+                )
+        return resolved
+
+    # -- validation --------------------------------------------------------------
+
+    def validate(self) -> None:
+        """Check graph structure and that referenced pools exist."""
+        self.graph.validate(require_connected_inputs=True)
+        for spec in self.graph.operators.values():
+            if spec.host_pool is not None and spec.host_pool not in self.host_pools:
+                raise GraphError(
+                    f"operator {spec.full_name!r} references undeclared "
+                    f"host pool {spec.host_pool!r}"
+                )
+
+    def export_specs(self) -> List[Dict[str, Any]]:
+        """Export declarations (from Export operators), for the ADL."""
+        result = []
+        for spec in self.graph.operators.values():
+            if spec.kind == "Export":
+                result.append(
+                    {
+                        "operator": spec.full_name,
+                        "stream_id": spec.params.get("stream_id"),
+                        "properties": dict(spec.params.get("properties", {})),
+                    }
+                )
+        return result
+
+    def import_specs(self) -> List[Dict[str, Any]]:
+        """Import declarations (from Import operators), for the ADL."""
+        result = []
+        for spec in self.graph.operators.values():
+            if spec.kind == "Import":
+                result.append(
+                    {
+                        "operator": spec.full_name,
+                        "stream_id": spec.params.get("stream_id"),
+                        "subscription": dict(spec.params.get("subscription", {})),
+                    }
+                )
+        return result
+
+    def __repr__(self) -> str:
+        return f"Application({self.name!r}, {self.graph!r})"

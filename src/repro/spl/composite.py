@@ -1,0 +1,198 @@
+"""Composite operators.
+
+A composite operator is a logically-related reusable sub-graph (Sec. 2.1 of
+the paper: "similar to methods and classes in object-oriented programming").
+A :class:`CompositeDefinition` carries an ``assemble`` function that builds
+the sub-graph each time the composite is instantiated; instantiation
+produces a :class:`CompositeInstance` node in the containment hierarchy and
+fresh, qualified operator names (e.g. ``c1.op3`` and ``c2.op3`` for the two
+instances of Fig. 2).
+
+Composites may nest arbitrarily — which is exactly why matching a
+*composite type filter* in an event scope requires walking the containment
+chain (and why the SQL-equivalent formulation in Sec. 4.1 needs a recursive
+query).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.errors import CompositeError
+
+if TYPE_CHECKING:  # pragma: no cover - type hints only
+    from repro.spl.graph import LogicalGraph, OperatorSpec, PortRef
+
+
+@dataclass(frozen=True)
+class CompositeInstance:
+    """A node in the composite containment hierarchy of an application."""
+
+    name: str  #: unqualified instance name
+    full_name: str  #: dotted path, unique within the application
+    kind: str  #: composite type name (the definition's name)
+    parent: Optional[str]  #: full name of the enclosing composite instance
+
+
+class CompositeDefinition:
+    """A reusable sub-graph template.
+
+    ``assemble`` receives a :class:`CompositeBuilder` and must:
+
+    * add internal operators / nested composites through the builder,
+    * route each declared input with ``builder.connect(builder.input(i), ...)``,
+    * bind each declared output with ``builder.bind_output(i, port)``.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        n_inputs: int,
+        n_outputs: int,
+        assemble: Callable[["CompositeBuilder"], None],
+    ) -> None:
+        if n_inputs < 0 or n_outputs < 0:
+            raise CompositeError(f"composite {name!r}: negative port count")
+        self.name = name
+        self.n_inputs = n_inputs
+        self.n_outputs = n_outputs
+        self.assemble = assemble
+
+    def __repr__(self) -> str:
+        return (
+            f"CompositeDefinition({self.name}, in={self.n_inputs}, out={self.n_outputs})"
+        )
+
+
+class _InputPlaceholder:
+    """Stands for an input port of the composite during assembly."""
+
+    __slots__ = ("index",)
+
+    def __init__(self, index: int) -> None:
+        self.index = index
+
+
+class CompositeBuilder:
+    """Builder handed to ``assemble`` during composite instantiation.
+
+    It forwards operator/composite creation to the owning graph with
+    qualified names, and records how the composite's declared input and
+    output ports map onto internal operator ports.
+    """
+
+    def __init__(
+        self,
+        graph: "LogicalGraph",
+        definition: CompositeDefinition,
+        instance: CompositeInstance,
+    ) -> None:
+        self._graph = graph
+        self._definition = definition
+        self._instance = instance
+        # input index -> list of internal (spec, port) destinations
+        self._input_bindings: Dict[int, List[Tuple["OperatorSpec", int]]] = {}
+        # output index -> internal (spec, port) source
+        self._output_bindings: Dict[int, Tuple["OperatorSpec", int]] = {}
+
+    @property
+    def instance(self) -> CompositeInstance:
+        return self._instance
+
+    def add_operator(self, name: str, op_class: type, **kwargs: Any) -> "OperatorSpec":
+        """Add an operator inside this composite instance."""
+        return self._graph._add_operator_in(
+            name, op_class, composite=self._instance.full_name, **kwargs
+        )
+
+    def instantiate(
+        self,
+        definition: CompositeDefinition,
+        name: str,
+        inputs: Sequence["PortRef"] = (),
+    ) -> "CompositeHandle":
+        """Instantiate a nested composite inside this one."""
+        return self._graph._instantiate_in(
+            definition, name, inputs, parent=self._instance.full_name
+        )
+
+    def input(self, index: int) -> _InputPlaceholder:
+        """Reference to the composite's declared input port ``index``."""
+        if index < 0 or index >= self._definition.n_inputs:
+            raise CompositeError(
+                f"composite {self._definition.name!r} has no input {index}"
+            )
+        return _InputPlaceholder(index)
+
+    def connect(self, src: Any, dst: "PortRef") -> None:
+        """Connect inside the composite; ``src`` may be an input placeholder."""
+        if isinstance(src, _InputPlaceholder):
+            if dst.is_output:
+                raise CompositeError("destination of a connection must be an input port")
+            self._input_bindings.setdefault(src.index, []).append((dst.spec, dst.index))
+            return
+        self._graph.connect(src, dst)
+
+    def bind_output(self, index: int, src: "PortRef") -> None:
+        """Declare that composite output ``index`` is fed by internal port ``src``."""
+        if index < 0 or index >= self._definition.n_outputs:
+            raise CompositeError(
+                f"composite {self._definition.name!r} has no output {index}"
+            )
+        if not src.is_output:
+            raise CompositeError("bind_output requires an operator *output* port")
+        if index in self._output_bindings:
+            raise CompositeError(
+                f"composite {self._definition.name!r}: output {index} bound twice"
+            )
+        self._output_bindings[index] = (src.spec, src.index)
+
+    # -- used by the graph after assemble() returns --------------------------
+
+    def _validate(self) -> None:
+        missing = [
+            i
+            for i in range(self._definition.n_outputs)
+            if i not in self._output_bindings
+        ]
+        if missing:
+            raise CompositeError(
+                f"composite {self._definition.name!r}: outputs {missing} never bound"
+            )
+
+
+@dataclass
+class CompositeHandle:
+    """What ``instantiate`` returns: resolved output ports of the instance."""
+
+    instance: CompositeInstance
+    outputs: List["PortRef"] = field(default_factory=list)
+
+    def output(self, index: int = 0) -> "PortRef":
+        try:
+            return self.outputs[index]
+        except IndexError:
+            raise CompositeError(
+                f"composite instance {self.instance.full_name!r} has no output {index}"
+            ) from None
+
+
+def containment_chain(
+    instances: Mapping[str, CompositeInstance], start: Optional[str]
+) -> List[CompositeInstance]:
+    """Enclosing composite instances of ``start``, innermost first.
+
+    ``start`` is the full name of the immediately enclosing composite
+    instance (or None for a top-level operator).  This walk is the runtime
+    counterpart of the recursive CTE in the paper's Sec. 4.1 SQL query.
+    """
+    chain: List[CompositeInstance] = []
+    current = start
+    while current is not None:
+        instance = instances.get(current)
+        if instance is None:
+            raise CompositeError(f"unknown composite instance {current!r}")
+        chain.append(instance)
+        current = instance.parent
+    return chain

@@ -1,0 +1,298 @@
+"""Logical application graphs.
+
+The :class:`LogicalGraph` is the in-memory equivalent of an SPL program's
+operator graph: operator specs (not instances — instantiation happens per
+job at runtime), composite containment, stream edges, and the partition /
+placement annotations that the compiler and scheduler honour.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.errors import CompositeError, GraphError
+from repro.spl.composite import (
+    CompositeBuilder,
+    CompositeDefinition,
+    CompositeHandle,
+    CompositeInstance,
+    containment_chain,
+)
+from repro.spl.schema import TupleSchema
+
+
+@dataclass
+class OperatorSpec:
+    """A logical operator: what to instantiate, where it sits, how to place it."""
+
+    name: str  #: unqualified name
+    full_name: str  #: dotted path including enclosing composite instances
+    op_class: type  #: :class:`~repro.spl.operators.Operator` subclass
+    params: Dict[str, Any] = field(default_factory=dict)
+    n_inputs: int = 1
+    n_outputs: int = 1
+    composite: Optional[str] = None  #: full name of immediately enclosing composite
+    partition: Optional[str] = None  #: partition colocation tag (same tag -> same PE)
+    partition_exlocation: Optional[str] = None  #: same tag -> different PEs
+    host_pool: Optional[str] = None  #: name of the host pool this operator must run in
+    host_exlocation: Optional[str] = None  #: same tag -> PEs on different hosts
+    host_colocation: Optional[str] = None  #: same tag -> PEs on the same host
+    output_schema: Optional[TupleSchema] = None
+
+    @property
+    def kind(self) -> str:
+        return self.op_class.kind()
+
+    def iport(self, index: int = 0) -> "PortRef":
+        if index < 0 or index >= self.n_inputs:
+            raise GraphError(
+                f"{self.full_name}: no input port {index} (has {self.n_inputs})"
+            )
+        return PortRef(self, index, is_output=False)
+
+    def oport(self, index: int = 0) -> "PortRef":
+        if index < 0 or index >= self.n_outputs:
+            raise GraphError(
+                f"{self.full_name}: no output port {index} (has {self.n_outputs})"
+            )
+        return PortRef(self, index, is_output=True)
+
+    def __repr__(self) -> str:
+        return f"OperatorSpec({self.full_name}:{self.kind})"
+
+
+@dataclass(frozen=True)
+class PortRef:
+    """Reference to one port of one operator spec."""
+
+    spec: OperatorSpec
+    index: int
+    is_output: bool
+
+    def __repr__(self) -> str:
+        direction = "out" if self.is_output else "in"
+        return f"{self.spec.full_name}.{direction}[{self.index}]"
+
+
+@dataclass(frozen=True)
+class Edge:
+    """A stream connection between an output port and an input port."""
+
+    src: OperatorSpec
+    src_port: int
+    dst: OperatorSpec
+    dst_port: int
+
+    @property
+    def stream_name(self) -> str:
+        return f"{self.src.full_name}.out{self.src_port}"
+
+    def __repr__(self) -> str:
+        return (
+            f"Edge({self.src.full_name}[{self.src_port}] -> "
+            f"{self.dst.full_name}[{self.dst_port}])"
+        )
+
+
+class LogicalGraph:
+    """Mutable operator graph under construction."""
+
+    def __init__(self) -> None:
+        self.operators: Dict[str, OperatorSpec] = {}
+        self.composite_instances: Dict[str, CompositeInstance] = {}
+        self.edges: List[Edge] = []
+
+    # -- construction -------------------------------------------------------
+
+    def add_operator(self, name: str, op_class: type, **kwargs: Any) -> OperatorSpec:
+        """Add a top-level operator.  See :meth:`_add_operator_in` for kwargs."""
+        return self._add_operator_in(name, op_class, composite=None, **kwargs)
+
+    def _add_operator_in(
+        self,
+        name: str,
+        op_class: type,
+        composite: Optional[str],
+        params: Optional[Mapping[str, Any]] = None,
+        partition: Optional[str] = None,
+        partition_exlocation: Optional[str] = None,
+        host_pool: Optional[str] = None,
+        host_exlocation: Optional[str] = None,
+        host_colocation: Optional[str] = None,
+        output_schema: Optional[TupleSchema] = None,
+    ) -> OperatorSpec:
+        if not name or "." in name:
+            raise GraphError(f"invalid operator name {name!r} (no dots, non-empty)")
+        full_name = f"{composite}.{name}" if composite else name
+        if full_name in self.operators:
+            raise GraphError(f"duplicate operator name {full_name!r}")
+        if full_name in self.composite_instances:
+            raise GraphError(f"name {full_name!r} already used by a composite")
+        param_dict = dict(params or {})
+        n_inputs, n_outputs = op_class.port_counts(param_dict)
+        spec = OperatorSpec(
+            name=name,
+            full_name=full_name,
+            op_class=op_class,
+            params=param_dict,
+            n_inputs=n_inputs,
+            n_outputs=n_outputs,
+            composite=composite,
+            partition=partition,
+            partition_exlocation=partition_exlocation,
+            host_pool=host_pool,
+            host_exlocation=host_exlocation,
+            host_colocation=host_colocation,
+            output_schema=output_schema,
+        )
+        self.operators[full_name] = spec
+        return spec
+
+    def connect(self, src: PortRef, dst: PortRef) -> None:
+        """Create a stream edge from an output port to an input port."""
+        if not src.is_output:
+            raise GraphError(f"connection source {src!r} is not an output port")
+        if dst.is_output:
+            raise GraphError(f"connection destination {dst!r} is not an input port")
+        if src.spec.full_name not in self.operators:
+            raise GraphError(f"source operator {src.spec.full_name!r} not in graph")
+        if dst.spec.full_name not in self.operators:
+            raise GraphError(f"destination operator {dst.spec.full_name!r} not in graph")
+        edge = Edge(src.spec, src.index, dst.spec, dst.index)
+        if edge in self.edges:
+            raise GraphError(f"duplicate edge {edge!r}")
+        self.edges.append(edge)
+
+    def instantiate(
+        self,
+        definition: CompositeDefinition,
+        name: str,
+        inputs: Sequence[PortRef] = (),
+    ) -> CompositeHandle:
+        """Instantiate a composite at top level."""
+        return self._instantiate_in(definition, name, inputs, parent=None)
+
+    def _instantiate_in(
+        self,
+        definition: CompositeDefinition,
+        name: str,
+        inputs: Sequence[PortRef],
+        parent: Optional[str],
+    ) -> CompositeHandle:
+        if not name or "." in name:
+            raise CompositeError(f"invalid composite instance name {name!r}")
+        full_name = f"{parent}.{name}" if parent else name
+        if full_name in self.composite_instances or full_name in self.operators:
+            raise CompositeError(f"duplicate name {full_name!r}")
+        if len(inputs) != definition.n_inputs:
+            raise CompositeError(
+                f"composite {definition.name!r} declares {definition.n_inputs} inputs, "
+                f"got {len(inputs)}"
+            )
+        instance = CompositeInstance(
+            name=name, full_name=full_name, kind=definition.name, parent=parent
+        )
+        self.composite_instances[full_name] = instance
+        builder = CompositeBuilder(self, definition, instance)
+        definition.assemble(builder)
+        builder._validate()
+        # Route the outer inputs to every internal binding.
+        for index, outer_src in enumerate(inputs):
+            for spec, port in builder._input_bindings.get(index, []):
+                self.connect(outer_src, spec.iport(port))
+        outputs = [
+            builder._output_bindings[i][0].oport(builder._output_bindings[i][1])
+            for i in range(definition.n_outputs)
+        ]
+        return CompositeHandle(instance=instance, outputs=outputs)
+
+    # -- queries --------------------------------------------------------------
+
+    def operator(self, full_name: str) -> OperatorSpec:
+        try:
+            return self.operators[full_name]
+        except KeyError:
+            raise GraphError(f"unknown operator {full_name!r}") from None
+
+    def composite_chain(self, op_full_name: str) -> List[CompositeInstance]:
+        """Enclosing composite instances of an operator, innermost first."""
+        spec = self.operator(op_full_name)
+        return containment_chain(self.composite_instances, spec.composite)
+
+    def composite_types_of(self, op_full_name: str) -> List[str]:
+        """Composite *types* enclosing an operator (any nesting depth)."""
+        return [ci.kind for ci in self.composite_chain(op_full_name)]
+
+    def operators_in_composite(self, composite_full_name: str) -> List[OperatorSpec]:
+        """All operators contained (at any depth) in a composite instance."""
+        if composite_full_name not in self.composite_instances:
+            raise CompositeError(f"unknown composite instance {composite_full_name!r}")
+        result = []
+        for spec in self.operators.values():
+            chain = containment_chain(self.composite_instances, spec.composite)
+            if any(ci.full_name == composite_full_name for ci in chain):
+                result.append(spec)
+        return result
+
+    def downstream_of(self, spec: OperatorSpec, port: Optional[int] = None) -> List[Edge]:
+        return [
+            e
+            for e in self.edges
+            if e.src is spec and (port is None or e.src_port == port)
+        ]
+
+    def upstream_of(self, spec: OperatorSpec, port: Optional[int] = None) -> List[Edge]:
+        return [
+            e
+            for e in self.edges
+            if e.dst is spec and (port is None or e.dst_port == port)
+        ]
+
+    def sources(self) -> List[OperatorSpec]:
+        """Operators with no input ports (true sources, incl. Import)."""
+        return [s for s in self.operators.values() if s.n_inputs == 0]
+
+    def sinks(self) -> List[OperatorSpec]:
+        """Operators with no output ports (true sinks, incl. Export)."""
+        return [s for s in self.operators.values() if s.n_outputs == 0]
+
+    # -- validation --------------------------------------------------------------
+
+    def validate(self, require_connected_inputs: bool = True) -> None:
+        """Check structural invariants; raise :class:`GraphError` on violation."""
+        connected_inputs: Dict[Tuple[str, int], int] = {}
+        for edge in self.edges:
+            key = (edge.dst.full_name, edge.dst_port)
+            connected_inputs[key] = connected_inputs.get(key, 0) + 1
+        if require_connected_inputs:
+            for spec in self.operators.values():
+                for port in range(spec.n_inputs):
+                    if (spec.full_name, port) not in connected_inputs:
+                        raise GraphError(
+                            f"input port {port} of {spec.full_name!r} is not connected"
+                        )
+        # partition colocation and exlocation must not contradict each other
+        by_partition: Dict[str, List[OperatorSpec]] = {}
+        for spec in self.operators.values():
+            if spec.partition is not None:
+                by_partition.setdefault(spec.partition, []).append(spec)
+        for tag, members in by_partition.items():
+            counts: Dict[str, int] = {}
+            for member in members:
+                if member.partition_exlocation is not None:
+                    counts[member.partition_exlocation] = (
+                        counts.get(member.partition_exlocation, 0) + 1
+                    )
+            for exgroup, count in counts.items():
+                if count > 1:
+                    raise GraphError(
+                        f"operators in partition {tag!r} share exlocation group "
+                        f"{exgroup!r}: colocation and exlocation contradict"
+                    )
+
+    def __repr__(self) -> str:
+        return (
+            f"LogicalGraph(operators={len(self.operators)}, "
+            f"composites={len(self.composite_instances)}, edges={len(self.edges)})"
+        )

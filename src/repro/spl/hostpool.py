@@ -1,0 +1,83 @@
+"""Host pools.
+
+Sec. 4.3 of the paper: developers specify host placement by creating *host
+pools* — named lists of host names or tags.  A pool can be flagged
+**exclusive**, in which case the scheduler reserves its hosts for the one
+application using the pool; the orchestrator's
+``set_exclusive_host_pools`` actuation rewrites an application's ADL so all
+its pools become exclusive (used by the replica-failover policy of
+Sec. 5.2 so replicas never share a host).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import List, Optional
+
+
+@dataclass(frozen=True)
+class HostPool:
+    """A named set of candidate hosts.
+
+    Exactly one of ``hosts`` (explicit names) or ``tags`` (match hosts
+    carrying all the tags) is typically given; with neither, the pool means
+    "any host".  ``size`` optionally caps how many hosts the scheduler may
+    draw from the pool for this application.
+    """
+
+    name: str
+    hosts: tuple = ()
+    tags: tuple = ()
+    size: Optional[int] = None
+    exclusive: bool = False
+
+    def as_exclusive(self) -> "HostPool":
+        """Copy of this pool with the exclusive flag set."""
+        return replace(self, exclusive=True)
+
+    def matches_host(self, host_name: str, host_tags: frozenset) -> bool:
+        """Whether a host is a candidate for this pool."""
+        if self.hosts:
+            return host_name in self.hosts
+        if self.tags:
+            return set(self.tags).issubset(host_tags)
+        return True
+
+
+#: Pool used for operators that declare no placement at all.
+DEFAULT_POOL = HostPool(name="default")
+
+
+@dataclass
+class HostPoolSet:
+    """The host pools declared by one application."""
+
+    pools: List[HostPool] = field(default_factory=list)
+
+    def add(self, pool: HostPool) -> None:
+        if any(p.name == pool.name for p in self.pools):
+            raise ValueError(f"duplicate host pool {pool.name!r}")
+        self.pools.append(pool)
+
+    def get(self, name: str) -> HostPool:
+        for pool in self.pools:
+            if pool.name == name:
+                return pool
+        raise KeyError(f"no host pool named {name!r}")
+
+    def __contains__(self, name: str) -> bool:
+        return any(p.name == name for p in self.pools)
+
+    def __iter__(self):
+        return iter(self.pools)
+
+    def __len__(self) -> int:
+        return len(self.pools)
+
+    def make_all_exclusive(self) -> None:
+        """In-place rewrite used by the ORCA host-pool actuation (Sec. 4.3)."""
+        self.pools = [pool.as_exclusive() for pool in self.pools]
+        if not self.pools:
+            # An app without pools still needs exclusivity to mean something:
+            # give it an exclusive default pool.
+            self.pools.append(DEFAULT_POOL.as_exclusive())

@@ -1,0 +1,507 @@
+"""Built-in operator library.
+
+These are the stock operators an SPL developer composes applications from:
+sources, relational-style transforms (Filter, Functor, Aggregate), routing
+(Split, Merge), sinks, and the dynamic-composition pair Import/Export
+(Sec. 2.1: applications import and export streams to/from each other and
+the runtime connects them automatically while both are executing).
+
+Behavioural parameters are plain callables (predicates, mapping functions,
+routers) so applications stay concise; operators that the paper's use cases
+need with richer semantics (sentiment classification, trend calculation...)
+live in :mod:`repro.apps` as Operator subclasses.
+"""
+
+from __future__ import annotations
+
+import random as _random
+from typing import Any, Callable, Dict, List, Mapping, Optional, Union
+
+from repro.errors import GraphError
+from repro.spl.metrics import MetricKind
+from repro.spl.operators import Operator, OperatorContext
+from repro.spl.tuples import Punctuation, StreamTuple
+
+
+class Source(Operator):
+    """Base class for operators that generate tuples on a timer.
+
+    Parameters
+    ----------
+    period:
+        Seconds between generation ticks (default 1.0).
+    limit:
+        Stop (and emit FINAL punctuation) after this many tuples
+        (default: unbounded).
+    initial_delay:
+        Seconds before the first tick (default: one period).
+    """
+
+    N_INPUTS = 0
+    N_OUTPUTS = 1
+
+    def __init__(self, ctx: OperatorContext) -> None:
+        super().__init__(ctx)
+        self.period = float(self.param("period", 1.0))
+        self.limit: Optional[int] = self.param("limit", None)
+        self.initial_delay = float(self.param("initial_delay", self.period))
+        self._emitted = 0
+        self._stopped = False
+
+    def on_initialize(self) -> None:
+        self.ctx.schedule(self.initial_delay, self._tick)
+
+    def generate(self) -> List[Dict[str, Any]]:
+        """Produce the values for one tick (override in subclasses)."""
+        return []
+
+    def _tick(self) -> None:
+        if self._stopped:
+            return
+        for values in self.generate():
+            if self.limit is not None and self._emitted >= self.limit:
+                break
+            self.submit(values)
+            self._emitted += 1
+        if self.limit is not None and self._emitted >= self.limit:
+            self._stop_and_finalize()
+            return
+        self.ctx.schedule(self.period, self._tick)
+
+    def _stop_and_finalize(self) -> None:
+        if not self._stopped:
+            self._stopped = True
+            self.submit_final()
+
+    @property
+    def emitted(self) -> int:
+        return self._emitted
+
+
+class Beacon(Source):
+    """Emits copies of a template dict, with an iteration counter.
+
+    Parameters: ``values`` (template dict), ``per_tick`` (tuples per tick),
+    plus the :class:`Source` timing parameters.  Each tuple gets an ``iter``
+    attribute with the global emission index.
+    """
+
+    def __init__(self, ctx: OperatorContext) -> None:
+        super().__init__(ctx)
+        self.values: Mapping[str, Any] = self.param("values", {})
+        self.per_tick = int(self.param("per_tick", 1))
+
+    def generate(self) -> List[Dict[str, Any]]:
+        batch = []
+        for offset in range(self.per_tick):
+            values = dict(self.values)
+            values["iter"] = self._emitted + offset
+            batch.append(values)
+        return batch
+
+
+class CallbackSource(Source):
+    """Emits whatever a user callback produces each tick.
+
+    Parameter ``generator`` is a callable ``(now: float, count: int) ->
+    list[dict]`` where ``count`` is the number of tuples emitted so far.
+    Alternatively, ``generator_factory`` is a zero-argument callable
+    invoked once per operator *instance* — use it when each job (e.g.
+    each replica of an application) must get its own independent,
+    identically-seeded workload.  This is the workhorse for injecting
+    synthetic workloads.
+    """
+
+    def __init__(self, ctx: OperatorContext) -> None:
+        super().__init__(ctx)
+        factory = self.param("generator_factory", None)
+        if factory is not None:
+            self.generator: Callable[[float, int], List[Dict[str, Any]]] = factory()
+        else:
+            self.generator = self.param("generator")
+
+    def generate(self) -> List[Dict[str, Any]]:
+        return self.generator(self.now(), self._emitted)
+
+
+class Filter(Operator):
+    """Forwards tuples satisfying ``predicate``; counts the discarded ones.
+
+    The ``nDiscarded`` custom metric is the paper's Sec. 2.1 example of a
+    custom metric ("a filter operator may maintain the number of tuples it
+    discards").
+    """
+
+    def __init__(self, ctx: OperatorContext) -> None:
+        super().__init__(ctx)
+        self.predicate: Callable[[StreamTuple], bool] = self.param("predicate")
+        self.n_discarded = self.create_custom_metric(
+            "nDiscarded", MetricKind.COUNTER, "tuples dropped by the filter"
+        )
+
+    def on_tuple(self, tup: StreamTuple, port: int) -> None:
+        if self.predicate(tup):
+            self.submit(tup)
+        else:
+            self.n_discarded.increment()
+
+    def on_punct(self, punct: Punctuation, port: int) -> None:
+        if punct is Punctuation.WINDOW:
+            self.submit_punct(punct)
+
+    def on_control(self, command: str, payload: Mapping[str, Any]) -> None:
+        """A dynamic filter: ``setPredicate`` swaps the condition at runtime."""
+        if command == "setPredicate":
+            self.predicate = payload["predicate"]
+
+
+class Functor(Operator):
+    """Per-tuple map / flat-map / filter-map.
+
+    Parameter ``fn`` is ``(tup) -> dict | StreamTuple | list | None``;
+    ``None`` drops the tuple, a list emits several.
+    """
+
+    def __init__(self, ctx: OperatorContext) -> None:
+        super().__init__(ctx)
+        self.fn: Callable[[StreamTuple], Any] = self.param("fn")
+
+    def on_tuple(self, tup: StreamTuple, port: int) -> None:
+        result = self.fn(tup)
+        if result is None:
+            return
+        if isinstance(result, (list, tuple)):
+            for item in result:
+                self.submit(item)
+        else:
+            self.submit(result)
+
+    def on_punct(self, punct: Punctuation, port: int) -> None:
+        if punct is Punctuation.WINDOW:
+            self.submit_punct(punct)
+
+
+class Split(Operator):
+    """Routes each tuple to one or more output ports.
+
+    Parameter ``router``: ``(tup) -> int | list[int]``.  ``n_outputs`` sets
+    the port count.  The input queue length is visible through the built-in
+    ``queueSize`` metric — the metric the paper's Fig. 5 subscribes to for
+    Split and Merge operators.
+    """
+
+    N_OUTPUTS = 2
+
+    def __init__(self, ctx: OperatorContext) -> None:
+        super().__init__(ctx)
+        default_router = lambda tup: tup.get("iter", 0) % self.n_outputs  # noqa: E731
+        self.router: Callable[[StreamTuple], Union[int, List[int]]] = self.param(
+            "router", default_router
+        )
+
+    def on_tuple(self, tup: StreamTuple, port: int) -> None:
+        target = self.router(tup)
+        if isinstance(target, int):
+            targets: List[int] = [target]
+        else:
+            targets = list(target)
+        for out_port in targets:
+            self.submit(tup, port=out_port)
+
+    def on_punct(self, punct: Punctuation, port: int) -> None:
+        if punct is Punctuation.WINDOW:
+            for out_port in range(self.n_outputs):
+                self.submit_punct(punct, port=out_port)
+
+
+class Merge(Operator):
+    """Funnels every input port into output port 0 (arrival order)."""
+
+    N_INPUTS = 2
+
+    def on_tuple(self, tup: StreamTuple, port: int) -> None:
+        self.submit(tup)
+
+    def on_punct(self, punct: Punctuation, port: int) -> None:
+        # WINDOW puncts are not meaningful across a merge; FINAL handling
+        # (wait for all ports) is done by the base class.
+        return
+
+
+class Join(Operator):
+    """Windowed equi-join of two input streams.
+
+    Keeps a sliding count window (``window`` tuples, default 100) per
+    input port; a tuple arriving on one port is matched against the other
+    port's window on the ``key`` attribute, emitting one merged tuple per
+    match (left values win on attribute clashes, the right side is
+    prefixed with ``right_prefix`` when ``prefix_right=True``).
+    """
+
+    N_INPUTS = 2
+
+    def __init__(self, ctx: OperatorContext) -> None:
+        super().__init__(ctx)
+        self.key: str = self.param("key")
+        self.window = int(self.param("window", 100))
+        if self.window <= 0:
+            raise GraphError(f"{ctx.full_name}: Join window must be positive")
+        self.prefix_right = bool(self.param("prefix_right", False))
+        self._windows: tuple = ([], [])
+        self.n_matches = self.create_custom_metric(
+            "nMatches", MetricKind.COUNTER, "joined tuple pairs emitted"
+        )
+
+    def on_tuple(self, tup: StreamTuple, port: int) -> None:
+        own = self._windows[port]
+        other = self._windows[1 - port]
+        key_value = tup.get(self.key)
+        for candidate in other:
+            if candidate.get(self.key) == key_value:
+                left, right = (tup, candidate) if port == 0 else (candidate, tup)
+                merged = dict(right.values)
+                if self.prefix_right:
+                    merged = {f"r_{k}": v for k, v in merged.items()}
+                merged.update(left.values)
+                self.n_matches.increment()
+                self.submit(merged)
+        own.append(tup)
+        if len(own) > self.window:
+            own.pop(0)
+
+    def on_punct(self, punct: Punctuation, port: int) -> None:
+        # WINDOW puncts are not meaningful across a join; FINAL handling
+        # (wait for both ports) is done by the base class.
+        return
+
+
+class Aggregate(Operator):
+    """Tumbling count-window aggregation.
+
+    Parameters: ``count`` (window size) and ``aggregator``
+    (``list[StreamTuple] -> dict``).  Emits one tuple per tumble and a
+    WINDOW punctuation after it.  On FINAL, flushes the partial window.
+    """
+
+    def __init__(self, ctx: OperatorContext) -> None:
+        super().__init__(ctx)
+        self.count = int(self.param("count"))
+        if self.count <= 0:
+            raise GraphError(f"{ctx.full_name}: Aggregate count must be positive")
+        self.aggregator: Callable[[List[StreamTuple]], Dict[str, Any]] = self.param(
+            "aggregator"
+        )
+        self._window: List[StreamTuple] = []
+
+    def on_tuple(self, tup: StreamTuple, port: int) -> None:
+        self._window.append(tup)
+        if len(self._window) >= self.count:
+            self._flush()
+
+    def _flush(self) -> None:
+        if not self._window:
+            return
+        batch, self._window = self._window, []
+        self.submit(self.aggregator(batch))
+        self.submit_punct(Punctuation.WINDOW)
+
+    def on_all_ports_final(self) -> None:
+        self._flush()
+
+
+class Sink(Operator):
+    """Terminal operator: hands each tuple to an optional ``consumer``.
+
+    With ``record=True`` (default) tuples are also kept in ``self.seen``
+    so tests and display applications can inspect the stream. The built-in
+    ``nFinalPunctsProcessed`` metric on sinks is what Sec. 5.3 uses to
+    detect that a C3 application has consumed its whole input.
+    """
+
+    N_OUTPUTS = 0
+
+    def __init__(self, ctx: OperatorContext) -> None:
+        super().__init__(ctx)
+        self.consumer: Optional[Callable[[StreamTuple], None]] = self.param(
+            "consumer", None
+        )
+        self.record = bool(self.param("record", True))
+        self.seen: List[StreamTuple] = []
+
+    def on_tuple(self, tup: StreamTuple, port: int) -> None:
+        if self.record:
+            self.seen.append(tup)
+        if self.consumer is not None:
+            self.consumer(tup)
+
+
+class Export(Operator):
+    """Publishes its input stream for other applications to import.
+
+    Parameters: ``stream_id`` (explicit name) and/or ``properties`` (a dict
+    of values importers can match on).  The PE hands exported tuples to the
+    runtime's import/export registry, which routes them to every matching
+    Import operator of every running job.
+    """
+
+    N_OUTPUTS = 0
+
+    def __init__(self, ctx: OperatorContext) -> None:
+        super().__init__(ctx)
+        self.stream_id: Optional[str] = self.param("stream_id", None)
+        self.properties: Dict[str, Any] = dict(self.param("properties", {}))
+        if self.stream_id is None and not self.properties:
+            raise GraphError(
+                f"{ctx.full_name}: Export needs a stream_id and/or properties"
+            )
+        self._export_fn: Optional[Callable[[Any], None]] = None
+
+    def bind_export(self, export_fn: Callable[[Any], None]) -> None:
+        """Called by the PE to wire this operator to the registry."""
+        self._export_fn = export_fn
+
+    def on_tuple(self, tup: StreamTuple, port: int) -> None:
+        if self._export_fn is not None:
+            self._export_fn(tup)
+
+    def on_punct(self, punct: Punctuation, port: int) -> None:
+        if self._export_fn is not None:
+            self._export_fn(punct)
+
+
+class Import(Operator):
+    """Receives tuples from matching Export operators of other jobs.
+
+    Parameters: ``stream_id`` (match an export by name) or ``subscription``
+    (a dict; matches exports whose properties contain all these key/value
+    pairs).  Connections are established and torn down dynamically as
+    exporting jobs come and go.
+    """
+
+    N_INPUTS = 0
+    N_OUTPUTS = 1
+
+    def __init__(self, ctx: OperatorContext) -> None:
+        super().__init__(ctx)
+        self.stream_id: Optional[str] = self.param("stream_id", None)
+        self.subscription: Dict[str, Any] = dict(self.param("subscription", {}))
+        if self.stream_id is None and not self.subscription:
+            raise GraphError(
+                f"{ctx.full_name}: Import needs a stream_id or a subscription"
+            )
+
+    def deliver(self, item: Union[StreamTuple, Punctuation]) -> None:
+        """Called by the import/export registry with remote items."""
+        if isinstance(item, StreamTuple):
+            self.submit(item)
+        elif item is Punctuation.WINDOW:
+            self.submit_punct(item)
+        # FINAL punctuation from a remote job does NOT finalize the importer:
+        # other exporters may still connect later (dynamic composition).
+
+
+class Custom(Operator):
+    """Fully callback-driven operator for one-off logic.
+
+    Parameters (all optional): ``on_tuple_fn(op, tup, port)``,
+    ``on_punct_fn(op, punct, port)``, ``on_init_fn(op)``,
+    ``on_final_fn(op)``, ``n_inputs``, ``n_outputs``.
+    """
+
+    def __init__(self, ctx: OperatorContext) -> None:
+        super().__init__(ctx)
+        self._on_tuple = self.param("on_tuple_fn", None)
+        self._on_punct = self.param("on_punct_fn", None)
+        self._on_init = self.param("on_init_fn", None)
+        self._on_final = self.param("on_final_fn", None)
+
+    def on_initialize(self) -> None:
+        if self._on_init is not None:
+            self._on_init(self)
+
+    def on_tuple(self, tup: StreamTuple, port: int) -> None:
+        if self._on_tuple is not None:
+            self._on_tuple(self, tup, port)
+
+    def on_punct(self, punct: Punctuation, port: int) -> None:
+        if self._on_punct is not None:
+            self._on_punct(self, punct, port)
+
+    def on_all_ports_final(self) -> None:
+        if self._on_final is not None:
+            self._on_final(self)
+
+
+class LoadShedder(Operator):
+    """Probabilistically drops a controllable fraction of tuples.
+
+    The paper's Sec. 1 motivating example: "when the application is
+    overloaded due to a transient high input data rate, it may need to
+    temporarily apply load shedding policies to maintain answer
+    timeliness".  The shedding fraction starts at ``fraction`` (default
+    0.0 = pass-through) and is adjusted at runtime through the
+    ``setSheddingFraction`` control command — which an orchestrator sends
+    via its actuation API when it observes queue build-up.
+    """
+
+    def __init__(self, ctx: OperatorContext) -> None:
+        super().__init__(ctx)
+        self.fraction = float(self.param("fraction", 0.0))
+        self._rng = _random.Random(int(self.param("seed", 1337)))
+        self.n_shed = self.create_custom_metric(
+            "nShed", MetricKind.COUNTER, "tuples dropped by load shedding"
+        )
+        self.fraction_gauge = self.create_custom_metric(
+            "sheddingFraction", MetricKind.GAUGE, "current shedding fraction"
+        )
+
+    def on_tuple(self, tup: StreamTuple, port: int) -> None:
+        if self.fraction > 0.0 and self._rng.random() < self.fraction:
+            self.n_shed.increment()
+            return
+        self.submit(tup)
+
+    def on_punct(self, punct: Punctuation, port: int) -> None:
+        if punct is Punctuation.WINDOW:
+            self.submit_punct(punct)
+
+    def on_control(self, command: str, payload: Mapping[str, Any]) -> None:
+        if command == "setSheddingFraction":
+            fraction = float(payload["fraction"])
+            self.fraction = min(max(fraction, 0.0), 1.0)
+            self.fraction_gauge.set(self.fraction)
+
+
+class Throttle(Operator):
+    """Re-emits tuples no faster than ``rate`` tuples/second.
+
+    Excess tuples are buffered and drained on a timer; the buffer length is
+    exposed through the custom ``nBuffered`` gauge.
+    """
+
+    def __init__(self, ctx: OperatorContext) -> None:
+        super().__init__(ctx)
+        self.rate = float(self.param("rate"))
+        if self.rate <= 0:
+            raise GraphError(f"{ctx.full_name}: Throttle rate must be positive")
+        self._buffer: List[StreamTuple] = []
+        self._draining = False
+        self.n_buffered = self.create_custom_metric(
+            "nBuffered", MetricKind.GAUGE, "tuples waiting in the throttle"
+        )
+
+    def on_tuple(self, tup: StreamTuple, port: int) -> None:
+        self._buffer.append(tup)
+        self.n_buffered.set(len(self._buffer))
+        if not self._draining:
+            self._draining = True
+            self.ctx.schedule(1.0 / self.rate, self._drain_one)
+
+    def _drain_one(self) -> None:
+        if self._buffer:
+            self.submit(self._buffer.pop(0))
+            self.n_buffered.set(len(self._buffer))
+        if self._buffer:
+            self.ctx.schedule(1.0 / self.rate, self._drain_one)
+        else:
+            self._draining = False

@@ -1,0 +1,250 @@
+"""Operator runtime base class.
+
+Logical graphs are assembled from :class:`~repro.spl.graph.OperatorSpec`
+entries; at job submission each spec is *instantiated* inside its PE as an
+:class:`Operator` subclass object.  This split is what lets one application
+be submitted several times (e.g. the three replicas of Sec. 5.2) with fully
+independent operator state, and what makes a PE restart start from empty
+state (the window-refill behaviour of Fig. 9).
+
+Subclasses override the ``on_*`` hooks; the framework entry points
+(prefixed ``_``) maintain built-in metrics and final-punctuation bookkeeping
+before delegating to the hooks.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Callable, ClassVar, Dict, Mapping, Optional, Tuple, Union
+
+from repro.errors import GraphError
+from repro.spl.metrics import MetricKind, MetricRegistry, Metric, OperatorMetricName
+from repro.spl.tuples import Punctuation, StreamTuple
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
+    from repro.spl.graph import OperatorSpec
+
+_REQUIRED = object()
+
+#: What an operator may pass to :meth:`Operator.submit`.
+Submittable = Union[StreamTuple, Mapping[str, Any]]
+
+
+class OperatorContext:
+    """Everything an operator instance needs from its surrounding PE.
+
+    The PE injects callbacks rather than itself to keep operators testable
+    in isolation: unit tests drive operators with a hand-built context.
+    """
+
+    def __init__(
+        self,
+        spec: "OperatorSpec",
+        job_id: str,
+        app_name: str,
+        submission_params: Mapping[str, str],
+        now_fn: Callable[[], float],
+        submit_fn: Callable[[int, StreamTuple], None],
+        punct_fn: Callable[[int, Punctuation], None],
+        schedule_fn: Callable[[float, Callable[[], None]], Any],
+        pe_id: Optional[str] = None,
+    ) -> None:
+        self.spec = spec
+        self.job_id = job_id
+        self.app_name = app_name
+        self.submission_params = dict(submission_params)
+        self.pe_id = pe_id
+        self._now_fn = now_fn
+        self._submit_fn = submit_fn
+        self._punct_fn = punct_fn
+        self._schedule_fn = schedule_fn
+
+    @property
+    def full_name(self) -> str:
+        return self.spec.full_name
+
+    @property
+    def params(self) -> Dict[str, Any]:
+        return self.spec.params
+
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now_fn()
+
+    def get_submission_time_value(self, name: str, default: Optional[str] = None) -> Optional[str]:
+        """Submission-time parameter of the job (SPL's getSubmissionTimeValue)."""
+        return self.submission_params.get(name, default)
+
+    def submit(self, port: int, tup: StreamTuple) -> None:
+        self._submit_fn(port, tup)
+
+    def submit_punct(self, port: int, punct: Punctuation) -> None:
+        self._punct_fn(port, punct)
+
+    def schedule(self, delay: float, callback: Callable[[], None]) -> Any:
+        """Schedule operator-local work; cancelled automatically on PE stop."""
+        return self._schedule_fn(delay, callback)
+
+
+class Operator:
+    """Base class of all runtime operators.
+
+    Class attributes declare the default port counts; parameters
+    ``n_inputs`` / ``n_outputs`` override them for variadic operators such
+    as Split and Merge.
+    """
+
+    #: Operator kind name as it appears in the ADL and in scope filters.
+    KIND: ClassVar[Optional[str]] = None
+    N_INPUTS: ClassVar[int] = 1
+    N_OUTPUTS: ClassVar[int] = 1
+    #: Whether a FINAL punctuation received on every input port is
+    #: automatically forwarded to all output ports after
+    #: :meth:`on_all_ports_final` runs.
+    FORWARD_FINAL: ClassVar[bool] = True
+
+    def __init__(self, ctx: OperatorContext) -> None:
+        self.ctx = ctx
+        self.metrics = MetricRegistry()
+        self._final_ports: set[int] = set()
+        self._finalized = False
+        self.n_inputs, self.n_outputs = self.port_counts(ctx.params)
+        self._create_builtin_metrics()
+
+    # -- class-level descriptors ---------------------------------------------
+
+    @classmethod
+    def kind(cls) -> str:
+        return cls.KIND or cls.__name__
+
+    @classmethod
+    def port_counts(cls, params: Mapping[str, Any]) -> Tuple[int, int]:
+        """(n_inputs, n_outputs) for an instance with the given params."""
+        n_in = int(params.get("n_inputs", cls.N_INPUTS))
+        n_out = int(params.get("n_outputs", cls.N_OUTPUTS))
+        if n_in < 0 or n_out < 0:
+            raise GraphError(f"negative port count for {cls.kind()}")
+        return n_in, n_out
+
+    # -- parameter access ------------------------------------------------------
+
+    def param(self, name: str, default: Any = _REQUIRED) -> Any:
+        """Operator parameter from the logical graph; raises if required & missing."""
+        value = self.ctx.params.get(name, default)
+        if value is _REQUIRED:
+            raise GraphError(
+                f"operator {self.ctx.full_name} ({self.kind()}) requires parameter {name!r}"
+            )
+        return value
+
+    def now(self) -> float:
+        return self.ctx.now()
+
+    # -- metrics ---------------------------------------------------------------
+
+    def _create_builtin_metrics(self) -> None:
+        registry = self.metrics
+        registry.create(OperatorMetricName.N_TUPLES_PROCESSED, MetricKind.COUNTER)
+        registry.create(OperatorMetricName.N_TUPLES_SUBMITTED, MetricKind.COUNTER)
+        registry.create(OperatorMetricName.N_PUNCTS_PROCESSED, MetricKind.COUNTER)
+        registry.create(OperatorMetricName.N_FINAL_PUNCTS_PROCESSED, MetricKind.COUNTER)
+        registry.create(OperatorMetricName.QUEUE_SIZE, MetricKind.GAUGE)
+        for port in range(self.n_inputs):
+            registry.create(OperatorMetricName.N_TUPLES_PROCESSED, MetricKind.COUNTER, port=port)
+            registry.create(OperatorMetricName.QUEUE_SIZE, MetricKind.GAUGE, port=port)
+        for port in range(self.n_outputs):
+            registry.create(OperatorMetricName.N_TUPLES_SUBMITTED, MetricKind.COUNTER, port=port)
+
+    def create_custom_metric(
+        self, name: str, kind: MetricKind = MetricKind.COUNTER, description: str = ""
+    ) -> Metric:
+        """Create a custom metric (Sec. 2.1: 'at any point during execution')."""
+        return self.metrics.create(name, kind, description)
+
+    def metric(self, name: str, port: Optional[int] = None) -> Metric:
+        return self.metrics.get(name, port=port)
+
+    # -- submission --------------------------------------------------------------
+
+    def submit(self, values: Submittable, port: int = 0) -> None:
+        """Emit a tuple on an output port."""
+        if port < 0 or port >= self.n_outputs:
+            raise GraphError(
+                f"{self.ctx.full_name}: invalid output port {port} "
+                f"(operator has {self.n_outputs})"
+            )
+        if isinstance(values, StreamTuple):
+            tup = values
+        else:
+            tup = StreamTuple(values, created_at=self.now())
+        self.metrics.get(OperatorMetricName.N_TUPLES_SUBMITTED).increment()
+        self.metrics.get(OperatorMetricName.N_TUPLES_SUBMITTED, port=port).increment()
+        self.ctx.submit(port, tup)
+
+    def submit_punct(self, punct: Punctuation, port: int = 0) -> None:
+        if port < 0 or port >= self.n_outputs:
+            raise GraphError(
+                f"{self.ctx.full_name}: invalid output port {port} "
+                f"(operator has {self.n_outputs})"
+            )
+        self.ctx.submit_punct(port, punct)
+
+    def submit_final(self) -> None:
+        """Send FINAL punctuation on every output port."""
+        for port in range(self.n_outputs):
+            self.ctx.submit_punct(port, Punctuation.FINAL)
+
+    # -- hooks for subclasses ------------------------------------------------------
+
+    def on_initialize(self) -> None:
+        """Called once when the PE instantiates the operator."""
+
+    def on_tuple(self, tup: StreamTuple, port: int) -> None:
+        """Called for every arriving tuple."""
+
+    def on_punct(self, punct: Punctuation, port: int) -> None:
+        """Called for every arriving punctuation (before final bookkeeping)."""
+
+    def on_all_ports_final(self) -> None:
+        """Called once when FINAL punctuation has arrived on every input port."""
+
+    def on_control(self, command: str, payload: Mapping[str, Any]) -> None:
+        """Called when a control command is sent to this operator instance.
+
+        The paper distinguishes orchestrator-level adaptation from local,
+        operator-level adaptation (e.g. a dynamic filter changing its
+        condition); control commands are the hook for the latter, and the
+        ORCA actuation API can target them.
+        """
+
+    def on_shutdown(self) -> None:
+        """Called when the PE stops or is cancelled."""
+
+    # -- framework entry points (called by the PE) --------------------------------
+
+    def _process(self, item: Union[StreamTuple, Punctuation], port: int) -> None:
+        if self._finalized:
+            return
+        if isinstance(item, StreamTuple):
+            self.metrics.get(OperatorMetricName.N_TUPLES_PROCESSED).increment()
+            self.metrics.get(OperatorMetricName.N_TUPLES_PROCESSED, port=port).increment()
+            self.on_tuple(item, port)
+            return
+        self.metrics.get(OperatorMetricName.N_PUNCTS_PROCESSED).increment()
+        if item is Punctuation.FINAL:
+            self.metrics.get(OperatorMetricName.N_FINAL_PUNCTS_PROCESSED).increment()
+        self.on_punct(item, port)
+        if item is Punctuation.FINAL:
+            self._final_ports.add(port)
+            if len(self._final_ports) >= self.n_inputs and not self._finalized:
+                self._finalized = True
+                self.on_all_ports_final()
+                if self.FORWARD_FINAL:
+                    self.submit_final()
+
+    @property
+    def is_finalized(self) -> bool:
+        """True once FINAL punctuation was seen on all input ports."""
+        return self._finalized
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.ctx.full_name})"

@@ -1,0 +1,113 @@
+"""Tuple schemas.
+
+SPL streams are strongly typed; we keep a lightweight structural equivalent:
+a :class:`TupleSchema` is an ordered list of named, typed attributes.
+Schemas validate tuples at stream boundaries when validation is enabled
+(it is on by default in tests, off in benchmarks for speed).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterable, Mapping, Tuple
+
+from repro.errors import SchemaError
+
+#: Python types accepted as SPL attribute types.
+_ALLOWED_TYPES = (int, float, str, bool, list, dict, tuple, bytes, object)
+
+
+@dataclass(frozen=True)
+class Attribute:
+    """A single named, typed attribute of a schema."""
+
+    name: str
+    type: type
+
+    def __post_init__(self) -> None:
+        if not self.name.isidentifier():
+            raise SchemaError(f"attribute name {self.name!r} is not an identifier")
+        if self.type not in _ALLOWED_TYPES:
+            raise SchemaError(
+                f"attribute type {self.type!r} not supported; "
+                f"use one of {[t.__name__ for t in _ALLOWED_TYPES]}"
+            )
+
+
+class TupleSchema:
+    """Ordered collection of attributes describing tuples on a stream."""
+
+    __slots__ = ("_attributes", "_by_name")
+
+    def __init__(self, attributes: Iterable[Tuple[str, type]]) -> None:
+        attrs = tuple(Attribute(name, type_) for name, type_ in attributes)
+        names = [a.name for a in attrs]
+        if len(set(names)) != len(names):
+            raise SchemaError(f"duplicate attribute names in schema: {names}")
+        self._attributes = attrs
+        self._by_name = {a.name: a for a in attrs}
+
+    @property
+    def attributes(self) -> Tuple[Attribute, ...]:
+        return self._attributes
+
+    @property
+    def names(self) -> Tuple[str, ...]:
+        return tuple(a.name for a in self._attributes)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._by_name
+
+    def __len__(self) -> int:
+        return len(self._attributes)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, TupleSchema):
+            return NotImplemented
+        return self._attributes == other._attributes
+
+    def __hash__(self) -> int:
+        return hash(self._attributes)
+
+    def attribute(self, name: str) -> Attribute:
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise SchemaError(f"schema has no attribute {name!r}") from None
+
+    def validate(self, values: Mapping[str, Any]) -> None:
+        """Raise :class:`SchemaError` if ``values`` does not match the schema.
+
+        ``int`` values are accepted where ``float`` is declared, mirroring
+        SPL's implicit widening.  An ``object``-typed attribute accepts any
+        value.
+        """
+        for attr in self._attributes:
+            if attr.name not in values:
+                raise SchemaError(f"missing attribute {attr.name!r}")
+            value = values[attr.name]
+            if attr.type is object:
+                continue
+            if attr.type is float and isinstance(value, int):
+                continue
+            if not isinstance(value, attr.type):
+                raise SchemaError(
+                    f"attribute {attr.name!r} expects {attr.type.__name__}, "
+                    f"got {type(value).__name__} ({value!r})"
+                )
+        extra = set(values) - set(self.names)
+        if extra:
+            raise SchemaError(f"unexpected attributes {sorted(extra)}")
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{a.name}: {a.type.__name__}" for a in self._attributes)
+        return f"TupleSchema<{inner}>"
+
+    @classmethod
+    def of(cls, **attrs: type) -> "TupleSchema":
+        """Convenience constructor: ``TupleSchema.of(symbol=str, price=float)``."""
+        return cls(tuple(attrs.items()))
+
+
+#: Schema that accepts any payload; used by generic control/display streams.
+ANY_SCHEMA = TupleSchema.of(payload=object)

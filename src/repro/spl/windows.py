@@ -1,0 +1,177 @@
+"""Window machinery for aggregate operators.
+
+The Trend Calculator application of Sec. 5.2 computes min/max/average and
+Bollinger bands over a 600-second sliding time window per stock symbol; the
+windows here provide exactly that, plus tumbling count/time variants used by
+other sample applications and tests.
+
+Windows are deliberately stateful plain objects: when a PE crashes and is
+restarted, its operators are re-instantiated and their windows start empty,
+which is what produces the "incorrect output until the application fully
+recovers its state" behaviour highlighted in Fig. 9(b) of the paper.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from typing import Deque, Iterable, List, Optional, Tuple
+
+
+class SlidingTimeWindow:
+    """Time-based sliding window of ``(timestamp, value)`` pairs.
+
+    ``span`` is the window length in seconds.  Insertion takes the current
+    timestamp; eviction removes entries older than ``now - span``.  The
+    window keeps running sums so mean/std queries are O(1); min/max scan the
+    deque (O(n)) which is fine at simulation scale and keeps the code
+    straightforward.
+    """
+
+    def __init__(self, span: float) -> None:
+        if span <= 0:
+            raise ValueError(f"window span must be positive, got {span}")
+        self.span = float(span)
+        self._items: Deque[Tuple[float, float]] = deque()
+        self._sum = 0.0
+        self._sum_sq = 0.0
+
+    def insert(self, timestamp: float, value: float) -> None:
+        self._items.append((timestamp, value))
+        self._sum += value
+        self._sum_sq += value * value
+        self.evict(timestamp)
+
+    def evict(self, now: float) -> int:
+        """Drop entries older than ``now - span``; return how many."""
+        cutoff = now - self.span
+        dropped = 0
+        items = self._items
+        while items and items[0][0] < cutoff:
+            _, value = items.popleft()
+            self._sum -= value
+            self._sum_sq -= value * value
+            dropped += 1
+        return dropped
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def is_empty(self) -> bool:
+        return not self._items
+
+    @property
+    def oldest_timestamp(self) -> Optional[float]:
+        return self._items[0][0] if self._items else None
+
+    @property
+    def coverage(self) -> float:
+        """Seconds of data currently held (0 when empty).
+
+        A freshly restarted operator has coverage near 0; output is only
+        trustworthy once coverage approaches the configured span.
+        """
+        if len(self._items) < 2:
+            return 0.0
+        return self._items[-1][0] - self._items[0][0]
+
+    def values(self) -> List[float]:
+        return [v for _, v in self._items]
+
+    def mean(self) -> float:
+        if not self._items:
+            raise ValueError("mean of empty window")
+        return self._sum / len(self._items)
+
+    def minimum(self) -> float:
+        if not self._items:
+            raise ValueError("minimum of empty window")
+        return min(v for _, v in self._items)
+
+    def maximum(self) -> float:
+        if not self._items:
+            raise ValueError("maximum of empty window")
+        return max(v for _, v in self._items)
+
+    def stddev(self) -> float:
+        """Population standard deviation of the window contents."""
+        n = len(self._items)
+        if n == 0:
+            raise ValueError("stddev of empty window")
+        mean = self._sum / n
+        variance = max(self._sum_sq / n - mean * mean, 0.0)
+        return math.sqrt(variance)
+
+    def bollinger_bands(self, k: float = 2.0) -> Tuple[float, float]:
+        """Return (upper, lower) Bollinger bands: mean +/- k * stddev."""
+        mean = self.mean()
+        sd = self.stddev()
+        return mean + k * sd, mean - k * sd
+
+
+class TumblingCountWindow:
+    """Count-based tumbling window: fills to ``size`` then flushes."""
+
+    def __init__(self, size: int) -> None:
+        if size <= 0:
+            raise ValueError(f"window size must be positive, got {size}")
+        self.size = size
+        self._items: List[object] = []
+
+    def insert(self, item: object) -> Optional[List[object]]:
+        """Add ``item``; return the full batch when the window tumbles."""
+        self._items.append(item)
+        if len(self._items) >= self.size:
+            batch = self._items
+            self._items = []
+            return batch
+        return None
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def flush(self) -> List[object]:
+        """Return and clear any partial contents (used on final punctuation)."""
+        batch = self._items
+        self._items = []
+        return batch
+
+
+class SlidingCountWindow:
+    """Count-based sliding window holding the last ``size`` values."""
+
+    def __init__(self, size: int) -> None:
+        if size <= 0:
+            raise ValueError(f"window size must be positive, got {size}")
+        self.size = size
+        self._items: Deque[float] = deque(maxlen=size)
+
+    def insert(self, value: float) -> None:
+        self._items.append(value)
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def is_full(self) -> bool:
+        return len(self._items) == self.size
+
+    def values(self) -> List[float]:
+        return list(self._items)
+
+    def mean(self) -> float:
+        if not self._items:
+            raise ValueError("mean of empty window")
+        return sum(self._items) / len(self._items)
+
+
+def merge_sorted_by_time(
+    streams: Iterable[Iterable[Tuple[float, float]]],
+) -> List[Tuple[float, float]]:
+    """Merge several time-ordered series into one (helper for tests/benches)."""
+    merged: List[Tuple[float, float]] = []
+    for stream in streams:
+        merged.extend(stream)
+    merged.sort(key=lambda pair: pair[0])
+    return merged

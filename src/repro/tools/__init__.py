@@ -1,0 +1,22 @@
+"""Developer tooling around the simulated middleware.
+
+Sec. 2.1 of the paper: "Both the System S runtime and its visualization
+tools use the ADL for tasks such as starting the application and
+reporting runtime information to the users."  This package provides the
+visualization side: DOT and ASCII renderings of logical graphs, physical
+deployments, and the live multi-application composition view of Fig. 10.
+"""
+
+from repro.tools.visualize import (
+    render_application_ascii,
+    render_application_dot,
+    render_deployment_ascii,
+    render_system_dot,
+)
+
+__all__ = [
+    "render_application_ascii",
+    "render_application_dot",
+    "render_deployment_ascii",
+    "render_system_dot",
+]

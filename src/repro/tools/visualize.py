@@ -1,0 +1,137 @@
+"""Graph visualization: DOT and ASCII renderings.
+
+Three views, mirroring the paper's figures:
+
+* :func:`render_application_dot` — the *logical* view of one application
+  (operators clustered by composite instance, as in Fig. 2);
+* :func:`render_deployment_ascii` — the *physical* view of one job
+  (hosts -> PEs -> operators, as in Fig. 3);
+* :func:`render_system_dot` — the live multi-application view with
+  dynamic import/export connections (what Fig. 10 shows expanding and
+  contracting).
+
+The DOT output is plain Graphviz text: deterministic, diff-friendly, and
+renderable offline with ``dot -Tsvg``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.spl.application import Application
+from repro.runtime.job import Job, JobState
+from repro.runtime.system import SystemS
+
+
+def _dot_id(name: str) -> str:
+    return '"' + name.replace('"', "'") + '"'
+
+
+def render_application_dot(app: Application) -> str:
+    """Logical graph of one application, composites as clusters."""
+    lines: List[str] = [f"digraph {_dot_id(app.name)} {{", "  rankdir=LR;"]
+    # group operators by immediate composite instance
+    by_composite: Dict[Optional[str], List[str]] = {}
+    for name, spec in app.graph.operators.items():
+        by_composite.setdefault(spec.composite, []).append(name)
+    cluster_index = 0
+    for composite, members in sorted(
+        by_composite.items(), key=lambda kv: (kv[0] is not None, kv[0] or "")
+    ):
+        if composite is None:
+            for name in members:
+                spec = app.graph.operators[name]
+                lines.append(
+                    f"  {_dot_id(name)} [label=\"{name}\\n({spec.kind})\"];"
+                )
+            continue
+        instance = app.graph.composite_instances[composite]
+        lines.append(f"  subgraph cluster_{cluster_index} {{")
+        lines.append(
+            f"    label=\"{composite} : {instance.kind}\"; style=dashed;"
+        )
+        for name in members:
+            spec = app.graph.operators[name]
+            lines.append(
+                f"    {_dot_id(name)} [label=\"{name}\\n({spec.kind})\"];"
+            )
+        lines.append("  }")
+        cluster_index += 1
+    for edge in app.graph.edges:
+        lines.append(
+            f"  {_dot_id(edge.src.full_name)} -> {_dot_id(edge.dst.full_name)};"
+        )
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def render_application_ascii(app: Application) -> str:
+    """Compact indented text view of the logical graph."""
+    lines = [f"application {app.name}"]
+    for name, spec in app.graph.operators.items():
+        downstream = [
+            f"{e.dst.full_name}[{e.dst_port}]"
+            for e in app.graph.downstream_of(spec)
+        ]
+        where = f" in {spec.composite}" if spec.composite else ""
+        arrow = f" -> {', '.join(downstream)}" if downstream else ""
+        lines.append(f"  {name} ({spec.kind}){where}{arrow}")
+    return "\n".join(lines)
+
+
+def render_deployment_ascii(job: Job) -> str:
+    """Physical view of one job: hosts -> PEs -> operators (Fig. 3)."""
+    lines = [f"job {job.job_id} ({job.app_name}) [{job.state.value}]"]
+    by_host: Dict[str, List] = {}
+    for pe in job.pes:
+        by_host.setdefault(pe.host_name or "?", []).append(pe)
+    for host in sorted(by_host):
+        lines.append(f"  host {host}")
+        for pe in sorted(by_host[host], key=lambda p: p.index):
+            lines.append(
+                f"    PE {pe.index} ({pe.pe_id}) [{pe.state.value}]"
+            )
+            for op_name in pe.spec.operators:
+                lines.append(f"      {op_name}")
+    return "\n".join(lines)
+
+
+def render_system_dot(system: SystemS, include_cancelled: bool = False) -> str:
+    """The live multi-application composition view (Fig. 10).
+
+    One cluster per running job; solid edges are intra-application
+    streams, bold dashed edges are the dynamic import/export connections
+    the runtime established between applications.
+    """
+    lines = ["digraph system {", "  rankdir=LR;", "  compound=true;"]
+    jobs = [
+        job
+        for job in system.sam.jobs.values()
+        if include_cancelled or job.state is JobState.RUNNING
+    ]
+    for index, job in enumerate(jobs):
+        lines.append(f"  subgraph cluster_job{index} {{")
+        lines.append(
+            f"    label=\"{job.app_name} ({job.job_id})\"; style=rounded;"
+        )
+        graph = job.compiled.application.graph
+        for name, spec in graph.operators.items():
+            node = f"{job.job_id}.{name}"
+            lines.append(
+                f"    {_dot_id(node)} [label=\"{name}\\n({spec.kind})\"];"
+            )
+        for edge in graph.edges:
+            src = f"{job.job_id}.{edge.src.full_name}"
+            dst = f"{job.job_id}.{edge.dst.full_name}"
+            lines.append(f"    {_dot_id(src)} -> {_dot_id(dst)};")
+        lines.append("  }")
+    # dynamic import/export connections across jobs
+    for export, import_ in system.import_export.connections():
+        src = f"{export.job.job_id}.{export.op_name}"
+        dst = f"{import_.job.job_id}.{import_.op_name}"
+        lines.append(
+            f"  {_dot_id(src)} -> {_dot_id(dst)} "
+            "[style=dashed, penwidth=2, color=darkgreen];"
+        )
+    lines.append("}")
+    return "\n".join(lines)

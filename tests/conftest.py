@@ -1,0 +1,137 @@
+"""Shared fixtures: small applications and a fresh simulated system."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import SystemS
+from repro.spl.application import Application
+from repro.spl.library import Beacon, Filter, Sink
+from repro.spl.operators import Operator, OperatorContext
+from repro.spl.tuples import Punctuation, StreamTuple
+
+
+@pytest.fixture
+def system() -> SystemS:
+    """A 4-host system with default (paper) timing constants."""
+    return SystemS(hosts=4, seed=42)
+
+
+@pytest.fixture
+def big_system() -> SystemS:
+    """An 8-host system for placement-heavy scenarios."""
+    return SystemS(hosts=8, seed=42)
+
+
+def make_linear_app(
+    name: str = "Linear",
+    limit: int | None = None,
+    period: float = 1.0,
+    per_tick: int = 1,
+    partitions: tuple = ("p1", "p2"),
+) -> Application:
+    """source -> sink, in two partitions (two PEs)."""
+    app = Application(name)
+    g = app.graph
+    src = g.add_operator(
+        "src",
+        Beacon,
+        params={"values": {"k": 1}, "limit": limit, "period": period,
+                "per_tick": per_tick},
+        partition=partitions[0],
+    )
+    sink = g.add_operator("sink", Sink, partition=partitions[1])
+    g.connect(src.oport(0), sink.iport(0))
+    return app
+
+
+def make_filter_app(name: str = "Filtered", threshold: int = 5) -> Application:
+    """source -> filter(iter >= threshold) -> sink, one PE."""
+    app = Application(name)
+    g = app.graph
+    src = g.add_operator("src", Beacon, params={"values": {}, "period": 1.0})
+    filt = g.add_operator(
+        "filt", Filter, params={"predicate": lambda t: t["iter"] >= threshold}
+    )
+    sink = g.add_operator("sink", Sink)
+    g.connect(src.oport(0), filt.iport(0))
+    g.connect(filt.oport(0), sink.iport(0))
+    return app
+
+
+class CollectingOperator(Operator):
+    """Test operator that records everything it receives."""
+
+    def __init__(self, ctx: OperatorContext) -> None:
+        super().__init__(ctx)
+        self.tuples: list[tuple[StreamTuple, int]] = []
+        self.puncts: list[tuple[Punctuation, int]] = []
+        self.controls: list[tuple[str, dict]] = []
+        self.finalized_called = 0
+
+    def on_tuple(self, tup: StreamTuple, port: int) -> None:
+        self.tuples.append((tup, port))
+
+    def on_punct(self, punct: Punctuation, port: int) -> None:
+        self.puncts.append((punct, port))
+
+    def on_all_ports_final(self) -> None:
+        self.finalized_called += 1
+
+    def on_control(self, command: str, payload) -> None:
+        self.controls.append((command, dict(payload)))
+
+
+def make_operator_harness(
+    op_class: type,
+    params: dict | None = None,
+    n_inputs: int | None = None,
+    n_outputs: int | None = None,
+    submission_params: dict | None = None,
+):
+    """Instantiate an operator outside any PE, capturing its output.
+
+    Returns (operator, emitted) where emitted is a list of
+    (port, item) pairs covering both tuples and punctuation.
+    """
+    from repro.spl.graph import LogicalGraph
+
+    param_dict = dict(params or {})
+    if n_inputs is not None:
+        param_dict["n_inputs"] = n_inputs
+    if n_outputs is not None:
+        param_dict["n_outputs"] = n_outputs
+    graph = LogicalGraph()
+    spec = graph.add_operator("probe", op_class, params=param_dict)
+    emitted: list = []
+    scheduled: list = []
+
+    class _FakeHandle:
+        def __init__(self, delay, fn):
+            self.delay = delay
+            self.fn = fn
+            self.cancelled = False
+
+        def cancel(self):
+            self.cancelled = True
+
+    def schedule(delay, fn):
+        handle = _FakeHandle(delay, fn)
+        scheduled.append(handle)
+        return handle
+
+    clock = {"now": 0.0}
+    ctx = OperatorContext(
+        spec=spec,
+        job_id="job_test",
+        app_name="TestApp",
+        submission_params=submission_params or {},
+        now_fn=lambda: clock["now"],
+        submit_fn=lambda port, tup: emitted.append((port, tup)),
+        punct_fn=lambda port, punct: emitted.append((port, punct)),
+        schedule_fn=schedule,
+    )
+    operator = op_class(ctx)
+    operator._test_clock = clock
+    operator._test_scheduled = scheduled
+    return operator, emitted

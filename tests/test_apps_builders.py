@@ -1,0 +1,120 @@
+"""Tests that every paper application builds, validates, compiles, and
+survives an ADL round trip."""
+
+import pytest
+
+from repro.apps.datastore import CauseModelStore, CorpusStore, ProfileDataStore
+from repro.apps.figure2 import build_figure2_application
+from repro.apps.sentiment import (
+    build_embedded_adaptation_application,
+    build_sentiment_application,
+)
+from repro.apps.socialmedia import (
+    build_all_socialmedia_applications,
+    build_c1_application,
+    build_c2_application,
+    build_c3_application,
+)
+from repro.apps.trend import build_trend_application
+from repro.apps.workloads import ProfileWorkload, TradeWorkload, TweetWorkload
+from repro.spl.adl import adl_model_of
+from repro.spl.compiler import SPLCompiler
+
+
+def all_paper_applications():
+    corpus = CorpusStore()
+    models = CauseModelStore()
+    store = ProfileDataStore()
+    apps = [
+        build_figure2_application(),
+        build_sentiment_application(TweetWorkload(), corpus, models),
+        build_embedded_adaptation_application(
+            TweetWorkload(), corpus, models, script=lambda: None
+        ),
+        build_trend_application(lambda: TradeWorkload()),
+    ]
+    apps.extend(build_all_socialmedia_applications(store).values())
+    return apps
+
+
+@pytest.mark.parametrize(
+    "app", all_paper_applications(), ids=lambda a: a.name
+)
+class TestEveryApplication:
+    def test_validates(self, app):
+        app.validate()
+
+    def test_compiles_manual(self, app):
+        compiled = SPLCompiler("manual").compile(app)
+        assert compiled.pes
+        placed = {name for pe in compiled.pes for name in pe.operators}
+        assert placed == set(app.graph.operators)
+
+    def test_compiles_fused(self, app):
+        compiled = SPLCompiler("fuse_all").compile(app)
+        assert len(compiled.pes) == 1
+
+    def test_adl_round_trip(self, app):
+        compiled = SPLCompiler("manual").compile(app)
+        model = adl_model_of(compiled)
+        assert model.name == app.name
+        assert {op.name for op in model.operators} == set(app.graph.operators)
+        assert {c.name for c in model.composites} == set(
+            app.graph.composite_instances
+        )
+
+
+class TestSpecificStructures:
+    def test_sentiment_has_no_control_operators(self):
+        app = build_sentiment_application(
+            TweetWorkload(), CorpusStore(), CauseModelStore()
+        )
+        assert "op8" not in app.graph.operators
+        assert "op9" not in app.graph.operators
+
+    def test_embedded_variant_adds_control_operators(self):
+        app = build_embedded_adaptation_application(
+            TweetWorkload(), CorpusStore(), CauseModelStore(), script=lambda: None
+        )
+        assert "op8" in app.graph.operators
+        assert "op9" in app.graph.operators
+        # the control path hangs off the aggregation operator
+        downstream = {
+            e.dst.full_name
+            for e in app.graph.downstream_of(app.graph.operator("op6"))
+        }
+        assert {"op7", "op8"} <= downstream
+
+    def test_trend_partitions_isolate_feed_from_calc(self):
+        app = build_trend_application(lambda: TradeWorkload())
+        compiled = SPLCompiler("manual").compile(app)
+        assert compiled.pe_of("feed") != compiled.pe_of("calc")
+        assert compiled.pe_of("calc") == compiled.pe_of("out")
+
+    def test_c1_exports_c2_imports_match(self):
+        c1 = build_c1_application("C1App", ProfileWorkload())
+        c2 = build_c2_application("C2App", "x", ProfileDataStore())
+        export = c1.export_specs()[0]
+        import_ = c2.import_specs()[0]
+        # subset semantics: the C2 subscription selects the C1 properties
+        assert all(
+            export["properties"].get(k) == v
+            for k, v in import_["subscription"].items()
+        )
+
+    def test_c3_requires_attribute_parameter(self):
+        from repro.errors import GraphError
+
+        app = build_c3_application(ProfileDataStore())
+        with pytest.raises(GraphError):
+            app.resolve_parameters({})
+        assert app.resolve_parameters({"attribute": "age"}) == {
+            "attribute": "age"
+        }
+
+    def test_six_socialmedia_apps(self):
+        apps = build_all_socialmedia_applications(ProfileDataStore())
+        assert sorted(apps) == [
+            "AttributeAggregator", "BlogQuery", "FacebookQuery",
+            "MySpaceStreamReader", "TwitterQuery", "TwitterStreamReader",
+        ]

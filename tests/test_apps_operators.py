@@ -1,0 +1,302 @@
+"""Unit tests for the use-case application operators."""
+
+from repro.apps.datastore import CauseModelStore, CorpusStore, ProfileDataStore
+from repro.apps.sentiment import (
+    CauseMatcher,
+    EmbeddedAdaptationActuator,
+    EmbeddedAdaptationMonitor,
+    SentimentClassifier,
+)
+from repro.apps.socialmedia import (
+    DataStoreSource,
+    ProfileEnricher,
+    SentimentSegmenter,
+)
+from repro.apps.trend import RecordingSink, TrendCalculator, TrendRecorderHub
+from repro.spl.tuples import Punctuation, StreamTuple
+
+from tests.conftest import make_operator_harness
+
+
+def tup(**values):
+    return StreamTuple(values)
+
+
+class TestSentimentClassifier:
+    def make(self, product="iphone"):
+        return make_operator_harness(
+            SentimentClassifier, params={"product": product}
+        )
+
+    def test_off_topic_filtered(self):
+        op, emitted = self.make()
+        op._process(tup(text="android hate antenna"), 0)
+        assert emitted == []
+        assert op.metric("nOffTopic").value == 1
+
+    def test_negative_classification(self):
+        op, emitted = self.make()
+        op._process(tup(text="iphone hate antenna"), 0)
+        assert emitted[0][1]["sentiment"] == "neg"
+        assert "tokens" in emitted[0][1].values
+
+    def test_positive_classification(self):
+        op, emitted = self.make()
+        op._process(tup(text="iphone love today"), 0)
+        assert emitted[0][1]["sentiment"] == "pos"
+
+    def test_mixed_words_default_positive(self):
+        op, emitted = self.make()
+        op._process(tup(text="iphone love hate"), 0)
+        assert emitted[0][1]["sentiment"] == "pos"
+
+
+class TestCauseMatcher:
+    def make(self, causes=("flash",), mirror=None):
+        corpus = CorpusStore()
+        models = CauseModelStore(tuple(causes))
+        op, emitted = make_operator_harness(
+            CauseMatcher,
+            params={
+                "model_store": models,
+                "corpus": corpus,
+                "metrics_mirror": mirror,
+            },
+        )
+        return op, emitted, corpus, models
+
+    def test_known_cause_matched(self):
+        op, emitted, corpus, _ = self.make()
+        op._process(
+            tup(text="iphone hate flash", sentiment="neg",
+                tokens=["iphone", "hate", "flash"]),
+            0,
+        )
+        assert emitted[0][1]["cause"] == "flash"
+        assert op.metric("nKnownCause").value == 1
+        assert len(corpus) == 1  # negative tweets archived
+
+    def test_unknown_cause_counted(self):
+        op, emitted, _, _ = self.make()
+        op._process(
+            tup(text="iphone hate antenna", sentiment="neg",
+                tokens=["iphone", "hate", "antenna"]),
+            0,
+        )
+        assert emitted[0][1]["cause"] == "unknown"
+        assert op.metric("nUnknownCause").value == 1
+
+    def test_positive_tweets_ignored(self):
+        op, emitted, corpus, _ = self.make()
+        op._process(
+            tup(text="iphone love", sentiment="pos", tokens=["iphone"]), 0
+        )
+        assert emitted == []
+        assert len(corpus) == 0
+
+    def test_hot_model_reload(self):
+        op, emitted, _, models = self.make(causes=("flash",))
+        op._process(
+            tup(text="x", sentiment="neg", tokens=["antenna"]), 0
+        )
+        assert op.metric("nUnknownCause").value == 1
+        models.publish(frozenset({"flash", "antenna"}), computed_at=1.0)
+        op._process(
+            tup(text="x", sentiment="neg", tokens=["antenna"]), 0
+        )
+        assert op.metric("nKnownCause").value == 1
+        assert op.metric("nModelReloads").value == 1
+
+    def test_mirror_updated(self):
+        mirror = {}
+        op, _, _, _ = self.make(mirror=mirror)
+        op._process(tup(text="x", sentiment="neg", tokens=["flash"]), 0)
+        assert mirror == {"nKnownCause": 1, "nUnknownCause": 0}
+
+
+class TestEmbeddedAdaptation:
+    def test_monitor_triggers_on_delta_ratio(self):
+        mirror = {"nKnownCause": 0.0, "nUnknownCause": 0.0}
+        op, emitted = make_operator_harness(
+            EmbeddedAdaptationMonitor,
+            params={"threshold": 1.0, "matcher_metrics": mirror, "smoothing": 1},
+        )
+        mirror.update(nKnownCause=10.0, nUnknownCause=1.0)
+        op._process(tup(window=1), 0)
+        assert emitted == []  # ratio 0.1
+        mirror.update(nKnownCause=11.0, nUnknownCause=9.0)
+        op._process(tup(window=2), 0)
+        assert emitted and emitted[0][1]["trigger"] is True
+
+    def test_actuator_rate_limits(self):
+        calls = []
+        op, _ = make_operator_harness(
+            EmbeddedAdaptationActuator,
+            params={"script": lambda: calls.append(1), "min_interval": 600.0},
+        )
+        op._process(tup(trigger=True, ratio=2.0), 0)
+        op._process(tup(trigger=True, ratio=2.0), 0)
+        assert len(calls) == 1
+        assert op.metric("nTriggers").value == 1
+
+
+class TestTrendCalculator:
+    def test_emits_full_statistics(self):
+        op, emitted = make_operator_harness(
+            TrendCalculator, params={"window_span": 600.0}
+        )
+        op._test_clock["now"] = 10.0
+        op._process(tup(symbol="IBM", price=100.0), 0)
+        out = emitted[0][1]
+        assert out["symbol"] == "IBM"
+        assert out["min"] == out["max"] == out["avg"] == 100.0
+        assert out["count"] == 1
+
+    def test_windows_are_per_symbol(self):
+        op, emitted = make_operator_harness(
+            TrendCalculator, params={"window_span": 600.0}
+        )
+        op._process(tup(symbol="IBM", price=100.0), 0)
+        op._process(tup(symbol="MSFT", price=50.0), 0)
+        assert emitted[1][1]["avg"] == 50.0  # not mixed with IBM
+        assert op.metric("nSymbols").value == 2
+
+    def test_eviction_with_time(self):
+        op, emitted = make_operator_harness(
+            TrendCalculator, params={"window_span": 100.0}
+        )
+        op._test_clock["now"] = 0.0
+        op._process(tup(symbol="IBM", price=100.0), 0)
+        op._test_clock["now"] = 200.0
+        op._process(tup(symbol="IBM", price=10.0), 0)
+        out = emitted[-1][1]
+        assert out["count"] == 1  # first trade evicted
+        assert out["avg"] == 10.0
+
+    def test_bollinger_brackets(self):
+        op, emitted = make_operator_harness(
+            TrendCalculator, params={"window_span": 600.0, "bollinger_k": 2.0}
+        )
+        for price in (90.0, 100.0, 110.0):
+            op._process(tup(symbol="IBM", price=price), 0)
+        out = emitted[-1][1]
+        assert out["lower"] <= out["avg"] <= out["upper"]
+
+
+class TestRecordingSink:
+    def test_records_under_replica_key(self):
+        hub = TrendRecorderHub()
+        op, _ = make_operator_harness(
+            RecordingSink,
+            params={"hub": hub},
+            submission_params={"replica": "2"},
+        )
+        op._process(
+            tup(symbol="IBM", ts=1.0, min=1.0, max=2.0, avg=1.5,
+                upper=2.0, lower=1.0, coverage=0.0, count=1),
+            0,
+        )
+        assert hub.replicas() == ["2"]
+        assert hub.points("2")[0].average == 1.5
+
+    def test_hub_optional(self):
+        op, _ = make_operator_harness(RecordingSink, params={"hub": None})
+        op._process(
+            tup(symbol="IBM", ts=1.0, min=1.0, max=2.0, avg=1.5,
+                upper=2.0, lower=1.0, coverage=0.0, count=1),
+            0,
+        )  # no error
+
+
+class TestProfileEnricher:
+    def make(self, probability=1.0):
+        store = ProfileDataStore()
+        op, emitted = make_operator_harness(
+            ProfileEnricher,
+            params={
+                "site": "facebook",
+                "datastore": store,
+                "discover_probability": probability,
+                "seed": 5,
+            },
+        )
+        return op, emitted, store
+
+    def test_enriches_and_stores(self):
+        op, emitted, store = self.make(probability=1.0)
+        op._process(
+            tup(profile_id="p1", sentiment="neg", attributes={"gender": "f"}),
+            0,
+        )
+        stored = store.get("p1")
+        assert stored["gender"] == "f"
+        assert "age" in stored and "location" in stored  # discovered
+        assert stored["sentiment"] == "neg"
+        assert emitted[0][1]["site"] == "facebook"
+
+    def test_attribute_metrics_count_duplicates(self):
+        op, _, store = self.make(probability=1.0)
+        for _ in range(3):
+            op._process(
+                tup(profile_id="p1", sentiment="neg", attributes={}), 0
+            )
+        assert op.metric("nProfiles_gender").value == 3  # duplicates counted
+        assert len(store) == 1  # store deduplicates
+
+    def test_no_discovery_at_zero_probability(self):
+        op, _, store = self.make(probability=0.0)
+        op._process(tup(profile_id="p1", sentiment="neg", attributes={}), 0)
+        assert set(store.get("p1")) == {"sentiment"}
+        assert op.metric("nProfiles_age").value == 0
+
+
+class TestC3Operators:
+    def test_datastore_source_emits_batches_then_final(self):
+        store = ProfileDataStore()
+        for i in range(5):
+            store.upsert(f"p{i}", {"gender": "f", "sentiment": "neg"})
+        store.upsert("nogender", {"age": 30, "sentiment": "neg"})
+        op, emitted = make_operator_harness(
+            DataStoreSource,
+            params={"datastore": store, "batch_size": 2, "period": 0.5},
+            submission_params={"attribute": "gender"},
+        )
+        op.on_initialize()
+        # drain all scheduled batch emissions
+        for _ in range(10):
+            pending = [h for h in op._test_scheduled if not h.cancelled]
+            if not pending:
+                break
+            handle = pending[-1]
+            handle.cancel()
+            handle.fn()
+        tuples = [i for _, i in emitted if isinstance(i, StreamTuple)]
+        finals = [i for _, i in emitted if i is Punctuation.FINAL]
+        assert len(tuples) == 5  # only gendered profiles
+        assert finals == [Punctuation.FINAL]
+
+    def test_segmenter_aggregates_and_flushes_on_final(self):
+        op, emitted = make_operator_harness(
+            SentimentSegmenter, submission_params={"attribute": "gender"}
+        )
+        op._process(tup(profile_id="a", value="f", sentiment="neg"), 0)
+        op._process(tup(profile_id="b", value="f", sentiment="pos"), 0)
+        op._process(tup(profile_id="c", value="m", sentiment="neg"), 0)
+        assert emitted == []  # nothing until final
+        op._process(Punctuation.FINAL, 0)
+        tuples = [i for _, i in emitted if isinstance(i, StreamTuple)]
+        result = tuples[0]
+        assert result["profiles"] == 3
+        assert result["segmentation"]["f"] == {"neg": 1, "pos": 1}
+        assert result["segmentation"]["m"] == {"neg": 1}
+        assert (0, Punctuation.FINAL) in emitted  # forwarded
+
+    def test_segmenter_age_bucketing(self):
+        op, emitted = make_operator_harness(
+            SentimentSegmenter, submission_params={"attribute": "age"}
+        )
+        op._process(tup(profile_id="a", value=34, sentiment="neg"), 0)
+        op._process(tup(profile_id="b", value=37, sentiment="neg"), 0)
+        op._process(Punctuation.FINAL, 0)
+        tuples = [i for _, i in emitted if isinstance(i, StreamTuple)]
+        assert tuples[0]["segmentation"] == {"30s": {"neg": 2}}

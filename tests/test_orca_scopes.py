@@ -1,0 +1,206 @@
+"""Tests for event scopes: the filter semantics of Sec. 4.1."""
+
+import pytest
+
+from repro.errors import ScopeError
+from repro.orca.scopes import (
+    HostFailureScope,
+    JobCancellationScope,
+    JobSubmissionScope,
+    OperatorMetricScope,
+    OperatorPortMetricScope,
+    PEFailureScope,
+    PEMetricScope,
+    ScopeRegistry,
+    TimerScope,
+    UserEventScope,
+    to_string,
+)
+
+
+class TestFilterSemantics:
+    def test_empty_scope_matches_anything_of_its_type(self):
+        scope = OperatorMetricScope("s")
+        assert scope.matches({"application": "A"})
+        assert scope.matches({})
+
+    def test_same_attribute_disjunctive(self):
+        """Filters on one attribute OR together (Sec. 4.1)."""
+        scope = OperatorMetricScope("s")
+        scope.addApplicationFilter("A")
+        scope.addApplicationFilter("B")
+        assert scope.matches({"application": "A"})
+        assert scope.matches({"application": "B"})
+        assert not scope.matches({"application": "C"})
+
+    def test_different_attributes_conjunctive(self):
+        """Filters on different attributes AND together (Sec. 4.1)."""
+        scope = OperatorMetricScope("s")
+        scope.addApplicationFilter("A")
+        scope.addCompositeTypeFilter("composite1")
+        assert scope.matches(
+            {"application": "A", "composite_type": {"composite1"}}
+        )
+        assert not scope.matches(
+            {"application": "A", "composite_type": {"other"}}
+        )
+        assert not scope.matches(
+            {"application": "B", "composite_type": {"composite1"}}
+        )
+
+    def test_missing_attribute_fails_filter(self):
+        scope = OperatorMetricScope("s")
+        scope.addCompositeTypeFilter("composite1")
+        assert not scope.matches({"application": "A"})
+
+    def test_collection_attributes_intersect(self):
+        """Containment chains are sets: any enclosing composite matches."""
+        scope = OperatorMetricScope("s")
+        scope.addCompositeTypeFilter("outer")
+        assert scope.matches({"composite_type": {"inner", "outer"}})
+        assert not scope.matches({"composite_type": {"inner"}})
+
+    def test_iterable_filter_values(self):
+        scope = OperatorMetricScope("s")
+        scope.addOperatorTypeFilter(["Split", "Merge"])
+        assert scope.matches({"operator_type": "Split"})
+        assert scope.matches({"operator_type": "Merge"})
+        assert not scope.matches({"operator_type": "Filter"})
+
+    def test_empty_filter_values_rejected(self):
+        scope = OperatorMetricScope("s")
+        with pytest.raises(ScopeError):
+            scope.addOperatorTypeFilter([])
+
+    def test_key_required(self):
+        with pytest.raises(ScopeError):
+            OperatorMetricScope("")
+
+    def test_figure5_scope(self):
+        """The exact scope of the paper's Fig. 5."""
+        oms = OperatorMetricScope("opMetricScope")
+        oms.addCompositeTypeFilter("composite1")
+        oms.addOperatorTypeFilter(["Split", "Merge"])
+        oms.addOperatorMetric(OperatorMetricScope.queueSize)
+        # op3' (a Split in composite1) queueSize -> match
+        assert oms.matches(
+            {
+                "application": "Figure2",
+                "operator_type": "Split",
+                "composite_type": {"composite1"},
+                "metric_name": "queueSize",
+            }
+        )
+        # a Functor in composite1 -> no match
+        assert not oms.matches(
+            {
+                "operator_type": "Functor",
+                "composite_type": {"composite1"},
+                "metric_name": "queueSize",
+            }
+        )
+        # Split outside the composite -> no match
+        assert not oms.matches(
+            {"operator_type": "Split", "composite_type": set(),
+             "metric_name": "queueSize"}
+        )
+        # wrong metric -> no match
+        assert not oms.matches(
+            {
+                "operator_type": "Split",
+                "composite_type": {"composite1"},
+                "metric_name": "nTuplesProcessed",
+            }
+        )
+
+    def test_to_string_identity(self):
+        assert to_string(OperatorMetricScope.queueSize) == "queueSize"
+
+
+class TestScopeTypes:
+    def test_event_types(self):
+        assert OperatorMetricScope("k").EVENT_TYPE == "operator_metric"
+        assert OperatorPortMetricScope("k").EVENT_TYPE == "operator_port_metric"
+        assert PEMetricScope("k").EVENT_TYPE == "pe_metric"
+        assert PEFailureScope("k").EVENT_TYPE == "pe_failure"
+        assert HostFailureScope("k").EVENT_TYPE == "host_failure"
+        assert JobSubmissionScope("k").EVENT_TYPE == "job_submission"
+        assert JobCancellationScope("k").EVENT_TYPE == "job_cancellation"
+        assert TimerScope("k").EVENT_TYPE == "timer"
+        assert UserEventScope("k").EVENT_TYPE == "user"
+
+    def test_port_filter(self):
+        scope = OperatorPortMetricScope("k")
+        scope.addPortFilter([0, 1])
+        assert scope.matches({"port": 0})
+        assert not scope.matches({"port": 2})
+
+    def test_pe_failure_reason_filter(self):
+        scope = PEFailureScope("k")
+        scope.addReasonFilter("host_failure")
+        assert scope.matches({"reason": "host_failure"})
+        assert not scope.matches({"reason": "injected_fault"})
+
+    def test_pe_metric_builtin_names(self):
+        assert PEMetricScope.nTupleBytesProcessed == "nTupleBytesProcessed"
+
+    def test_timer_and_user_filters(self):
+        t = TimerScope("k").addTimerFilter("timer_1")
+        assert t.matches({"timer": "timer_1"})
+        u = UserEventScope("k").addNameFilter("failover")
+        assert u.matches({"name": "failover"})
+        assert not u.matches({"name": "other"})
+
+
+class TestScopeRegistry:
+    def test_register_and_match(self):
+        registry = ScopeRegistry()
+        registry.register(OperatorMetricScope("a").addApplicationFilter("X"))
+        registry.register(OperatorMetricScope("b"))
+        keys = registry.matching_keys("operator_metric", {"application": "X"})
+        assert keys == ["a", "b"]
+
+    def test_event_delivered_once_with_all_keys(self):
+        """Sec. 4.1: delivered once even when several subscopes match."""
+        registry = ScopeRegistry()
+        registry.register(OperatorMetricScope("a"))
+        registry.register(OperatorMetricScope("b"))
+        keys = registry.matching_keys("operator_metric", {})
+        assert sorted(keys) == ["a", "b"]  # one event, two keys
+
+    def test_type_mismatch_no_keys(self):
+        registry = ScopeRegistry()
+        registry.register(PEFailureScope("f"))
+        assert registry.matching_keys("operator_metric", {}) == []
+
+    def test_duplicate_key_rejected(self):
+        registry = ScopeRegistry()
+        registry.register(OperatorMetricScope("a"))
+        with pytest.raises(ScopeError):
+            registry.register(PEFailureScope("a"))
+
+    def test_multiple_subscopes_same_type_allowed(self):
+        """Sec. 4.1: 'the ORCA logic can register multiple subscopes of the
+        same type'."""
+        registry = ScopeRegistry()
+        registry.register(OperatorMetricScope("a").addApplicationFilter("X"))
+        registry.register(OperatorMetricScope("b").addApplicationFilter("Y"))
+        assert registry.matching_keys("operator_metric", {"application": "Y"}) == ["b"]
+
+    def test_unregister(self):
+        registry = ScopeRegistry()
+        registry.register(OperatorMetricScope("a"))
+        assert registry.unregister("a") is True
+        assert registry.unregister("a") is False
+        assert len(registry) == 0
+
+    def test_non_scope_rejected(self):
+        registry = ScopeRegistry()
+        with pytest.raises(ScopeError):
+            registry.register("not a scope")
+
+    def test_scopes_of_type(self):
+        registry = ScopeRegistry()
+        registry.register(OperatorMetricScope("a"))
+        registry.register(PEFailureScope("b"))
+        assert [s.key for s in registry.scopes_of_type("pe_failure")] == ["b"]

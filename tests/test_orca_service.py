@@ -1,0 +1,423 @@
+"""Tests for the OrcaService: delivery, matching, actuation, inspection."""
+
+import pytest
+
+from repro import ManagedApplication, Orchestrator, OrcaDescriptor
+from repro.errors import ActuationError, OrcaPermissionError, ScopeError
+from repro.orca.scopes import (
+    JobCancellationScope,
+    JobSubmissionScope,
+    OperatorMetricScope,
+    OperatorPortMetricScope,
+    PEFailureScope,
+    PEMetricScope,
+    TimerScope,
+    UserEventScope,
+)
+from repro.runtime.pe import PEState
+
+from tests.conftest import make_filter_app, make_linear_app
+
+
+class RecordingOrca(Orchestrator):
+    """Registers configurable scopes and records every delivery."""
+
+    def __init__(self, scopes=(), submit=("Linear",)):
+        super().__init__()
+        self.scopes_to_register = list(scopes)
+        self.apps_to_submit = list(submit)
+        self.received = []
+        self.jobs = []
+
+    def handleOrcaStart(self, context):
+        self.received.append(("start", context))
+        for scope in self.scopes_to_register:
+            self.orca.register_event_scope(scope)
+        for app_name in self.apps_to_submit:
+            self.jobs.append(self.orca.submit_application(app_name))
+
+    def handleOperatorMetricEvent(self, context, scopes):
+        self.received.append(("op_metric", context, scopes))
+
+    def handleOperatorPortMetricEvent(self, context, scopes):
+        self.received.append(("port_metric", context, scopes))
+
+    def handlePEMetricEvent(self, context, scopes):
+        self.received.append(("pe_metric", context, scopes))
+
+    def handlePEFailureEvent(self, context, scopes):
+        self.received.append(("pe_failure", context, scopes))
+
+    def handleJobSubmissionEvent(self, context, scopes):
+        self.received.append(("submission", context, scopes))
+
+    def handleJobCancellationEvent(self, context, scopes):
+        self.received.append(("cancellation", context, scopes))
+
+    def handleTimerEvent(self, context, scopes):
+        self.received.append(("timer", context, scopes))
+
+    def handleUserEvent(self, context, scopes):
+        self.received.append(("user", context, scopes))
+
+    def events(self, kind):
+        return [r for r in self.received if r[0] == kind]
+
+
+def submit_orca(system, logic, apps=None, poll=15.0):
+    apps = apps if apps is not None else [make_linear_app()]
+    descriptor = OrcaDescriptor(
+        name="TestOrca",
+        logic=lambda: logic,
+        applications=[
+            ManagedApplication(name=a.name, application=a) for a in apps
+        ],
+        metric_poll_interval=poll,
+    )
+    return system.submit_orchestrator(descriptor)
+
+
+class TestStartAndDelivery:
+    def test_start_event_always_delivered(self, system):
+        logic = RecordingOrca(submit=())
+        submit_orca(system, logic)
+        system.run_for(0.1)
+        assert logic.events("start")
+
+    def test_events_without_matching_scope_dropped(self, system):
+        logic = RecordingOrca(scopes=(), submit=("Linear",))
+        service = submit_orca(system, logic)
+        system.run_for(40.0)
+        assert not logic.events("op_metric")
+        assert service.queue.dropped_count > 0
+
+    def test_metric_events_delivered_with_epoch(self, system):
+        scope = OperatorMetricScope("m").addOperatorMetric("nTuplesProcessed")
+        logic = RecordingOrca(scopes=[scope])
+        submit_orca(system, logic)
+        system.run_for(31.0)
+        events = logic.events("op_metric")
+        assert events
+        epochs = {e[1].epoch for e in events}
+        assert epochs == {1, 2}  # two poll rounds
+        assert all(e[2] == ["m"] for e in events)
+
+    def test_all_matching_scope_keys_delivered_once(self, system):
+        s1 = OperatorMetricScope("a").addOperatorMetric("nTuplesProcessed")
+        s2 = OperatorMetricScope("b").addOperatorInstanceFilter("sink")
+        logic = RecordingOrca(scopes=[s1, s2])
+        submit_orca(system, logic)
+        system.run_for(16.0)
+        sink_events = [
+            e for e in logic.events("op_metric")
+            if e[1].instance_name == "sink" and e[1].metric == "nTuplesProcessed"
+        ]
+        assert len(sink_events) == 1  # delivered once ...
+        assert sorted(sink_events[0][2]) == ["a", "b"]  # ... with both keys
+
+    def test_port_metric_events(self, system):
+        scope = OperatorPortMetricScope("p").addOperatorMetric("queueSize")
+        logic = RecordingOrca(scopes=[scope])
+        submit_orca(system, logic)
+        system.run_for(16.0)
+        events = logic.events("port_metric")
+        assert events
+        assert all(e[1].port == 0 for e in events)
+
+    def test_pe_metric_events(self, system):
+        scope = PEMetricScope("pe").addPEMetric("nTuplesProcessed")
+        logic = RecordingOrca(scopes=[scope])
+        submit_orca(system, logic)
+        system.run_for(16.0)
+        assert logic.events("pe_metric")
+
+    def test_fifo_one_at_a_time(self, system):
+        """Sec. 4.2: queued in the order they were received."""
+        scope = OperatorMetricScope("m").addOperatorMetric("nTuplesProcessed")
+        logic = RecordingOrca(scopes=[scope])
+        submit_orca(system, logic)
+        system.run_for(46.0)
+        epochs = [e[1].epoch for e in logic.events("op_metric")]
+        assert epochs == sorted(epochs)
+
+    def test_handler_errors_isolated(self, system):
+        class Exploding(RecordingOrca):
+            def handleOperatorMetricEvent(self, context, scopes):
+                raise RuntimeError("user bug")
+
+        scope = OperatorMetricScope("m").addOperatorMetric("nTuplesProcessed")
+        logic = Exploding(scopes=[scope])
+        service = submit_orca(system, logic)
+        system.run_for(31.0)
+        assert service.handler_errors
+        # service survives: further polls continue
+        assert service.metric_epochs.current >= 2
+
+    def test_poll_interval_change_takes_effect(self, system):
+        scope = OperatorMetricScope("m").addOperatorMetric("nTuplesProcessed")
+        logic = RecordingOrca(scopes=[scope])
+        service = submit_orca(system, logic, poll=15.0)
+        system.run_for(16.0)
+        before = service.metric_epochs.current
+        service.set_metric_poll_interval(1.0)
+        system.run_for(10.0)
+        assert service.metric_epochs.current >= before + 9
+
+    def test_poll_interval_must_be_positive(self, system):
+        service = submit_orca(system, RecordingOrca(submit=()))
+        with pytest.raises(ActuationError):
+            service.set_metric_poll_interval(0)
+
+    def test_duplicate_scope_key_rejected(self, system):
+        service = submit_orca(system, RecordingOrca(submit=()))
+        service.register_event_scope(OperatorMetricScope("k"))
+        with pytest.raises(ScopeError):
+            service.registerEventScope(OperatorMetricScope("k"))
+
+    def test_unregister_scope_stops_delivery(self, system):
+        scope = OperatorMetricScope("m").addOperatorMetric("nTuplesProcessed")
+        logic = RecordingOrca(scopes=[scope])
+        service = submit_orca(system, logic)
+        system.run_for(16.0)
+        count = len(logic.events("op_metric"))
+        assert count > 0
+        service.unregister_event_scope("m")
+        system.run_for(30.0)
+        assert len(logic.events("op_metric")) == count
+
+
+class TestFailureEvents:
+    def test_pe_failure_pushed_with_context(self, system):
+        scope = PEFailureScope("f").addApplicationFilter("Linear")
+        logic = RecordingOrca(scopes=[scope])
+        service = submit_orca(system, logic)
+        system.run_for(5.0)
+        job = logic.jobs[0]
+        victim = job.pe_of_operator("sink")
+        system.failures.crash_pe(job.job_id, pe_id=victim.pe_id)
+        system.run_for(1.0)
+        events = logic.events("pe_failure")
+        assert len(events) == 1
+        context = events[0][1]
+        assert context.pe_id == victim.pe_id
+        assert context.reason == "injected_fault"
+        assert context.job_id == job.job_id
+        assert "sink" in context.operators
+        assert context.detection_ts <= system.now
+
+    def test_host_failure_groups_epochs(self, system):
+        scope = PEFailureScope("f")
+        logic = RecordingOrca(scopes=[scope], submit=("Linear", "Linear"))
+        # two jobs of the same app; pick a host running PEs of both
+        service = submit_orca(system, logic)
+        system.run_for(5.0)
+        host = logic.jobs[0].pes[0].host_name
+        system.failures.fail_host(host)
+        system.run_for(10.0)
+        events = logic.events("pe_failure")
+        assert events
+        assert {e[1].reason for e in events} == {"host_failure"}
+        assert len({e[1].epoch for e in events}) == 1  # same physical event
+
+    def test_failure_of_foreign_job_not_delivered(self, system):
+        scope = PEFailureScope("f")
+        logic = RecordingOrca(scopes=[scope], submit=())
+        submit_orca(system, logic)
+        foreign = system.submit_job(make_filter_app())
+        system.run_for(5.0)
+        system.failures.crash_pe(foreign.job_id, pe_index=1)
+        system.run_for(5.0)
+        assert not logic.events("pe_failure")
+
+
+class TestActuation:
+    def test_submission_and_cancellation_events(self, system):
+        scopes = [JobSubmissionScope("s"), JobCancellationScope("c")]
+        logic = RecordingOrca(scopes=scopes)
+        service = submit_orca(system, logic)
+        system.run_for(1.0)
+        assert len(logic.events("submission")) == 1
+        service.cancel_job(logic.jobs[0].job_id)
+        system.run_for(1.0)
+        cancels = logic.events("cancellation")
+        assert len(cancels) == 1
+        assert cancels[0][1].garbage_collected is False
+
+    def test_acting_on_foreign_job_is_error(self, system):
+        """Sec. 3: acting on jobs the ORCA did not start is a runtime error."""
+        logic = RecordingOrca(submit=())
+        service = submit_orca(system, logic)
+        foreign = system.submit_job(make_filter_app())
+        system.run_for(1.0)
+        with pytest.raises(OrcaPermissionError):
+            service.cancel_job(foreign.job_id)
+        with pytest.raises(OrcaPermissionError):
+            service.job(foreign.job_id)
+
+    def test_submitting_unmanaged_app_is_error(self, system):
+        from repro.errors import DescriptorError
+
+        logic = RecordingOrca(submit=())
+        service = submit_orca(system, logic)
+        with pytest.raises(DescriptorError):
+            service.submit_application("NotManaged")
+
+    def test_restart_pe_through_service(self, system):
+        logic = RecordingOrca()
+        service = submit_orca(system, logic)
+        system.run_for(2.0)
+        job = logic.jobs[0]
+        victim = job.pes[0]
+        victim.crash("t")
+        service.restart_pe(victim.pe_id)
+        system.run_for(2.0)
+        assert victim.state is PEState.RUNNING
+
+    def test_stop_pe_through_service(self, system):
+        logic = RecordingOrca()
+        service = submit_orca(system, logic)
+        system.run_for(2.0)
+        victim = logic.jobs[0].pes[0]
+        service.stop_pe(victim.pe_id)
+        assert victim.state is PEState.STOPPED
+
+    def test_send_control_through_service(self, system):
+        app = make_filter_app(threshold=10_000)
+        logic = RecordingOrca(submit=("Filtered",))
+        service = submit_orca(system, logic, apps=[app])
+        system.run_for(3.0)
+        job = logic.jobs[0]
+        service.send_control(
+            job.job_id, "filt", "setPredicate", {"predicate": lambda t: True}
+        )
+        system.run_for(5.0)
+        assert len(job.operator_instance("sink").seen) > 0
+
+    def test_exclusive_pools_before_submit_only(self, system):
+        logic = RecordingOrca()  # submits Linear during start
+        service = submit_orca(system, logic)
+        system.run_for(1.0)
+        with pytest.raises(ActuationError):
+            service.set_exclusive_host_pools("Linear")
+
+    def test_run_external_with_completion(self, system):
+        logic = RecordingOrca(submit=())
+        service = submit_orca(system, logic)
+        done = []
+        service.run_external(lambda: 42, duration=5.0, on_complete=done.append)
+        system.run_for(4.0)
+        assert done == []
+        system.run_for(1.1)
+        assert done == [42]
+
+    def test_actuation_log_records_txn_ids(self, system):
+        """Sec. 7 future work: actuations tied to event transaction ids."""
+        scope = PEFailureScope("f")
+
+        class Restarter(RecordingOrca):
+            def handlePEFailureEvent(self, context, scopes):
+                self.orca.restart_pe(context.pe_id)
+
+        logic = Restarter(scopes=[scope])
+        service = submit_orca(system, logic)
+        system.run_for(2.0)
+        job = logic.jobs[0]
+        system.failures.crash_pe(job.job_id, pe_id=job.pes[0].pe_id)
+        system.run_for(2.0)
+        restarts = [r for r in service.actuation_log if r.action == "restart_pe"]
+        assert restarts and restarts[0].txn_id > 0
+        submits = [r for r in service.actuation_log if r.action == "submit"]
+        assert submits  # submitted during start handling => txn of start event
+
+
+class TestTimersAndUserEvents:
+    def test_timer_event(self, system):
+        scope = TimerScope("t")
+        logic = RecordingOrca(scopes=[scope], submit=())
+        service = submit_orca(system, logic)
+        system.run_for(0.1)
+        service.create_timer(5.0, payload={"note": "check"})
+        system.run_for(5.1)
+        events = logic.events("timer")
+        assert len(events) == 1
+        assert events[0][1].payload == {"note": "check"}
+
+    def test_periodic_timer(self, system):
+        scope = TimerScope("t")
+        logic = RecordingOrca(scopes=[scope], submit=())
+        service = submit_orca(system, logic)
+        system.run_for(0.1)
+        handle = service.create_timer(2.0, periodic=True)
+        system.run_for(7.0)
+        assert len(logic.events("timer")) == 3
+        handle.cancel()
+        system.run_for(10.0)
+        assert len(logic.events("timer")) == 3
+
+    def test_timer_filter(self, system):
+        scope = TimerScope("t").addTimerFilter("special")
+        logic = RecordingOrca(scopes=[scope], submit=())
+        service = submit_orca(system, logic)
+        system.run_for(0.1)
+        service.create_timer(1.0, timer_id="special")
+        service.create_timer(1.0, timer_id="other")
+        system.run_for(2.0)
+        assert len(logic.events("timer")) == 1
+
+    def test_user_event_via_command_tool(self, system):
+        scope = UserEventScope("u").addNameFilter("failover")
+        logic = RecordingOrca(scopes=[scope], submit=())
+        service = submit_orca(system, logic)
+        system.run_for(0.1)
+        service.command_tool.submit_event("failover", {"target": "r2"})
+        service.command_tool.submit_event("ignored", {})
+        system.run_for(0.1)
+        events = logic.events("user")
+        assert len(events) == 1
+        assert events[0][1].payload == {"target": "r2"}
+
+    def test_command_tool_poll_override(self, system):
+        service = submit_orca(system, RecordingOrca(submit=()))
+        service.command_tool.set_metric_poll_interval(2.0)
+        assert service.metric_poll_interval == 2.0
+
+
+class TestInspectionDelegation:
+    def test_inspection_queries(self, system):
+        logic = RecordingOrca()
+        service = submit_orca(system, logic)
+        system.run_for(1.0)
+        job = logic.jobs[0]
+        pe_id = service.pe_of_operator(job.job_id, "sink")
+        assert service.job_of_pe(pe_id) == job.job_id
+        assert "sink" in service.operators_in_pe(pe_id)
+        assert service.host_of_pe(pe_id) is not None
+        assert len(service.pes_of_job(job.job_id)) == 2
+        assert service.operators_of_type("Linear", "Sink") == ["sink"]
+        assert service.enclosing_composite("Linear", "sink") is None
+        assert service.colocated_operators(job.job_id, "sink") == []
+
+
+class TestDynamicApplicationAddition:
+    def test_add_managed_application_at_runtime(self, system):
+        """Sec. 7 future work implemented as an extension."""
+        logic = RecordingOrca(submit=())
+        service = submit_orca(system, logic)
+        system.run_for(1.0)
+        new_app = make_filter_app("LateApp")
+        service.add_managed_application(
+            ManagedApplication(name="LateApp", application=new_app)
+        )
+        job = service.submit_application("LateApp")
+        system.run_for(2.0)
+        assert job.state.value == "running"
+
+    def test_duplicate_addition_rejected(self, system):
+        from repro.errors import DescriptorError
+
+        logic = RecordingOrca(submit=())
+        service = submit_orca(system, logic)
+        with pytest.raises(DescriptorError):
+            service.add_managed_application(
+                ManagedApplication(name="Linear", application=make_linear_app())
+            )

@@ -1,0 +1,181 @@
+"""Tests for PE lifecycle, tuple routing, and the transport."""
+
+import pytest
+
+from repro.errors import PEControlError
+from repro.runtime.job import JobState
+from repro.runtime.pe import PEState
+from repro.spl.metrics import OperatorMetricName, PEMetricName
+from repro.spl.library import Beacon
+
+from tests.conftest import make_filter_app, make_linear_app
+
+
+def get_op(job, name):
+    return job.operator_instance(name)
+
+
+class TestPELifecycle:
+    def test_pes_start_after_spawn_delay(self, system):
+        job = system.submit_job(make_linear_app())
+        assert job.state is JobState.SUBMITTED
+        assert all(pe.state is PEState.CONSTRUCTED for pe in job.pes)
+        system.run_for(0.2)
+        assert job.state is JobState.RUNNING
+        assert all(pe.state is PEState.RUNNING for pe in job.pes)
+
+    def test_crash_discards_operators_without_shutdown(self, system):
+        job = system.submit_job(make_linear_app())
+        system.run_for(5.0)
+        pe = job.pe_of_operator("sink")
+        pe.crash("test")
+        assert pe.state is PEState.CRASHED
+        assert pe.operators == {}
+        assert pe.last_crash_reason == "test"
+
+    def test_crash_is_noop_when_not_running(self, system):
+        job = system.submit_job(make_linear_app())
+        system.run_for(5.0)
+        pe = job.pe_of_operator("sink")
+        pe.stop()
+        pe.crash("late")  # ignored
+        assert pe.state is PEState.STOPPED
+
+    def test_restart_gives_fresh_state(self, system):
+        job = system.submit_job(make_linear_app())
+        system.run_for(10.0)
+        pe = job.pe_of_operator("sink")
+        before = len(get_op(job, "sink").seen)
+        assert before > 0
+        pe.crash("test")
+        pe.restart()
+        assert get_op(job, "sink").seen == []
+        assert pe.metrics.get(PEMetricName.N_RESTARTS).value == 1
+
+    def test_restart_running_pe_rejected(self, system):
+        job = system.submit_job(make_linear_app())
+        system.run_for(1.0)
+        with pytest.raises(PEControlError):
+            job.pes[0].restart()
+
+    def test_double_start_rejected(self, system):
+        job = system.submit_job(make_linear_app())
+        system.run_for(1.0)
+        with pytest.raises(PEControlError):
+            job.pes[0].start()
+
+    def test_stop_runs_shutdown_hooks(self, system):
+        from repro.spl.application import Application
+        from repro.spl.operators import Operator
+
+        log = []
+
+        class Closing(Operator):
+            N_INPUTS = 1
+            N_OUTPUTS = 0
+
+            def on_shutdown(self):
+                log.append("closed")
+
+        app = Application("Closer")
+        g = app.graph
+        src = g.add_operator("src", Beacon)
+        c = g.add_operator("c", Closing)
+        g.connect(src.oport(0), c.iport(0))
+        job = system.submit_job(app)
+        system.run_for(1.0)
+        system.cancel_job(job.job_id)
+        assert log == ["closed"]
+
+    def test_scheduled_work_cancelled_on_crash(self, system):
+        job = system.submit_job(make_linear_app())
+        system.run_for(5.0)
+        src_pe = job.pe_of_operator("src")
+        sink_op = get_op(job, "sink")
+        count = len(sink_op.seen)
+        src_pe.crash("test")
+        system.run_for(10.0)
+        # source is dead: nothing new reaches the sink
+        assert len(get_op(job, "sink").seen) == count
+
+
+class TestRouting:
+    def test_intra_pe_is_synchronous(self, system):
+        app = make_filter_app()  # all in one PE (untagged -> wait, singleton PEs)
+        # untagged operators get singleton PEs in manual mode; fuse them:
+        for spec in app.graph.operators.values():
+            spec.partition = "one"
+        job = system.submit_job(app)
+        system.run_for(2.1)
+        assert len(job.pes) == 1
+        # transport was never used for this job's edges
+        assert system.transport.total_sent == 0
+
+    def test_inter_pe_has_latency_and_accounting(self, system):
+        job = system.submit_job(make_linear_app())
+        system.run_for(5.0)
+        assert system.transport.total_sent > 0
+        assert system.transport.total_delivered > 0
+
+    def test_tuples_to_crashed_pe_are_dropped(self, system):
+        job = system.submit_job(make_linear_app(period=0.5))
+        system.run_for(5.0)
+        job.pe_of_operator("sink").crash("test")
+        system.run_for(5.0)
+        assert system.transport.total_dropped > 0
+
+    def test_queue_metrics_updated_by_hc(self, system):
+        job = system.submit_job(make_linear_app(per_tick=5, period=0.1))
+        system.run_for(10.0)
+        sink_op = get_op(job, "sink")
+        # gauge exists at both operator and port scope
+        assert sink_op.metrics.has(OperatorMetricName.QUEUE_SIZE)
+        assert sink_op.metrics.has(OperatorMetricName.QUEUE_SIZE, port=0)
+
+    def test_pe_byte_metrics_grow(self, system):
+        job = system.submit_job(make_linear_app())
+        system.run_for(10.0)
+        pe = job.pe_of_operator("sink")
+        assert pe.metrics.get(PEMetricName.N_TUPLES_PROCESSED).value > 0
+        assert pe.metrics.get(PEMetricName.N_TUPLE_BYTES_PROCESSED).value > 0
+
+    def test_send_control_reaches_operator(self, system):
+        job = system.submit_job(make_filter_app(threshold=100))
+        system.run_for(3.0)
+        pe = job.pe_of_operator("filt")
+        pe.send_control("filt", "setPredicate", {"predicate": lambda t: True})
+        system.run_for(5.0)
+        assert len(get_op(job, "sink").seen) > 0
+
+    def test_send_control_unknown_operator(self, system):
+        job = system.submit_job(make_linear_app())
+        system.run_for(1.0)
+        with pytest.raises(PEControlError):
+            job.pes[0].send_control("ghost", "cmd", {})
+
+
+class TestJobQueries:
+    def test_pe_lookup_by_index_and_id(self, system):
+        job = system.submit_job(make_linear_app())
+        pe = job.pes[0]
+        assert job.pe_by_index(pe.index) is pe
+        assert job.pe_by_id(pe.pe_id) is pe
+
+    def test_unknown_pe_raises(self, system):
+        from repro.errors import UnknownPEError
+
+        job = system.submit_job(make_linear_app())
+        with pytest.raises(UnknownPEError):
+            job.pe_by_index(99)
+        with pytest.raises(UnknownPEError):
+            job.pe_by_id("pe_999")
+
+    def test_operator_instance_none_when_down(self, system):
+        job = system.submit_job(make_linear_app())
+        system.run_for(1.0)
+        job.pe_of_operator("sink").crash("x")
+        assert job.operator_instance("sink") is None
+
+    def test_all_operator_names(self, system):
+        job = system.submit_job(make_linear_app())
+        assert set(job.all_operator_names()) == {"src", "sink"}

@@ -1,0 +1,226 @@
+"""Tests for PE placement: pools, exclusivity, exlocation, load balance."""
+
+import pytest
+
+from repro.errors import PlacementError
+from repro.runtime.host import Host
+from repro.runtime.scheduler import PlacementScheduler
+from repro.spl.application import Application
+from repro.spl.compiler import SPLCompiler
+from repro.spl.hostpool import HostPool
+from repro.spl.library import Beacon, Functor, Sink
+
+
+def build_app(
+    pools=(),
+    op_kwargs=None,
+):
+    """Three-operator chain; per-operator placement kwargs by name."""
+    op_kwargs = op_kwargs or {}
+    app = Application("Placed")
+    for pool in pools:
+        app.add_host_pool(pool)
+    g = app.graph
+    src = g.add_operator("src", Beacon, **op_kwargs.get("src", {}))
+    mid = g.add_operator(
+        "mid", Functor, params={"fn": lambda t: t}, **op_kwargs.get("mid", {})
+    )
+    sink = g.add_operator("sink", Sink, **op_kwargs.get("sink", {}))
+    g.connect(src.oport(0), mid.iport(0))
+    g.connect(mid.oport(0), sink.iport(0))
+    return SPLCompiler("manual").compile(app)
+
+
+def place(compiled, hosts, load=None, reserved=None, job_id="job_t"):
+    scheduler = PlacementScheduler()
+    return scheduler.place(
+        compiled,
+        hosts=hosts,
+        load=dict(load or {}),
+        # the scheduler mutates the reservation map in place (SAM owns it)
+        reserved=reserved if reserved is not None else {},
+        job_id=job_id,
+    )
+
+
+class TestBasicPlacement:
+    def test_balances_by_load(self):
+        hosts = [Host("h1"), Host("h2"), Host("h3")]
+        result = place(build_app(), hosts)
+        assert sorted(result.assignment.values()) == ["h1", "h2", "h3"]
+
+    def test_prefers_least_loaded(self):
+        hosts = [Host("h1"), Host("h2")]
+        result = place(build_app(), hosts, load={"h1": 5})
+        counts = list(result.assignment.values()).count("h2")
+        assert counts >= 2
+
+    def test_no_hosts_up(self):
+        host = Host("h1")
+        host.mark_down()
+        with pytest.raises(PlacementError):
+            place(build_app(), [host])
+
+    def test_down_hosts_skipped(self):
+        h1, h2 = Host("h1"), Host("h2")
+        h1.mark_down()
+        result = place(build_app(), [h1, h2])
+        assert set(result.assignment.values()) == {"h2"}
+
+    def test_capacity_respected(self):
+        hosts = [Host("h1", capacity=1), Host("h2", capacity=2)]
+        result = place(build_app(), hosts)
+        values = list(result.assignment.values())
+        assert values.count("h1") <= 1
+        assert values.count("h2") <= 2
+
+    def test_capacity_exhausted_raises(self):
+        hosts = [Host("h1", capacity=1)]
+        with pytest.raises(PlacementError):
+            place(build_app(), hosts)
+
+
+class TestHostPools:
+    def test_named_pool_restricts_hosts(self):
+        pool = HostPool("only2", hosts=("h2",))
+        compiled = build_app(
+            pools=[pool], op_kwargs={"src": {"host_pool": "only2"}}
+        )
+        result = place(compiled, [Host("h1"), Host("h2")])
+        src_pe = compiled.pe_of("src")
+        assert result.assignment[src_pe] == "h2"
+
+    def test_tag_pool(self):
+        pool = HostPool("gpu", tags=("gpu",))
+        compiled = build_app(pools=[pool], op_kwargs={"src": {"host_pool": "gpu"}})
+        hosts = [Host("h1"), Host("h2", tags=("gpu",))]
+        result = place(compiled, hosts)
+        assert result.assignment[compiled.pe_of("src")] == "h2"
+
+    def test_pool_size_caps_host_set(self):
+        pool = HostPool("small", size=1)
+        compiled = build_app(
+            pools=[pool],
+            op_kwargs={name: {"host_pool": "small"} for name in ("src", "mid", "sink")},
+        )
+        result = place(compiled, [Host("h1"), Host("h2"), Host("h3")])
+        assert len(set(result.assignment.values())) == 1
+
+    def test_empty_pool_raises(self):
+        pool = HostPool("ghost", hosts=("nope",))
+        compiled = build_app(pools=[pool], op_kwargs={"src": {"host_pool": "ghost"}})
+        with pytest.raises(PlacementError):
+            place(compiled, [Host("h1")])
+
+
+class TestExclusivePools:
+    def exclusive_app(self):
+        pool = HostPool("mine", exclusive=True)
+        return build_app(
+            pools=[pool],
+            op_kwargs={name: {"host_pool": "mine"} for name in ("src", "mid", "sink")},
+        )
+
+    def test_reserves_hosts(self):
+        compiled = self.exclusive_app()
+        reserved = {}
+        result = place(compiled, [Host("h1"), Host("h2"), Host("h3"), Host("h4")],
+                       reserved=reserved)
+        assert result.newly_reserved
+        assert all(reserved[h] == "job_t" for h in result.newly_reserved)
+
+    def test_skips_hosts_reserved_by_others(self):
+        compiled = self.exclusive_app()
+        reserved = {"h1": "other_job"}
+        result = place(compiled, [Host("h1"), Host("h2"), Host("h3"), Host("h4")],
+                       reserved=reserved)
+        assert "h1" not in result.newly_reserved
+        assert "h1" not in result.assignment.values()
+
+    def test_skips_hosts_already_loaded(self):
+        compiled = self.exclusive_app()
+        result = place(
+            compiled, [Host("h1"), Host("h2"), Host("h3"), Host("h4")],
+            load={"h1": 2},
+        )
+        assert "h1" not in result.newly_reserved
+
+    def test_no_free_host_raises(self):
+        compiled = self.exclusive_app()
+        with pytest.raises(PlacementError):
+            place(compiled, [Host("h1")], load={"h1": 1})
+
+    def test_sized_exclusive_pool_requires_enough_hosts(self):
+        pool = HostPool("mine", exclusive=True, size=3)
+        compiled = build_app(
+            pools=[pool], op_kwargs={"src": {"host_pool": "mine"}}
+        )
+        with pytest.raises(PlacementError):
+            place(compiled, [Host("h1"), Host("h2")])
+
+    def test_default_pool_exclusive_captures_poolless_pes(self):
+        """The Sec. 4.3 actuation: make_all_exclusive on a pool-less app."""
+        app = Application("NoPools")
+        g = app.graph
+        src = g.add_operator("src", Beacon)
+        sink = g.add_operator("sink", Sink)
+        g.connect(src.oport(0), sink.iport(0))
+        app.host_pools.make_all_exclusive()
+        compiled = SPLCompiler("manual").compile(app)
+        reserved = {}
+        result = place(compiled, [Host("h1"), Host("h2"), Host("h3")],
+                       reserved=reserved)
+        assert result.newly_reserved  # hosts were taken over
+        assert set(result.assignment.values()) <= set(result.newly_reserved)
+
+
+class TestExlocationColocation:
+    def test_host_exlocation_forces_different_hosts(self):
+        compiled = build_app(
+            op_kwargs={
+                "src": {"host_exlocation": "x"},
+                "sink": {"host_exlocation": "x"},
+            }
+        )
+        result = place(compiled, [Host("h1"), Host("h2"), Host("h3")])
+        assert (
+            result.assignment[compiled.pe_of("src")]
+            != result.assignment[compiled.pe_of("sink")]
+        )
+
+    def test_host_exlocation_unsatisfiable(self):
+        compiled = build_app(
+            op_kwargs={
+                "src": {"host_exlocation": "x"},
+                "mid": {"host_exlocation": "x"},
+                "sink": {"host_exlocation": "x"},
+            }
+        )
+        with pytest.raises(PlacementError):
+            place(compiled, [Host("h1"), Host("h2")])
+
+    def test_host_colocation_forces_same_host(self):
+        compiled = build_app(
+            op_kwargs={
+                "src": {"host_colocation": "c"},
+                "sink": {"host_colocation": "c"},
+            }
+        )
+        result = place(compiled, [Host("h1"), Host("h2"), Host("h3")])
+        assert (
+            result.assignment[compiled.pe_of("src")]
+            == result.assignment[compiled.pe_of("sink")]
+        )
+
+    def test_paper_example_pe1_pe3_not_same_host(self):
+        """Sec. 2.1: 'PEs 1 and 3 cannot run on the same host'."""
+        compiled = build_app(
+            op_kwargs={
+                "src": {"host_exlocation": "pe1pe3"},
+                "sink": {"host_exlocation": "pe1pe3"},
+            }
+        )
+        result = place(compiled, [Host("a"), Host("b")])
+        src_host = result.assignment[compiled.pe_of("src")]
+        sink_host = result.assignment[compiled.pe_of("sink")]
+        assert src_host != sink_host

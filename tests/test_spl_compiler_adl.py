@@ -1,0 +1,292 @@
+"""Tests for the compiler (PE partitioning) and the ADL document."""
+
+import pytest
+
+from repro.errors import ADLError, CompilationError, ConstraintError, GraphError
+from repro.spl.adl import adl_from_xml, adl_model_of
+from repro.spl.application import Application
+from repro.spl.compiler import SPLCompiler
+from repro.spl.hostpool import HostPool
+from repro.spl.library import Beacon, Export, Filter, Functor, Import, Sink
+
+from repro.apps.figure2 import build_figure2_application, expected_figure3_layout
+
+
+def chain_app(name="Chain", tags=(None, None, None)):
+    app = Application(name)
+    g = app.graph
+    src = g.add_operator("src", Beacon, partition=tags[0])
+    mid = g.add_operator(
+        "mid", Functor, params={"fn": lambda t: t}, partition=tags[1]
+    )
+    sink = g.add_operator("sink", Sink, partition=tags[2])
+    g.connect(src.oport(0), mid.iport(0))
+    g.connect(mid.oport(0), sink.iport(0))
+    return app
+
+
+class TestStrategies:
+    def test_unknown_strategy(self):
+        with pytest.raises(CompilationError):
+            SPLCompiler("fancy")
+
+    def test_balanced_needs_target(self):
+        with pytest.raises(CompilationError):
+            SPLCompiler("balanced")
+
+    def test_manual_untagged_get_singleton_pes(self):
+        compiled = SPLCompiler("manual").compile(chain_app())
+        assert len(compiled.pes) == 3
+
+    def test_manual_tags_fuse(self):
+        compiled = SPLCompiler("manual").compile(chain_app(tags=("a", "a", "b")))
+        assert len(compiled.pes) == 2
+        assert set(compiled.pe(1).operators) == {"src", "mid"}
+
+    def test_per_operator_ignores_tags(self):
+        compiled = SPLCompiler("per_operator").compile(
+            chain_app(tags=("a", "a", "a"))
+        )
+        assert len(compiled.pes) == 3
+
+    def test_fuse_all(self):
+        compiled = SPLCompiler("fuse_all").compile(chain_app())
+        assert len(compiled.pes) == 1
+        assert len(compiled.inter_pe_edges) == 0
+        assert len(compiled.intra_pe_edges) == 2
+
+    def test_balanced_respects_target(self):
+        compiled = SPLCompiler("balanced", target_pe_count=2).compile(chain_app())
+        assert len(compiled.pes) == 2
+
+    def test_balanced_weights_by_cost(self):
+        app = Application("Weighted")
+        g = app.graph
+        heavy = g.add_operator("heavy", Beacon, params={"cost": 10.0})
+        light1 = g.add_operator("l1", Sink, params={"cost": 1.0})
+        light2 = g.add_operator("l2", Sink, params={"cost": 1.0})
+        g.connect(heavy.oport(0), light1.iport(0))
+        g.connect(heavy.oport(0), light2.iport(0))
+        compiled = SPLCompiler("balanced", target_pe_count=2).compile(app)
+        heavy_pe = compiled.pe(compiled.pe_of("heavy"))
+        # the two light ops share the other PE
+        assert len(heavy_pe.operators) == 1
+
+    def test_pe_numbering_deterministic(self):
+        a = SPLCompiler("manual").compile(chain_app())
+        b = SPLCompiler("manual").compile(chain_app())
+        assert [pe.operators for pe in a.pes] == [pe.operators for pe in b.pes]
+
+    def test_inter_vs_intra_edges(self):
+        compiled = SPLCompiler("manual").compile(chain_app(tags=("a", "a", "b")))
+        assert len(compiled.intra_pe_edges) == 1  # src->mid fused
+        assert len(compiled.inter_pe_edges) == 1  # mid->sink crosses
+
+    def test_pe_of_unknown_operator(self):
+        compiled = SPLCompiler("manual").compile(chain_app())
+        with pytest.raises(CompilationError):
+            compiled.pe_of("ghost")
+
+    def test_pe_lookup_unknown_index(self):
+        compiled = SPLCompiler("manual").compile(chain_app())
+        with pytest.raises(CompilationError):
+            compiled.pe(99)
+
+
+class TestConstraints:
+    def test_fused_ops_with_conflicting_pools_rejected(self):
+        app = Application("Pools")
+        app.add_host_pool(HostPool("pa"))
+        app.add_host_pool(HostPool("pb"))
+        g = app.graph
+        a = g.add_operator("a", Beacon, partition="p", host_pool="pa")
+        s = g.add_operator("s", Sink, partition="p", host_pool="pb")
+        g.connect(a.oport(0), s.iport(0))
+        with pytest.raises(ConstraintError):
+            SPLCompiler("manual").compile(app)
+
+    def test_partition_exlocation_within_group_rejected(self):
+        app = Application("Exloc")
+        g = app.graph
+        a = g.add_operator("a", Beacon, partition="p", partition_exlocation="x")
+        s = g.add_operator("s", Sink, partition="p", partition_exlocation="x")
+        g.connect(a.oport(0), s.iport(0))
+        with pytest.raises((ConstraintError, GraphError)):
+            SPLCompiler("manual").compile(app)
+
+    def test_balanced_honours_exlocation(self):
+        app = Application("ExlocBalanced")
+        g = app.graph
+        a = g.add_operator("a", Beacon, partition_exlocation="x")
+        s = g.add_operator("s", Sink, partition_exlocation="x")
+        g.connect(a.oport(0), s.iport(0))
+        compiled = SPLCompiler("balanced", target_pe_count=2).compile(app)
+        assert compiled.pe_of("a") != compiled.pe_of("s")
+
+    def test_pe_inherits_placement_needs(self):
+        app = Application("Placement")
+        app.add_host_pool(HostPool("fast", tags=("ssd",)))
+        g = app.graph
+        a = g.add_operator(
+            "a", Beacon, partition="p", host_pool="fast", host_exlocation="hx"
+        )
+        s = g.add_operator("s", Sink, partition="p", host_colocation="hc")
+        g.connect(a.oport(0), s.iport(0))
+        compiled = SPLCompiler("manual").compile(app)
+        pe = compiled.pe(1)
+        assert pe.host_pool == "fast"
+        assert pe.host_exlocations == {"hx"}
+        assert pe.host_colocations == {"hc"}
+
+    def test_undeclared_pool_reference_rejected(self):
+        app = Application("BadPool")
+        g = app.graph
+        a = g.add_operator("a", Beacon, host_pool="ghost")
+        s = g.add_operator("s", Sink)
+        g.connect(a.oport(0), s.iport(0))
+        with pytest.raises(GraphError):
+            SPLCompiler("manual").compile(app)
+
+
+class TestFigure23:
+    def test_layout_matches_paper(self):
+        compiled = SPLCompiler("manual").compile(build_figure2_application())
+        layout = {pe.index: pe.operators for pe in compiled.pes}
+        assert layout == expected_figure3_layout()
+
+    def test_composites_span_pes(self):
+        """Fig. 3: operators of the same composite land in different PEs."""
+        compiled = SPLCompiler("manual").compile(build_figure2_application())
+        c1_pes = {
+            compiled.pe_of(name)
+            for name in compiled.placement
+            if name.startswith("c1.")
+        }
+        assert len(c1_pes) == 2
+
+    def test_pe_mixes_composite_instances(self):
+        """Fig. 3: one PE holds operators of both composite instances."""
+        compiled = SPLCompiler("manual").compile(build_figure2_application())
+        shared = compiled.pe(2).operators
+        assert any(n.startswith("c1.") for n in shared)
+        assert any(n.startswith("c2.") for n in shared)
+
+
+class TestADL:
+    def build(self):
+        app = Application("AdlApp")
+        app.add_host_pool(HostPool("pool1", hosts=("h1", "h2"), size=2))
+        app.add_host_pool(HostPool("tagged", tags=("gpu",), exclusive=True))
+        g = app.graph
+        src = g.add_operator(
+            "src", Beacon, params={"values": {"a": 1}, "period": 2.0},
+            partition="p1", host_pool="pool1",
+        )
+        filt = g.add_operator(
+            "filt", Filter, params={"predicate": lambda t: True}, partition="p1"
+        )
+        exp = g.add_operator("exp", Export, params={"stream_id": "out",
+                                                    "properties": {"k": "v"}})
+        imp = g.add_operator("imp", Import, params={"subscription": {"k": "v"}})
+        sink = g.add_operator("sink", Sink)
+        g.connect(src.oport(0), filt.iport(0))
+        g.connect(filt.oport(0), exp.iport(0))
+        g.connect(imp.oport(0), sink.iport(0))
+        return SPLCompiler("manual").compile(app)
+
+    def test_round_trip_structure(self):
+        compiled = self.build()
+        model = adl_model_of(compiled)
+        assert model.name == "AdlApp"
+        assert {op.name for op in model.operators} == {
+            "src", "filt", "exp", "imp", "sink"
+        }
+        assert model.operator_by_name("src").pe_index == compiled.pe_of("src")
+        assert model.operator_by_name("filt").kind == "Filter"
+
+    def test_params_serialized_json_or_opaque(self):
+        model = adl_model_of(self.build())
+        src = model.operator_by_name("src")
+        assert src.params["values"] == {"a": 1}
+        assert src.params["period"] == 2.0
+        filt = model.operator_by_name("filt")
+        assert "opaque" in filt.params["predicate"]  # callable: marked opaque
+
+    def test_host_pools_round_trip(self):
+        model = adl_model_of(self.build())
+        pools = {p.name: p for p in model.host_pools}
+        assert pools["pool1"].hosts == ["h1", "h2"]
+        assert pools["pool1"].size == 2
+        assert pools["tagged"].exclusive is True
+        assert pools["tagged"].tags == ["gpu"]
+        assert pools["tagged"].to_host_pool().exclusive is True
+
+    def test_streams_round_trip(self):
+        compiled = self.build()
+        model = adl_model_of(compiled)
+        pairs = {(s.src_operator, s.dst_operator) for s in model.streams}
+        assert ("src", "filt") in pairs
+        assert ("imp", "sink") in pairs
+
+    def test_exports_imports_round_trip(self):
+        model = adl_model_of(self.build())
+        assert model.exports[0].operator == "exp"
+        assert model.exports[0].stream_id == "out"
+        assert model.exports[0].properties == {"k": "v"}
+        assert model.imports[0].subscription == {"k": "v"}
+
+    def test_composites_round_trip(self):
+        compiled = SPLCompiler("manual").compile(build_figure2_application())
+        model = adl_model_of(compiled)
+        comps = {c.name: c for c in model.composites}
+        assert comps["c1"].kind == "composite1"
+        assert comps["c1"].parent is None
+        ops_in_c1 = [o for o in model.operators if o.composite == "c1"]
+        assert len(ops_in_c1) == 4
+
+    def test_malformed_xml_rejected(self):
+        with pytest.raises(ADLError):
+            adl_from_xml("<not-closed")
+
+    def test_wrong_root_rejected(self):
+        with pytest.raises(ADLError):
+            adl_from_xml("<foo/>")
+
+    def test_missing_name_rejected(self):
+        with pytest.raises(ADLError):
+            adl_from_xml("<application/>")
+
+    def test_operator_by_name_missing(self):
+        model = adl_model_of(self.build())
+        with pytest.raises(ADLError):
+            model.operator_by_name("ghost")
+
+
+class TestApplication:
+    def test_invalid_name(self):
+        with pytest.raises(GraphError):
+            Application("bad name")
+
+    def test_parameter_defaults(self):
+        app = Application("P")
+        app.declare_parameter("x", "1")
+        app.declare_parameter("y")
+        resolved = app.resolve_parameters({"y": "2"})
+        assert resolved == {"x": "1", "y": "2"}
+
+    def test_required_parameter_missing(self):
+        app = Application("P")
+        app.declare_parameter("y")
+        with pytest.raises(GraphError):
+            app.resolve_parameters({})
+
+    def test_unknown_parameter_rejected(self):
+        app = Application("P")
+        with pytest.raises(GraphError):
+            app.resolve_parameters({"zzz": "1"})
+
+    def test_duplicate_pool_rejected(self):
+        app = Application("P")
+        app.add_host_pool(HostPool("a"))
+        with pytest.raises(ValueError):
+            app.add_host_pool(HostPool("a"))

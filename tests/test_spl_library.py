@@ -1,0 +1,378 @@
+"""Tests for the built-in operator library."""
+
+import pytest
+
+from repro.errors import GraphError
+from repro.spl.library import (
+    Aggregate,
+    Beacon,
+    CallbackSource,
+    Custom,
+    Export,
+    Filter,
+    Functor,
+    Import,
+    Merge,
+    Sink,
+    Split,
+    Throttle,
+)
+from repro.spl.tuples import Punctuation, StreamTuple
+
+from tests.conftest import make_operator_harness
+
+
+def tup(**values):
+    return StreamTuple(values)
+
+
+def run_source_ticks(op, n):
+    """Drive a Source's scheduled ticks manually through the fake harness."""
+    for _ in range(n):
+        pending = [h for h in op._test_scheduled if not h.cancelled]
+        if not pending:
+            break
+        handle = pending[-1]
+        handle.cancel()
+        handle.fn()
+
+
+class TestBeacon:
+    def test_emits_per_tick_with_iteration(self):
+        op, emitted = make_operator_harness(
+            Beacon, params={"values": {"k": "v"}, "per_tick": 3}
+        )
+        op.on_initialize()
+        run_source_ticks(op, 1)
+        tuples = [item for _, item in emitted if isinstance(item, StreamTuple)]
+        assert [t["iter"] for t in tuples] == [0, 1, 2]
+        assert all(t["k"] == "v" for t in tuples)
+
+    def test_limit_emits_final(self):
+        op, emitted = make_operator_harness(
+            Beacon, params={"values": {}, "per_tick": 2, "limit": 3}
+        )
+        op.on_initialize()
+        run_source_ticks(op, 5)
+        tuples = [item for _, item in emitted if isinstance(item, StreamTuple)]
+        finals = [item for _, item in emitted if item is Punctuation.FINAL]
+        assert len(tuples) == 3
+        assert finals == [Punctuation.FINAL]
+        assert op.emitted == 3
+
+    def test_no_emission_after_stop(self):
+        op, emitted = make_operator_harness(
+            Beacon, params={"values": {}, "limit": 1}
+        )
+        op.on_initialize()
+        run_source_ticks(op, 3)
+        count = len(emitted)
+        run_source_ticks(op, 3)
+        assert len(emitted) == count
+
+
+class TestCallbackSource:
+    def test_generator_receives_now_and_count(self):
+        calls = []
+
+        def gen(now, count):
+            calls.append((now, count))
+            return [{"n": count}]
+
+        op, emitted = make_operator_harness(CallbackSource, params={"generator": gen})
+        op.on_initialize()
+        run_source_ticks(op, 2)
+        assert calls == [(0.0, 0), (0.0, 1)]
+
+    def test_generator_factory_used_per_instance(self):
+        built = []
+
+        def factory():
+            built.append(1)
+            return lambda now, count: []
+
+        op1, _ = make_operator_harness(
+            CallbackSource, params={"generator_factory": factory}
+        )
+        op2, _ = make_operator_harness(
+            CallbackSource, params={"generator_factory": factory}
+        )
+        assert len(built) == 2
+
+    def test_missing_generator_raises(self):
+        with pytest.raises(GraphError):
+            make_operator_harness(CallbackSource)
+
+
+class TestFilter:
+    def test_forwards_matching_counts_discarded(self):
+        op, emitted = make_operator_harness(
+            Filter, params={"predicate": lambda t: t["v"] > 2}
+        )
+        for v in range(5):
+            op._process(tup(v=v), 0)
+        passed = [item["v"] for _, item in emitted if isinstance(item, StreamTuple)]
+        assert passed == [3, 4]
+        assert op.metric("nDiscarded").value == 3
+
+    def test_window_punct_forwarded(self):
+        op, emitted = make_operator_harness(
+            Filter, params={"predicate": lambda t: True}
+        )
+        op._process(Punctuation.WINDOW, 0)
+        assert (0, Punctuation.WINDOW) in emitted
+
+    def test_dynamic_predicate_control(self):
+        op, emitted = make_operator_harness(
+            Filter, params={"predicate": lambda t: False}
+        )
+        op._process(tup(v=1), 0)
+        assert not [i for _, i in emitted if isinstance(i, StreamTuple)]
+        op.on_control("setPredicate", {"predicate": lambda t: True})
+        op._process(tup(v=1), 0)
+        assert [i for _, i in emitted if isinstance(i, StreamTuple)]
+
+
+class TestFunctor:
+    def test_map(self):
+        op, emitted = make_operator_harness(
+            Functor, params={"fn": lambda t: {"v": t["v"] * 2}}
+        )
+        op._process(tup(v=3), 0)
+        assert emitted[0][1]["v"] == 6
+
+    def test_none_drops(self):
+        op, emitted = make_operator_harness(Functor, params={"fn": lambda t: None})
+        op._process(tup(v=1), 0)
+        assert emitted == []
+
+    def test_flatmap(self):
+        op, emitted = make_operator_harness(
+            Functor, params={"fn": lambda t: [{"i": 0}, {"i": 1}]}
+        )
+        op._process(tup(v=1), 0)
+        assert [i["i"] for _, i in emitted] == [0, 1]
+
+
+class TestSplitMerge:
+    def test_split_routes_by_router(self):
+        op, emitted = make_operator_harness(
+            Split, params={"router": lambda t: t["v"] % 3, "n_outputs": 3}
+        )
+        for v in range(6):
+            op._process(tup(v=v), 0)
+        ports = [port for port, _ in emitted]
+        assert ports == [0, 1, 2, 0, 1, 2]
+
+    def test_split_multicast(self):
+        op, emitted = make_operator_harness(
+            Split, params={"router": lambda t: [0, 1], "n_outputs": 2}
+        )
+        op._process(tup(v=1), 0)
+        assert [port for port, _ in emitted] == [0, 1]
+
+    def test_split_window_punct_to_all_ports(self):
+        op, emitted = make_operator_harness(Split, params={"n_outputs": 2})
+        op._process(Punctuation.WINDOW, 0)
+        assert emitted == [(0, Punctuation.WINDOW), (1, Punctuation.WINDOW)]
+
+    def test_merge_funnels_all_ports(self):
+        op, emitted = make_operator_harness(Merge, params={"n_inputs": 3})
+        op._process(tup(v=1), 0)
+        op._process(tup(v=2), 2)
+        assert [port for port, _ in emitted] == [0, 0]
+
+    def test_merge_waits_for_all_finals(self):
+        op, emitted = make_operator_harness(Merge, params={"n_inputs": 2})
+        op._process(Punctuation.FINAL, 0)
+        assert (0, Punctuation.FINAL) not in emitted
+        op._process(Punctuation.FINAL, 1)
+        assert (0, Punctuation.FINAL) in emitted
+
+
+class TestAggregate:
+    def test_tumbles_and_emits_window_punct(self):
+        op, emitted = make_operator_harness(
+            Aggregate,
+            params={"count": 2, "aggregator": lambda b: {"n": len(b)}},
+        )
+        op._process(tup(v=1), 0)
+        assert emitted == []
+        op._process(tup(v=2), 0)
+        assert emitted[0][1]["n"] == 2
+        assert emitted[1][1] is Punctuation.WINDOW
+
+    def test_final_flushes_partial(self):
+        op, emitted = make_operator_harness(
+            Aggregate,
+            params={"count": 10, "aggregator": lambda b: {"n": len(b)}},
+        )
+        op._process(tup(v=1), 0)
+        op._process(Punctuation.FINAL, 0)
+        tuples = [i for _, i in emitted if isinstance(i, StreamTuple)]
+        assert tuples[0]["n"] == 1
+        assert (0, Punctuation.FINAL) in emitted
+
+    def test_nonpositive_count_rejected(self):
+        with pytest.raises(GraphError):
+            make_operator_harness(
+                Aggregate, params={"count": 0, "aggregator": lambda b: {}}
+            )
+
+
+class TestSink:
+    def test_records_and_consumes(self):
+        consumed = []
+        op, _ = make_operator_harness(Sink, params={"consumer": consumed.append})
+        op._process(tup(v=1), 0)
+        assert len(op.seen) == 1
+        assert len(consumed) == 1
+
+    def test_record_disabled(self):
+        op, _ = make_operator_harness(Sink, params={"record": False})
+        op._process(tup(v=1), 0)
+        assert op.seen == []
+
+    def test_no_output_ports(self):
+        op, _ = make_operator_harness(Sink)
+        assert op.n_outputs == 0
+
+
+class TestExportImport:
+    def test_export_requires_id_or_properties(self):
+        with pytest.raises(GraphError):
+            make_operator_harness(Export)
+
+    def test_export_hands_items_to_registry(self):
+        op, _ = make_operator_harness(Export, params={"stream_id": "s"})
+        published = []
+        op.bind_export(published.append)
+        op._process(tup(v=1), 0)
+        op._process(Punctuation.WINDOW, 0)
+        assert len(published) == 2
+
+    def test_export_without_binding_is_safe(self):
+        op, _ = make_operator_harness(Export, params={"stream_id": "s"})
+        op._process(tup(v=1), 0)  # no crash
+
+    def test_import_requires_subscription(self):
+        with pytest.raises(GraphError):
+            make_operator_harness(Import)
+
+    def test_import_delivery_forwards_tuples_not_final(self):
+        op, emitted = make_operator_harness(Import, params={"stream_id": "s"})
+        op.deliver(tup(v=1))
+        op.deliver(Punctuation.WINDOW)
+        op.deliver(Punctuation.FINAL)
+        kinds = [item for _, item in emitted]
+        assert isinstance(kinds[0], StreamTuple)
+        assert kinds[1] is Punctuation.WINDOW
+        # FINAL from a remote job must NOT finalize the importer
+        assert Punctuation.FINAL not in kinds
+
+
+class TestCustom:
+    def test_all_callbacks(self):
+        log = []
+        op, _ = make_operator_harness(
+            Custom,
+            params={
+                "on_init_fn": lambda o: log.append("init"),
+                "on_tuple_fn": lambda o, t, p: log.append(("tuple", p)),
+                "on_punct_fn": lambda o, pu, p: log.append(("punct", pu)),
+                "on_final_fn": lambda o: log.append("final"),
+            },
+        )
+        op.on_initialize()
+        op._process(tup(v=1), 0)
+        op._process(Punctuation.FINAL, 0)
+        assert log == ["init", ("tuple", 0), ("punct", Punctuation.FINAL), "final"]
+
+    def test_callbacks_optional(self):
+        op, _ = make_operator_harness(Custom)
+        op.on_initialize()
+        op._process(tup(v=1), 0)  # no error
+
+
+class TestThrottle:
+    def test_buffers_and_drains(self):
+        op, emitted = make_operator_harness(Throttle, params={"rate": 10.0})
+        op._process(tup(v=1), 0)
+        op._process(tup(v=2), 0)
+        assert op.metric("nBuffered").value == 2
+        run_source_ticks(op, 5)
+        tuples = [i for _, i in emitted if isinstance(i, StreamTuple)]
+        assert [t["v"] for t in tuples] == [1, 2]
+        assert op.metric("nBuffered").value == 0
+
+    def test_rate_must_be_positive(self):
+        with pytest.raises(GraphError):
+            make_operator_harness(Throttle, params={"rate": 0})
+
+
+class TestJoin:
+    def make(self, window=100, prefix_right=False):
+        from repro.spl.library import Join
+
+        return make_operator_harness(
+            Join,
+            params={"key": "symbol", "window": window,
+                    "prefix_right": prefix_right},
+        )
+
+    def test_matching_keys_join(self):
+        op, emitted = self.make()
+        op._process(tup(symbol="IBM", price=10), 0)
+        op._process(tup(symbol="IBM", volume=5), 1)
+        assert len(emitted) == 1
+        joined = emitted[0][1]
+        assert joined["price"] == 10 and joined["volume"] == 5
+        assert op.metric("nMatches").value == 1
+
+    def test_non_matching_keys_do_not_join(self):
+        op, emitted = self.make()
+        op._process(tup(symbol="IBM", price=10), 0)
+        op._process(tup(symbol="MSFT", volume=5), 1)
+        assert emitted == []
+
+    def test_window_eviction(self):
+        op, emitted = self.make(window=1)
+        op._process(tup(symbol="IBM", price=1), 0)
+        op._process(tup(symbol="MSFT", price=2), 0)  # evicts IBM
+        op._process(tup(symbol="IBM", volume=5), 1)
+        assert emitted == []
+        op._process(tup(symbol="MSFT", volume=9), 1)
+        assert len(emitted) == 1
+
+    def test_left_values_win_on_clash(self):
+        op, emitted = self.make()
+        op._process(tup(symbol="IBM", ts=1), 0)
+        op._process(tup(symbol="IBM", ts=2), 1)
+        assert emitted[0][1]["ts"] == 1  # left side wins
+
+    def test_prefix_right(self):
+        op, emitted = self.make(prefix_right=True)
+        op._process(tup(symbol="IBM", ts=1), 0)
+        op._process(tup(symbol="IBM", ts=2), 1)
+        joined = emitted[0][1]
+        assert joined["ts"] == 1 and joined["r_ts"] == 2
+
+    def test_one_to_many_matches(self):
+        op, emitted = self.make()
+        op._process(tup(symbol="IBM", price=1), 0)
+        op._process(tup(symbol="IBM", price=2), 0)
+        op._process(tup(symbol="IBM", volume=9), 1)
+        assert len(emitted) == 2
+
+    def test_final_waits_for_both_ports(self):
+        op, emitted = self.make()
+        op._process(Punctuation.FINAL, 0)
+        assert (0, Punctuation.FINAL) not in emitted
+        op._process(Punctuation.FINAL, 1)
+        assert (0, Punctuation.FINAL) in emitted
+
+    def test_window_must_be_positive(self):
+        from repro.spl.library import Join
+
+        with pytest.raises(GraphError):
+            make_operator_harness(Join, params={"key": "k", "window": 0})

@@ -1,0 +1,211 @@
+"""Tests for metrics and window machinery."""
+
+import math
+
+import pytest
+
+from repro.spl.metrics import (
+    Metric,
+    MetricKind,
+    MetricRegistry,
+    OperatorMetricName,
+    PEMetricName,
+)
+from repro.spl.windows import (
+    SlidingCountWindow,
+    SlidingTimeWindow,
+    TumblingCountWindow,
+    merge_sorted_by_time,
+)
+
+
+class TestMetric:
+    def test_increment(self):
+        metric = Metric("n")
+        metric.increment()
+        metric.increment(2)
+        assert metric.value == 3
+
+    def test_set_and_reset(self):
+        metric = Metric("g", MetricKind.GAUGE)
+        metric.set(7)
+        assert metric.value == 7
+        metric.reset()
+        assert metric.value == 0
+
+    def test_builtin_name_lists(self):
+        assert OperatorMetricName.QUEUE_SIZE in OperatorMetricName.ALL
+        assert PEMetricName.N_RESTARTS in PEMetricName.ALL
+        # The paper-parity alias used in Fig. 5.
+        assert OperatorMetricName.queueSize == "queueSize"
+
+
+class TestMetricRegistry:
+    def test_create_and_get(self):
+        registry = MetricRegistry()
+        registry.create("a")
+        assert registry.get("a").value == 0
+
+    def test_duplicate_create_rejected(self):
+        registry = MetricRegistry()
+        registry.create("a")
+        with pytest.raises(ValueError):
+            registry.create("a")
+
+    def test_port_scoped_metrics_are_distinct(self):
+        registry = MetricRegistry()
+        registry.create("n", port=0)
+        registry.create("n", port=1)
+        registry.create("n")  # operator scope
+        registry.get("n", port=0).increment()
+        assert registry.get("n", port=1).value == 0
+        assert registry.get("n").value == 0
+        assert len(registry) == 3
+
+    def test_get_missing_raises(self):
+        with pytest.raises(KeyError):
+            MetricRegistry().get("nope")
+
+    def test_get_or_create(self):
+        registry = MetricRegistry()
+        a = registry.get_or_create("x")
+        b = registry.get_or_create("x")
+        assert a is b
+
+    def test_has(self):
+        registry = MetricRegistry()
+        registry.create("x", port=2)
+        assert registry.has("x", port=2)
+        assert not registry.has("x")
+
+    def test_iteration_and_snapshot(self):
+        registry = MetricRegistry()
+        registry.create("a").increment(5)
+        registry.create("b", port=1).increment(2)
+        entries = {(port, name): m.value for port, name, m in registry}
+        assert entries == {(None, "a"): 5, (1, "b"): 2}
+        assert registry.snapshot() == {(None, "a"): 5, (1, "b"): 2}
+
+
+class TestSlidingTimeWindow:
+    def test_requires_positive_span(self):
+        with pytest.raises(ValueError):
+            SlidingTimeWindow(0)
+
+    def test_insert_and_len(self):
+        window = SlidingTimeWindow(10.0)
+        window.insert(0.0, 1.0)
+        window.insert(1.0, 2.0)
+        assert len(window) == 2
+
+    def test_eviction_by_age(self):
+        window = SlidingTimeWindow(10.0)
+        window.insert(0.0, 1.0)
+        window.insert(5.0, 2.0)
+        dropped = window.evict(11.0)
+        assert dropped == 1
+        assert window.values() == [2.0]
+
+    def test_insert_evicts_automatically(self):
+        window = SlidingTimeWindow(2.0)
+        window.insert(0.0, 1.0)
+        window.insert(3.0, 2.0)  # first entry is now out of range
+        assert window.values() == [2.0]
+
+    def test_statistics(self):
+        window = SlidingTimeWindow(100.0)
+        for i, v in enumerate([2.0, 4.0, 6.0]):
+            window.insert(float(i), v)
+        assert window.mean() == pytest.approx(4.0)
+        assert window.minimum() == 2.0
+        assert window.maximum() == 6.0
+        assert window.stddev() == pytest.approx(math.sqrt(8 / 3))
+
+    def test_bollinger_bands(self):
+        window = SlidingTimeWindow(100.0)
+        for i, v in enumerate([2.0, 4.0, 6.0]):
+            window.insert(float(i), v)
+        upper, lower = window.bollinger_bands(2.0)
+        sd = window.stddev()
+        assert upper == pytest.approx(4.0 + 2 * sd)
+        assert lower == pytest.approx(4.0 - 2 * sd)
+
+    def test_empty_statistics_raise(self):
+        window = SlidingTimeWindow(1.0)
+        with pytest.raises(ValueError):
+            window.mean()
+        with pytest.raises(ValueError):
+            window.minimum()
+        with pytest.raises(ValueError):
+            window.maximum()
+        with pytest.raises(ValueError):
+            window.stddev()
+
+    def test_coverage(self):
+        window = SlidingTimeWindow(600.0)
+        assert window.coverage == 0.0
+        window.insert(0.0, 1.0)
+        assert window.coverage == 0.0  # single point
+        window.insert(30.0, 1.0)
+        assert window.coverage == 30.0
+
+    def test_oldest_timestamp(self):
+        window = SlidingTimeWindow(10.0)
+        assert window.oldest_timestamp is None
+        window.insert(3.0, 1.0)
+        assert window.oldest_timestamp == 3.0
+
+    def test_sums_stay_consistent_after_heavy_eviction(self):
+        window = SlidingTimeWindow(5.0)
+        for i in range(100):
+            window.insert(float(i), float(i))
+        # only timestamps > 94 remain
+        values = window.values()
+        assert window.mean() == pytest.approx(sum(values) / len(values))
+
+
+class TestTumblingCountWindow:
+    def test_tumbles_at_size(self):
+        window = TumblingCountWindow(3)
+        assert window.insert(1) is None
+        assert window.insert(2) is None
+        assert window.insert(3) == [1, 2, 3]
+        assert len(window) == 0
+
+    def test_flush_partial(self):
+        window = TumblingCountWindow(5)
+        window.insert("a")
+        assert window.flush() == ["a"]
+        assert window.flush() == []
+
+    def test_requires_positive(self):
+        with pytest.raises(ValueError):
+            TumblingCountWindow(0)
+
+
+class TestSlidingCountWindow:
+    def test_bounded_size(self):
+        window = SlidingCountWindow(3)
+        for i in range(10):
+            window.insert(float(i))
+        assert window.values() == [7.0, 8.0, 9.0]
+        assert window.is_full
+
+    def test_mean(self):
+        window = SlidingCountWindow(2)
+        window.insert(1.0)
+        window.insert(3.0)
+        assert window.mean() == 2.0
+
+    def test_empty_mean_raises(self):
+        with pytest.raises(ValueError):
+            SlidingCountWindow(2).mean()
+
+    def test_requires_positive(self):
+        with pytest.raises(ValueError):
+            SlidingCountWindow(0)
+
+
+def test_merge_sorted_by_time():
+    merged = merge_sorted_by_time([[(1.0, 1.0), (3.0, 3.0)], [(2.0, 2.0)]])
+    assert [t for t, _ in merged] == [1.0, 2.0, 3.0]

@@ -1,0 +1,158 @@
+"""Tests for the Operator base class and runtime context."""
+
+import pytest
+
+from repro.errors import GraphError
+from repro.spl.metrics import MetricKind, OperatorMetricName
+from repro.spl.operators import Operator
+from repro.spl.tuples import Punctuation, StreamTuple
+
+from tests.conftest import CollectingOperator, make_operator_harness
+
+
+class TestPortCounts:
+    def test_class_defaults(self):
+        assert Operator.port_counts({}) == (1, 1)
+
+    def test_param_overrides(self):
+        assert Operator.port_counts({"n_inputs": 3, "n_outputs": 2}) == (3, 2)
+
+    def test_negative_rejected(self):
+        with pytest.raises(GraphError):
+            Operator.port_counts({"n_inputs": -1})
+
+    def test_kind_defaults_to_class_name(self):
+        assert CollectingOperator.kind() == "CollectingOperator"
+
+    def test_kind_override(self):
+        class Custom(Operator):
+            KIND = "MyKind"
+
+        assert Custom.kind() == "MyKind"
+
+
+class TestBuiltinMetrics:
+    def test_created_at_construction(self):
+        op, _ = make_operator_harness(CollectingOperator)
+        assert op.metric(OperatorMetricName.N_TUPLES_PROCESSED).value == 0
+        assert op.metric(OperatorMetricName.QUEUE_SIZE).value == 0
+        # per-port variants
+        assert op.metric(OperatorMetricName.N_TUPLES_PROCESSED, port=0).value == 0
+        assert op.metric(OperatorMetricName.N_TUPLES_SUBMITTED, port=0).value == 0
+
+    def test_tuples_processed_counted(self):
+        op, _ = make_operator_harness(CollectingOperator)
+        op._process(StreamTuple({"a": 1}), 0)
+        op._process(StreamTuple({"a": 2}), 0)
+        assert op.metric(OperatorMetricName.N_TUPLES_PROCESSED).value == 2
+        assert op.metric(OperatorMetricName.N_TUPLES_PROCESSED, port=0).value == 2
+
+    def test_submitted_counted_per_port(self):
+        op, emitted = make_operator_harness(CollectingOperator, n_outputs=2)
+        op.submit({"x": 1}, port=0)
+        op.submit({"x": 2}, port=1)
+        op.submit({"x": 3}, port=1)
+        assert op.metric(OperatorMetricName.N_TUPLES_SUBMITTED).value == 3
+        assert op.metric(OperatorMetricName.N_TUPLES_SUBMITTED, port=1).value == 2
+        assert len(emitted) == 3
+
+    def test_puncts_counted(self):
+        op, _ = make_operator_harness(CollectingOperator, n_inputs=2)
+        op._process(Punctuation.WINDOW, 0)
+        op._process(Punctuation.FINAL, 0)
+        assert op.metric(OperatorMetricName.N_PUNCTS_PROCESSED).value == 2
+        assert op.metric(OperatorMetricName.N_FINAL_PUNCTS_PROCESSED).value == 1
+
+    def test_custom_metric_creation(self):
+        op, _ = make_operator_harness(CollectingOperator)
+        metric = op.create_custom_metric("nSpecial", MetricKind.GAUGE, "desc")
+        metric.set(5)
+        assert op.metric("nSpecial").value == 5
+
+
+class TestSubmission:
+    def test_submit_dict_wraps_tuple(self):
+        op, emitted = make_operator_harness(CollectingOperator)
+        op.submit({"a": 1})
+        port, item = emitted[0]
+        assert port == 0
+        assert isinstance(item, StreamTuple)
+        assert item["a"] == 1
+
+    def test_submit_existing_tuple_passthrough(self):
+        op, emitted = make_operator_harness(CollectingOperator)
+        tup = StreamTuple({"a": 1})
+        op.submit(tup)
+        assert emitted[0][1] is tup
+
+    def test_invalid_output_port_rejected(self):
+        op, _ = make_operator_harness(CollectingOperator)
+        with pytest.raises(GraphError):
+            op.submit({"a": 1}, port=5)
+        with pytest.raises(GraphError):
+            op.submit_punct(Punctuation.WINDOW, port=5)
+
+    def test_submit_final_hits_all_ports(self):
+        op, emitted = make_operator_harness(CollectingOperator, n_outputs=3)
+        op.submit_final()
+        assert emitted == [(0, Punctuation.FINAL), (1, Punctuation.FINAL),
+                           (2, Punctuation.FINAL)]
+
+
+class TestFinalPunctuation:
+    def test_final_on_all_ports_triggers_hook_and_forward(self):
+        op, emitted = make_operator_harness(CollectingOperator, n_inputs=2)
+        op._process(Punctuation.FINAL, 0)
+        assert op.finalized_called == 0
+        assert not op.is_finalized
+        op._process(Punctuation.FINAL, 1)
+        assert op.finalized_called == 1
+        assert op.is_finalized
+        assert (0, Punctuation.FINAL) in emitted
+
+    def test_duplicate_final_on_same_port_does_not_finalize(self):
+        op, _ = make_operator_harness(CollectingOperator, n_inputs=2)
+        op._process(Punctuation.FINAL, 0)
+        op._process(Punctuation.FINAL, 0)
+        assert not op.is_finalized
+
+    def test_no_processing_after_finalize(self):
+        op, _ = make_operator_harness(CollectingOperator, n_inputs=1)
+        op._process(Punctuation.FINAL, 0)
+        op._process(StreamTuple({"a": 1}), 0)
+        assert op.tuples == []
+
+    def test_forward_final_suppressed(self):
+        class Silent(CollectingOperator):
+            FORWARD_FINAL = False
+
+        op, emitted = make_operator_harness(Silent, n_inputs=1)
+        op._process(Punctuation.FINAL, 0)
+        assert op.finalized_called == 1
+        assert emitted == []
+
+
+class TestParams:
+    def test_param_default(self):
+        op, _ = make_operator_harness(CollectingOperator, params={"x": 5})
+        assert op.param("x") == 5
+        assert op.param("missing", "dflt") == "dflt"
+
+    def test_required_param_missing_raises(self):
+        op, _ = make_operator_harness(CollectingOperator)
+        with pytest.raises(GraphError):
+            op.param("required_thing")
+
+    def test_submission_time_values(self):
+        op, _ = make_operator_harness(
+            CollectingOperator, submission_params={"replica": "2"}
+        )
+        assert op.ctx.get_submission_time_value("replica") == "2"
+        assert op.ctx.get_submission_time_value("nope", "d") == "d"
+
+
+class TestControl:
+    def test_on_control_hook(self):
+        op, _ = make_operator_harness(CollectingOperator)
+        op.on_control("setThing", {"v": 1})
+        assert op.controls == [("setThing", {"v": 1})]

@@ -1,0 +1,131 @@
+"""Tests for tuple schemas and stream data items."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.spl.schema import ANY_SCHEMA, Attribute, TupleSchema
+from repro.spl.tuples import FinalMarker, Punctuation, StreamTuple, WindowMarker
+
+
+class TestSchema:
+    def test_of_constructor(self):
+        schema = TupleSchema.of(symbol=str, price=float)
+        assert schema.names == ("symbol", "price")
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(SchemaError):
+            TupleSchema([("a", int), ("a", str)])
+
+    def test_invalid_identifier_rejected(self):
+        with pytest.raises(SchemaError):
+            TupleSchema([("not valid", int)])
+
+    def test_unsupported_type_rejected(self):
+        with pytest.raises(SchemaError):
+            TupleSchema([("x", complex)])
+
+    def test_contains(self):
+        schema = TupleSchema.of(a=int)
+        assert "a" in schema
+        assert "b" not in schema
+
+    def test_len(self):
+        assert len(TupleSchema.of(a=int, b=str)) == 2
+
+    def test_attribute_lookup(self):
+        schema = TupleSchema.of(a=int)
+        assert schema.attribute("a") == Attribute("a", int)
+        with pytest.raises(SchemaError):
+            schema.attribute("missing")
+
+    def test_validate_accepts_matching(self):
+        schema = TupleSchema.of(symbol=str, price=float)
+        schema.validate({"symbol": "IBM", "price": 10.5})
+
+    def test_validate_int_widens_to_float(self):
+        TupleSchema.of(price=float).validate({"price": 10})
+
+    def test_validate_rejects_missing(self):
+        with pytest.raises(SchemaError):
+            TupleSchema.of(a=int).validate({})
+
+    def test_validate_rejects_wrong_type(self):
+        with pytest.raises(SchemaError):
+            TupleSchema.of(a=int).validate({"a": "str"})
+
+    def test_validate_rejects_extra(self):
+        with pytest.raises(SchemaError):
+            TupleSchema.of(a=int).validate({"a": 1, "b": 2})
+
+    def test_object_accepts_anything(self):
+        ANY_SCHEMA.validate({"payload": object()})
+
+    def test_equality_and_hash(self):
+        a = TupleSchema.of(x=int)
+        b = TupleSchema.of(x=int)
+        c = TupleSchema.of(x=float)
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != c
+
+
+class TestStreamTuple:
+    def test_item_access(self):
+        tup = StreamTuple({"a": 1, "b": "x"})
+        assert tup["a"] == 1
+        assert "b" in tup
+        assert tup.get("missing", 9) == 9
+
+    def test_with_values_copies(self):
+        tup = StreamTuple({"a": 1})
+        new = tup.with_values(a=2, b=3)
+        assert new["a"] == 2 and new["b"] == 3
+        assert tup["a"] == 1  # original untouched
+
+    def test_project(self):
+        tup = StreamTuple({"a": 1, "b": 2, "c": 3})
+        assert tup.project("a", "c").values == {"a": 1, "c": 3}
+
+    def test_equality_on_values(self):
+        assert StreamTuple({"a": 1}) == StreamTuple({"a": 1})
+        assert StreamTuple({"a": 1}) != StreamTuple({"a": 2})
+
+    def test_hashable(self):
+        assert len({StreamTuple({"a": 1}), StreamTuple({"a": 1})}) == 1
+
+    def test_size_estimate_positive_and_monotone(self):
+        small = StreamTuple({"a": 1})
+        big = StreamTuple({"a": 1, "text": "x" * 1000})
+        assert small.size_bytes >= StreamTuple.FRAME_OVERHEAD
+        assert big.size_bytes > small.size_bytes + 900
+
+    def test_size_estimate_covers_types(self):
+        tup = StreamTuple(
+            {
+                "i": 1,
+                "f": 1.5,
+                "b": True,
+                "s": "abc",
+                "by": b"xyz",
+                "l": [1, 2],
+                "d": {"k": 1},
+                "o": object(),
+            }
+        )
+        assert tup.size_bytes > StreamTuple.FRAME_OVERHEAD
+
+    def test_created_at_preserved_by_with_values(self):
+        tup = StreamTuple({"a": 1}, created_at=7.5)
+        assert tup.with_values(b=2).created_at == 7.5
+
+    def test_repr_contains_values(self):
+        assert "a=1" in repr(StreamTuple({"a": 1}))
+
+
+class TestPunctuation:
+    def test_markers(self):
+        assert WindowMarker is Punctuation.WINDOW
+        assert FinalMarker is Punctuation.FINAL
+
+    def test_two_kinds_only(self):
+        assert {p.value for p in Punctuation} == {"window", "final"}

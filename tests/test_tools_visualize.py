@@ -1,0 +1,93 @@
+"""Tests for the visualization tooling."""
+
+from repro.apps.figure2 import build_figure2_application
+from repro.tools import (
+    render_application_ascii,
+    render_application_dot,
+    render_deployment_ascii,
+    render_system_dot,
+)
+
+from tests.conftest import make_linear_app
+
+
+class TestApplicationViews:
+    def test_dot_contains_clusters_and_edges(self):
+        app = build_figure2_application()
+        dot = render_application_dot(app)
+        assert dot.startswith('digraph "Figure2"')
+        assert "cluster_0" in dot and "cluster_1" in dot
+        assert 'label="c1 : composite1"' in dot
+        assert '"op1" -> "c1.op3";' in dot
+        assert dot.count("->") == len(app.graph.edges)
+
+    def test_dot_is_deterministic(self):
+        a = render_application_dot(build_figure2_application())
+        b = render_application_dot(build_figure2_application())
+        assert a == b
+
+    def test_ascii_lists_all_operators(self):
+        app = build_figure2_application()
+        text = render_application_ascii(app)
+        for name in app.graph.operators:
+            assert name in text
+        assert "in c1" in text
+
+
+class TestDeploymentView:
+    def test_hosts_pes_operators(self, system):
+        job = system.submit_job(make_linear_app())
+        system.run_for(1.0)
+        text = render_deployment_ascii(job)
+        assert job.job_id in text
+        for pe in job.pes:
+            assert pe.pe_id in text
+            assert f"host {pe.host_name}" in text
+        assert "src" in text and "sink" in text
+
+    def test_reflects_pe_state(self, system):
+        job = system.submit_job(make_linear_app())
+        system.run_for(1.0)
+        job.pes[0].crash("x")
+        text = render_deployment_ascii(job)
+        assert "[crashed]" in text
+
+
+class TestSystemView:
+    def test_clusters_per_running_job(self, system):
+        system.submit_job(make_linear_app("A"))
+        system.submit_job(make_linear_app("B"))
+        system.run_for(1.0)
+        dot = render_system_dot(system)
+        assert "A (job_1)" in dot
+        assert "B (job_2)" in dot
+
+    def test_cancelled_jobs_hidden_by_default(self, system):
+        job = system.submit_job(make_linear_app("A"))
+        system.run_for(1.0)
+        system.cancel_job(job.job_id)
+        assert "job_1" not in render_system_dot(system)
+        assert "job_1" in render_system_dot(system, include_cancelled=True)
+
+    def test_import_export_edges_drawn(self, system):
+        from repro.spl.application import Application
+        from repro.spl.library import Beacon, Export, Import, Sink
+
+        producer = Application("Prod")
+        g = producer.graph
+        src = g.add_operator("src", Beacon)
+        exp = g.add_operator("exp", Export, params={"stream_id": "s"})
+        g.connect(src.oport(0), exp.iport(0))
+
+        consumer = Application("Cons")
+        g2 = consumer.graph
+        imp = g2.add_operator("imp", Import, params={"stream_id": "s"})
+        sink = g2.add_operator("sink", Sink)
+        g2.connect(imp.oport(0), sink.iport(0))
+
+        system.submit_job(producer)
+        system.submit_job(consumer)
+        system.run_for(1.0)
+        dot = render_system_dot(system)
+        assert '"job_1.exp" -> "job_2.imp"' in dot
+        assert "dashed" in dot
