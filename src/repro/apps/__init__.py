@@ -8,6 +8,9 @@
   applications of Sec. 5.3 (on-demand dynamic composition);
 * :mod:`repro.apps.figure2` — the split/merge composite application of
   Figs. 2-3;
+* :mod:`repro.apps.elastic_trend` — the auto-scaling trend application
+  built on elastic parallel regions (:mod:`repro.elastic`), with an
+  orchestrator that widens/narrows the analytics region at runtime;
 * :mod:`repro.apps.orchestrators` — the three ORCA logics as library code;
 * :mod:`repro.apps.workloads` — seeded synthetic workload generators that
   stand in for the paper's Twitter/MySpace/stock feeds;

@@ -1,0 +1,267 @@
+"""Elastic Trend: an auto-scaling variant of the Sec. 5.2 trend calculator.
+
+The trade feed fans into a **parallel region** of per-symbol analytics
+workers, partitioned by symbol so each worker owns its symbols' state.
+Each worker is deliberately rate-limited (a fixed per-channel service
+rate stands in for CPU-bound analytics), so a feed that outpaces
+``width x rate`` builds worker backlog — the exact overload situation the
+paper's Sec. 1 motivates, answered here with *fission* instead of load
+shedding: an ORCA orchestrator subscribes to ``channel_congested`` events
+and widens the region live, with zero tuple loss.
+
+::
+
+                     +-> work__c0 (rate r) -+
+    feed -> analytics__split                 -> analytics__merge -> out
+                     +-> work__c1 (rate r) -+
+
+:class:`AutoScalingTrendOrchestrator` demonstrates the full ORCA loop for
+elasticity: scope registration (:class:`ParallelRegionScope`), scale-out
+on congestion events, optional policy-driven scale-in on a periodic
+timer, and width inspection through the service API.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.orca.contexts import (
+    ChannelCongestedContext,
+    RegionRescaledContext,
+    TimerContext,
+)
+from repro.orca.orchestrator import Orchestrator
+from repro.orca.scopes import ParallelRegionScope, TimerScope
+from repro.elastic.policy import ScalingPolicy
+from repro.spl.application import Application
+from repro.spl.library import Beacon, Functor, Sink, Throttle
+from repro.spl.metrics import MetricKind
+from repro.spl.operators import OperatorContext
+from repro.spl.parallel import parallel
+from repro.spl.tuples import StreamTuple
+
+REGION = "analytics"
+DEFAULT_SYMBOLS = ("IBM", "AAPL", "MSFT", "ORCL", "HPQ", "GOOG")
+
+
+class TrendWorker(Throttle):
+    """Rate-limited per-symbol trend analytics (one parallel channel).
+
+    A :class:`~repro.spl.library.Throttle` whose drain hook computes
+    per-symbol count/mean/min/max: it serves at most ``rate`` tuples per
+    second, buffering the excess (the inherited ``nBuffered`` gauge is the
+    region's congestion metric), holds FINAL until the buffer is empty,
+    and reports its backlog to the elastic drain barrier.  The ``_pseq``
+    stamp of the region's splitter is propagated onto the output so the
+    order-preserving merger can restore global order.
+
+    Statistics are **channel-local**: re-parallelizing the region remaps
+    symbols across channels (hash % width), and a symbol landing on a new
+    channel restarts its running stats — the same state-loss trade-off the
+    paper makes for crash recovery (Sec. 5.2: no checkpointing, windows
+    refill).  Cross-rescale state migration is future work (ROADMAP).
+    """
+
+    def __init__(self, ctx: OperatorContext) -> None:
+        ctx.params.setdefault("rate", 25.0)
+        super().__init__(ctx)
+        #: symbol -> (count, total, minimum, maximum)
+        self._stats: Dict[str, Tuple[int, float, float, float]] = {}
+        self.n_analyzed = self.create_custom_metric(
+            "nAnalyzed", MetricKind.COUNTER, "trades fully analyzed"
+        )
+
+    def process(self, tup: StreamTuple) -> Dict[str, Any]:
+        symbol = tup["symbol"]
+        price = float(tup["price"])
+        count, total, minimum, maximum = self._stats.get(
+            symbol, (0, 0.0, price, price)
+        )
+        count += 1
+        total += price
+        minimum = min(minimum, price)
+        maximum = max(maximum, price)
+        self._stats[symbol] = (count, total, minimum, maximum)
+        self.n_analyzed.increment()
+        out: Dict[str, Any] = {
+            "symbol": symbol,
+            "price": price,
+            "seq": tup.get("seq"),
+            "avg": total / count,
+            "min": minimum,
+            "max": maximum,
+            "trades": count,
+            "channel": self.ctx.full_name,
+        }
+        if "_pseq" in tup:
+            out["_pseq"] = tup["_pseq"]  # keep the merger's ordering stamp
+        return out
+
+
+def build_elastic_trend_application(
+    width: int = 1,
+    max_width: int = 8,
+    worker_rate: float = 20.0,
+    feed_rate: float = 60.0,
+    limit: Optional[int] = None,
+    congestion_threshold: float = 15.0,
+    symbols: Tuple[str, ...] = DEFAULT_SYMBOLS,
+    app_name: str = "ElasticTrend",
+) -> Application:
+    """Assemble the elastic trend application.
+
+    ``feed_rate`` is the trade arrival rate (tuples/second); each worker
+    channel serves ``worker_rate`` tuples/second, so sustained operation
+    needs ``width >= feed_rate / worker_rate`` — the auto-scaling
+    orchestrator discovers that width at runtime from congestion events.
+    Every trade carries a unique ``seq`` so sinks can verify exactly-once
+    delivery across rescales.
+    """
+    app = Application(app_name)
+    g = app.graph
+    per_tick = max(1, int(feed_rate // 10))
+    feed = g.add_operator(
+        "feed",
+        Beacon,
+        params={
+            "values": {},
+            "per_tick": per_tick,
+            "period": per_tick / feed_rate,
+            "limit": limit,
+        },
+        partition="feed",
+    )
+    trades = g.add_operator(
+        "trades",
+        Functor,
+        params={
+            "fn": lambda t: {
+                "seq": t["iter"],
+                "symbol": symbols[t["iter"] % len(symbols)],
+                "price": 100.0 + (t["iter"] * 7 % 40) / 4.0,
+            }
+        },
+        partition="feed",
+    )
+    work = g.add_operator(
+        "work",
+        TrendWorker,
+        params={"rate": worker_rate},
+        parallel=parallel(
+            width=width,
+            partition_by="symbol",
+            name=REGION,
+            max_width=max_width,
+            congestion_metric="nBuffered",
+            congestion_threshold=congestion_threshold,
+        ),
+    )
+    out = g.add_operator("out", Sink, partition="out")
+    g.connect(feed.oport(0), trades.iport(0))
+    g.connect(trades.oport(0), work.iport(0))
+    g.connect(work.oport(0), out.iport(0))
+    return app
+
+
+class AutoScalingTrendOrchestrator(Orchestrator):
+    """ORCA logic that drives the region's elasticity.
+
+    * On start: registers one :class:`ParallelRegionScope` for the region
+      (both ``channel_congested`` and ``region_rescaled``), optionally a
+      periodic scale-in timer, and submits the application.
+    * On ``channel_congested``: widens the region by one channel (up to
+      ``max_width``), guarding against overlapping rescales.
+    * On ``region_rescaled``: records the transition and re-reads the
+      width through the inspection API.
+    * On the timer (when a ``scale_in_policy`` is given): builds a
+      :class:`~repro.elastic.policy.RegionObservation` from the service's
+      per-channel backlog inspection and applies the policy's decision —
+      the timer path only ever narrows the region; widening stays
+      event-driven for fast reaction.
+    """
+
+    SCALE_IN_TIMER = "scale-in-check"
+
+    def __init__(
+        self,
+        app_name: str = "ElasticTrend",
+        region: str = REGION,
+        max_width: int = 8,
+        scale_in_policy: Optional[ScalingPolicy] = None,
+        scale_in_period: float = 60.0,
+    ) -> None:
+        super().__init__()
+        self.app_name = app_name
+        self.region = region
+        self.max_width = max_width
+        self.scale_in_policy = scale_in_policy
+        self.scale_in_period = scale_in_period
+        self.job_id: Optional[str] = None
+        self.rescaling = False
+        #: (old_width, new_width, epoch) per completed rescale
+        self.rescale_history: List[Tuple[int, int, int]] = []
+        #: (requested_width, error) per failed rescale attempt
+        self.failed_rescales: List[Tuple[int, Optional[str]]] = []
+        #: width as re-read through ParallelRegionScope inspection
+        self.observed_width: Optional[int] = None
+        self.congestion_events = 0
+
+    def handleOrcaStart(self, context) -> None:  # noqa: N802
+        scope = ParallelRegionScope("elastic-region")
+        scope.addApplicationFilter(self.app_name)
+        scope.addRegionFilter(self.region)
+        self.orca.registerEventScope(scope)
+        if self.scale_in_policy is not None:
+            self.orca.registerEventScope(
+                TimerScope("elastic-timer").addTimerFilter(self.SCALE_IN_TIMER)
+            )
+            self.orca.create_timer(
+                self.scale_in_period,
+                periodic=True,
+                timer_id=self.SCALE_IN_TIMER,
+            )
+        job = self.orca.submit_application(self.app_name)
+        self.job_id = job.job_id
+        self.observed_width = self.orca.channel_width(self.job_id, self.region)
+
+    def handleChannelCongestedEvent(  # noqa: N802
+        self, context: ChannelCongestedContext, scopes: List[str]
+    ) -> None:
+        self.congestion_events += 1
+        if self.rescaling or context.job_id != self.job_id:
+            return
+        width = self.orca.channel_width(self.job_id, self.region)
+        if width >= self.max_width:
+            return
+        self.rescaling = True
+        self.orca.set_channel_width(self.job_id, self.region, width + 1)
+
+    def handleRegionRescaledEvent(  # noqa: N802
+        self, context: RegionRescaledContext, scopes: List[str]
+    ) -> None:
+        # Always release the in-flight guard — a failed rescale (drain
+        # timeout, unplaceable channel) must not wedge auto-scaling forever.
+        self.rescaling = False
+        if not context.succeeded:
+            self.failed_rescales.append((context.new_width, context.error))
+            return
+        self.rescale_history.append(
+            (context.old_width, context.new_width, context.epoch)
+        )
+        self.observed_width = self.orca.channel_width(self.job_id, self.region)
+
+    def handleTimerEvent(  # noqa: N802
+        self, context: TimerContext, scopes: List[str]
+    ) -> None:
+        if (
+            self.scale_in_policy is None
+            or self.rescaling
+            or self.job_id is None
+            or not self.orca.job_is_running(self.job_id)
+        ):
+            return
+        observation = self.orca.region_observation(self.job_id, self.region)
+        target = self.scale_in_policy.decide(observation)
+        if target is not None and target < observation.width:
+            self.rescaling = True
+            self.orca.set_channel_width(self.job_id, self.region, target)

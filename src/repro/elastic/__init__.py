@@ -1,0 +1,38 @@
+"""Elastic parallel regions: consistent live re-parallelization.
+
+This package is the runtime-adaptation counterpart of
+:mod:`repro.spl.parallel`: where the spl layer *compiles* an annotated
+operator chain into N data-parallel channels, this layer *changes* N while
+the job keeps running — the single most common adaptation routine in
+practice (Röger & Mayer's elasticity survey, PAPERS.md), and the one the
+paper's ORCA orchestrators could observe but never actuate.
+
+* :class:`~repro.elastic.controller.ElasticController` — the
+  re-parallelization protocol: quiesce the region's splitter on an epoch
+  barrier (Fries-style, reusing the epoch counters of
+  :mod:`repro.orca.epochs`), drain every in-flight and buffered tuple into
+  the merger, rewire channels (logical graph + compiled plan + live PEs),
+  and resume.  Tuple-loss-free by construction: nothing is dropped, only
+  held at the barrier.
+* :mod:`~repro.elastic.policy` — pluggable :class:`ScalingPolicy`
+  implementations (queue-size watermarks, throughput targets) that ORCA
+  logic can consult to decide target widths.
+"""
+
+from repro.elastic.controller import ElasticController, RescaleOperation, RescaleState
+from repro.elastic.policy import (
+    QueueSizeScalingPolicy,
+    RegionObservation,
+    ScalingPolicy,
+    ThroughputScalingPolicy,
+)
+
+__all__ = [
+    "ElasticController",
+    "QueueSizeScalingPolicy",
+    "RegionObservation",
+    "RescaleOperation",
+    "RescaleState",
+    "ScalingPolicy",
+    "ThroughputScalingPolicy",
+]

@@ -1,0 +1,422 @@
+"""The elastic re-parallelization protocol.
+
+Changing the channel width of a running parallel region must not lose,
+duplicate, or reorder tuples.  The controller achieves this with the
+epoch-aligned barrier protocol of Fries-style live reconfiguration
+(Wang et al., PAPERS.md), mapped onto this repo's epoch machinery
+(:class:`repro.orca.epochs.MetricEpochCounter` serves as the
+reconfiguration epoch clock):
+
+1. **Quiesce** — the region's splitter is told to stop forwarding; new
+   arrivals are buffered at the barrier.  Everything the splitter already
+   forwarded belongs to the closing epoch.
+2. **Drain** — the controller polls until the closing epoch has fully
+   flowed out of the region: no tuple in flight on the transport toward
+   any channel operator or the merger, no tuple in any channel operator's
+   internal buffer, no tuple waiting in the merger's reorder buffer.
+3. **Rewire** — with the region provably empty, channels are added or
+   removed: logical graph surgery (:func:`repro.spl.parallel.resize_region`),
+   compiled-plan surgery (PE specs, placement, inter/intra edges), live
+   runtime changes (SAM places + starts new channel PEs / stops removed
+   ones), and route rebuilds on the surviving PEs.
+4. **Resume** — the splitter installs the new width, the epoch counter
+   advances, and the tuples buffered at the barrier flush through the new
+   routing as the first tuples of the new epoch.
+
+Because tuples are only ever *held* (at the splitter) or *delivered*
+(downstream) — never discarded — a rescale is tuple-loss-free by
+construction; the sequence stamps of an ordered region additionally keep
+global order across the barrier.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Set, Tuple, Union
+
+from repro.errors import ElasticError
+from repro.orca.epochs import MetricEpochCounter
+from repro.sim.kernel import Kernel
+from repro.spl.compiler import CompiledApplication, PESpec
+from repro.spl.graph import OperatorSpec
+from repro.spl.parallel import ParallelRegionPlan, resize_region
+from repro.runtime.job import Job, JobState
+from repro.runtime.pe import PEState
+from repro.runtime.transport import Transport
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.runtime.sam import SAM
+
+
+class RescaleState(enum.Enum):
+    DRAINING = "draining"
+    REWIRING = "rewiring"
+    COMPLETED = "completed"
+    FAILED = "failed"
+    NOOP = "noop"
+
+
+@dataclass
+class RescaleOperation:
+    """One set_channel_width() request and its progress through the protocol."""
+
+    job_id: str
+    region: str
+    old_width: int
+    new_width: int
+    state: RescaleState
+    started_at: float
+    completed_at: Optional[float] = None
+    #: reconfiguration epoch assigned when the region resumed
+    epoch: int = 0
+    #: drain-poll rounds before the barrier was clean
+    drain_polls: int = 0
+    error: Optional[str] = None
+    #: PE ids created / removed by the rewire step
+    added_pe_ids: List[str] = field(default_factory=list)
+    removed_pe_ids: List[str] = field(default_factory=list)
+
+    @property
+    def duration(self) -> float:
+        if self.completed_at is None:
+            return 0.0
+        return self.completed_at - self.started_at
+
+
+class ElasticController:
+    """Executes live channel-width changes for parallel regions."""
+
+    def __init__(
+        self,
+        sam: "SAM",
+        transport: Transport,
+        kernel: Kernel,
+        drain_poll_interval: float = 0.05,
+        drain_timeout: float = 60.0,
+    ) -> None:
+        self.sam = sam
+        self.transport = transport
+        self.kernel = kernel
+        self.drain_poll_interval = drain_poll_interval
+        self.drain_timeout = drain_timeout
+        #: reconfiguration epoch clock (shared across all regions, like the
+        #: ORCA service's metric epoch: one monotone logical clock)
+        self.epochs = MetricEpochCounter()
+        self.history: List[RescaleOperation] = []
+        self._active: Dict[Tuple[str, str], RescaleOperation] = {}
+
+    # -- public API --------------------------------------------------------------
+
+    def rescale_in_progress(self, job_id: str, region: str) -> bool:
+        return (job_id, region) in self._active
+
+    def set_channel_width(
+        self,
+        job: Union[Job, str],
+        region: str,
+        new_width: int,
+        on_complete: Optional[Callable[[RescaleOperation], None]] = None,
+    ) -> RescaleOperation:
+        """Start the rescale protocol; returns the tracking operation.
+
+        The protocol itself runs asynchronously on the simulation kernel
+        (quiesce now, drain over the following instants, rewire + resume
+        when the barrier is clean); ``on_complete`` fires when the region
+        has resumed (state COMPLETED) or the protocol gave up (FAILED).
+        """
+        if isinstance(job, str):
+            job = self.sam.get_job(job)
+        plan = job.compiled.parallel_regions.get(region)
+        if plan is None:
+            raise ElasticError(
+                f"job {job.job_id}: no parallel region {region!r} "
+                f"(has {sorted(job.compiled.parallel_regions)})"
+            )
+        if new_width < 1 or new_width > plan.max_width:
+            raise ElasticError(
+                f"region {region!r}: width {new_width} outside [1, {plan.max_width}]"
+            )
+        if job.state is not JobState.RUNNING:
+            raise ElasticError(f"job {job.job_id} is not running")
+        key = (job.job_id, region)
+        if key in self._active:
+            raise ElasticError(
+                f"region {region!r} of job {job.job_id} is already rescaling"
+            )
+        op = RescaleOperation(
+            job_id=job.job_id,
+            region=region,
+            old_width=plan.width,
+            new_width=new_width,
+            state=RescaleState.NOOP,
+            started_at=self.kernel.now,
+        )
+        if new_width == plan.width:
+            op.completed_at = self.kernel.now
+            self.history.append(op)
+            return op
+        if new_width < plan.width:
+            self._check_removable(job, plan, new_width)
+        splitter_pe = job.pe_of_operator(plan.splitter)
+        if splitter_pe.state is not PEState.RUNNING:
+            raise ElasticError(
+                f"region {region!r}: splitter PE {splitter_pe.pe_id} is not running"
+            )
+        self._active[key] = op
+        op.state = RescaleState.DRAINING
+        splitter_pe.send_control(plan.splitter, "quiesce", {})
+        self.kernel.schedule(
+            self.drain_poll_interval,
+            self._poll_drain,
+            job,
+            plan,
+            op,
+            on_complete,
+            label=f"elastic-drain-{job.job_id}-{region}",
+        )
+        return op
+
+    # -- drain barrier -----------------------------------------------------------
+
+    def _check_removable(self, job: Job, plan: ParallelRegionPlan, new_width: int) -> None:
+        """Scale-in precondition: doomed channels must own their PEs alone.
+
+        With the default ``manual`` compile strategy this always holds (the
+        per-channel partition tags isolate channels); a ``fuse_all`` or
+        ``balanced`` compilation may have packed channel operators together
+        with foreign operators, in which case removing the channel would
+        require evicting live operators from a shared process — refused.
+        """
+        doomed: Set[str] = {
+            name for ops in plan.channel_ops[new_width:] for name in ops
+        }
+        for name in doomed:
+            pe = job.pe_of_operator(name)
+            foreign = [o for o in pe.spec.operators if o not in doomed]
+            if foreign:
+                raise ElasticError(
+                    f"cannot remove channel operator {name!r}: its PE also "
+                    f"hosts {foreign} (recompile with strategy='manual')"
+                )
+
+    def _region_backlog(self, job: Job, plan: ParallelRegionPlan) -> int:
+        """Tuples still inside the region: in flight, buffered, or reordering."""
+        backlog = 0
+        names = plan.all_channel_operators() + [plan.merger]
+        for name in names:
+            pe = job.pe_of_operator(name)
+            if pe.state is not PEState.RUNNING:
+                continue  # a crashed channel cannot hold tuples
+            operator = pe.operators.get(name)
+            n_inputs = operator.n_inputs if operator is not None else 1
+            for port in range(n_inputs):
+                backlog += self.transport.queue_size(pe.pe_id, name, port)
+            if operator is not None:
+                backlog += operator.pending_items()
+        return backlog
+
+    def _poll_drain(
+        self,
+        job: Job,
+        plan: ParallelRegionPlan,
+        op: RescaleOperation,
+        on_complete: Optional[Callable[[RescaleOperation], None]],
+    ) -> None:
+        if job.state is not JobState.RUNNING:
+            self._fail(job, plan, op, on_complete, "job left RUNNING during drain")
+            return
+        op.drain_polls += 1
+        if self._region_backlog(job, plan) == 0:
+            self._rewire_and_resume(job, plan, op, on_complete)
+            return
+        if self.kernel.now - op.started_at > self.drain_timeout:
+            self._fail(
+                job,
+                plan,
+                op,
+                on_complete,
+                f"drain did not complete within {self.drain_timeout}s",
+            )
+            return
+        self.kernel.schedule(
+            self.drain_poll_interval,
+            self._poll_drain,
+            job,
+            plan,
+            op,
+            on_complete,
+            label=f"elastic-drain-{job.job_id}-{plan.name}",
+        )
+
+    def _fail(
+        self,
+        job: Job,
+        plan: ParallelRegionPlan,
+        op: RescaleOperation,
+        on_complete: Optional[Callable[[RescaleOperation], None]],
+        reason: str,
+    ) -> None:
+        op.state = RescaleState.FAILED
+        op.error = reason
+        op.completed_at = self.kernel.now
+        self._active.pop((op.job_id, op.region), None)
+        self.history.append(op)
+        # Resume the splitter at the old width so the region keeps flowing.
+        if job.state is JobState.RUNNING:
+            splitter_pe = job.pe_of_operator(plan.splitter)
+            if splitter_pe.state is PEState.RUNNING:
+                splitter_pe.send_control(plan.splitter, "resume", {})
+        if on_complete is not None:
+            on_complete(op)
+
+    # -- rewire ------------------------------------------------------------------
+
+    def _rewire_and_resume(
+        self,
+        job: Job,
+        plan: ParallelRegionPlan,
+        op: RescaleOperation,
+        on_complete: Optional[Callable[[RescaleOperation], None]],
+    ) -> None:
+        op.state = RescaleState.REWIRING
+        compiled = job.compiled
+        graph = compiled.application.graph
+        try:
+            added_specs, removed_names = resize_region(graph, plan, op.new_width)
+
+            # Physical plan surgery, then live PE set changes.
+            removed_pe_ids = self._shrink_compiled(job, compiled, removed_names)
+            new_pe_specs = self._extend_compiled(compiled, added_specs)
+            self._recompute_edge_split(compiled)
+            if removed_pe_ids:
+                self.sam.remove_pes(job.job_id, removed_pe_ids)
+                op.removed_pe_ids = removed_pe_ids
+            if new_pe_specs:
+                try:
+                    added_pes = self.sam.add_pes(job.job_id, new_pe_specs)
+                except Exception:
+                    # No runtimes were created: undo the logical and
+                    # physical plan surgery so the region is exactly as it
+                    # was, then fail the operation (the splitter resumes at
+                    # the old width and the job keeps flowing).
+                    self._rollback_scale_out(job, compiled, plan, op.old_width)
+                    raise
+                op.added_pe_ids = [pe.pe_id for pe in added_pes]
+            for pe in job.pes:
+                if pe.state is PEState.RUNNING:
+                    pe.rebuild_routes()
+
+            # Live operator updates: merger first (its ports must exist
+            # before the splitter routes to them), then the splitter resumes
+            # and the barrier buffer flushes into the new epoch.
+            merger_pe = job.pe_of_operator(plan.merger)
+            merger_pe.send_control(plan.merger, "setWidth", {"width": op.new_width})
+            op.epoch = self.epochs.next()
+            splitter_pe = job.pe_of_operator(plan.splitter)
+            splitter_pe.send_control(
+                plan.splitter, "resume", {"width": op.new_width, "epoch": op.epoch}
+            )
+        except Exception as exc:
+            # Never let a rewire error escape into the kernel: the splitter
+            # must be resumed or the region would buffer forever.
+            self._fail(job, plan, op, on_complete, f"rewire failed: {exc}")
+            return
+
+        op.state = RescaleState.COMPLETED
+        op.completed_at = self.kernel.now
+        self._active.pop((op.job_id, op.region), None)
+        self.history.append(op)
+        if on_complete is not None:
+            on_complete(op)
+
+    def _rollback_scale_out(
+        self,
+        job: Job,
+        compiled: CompiledApplication,
+        plan: ParallelRegionPlan,
+        old_width: int,
+    ) -> None:
+        """Undo a scale-out whose new channels could not be placed."""
+        graph = compiled.application.graph
+        _, removed_names = resize_region(graph, plan, old_width)
+        self._shrink_compiled(job, compiled, removed_names)
+        self._recompute_edge_split(compiled)
+
+    def _shrink_compiled(
+        self, job: Job, compiled: CompiledApplication, removed_names: List[str]
+    ) -> List[str]:
+        """Drop removed operators from the physical plan; return doomed PE ids."""
+        if not removed_names:
+            return []
+        doomed = set(removed_names)
+        removed_indices = {compiled.placement[name] for name in doomed}
+        removed_pe_ids = [
+            pe.pe_id for pe in job.pes if pe.index in removed_indices
+        ]
+        compiled.pes = [pe for pe in compiled.pes if pe.index not in removed_indices]
+        for name in doomed:
+            del compiled.placement[name]
+        return removed_pe_ids
+
+    def _extend_compiled(
+        self, compiled: CompiledApplication, added_specs: List[OperatorSpec]
+    ) -> List[PESpec]:
+        """Build PE specs for newly added channel operators.
+
+        Mirrors the compiler's ``manual`` grouping: operators sharing a
+        partition tag fuse into one PE; untagged operators get singleton
+        PEs.  Channel tags are suffixed per channel, so fusion never
+        crosses channels.
+        """
+        if not added_specs:
+            return []
+        by_tag: Dict[str, List[OperatorSpec]] = {}
+        groups: List[List[OperatorSpec]] = []
+        for spec in added_specs:
+            if spec.partition is not None:
+                group = by_tag.get(spec.partition)
+                if group is None:
+                    group = []
+                    by_tag[spec.partition] = group
+                    groups.append(group)
+                group.append(spec)
+            else:
+                groups.append([spec])
+        next_index = max((pe.index for pe in compiled.pes), default=0) + 1
+        new_pe_specs: List[PESpec] = []
+        for group in groups:
+            pool = next(
+                (s.host_pool for s in group if s.host_pool is not None), None
+            )
+            pe_spec = PESpec(
+                index=next_index,
+                operators=[s.full_name for s in group],
+                host_pool=pool,
+                host_exlocations={
+                    s.host_exlocation for s in group if s.host_exlocation is not None
+                },
+                host_colocations={
+                    s.host_colocation for s in group if s.host_colocation is not None
+                },
+            )
+            next_index += 1
+            compiled.pes.append(pe_spec)
+            for spec in group:
+                compiled.placement[spec.full_name] = pe_spec.index
+            new_pe_specs.append(pe_spec)
+        return new_pe_specs
+
+    @staticmethod
+    def _recompute_edge_split(compiled: CompiledApplication) -> None:
+        inter, intra = [], []
+        for edge in compiled.application.graph.edges:
+            if (
+                compiled.placement[edge.src.full_name]
+                == compiled.placement[edge.dst.full_name]
+            ):
+                intra.append(edge)
+            else:
+                inter.append(edge)
+        compiled.inter_pe_edges = inter
+        compiled.intra_pe_edges = intra

@@ -1,0 +1,121 @@
+"""Pluggable scaling policies for parallel regions.
+
+A policy is a pure decision function: given a :class:`RegionObservation`
+(current width, per-channel backlog, optional throughput) it returns the
+desired channel width, or ``None`` when no change is warranted.  Policies
+never actuate; the caller (typically ORCA logic reacting to a timer or a
+``channel_congested`` event) passes the decision to
+``set_channel_width()``.  Keeping policies side-effect-free makes them
+trivially unit-testable and composable.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+
+@dataclass
+class RegionObservation:
+    """One region's state at observation time."""
+
+    job_id: str
+    region: str
+    width: int
+    #: channel index -> aggregated congestion-metric value of that channel
+    channel_backlogs: Dict[int, float] = field(default_factory=dict)
+    #: region-wide output rate (tuples/second), when the caller tracked one
+    throughput: Optional[float] = None
+    time: float = 0.0
+
+    @property
+    def max_backlog(self) -> float:
+        return max(self.channel_backlogs.values()) if self.channel_backlogs else 0.0
+
+    @property
+    def total_backlog(self) -> float:
+        return sum(self.channel_backlogs.values())
+
+
+class ScalingPolicy:
+    """Base class: maps an observation to a desired width (or None)."""
+
+    def decide(self, observation: RegionObservation) -> Optional[int]:
+        raise NotImplementedError
+
+    def _clamp(self, width: int, lo: int, hi: int) -> int:
+        return max(lo, min(hi, width))
+
+
+class QueueSizeScalingPolicy(ScalingPolicy):
+    """Watermark policy on per-channel backlog.
+
+    Scale out by ``step`` when any channel's backlog exceeds
+    ``high_watermark``; scale in by ``step`` when *every* channel's backlog
+    is at or below ``low_watermark``.  The dead band between the two
+    watermarks prevents oscillation.
+    """
+
+    def __init__(
+        self,
+        high_watermark: float = 10.0,
+        low_watermark: float = 1.0,
+        min_width: int = 1,
+        max_width: int = 8,
+        step: int = 1,
+    ) -> None:
+        if low_watermark > high_watermark:
+            raise ValueError("low_watermark must not exceed high_watermark")
+        if step < 1:
+            raise ValueError("step must be >= 1")
+        self.high_watermark = high_watermark
+        self.low_watermark = low_watermark
+        self.min_width = min_width
+        self.max_width = max_width
+        self.step = step
+
+    def decide(self, observation: RegionObservation) -> Optional[int]:
+        width = observation.width
+        if observation.max_backlog > self.high_watermark:
+            target = self._clamp(width + self.step, self.min_width, self.max_width)
+        elif observation.channel_backlogs and observation.max_backlog <= self.low_watermark:
+            target = self._clamp(width - self.step, self.min_width, self.max_width)
+        else:
+            return None
+        return target if target != width else None
+
+
+class ThroughputScalingPolicy(ScalingPolicy):
+    """Capacity policy: width = ceil(observed throughput / per-channel target).
+
+    ``headroom`` inflates the demand estimate so the region is sized with
+    spare capacity (1.2 = 20% slack).
+    """
+
+    def __init__(
+        self,
+        target_per_channel: float,
+        min_width: int = 1,
+        max_width: int = 8,
+        headroom: float = 1.0,
+    ) -> None:
+        if target_per_channel <= 0:
+            raise ValueError("target_per_channel must be positive")
+        if headroom < 1.0:
+            raise ValueError("headroom must be >= 1.0")
+        self.target_per_channel = target_per_channel
+        self.min_width = min_width
+        self.max_width = max_width
+        self.headroom = headroom
+
+    def decide(self, observation: RegionObservation) -> Optional[int]:
+        if observation.throughput is None:
+            return None
+        demand = observation.throughput * self.headroom
+        target = self._clamp(
+            max(1, math.ceil(demand / self.target_per_channel)),
+            self.min_width,
+            self.max_width,
+        )
+        return target if target != observation.width else None

@@ -47,6 +47,10 @@ class ADLError(SPLError):
     """Malformed ADL document (serialization or parsing)."""
 
 
+class ParallelRegionError(SPLError):
+    """Invalid parallel-region annotation or expansion (bad chain, width...)."""
+
+
 # ---------------------------------------------------------------------------
 # Runtime (System S) errors
 # ---------------------------------------------------------------------------
@@ -82,6 +86,10 @@ class UnknownHostError(RuntimeFault):
 
 class PEControlError(RuntimeFault):
     """An invalid PE lifecycle operation (e.g. restarting a running PE)."""
+
+
+class ElasticError(RuntimeFault):
+    """A parallel-region rescale could not be started or completed."""
 
 
 # ---------------------------------------------------------------------------

@@ -11,6 +11,7 @@ An orchestrator has two halves (Sec. 3):
 """
 
 from repro.orca.contexts import (
+    ChannelCongestedContext,
     HostFailureContext,
     JobCancellationContext,
     JobSubmissionContext,
@@ -19,6 +20,7 @@ from repro.orca.contexts import (
     OrcaStartContext,
     PEFailureContext,
     PEMetricContext,
+    RegionRescaledContext,
     TimerContext,
     UserEventContext,
 )
@@ -31,6 +33,7 @@ from repro.orca.scopes import (
     JobSubmissionScope,
     OperatorMetricScope,
     OperatorPortMetricScope,
+    ParallelRegionScope,
     PEFailureScope,
     PEMetricScope,
     TimerScope,
@@ -45,6 +48,7 @@ __all__ = [
     "RuleOrchestrator",
     "when",
     "AppConfig",
+    "ChannelCongestedContext",
     "HostFailureContext",
     "HostFailureScope",
     "JobCancellationContext",
@@ -60,10 +64,12 @@ __all__ = [
     "OrcaDescriptor",
     "OrcaService",
     "OrcaStartContext",
+    "ParallelRegionScope",
     "PEFailureContext",
     "PEFailureScope",
     "PEMetricContext",
     "PEMetricScope",
+    "RegionRescaledContext",
     "TimerContext",
     "TimerScope",
     "UserEventContext",

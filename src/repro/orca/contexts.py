@@ -141,6 +141,50 @@ class JobCancellationContext:
 
 
 @dataclass(frozen=True)
+class ChannelCongestedContext:
+    """One channel of a parallel region exceeded its congestion threshold.
+
+    Produced during the SRM metric poll: the region's congestion metric is
+    aggregated per channel over the channel's operators; channels above the
+    region's threshold raise this event (one event per congested channel,
+    all sharing the poll's metric epoch, so handlers can reason about
+    simultaneity exactly as with Fig. 6's metric events).
+    """
+
+    job_id: str
+    app_name: str
+    region: str
+    channel: int  #: congested channel index
+    value: float  #: aggregated congestion-metric value of the channel
+    threshold: float
+    metric: str  #: the region's congestion metric name
+    width: int  #: region width at observation time
+    epoch: int  #: metric epoch of the poll that observed the congestion
+    time: float
+
+
+@dataclass(frozen=True)
+class RegionRescaledContext:
+    """A parallel region finished a live re-parallelization attempt.
+
+    Delivered for failed attempts too (``succeeded=False``, e.g. a drain
+    timeout or an unplaceable channel): the region then still runs at
+    ``old_width`` and the ORCA logic can retry, alert, or back off.
+    """
+
+    job_id: str
+    app_name: str
+    region: str
+    old_width: int
+    new_width: int  #: the *requested* width; actual width on failure is old_width
+    epoch: int  #: reconfiguration epoch assigned at the resume barrier (0 on failure)
+    duration: float  #: seconds from quiesce to resume
+    time: float
+    succeeded: bool = True
+    error: Optional[str] = None  #: failure reason when succeeded is False
+
+
+@dataclass(frozen=True)
 class TimerContext:
     """A timer created through the ORCA service expired."""
 

@@ -28,6 +28,29 @@ class OrcaEvent:
     scope_keys: List[str] = field(default_factory=list)
     txn_id: int = 0
     enqueued_at: float = 0.0
+    delivered_at: Optional[float] = None
+
+    @property
+    def queue_latency(self) -> Optional[float]:
+        """Seconds the event waited in the queue (None until delivered)."""
+        if self.delivered_at is None:
+            return None
+        return self.delivered_at - self.enqueued_at
+
+
+@dataclass(frozen=True)
+class QueueLatencyStats:
+    """Aggregate queue-wait statistics over all delivered events.
+
+    One-at-a-time delivery (Sec. 4.2) means a slow handler delays every
+    queued event behind it; these numbers make that head-of-line blocking
+    observable through the ORCA service inspection API.
+    """
+
+    delivered: int
+    mean: float
+    maximum: float
+    last: float
 
 
 class EventQueue:
@@ -38,6 +61,9 @@ class EventQueue:
         self._next_txn = 1
         self.delivered_count = 0
         self.dropped_count = 0
+        self.total_queue_latency = 0.0
+        self.max_queue_latency = 0.0
+        self.last_queue_latency = 0.0
 
     def push(self, event: OrcaEvent) -> OrcaEvent:
         event.txn_id = self._next_txn
@@ -50,6 +76,25 @@ class EventQueue:
             return None
         self.delivered_count += 1
         return self._queue.popleft()
+
+    def record_delivery(self, event: OrcaEvent, now: float) -> float:
+        """Stamp the delivery time on an event and fold it into the stats."""
+        event.delivered_at = now
+        latency = max(0.0, now - event.enqueued_at)
+        self.total_queue_latency += latency
+        self.max_queue_latency = max(self.max_queue_latency, latency)
+        self.last_queue_latency = latency
+        return latency
+
+    def latency_stats(self) -> QueueLatencyStats:
+        delivered = self.delivered_count
+        mean = self.total_queue_latency / delivered if delivered else 0.0
+        return QueueLatencyStats(
+            delivered=delivered,
+            mean=mean,
+            maximum=self.max_queue_latency,
+            last=self.last_queue_latency,
+        )
 
     def __len__(self) -> int:
         return len(self._queue)

@@ -18,6 +18,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, List
 
 from repro.orca.contexts import (
+    ChannelCongestedContext,
     HostFailureContext,
     JobCancellationContext,
     JobSubmissionContext,
@@ -26,6 +27,7 @@ from repro.orca.contexts import (
     OrcaStartContext,
     PEFailureContext,
     PEMetricContext,
+    RegionRescaledContext,
     TimerContext,
     UserEventContext,
 )
@@ -90,6 +92,18 @@ class Orchestrator:
         self, context: JobCancellationContext, scopes: List[str]
     ) -> None:
         """A managed application was cancelled or garbage-collected."""
+
+    # -- parallel regions (elastic subsystem) ------------------------------------------------
+
+    def handleChannelCongestedEvent(  # noqa: N802
+        self, context: ChannelCongestedContext, scopes: List[str]
+    ) -> None:
+        """A parallel-region channel exceeded its congestion threshold."""
+
+    def handleRegionRescaledEvent(  # noqa: N802
+        self, context: RegionRescaledContext, scopes: List[str]
+    ) -> None:
+        """A parallel region completed a live channel-width change."""
 
     # -- timers and user events ----------------------------------------------------------------
 

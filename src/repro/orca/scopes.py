@@ -49,6 +49,13 @@ class EventScope:
 
     #: Event type this subscope selects; set by subclasses.
     EVENT_TYPE = ""
+    #: Additional event types this subscope also selects (a subscope is
+    #: normally one event type; family scopes such as
+    #: :class:`ParallelRegionScope` cover several related types).
+    EVENT_TYPES: tuple = ()
+
+    def handles(self, event_type: str) -> bool:
+        return event_type == self.EVENT_TYPE or event_type in self.EVENT_TYPES
 
     def __init__(self, key: str) -> None:
         if not key:
@@ -244,6 +251,35 @@ class UserEventScope(EventScope):
         return self
 
 
+class ParallelRegionScope(EventScope):
+    """Parallel-region lifecycle events (the elastic subsystem).
+
+    Covers two related event types with one subscope, so ORCA logic that
+    drives elasticity registers a single scope:
+
+    * ``channel_congested`` — one channel's aggregated backlog exceeded
+      the region's congestion threshold at the last metric poll;
+    * ``region_rescaled`` — a ``set_channel_width()`` actuation completed
+      and the region is flowing at its new width.
+    """
+
+    EVENT_TYPE = "channel_congested"
+    EVENT_TYPES = ("channel_congested", "region_rescaled")
+
+    #: metric identifiers commonly used as region congestion metrics
+    queueSize = "queueSize"
+    nBuffered = "nBuffered"
+
+    def addRegionFilter(self, names: Values) -> "ParallelRegionScope":  # noqa: N802
+        self._add("region", names)
+        return self
+
+    def addEventTypeFilter(self, kinds: Values) -> "ParallelRegionScope":  # noqa: N802
+        """Restrict to ``channel_congested`` and/or ``region_rescaled``."""
+        self._add("event_kind", kinds)
+        return self
+
+
 class ScopeRegistry:
     """The set of subscopes registered with one ORCA service.
 
@@ -271,11 +307,11 @@ class ScopeRegistry:
         return [
             scope.key
             for scope in self._scopes
-            if scope.EVENT_TYPE == event_type and scope.matches(attrs)
+            if scope.handles(event_type) and scope.matches(attrs)
         ]
 
     def scopes_of_type(self, event_type: str) -> List[EventScope]:
-        return [s for s in self._scopes if s.EVENT_TYPE == event_type]
+        return [s for s in self._scopes if s.handles(event_type)]
 
     def __len__(self) -> int:
         return len(self._scopes)

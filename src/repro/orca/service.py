@@ -24,9 +24,15 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional
 
-from repro.errors import ActuationError, DescriptorError, OrcaPermissionError
+from repro.errors import (
+    ActuationError,
+    DescriptorError,
+    InspectionError,
+    OrcaPermissionError,
+)
 from repro.orca.commandtool import OrcaCommandTool
 from repro.orca.contexts import (
+    ChannelCongestedContext,
     HostFailureContext,
     JobCancellationContext,
     JobSubmissionContext,
@@ -35,13 +41,14 @@ from repro.orca.contexts import (
     OrcaStartContext,
     PEFailureContext,
     PEMetricContext,
+    RegionRescaledContext,
     TimerContext,
     UserEventContext,
 )
 from repro.orca.dependencies import DependencyManager
 from repro.orca.descriptor import ManagedApplication, OrcaDescriptor
 from repro.orca.epochs import FailureEpochTracker, MetricEpochCounter
-from repro.orca.events import EventQueue, OrcaEvent
+from repro.orca.events import EventQueue, OrcaEvent, QueueLatencyStats
 from repro.orca.scopes import ScopeRegistry, EventScope
 from repro.orca.streamgraph import StreamGraph
 from repro.orca.timers import TimerHandle, TimerService
@@ -92,6 +99,8 @@ class OrcaService:
         #: delivery hook: replaying the journal re-derives the actuations)
         self.event_journal: List[OrcaEvent] = []
         self.handler_errors: List[tuple] = []
+        #: metric samples skipped because the stream graph lagged a rescale
+        self.metric_event_skips = 0
         self._compiled: Dict[str, CompiledApplication] = {}
         self._poll_interval = (
             descriptor.metric_poll_interval
@@ -216,11 +225,14 @@ class OrcaService:
         "job_cancellation": ("handleJobCancellationEvent", True),
         "timer": ("handleTimerEvent", True),
         "user": ("handleUserEvent", True),
+        "channel_congested": ("handleChannelCongestedEvent", True),
+        "region_rescaled": ("handleRegionRescaledEvent", True),
     }
 
     def _deliver(self, event: OrcaEvent) -> None:
         handler_name, takes_scopes = self._DISPATCH[event.event_type]
         handler = getattr(self.logic, handler_name)
+        self.queue.record_delivery(event, self.now)
         self.event_journal.append(event)
         self._current_txn = event.txn_id
         try:
@@ -262,10 +274,58 @@ class OrcaService:
         samples = self.system.srm.get_metrics(job_ids)
         epoch = self.metric_epochs.next()
         for sample in samples:
-            self._emit_metric_event(sample, epoch)
+            try:
+                self._emit_metric_event(sample, epoch)
+            except InspectionError:
+                # A sample can momentarily refer to an operator the stream
+                # graph does not know yet/anymore (a parallel-region rescale
+                # adds and removes channel operators at runtime); skip it —
+                # the next poll sees a consistent view.
+                self.metric_event_skips += 1
+        self._check_region_congestion(epoch)
         self._poll_handle = self.kernel.schedule(
             self._poll_interval, self._poll_metrics, label=f"{self.orca_id}-poll"
         )
+
+    def _check_region_congestion(self, epoch: int) -> None:
+        """Emit channel_congested for overloaded parallel-region channels.
+
+        Runs on every metric poll: the region's congestion metric is
+        aggregated per channel (SRM keeps per-operator values; a channel's
+        backlog is the sum over its operators); channels above the region's
+        threshold raise one event each, all sharing the poll's epoch.
+        """
+        for job_id, job in self.jobs.items():
+            if job.state is not JobState.RUNNING:
+                continue
+            for plan in job.compiled.parallel_regions.values():
+                backlogs = self.system.srm.sum_operator_metric_by_group(
+                    job_id,
+                    dict(enumerate(plan.channel_ops)),
+                    plan.congestion_metric,
+                )
+                for channel, backlog in sorted(backlogs.items()):
+                    if backlog <= plan.congestion_threshold:
+                        continue
+                    context = ChannelCongestedContext(
+                        job_id=job_id,
+                        app_name=job.app_name,
+                        region=plan.name,
+                        channel=channel,
+                        value=backlog,
+                        threshold=plan.congestion_threshold,
+                        metric=plan.congestion_metric,
+                        width=plan.width,
+                        epoch=epoch,
+                        time=self.now,
+                    )
+                    attrs: Dict[str, Any] = {
+                        "application": job.app_name,
+                        "job": job_id,
+                        "region": plan.name,
+                        "event_kind": "channel_congested",
+                    }
+                    self._enqueue("channel_congested", context, attrs)
 
     def _emit_metric_event(self, sample: MetricSample, epoch: int) -> None:
         if sample.operator is None:
@@ -516,6 +576,61 @@ class OrcaService:
         pe.send_control(op_full_name, command, payload)
         self._log_actuation("control", f"{op_full_name}:{command}")
 
+    # -- actuation: elastic parallel regions ---------------------------------------------------
+
+    def set_channel_width(self, job_id: str, region: str, width: int):
+        """Re-parallelize a region of an owned job to ``width`` channels.
+
+        Runs the tuple-loss-free rescale protocol of
+        :class:`repro.elastic.controller.ElasticController`; when the
+        region resumes, a ``region_rescaled`` event is delivered to the
+        ORCA logic (subject to scope matching) and the in-memory stream
+        graph is refreshed with the new channel operators and PEs.
+        Returns the :class:`~repro.elastic.controller.RescaleOperation`.
+        """
+        job = self._check_owned(job_id)
+        operation = self.system.elastic.set_channel_width(
+            job, region, width, on_complete=self._on_region_rescaled
+        )
+        self._log_actuation("set_channel_width", f"{job_id}:{region}->{width}")
+        return operation
+
+    def _on_region_rescaled(self, operation) -> None:
+        from repro.elastic.controller import RescaleState  # late: layer cycle
+
+        job = self.jobs.get(operation.job_id)
+        if job is None:
+            return
+        succeeded = operation.state is RescaleState.COMPLETED
+        if succeeded:
+            # Refresh logical + physical stream graph: the rescale changed
+            # the job's operator set and PE layout.
+            self.graph.add_application(adl_from_xml(adl_to_xml(job.compiled)))
+            self.graph.register_job(
+                job.job_id,
+                job.app_name,
+                {pe.index: (pe.pe_id, pe.host_name) for pe in job.pes},
+            )
+        context = RegionRescaledContext(
+            job_id=operation.job_id,
+            app_name=job.app_name,
+            region=operation.region,
+            old_width=operation.old_width,
+            new_width=operation.new_width,
+            epoch=operation.epoch,
+            duration=operation.duration,
+            time=self.now,
+            succeeded=succeeded,
+            error=operation.error,
+        )
+        attrs: Dict[str, Any] = {
+            "application": job.app_name,
+            "job": operation.job_id,
+            "region": operation.region,
+            "event_kind": "region_rescaled",
+        }
+        self._enqueue("region_rescaled", context, attrs)
+
     # -- actuation: placement ----------------------------------------------------------------------------------
 
     def set_exclusive_host_pools(self, app_name: str) -> None:
@@ -615,6 +730,58 @@ class OrcaService:
 
     def job(self, job_id: str) -> Job:
         return self._check_owned(job_id)
+
+    # -- inspection: parallel regions ----------------------------------------------------------
+
+    def _region_plan(self, job_id: str, region: str):
+        job = self._check_owned(job_id)
+        plan = job.compiled.parallel_regions.get(region)
+        if plan is None:
+            raise InspectionError(
+                f"job {job_id}: no parallel region {region!r} "
+                f"(has {sorted(job.compiled.parallel_regions)})"
+            )
+        return plan
+
+    def parallel_regions(self, job_id: str) -> Dict[str, int]:
+        """Region name -> current channel width, for an owned job."""
+        job = self._check_owned(job_id)
+        return {
+            name: plan.width
+            for name, plan in job.compiled.parallel_regions.items()
+        }
+
+    def channel_width(self, job_id: str, region: str) -> int:
+        """Current channel width of one region (reflects completed rescales)."""
+        return self._region_plan(job_id, region).width
+
+    def region_channels(self, job_id: str, region: str) -> List[List[str]]:
+        """Per channel, the operator full names running that channel."""
+        return [list(ops) for ops in self._region_plan(job_id, region).channel_ops]
+
+    def region_channel_backlogs(self, job_id: str, region: str) -> Dict[int, float]:
+        """Channel index -> aggregated congestion-metric value (from SRM)."""
+        plan = self._region_plan(job_id, region)
+        return self.system.srm.sum_operator_metric_by_group(
+            job_id, dict(enumerate(plan.channel_ops)), plan.congestion_metric
+        )
+
+    def region_observation(self, job_id: str, region: str):
+        """A :class:`repro.elastic.policy.RegionObservation` for policies."""
+        from repro.elastic.policy import RegionObservation  # late: layer cycle
+
+        plan = self._region_plan(job_id, region)
+        return RegionObservation(
+            job_id=job_id,
+            region=region,
+            width=plan.width,
+            channel_backlogs=self.region_channel_backlogs(job_id, region),
+            time=self.now,
+        )
+
+    def queue_latency_stats(self) -> QueueLatencyStats:
+        """Queue-wait statistics of delivered events (one-at-a-time FIFO)."""
+        return self.queue.latency_stats()
 
     def __repr__(self) -> str:
         return f"OrcaService({self.orca_id}, logic={type(self.logic).__name__})"

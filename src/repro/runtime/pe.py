@@ -165,6 +165,15 @@ class PERuntime:
         for operator in self.operators.values():
             operator.on_initialize()
 
+    def rebuild_routes(self) -> None:
+        """Re-derive tuple routes after the job's compiled plan changed.
+
+        Called by the elastic controller when a parallel region is rewired:
+        the splitter's PE gains/loses channel destinations while every
+        operator instance keeps running.
+        """
+        self._routes = self._build_routes(self.job.compiled)
+
     def _cancel_pending(self) -> None:
         for handle in self._pending:
             handle.cancel()

@@ -19,7 +19,7 @@ from repro.errors import (
     UnknownJobError,
 )
 from repro.sim.kernel import Kernel
-from repro.spl.compiler import CompiledApplication
+from repro.spl.compiler import CompiledApplication, PESpec, SPLCompiler
 from repro.runtime.hc import HostController
 from repro.runtime.ids import IdRegistry
 from repro.runtime.imports import ImportExportRegistry
@@ -80,6 +80,14 @@ class SAM:
     ) -> Job:
         """Create a job, place and spawn its PEs."""
         resolved = compiled.application.resolve_parameters(params)
+        if compiled.parallel_regions and compiled.source_application is not None:
+            # Applications with parallel regions get a private compilation
+            # per job: a live rescale mutates the job's expanded graph and
+            # physical plan, which must never leak into sibling jobs
+            # (replicas) submitted from the same CompiledApplication.
+            compiled = SPLCompiler(
+                compiled.strategy, compiled.target_pe_count
+            ).compile(compiled.source_application)
         job_id = self.ids.jobs.allocate()
         load = self._pes_per_host()
         try:
@@ -176,6 +184,67 @@ class SAM:
         job = self.get_job(job_id)
         pe = job.pe_by_id(pe_id)
         pe.stop()
+
+    # -- dynamic PE set changes (elastic parallel regions) -----------------------
+
+    def add_pes(self, job_id: str, pe_specs: List[PESpec]) -> List[PERuntime]:
+        """Place and start additional PEs of a *running* job.
+
+        Used by the elastic controller when a parallel region scales out:
+        the job's compiled plan has already been extended with the new PE
+        specs; this call gives them hosts and live runtimes.  The new PEs
+        start immediately (the rescale protocol has already paid its own
+        synchronization cost at the epoch barrier).
+        """
+        job = self.get_job(job_id)
+        if job.state is not JobState.RUNNING:
+            raise PEControlError(f"job {job_id} is not running; cannot add PEs")
+        load = self._pes_per_host()
+        try:
+            placement = self.scheduler.place_pes(
+                pe_specs,
+                job.compiled.application.host_pools,
+                hosts=list(self.srm.hosts.values()),
+                load=load,
+                reserved=self.reserved_hosts,
+                job_id=job_id,
+            )
+        except Exception as exc:
+            raise SubmissionError(
+                f"cannot place additional PEs of job {job_id}: {exc}"
+            ) from exc
+        job.reserved_hosts.extend(placement.newly_reserved)
+        added: List[PERuntime] = []
+        for pe_spec in pe_specs:
+            pe = PERuntime(
+                pe_id=self.ids.pes.allocate(),
+                spec=pe_spec,
+                job=job,
+                kernel=self.kernel,
+                transport=self.transport,
+                publish_export=self.import_export.publish,
+            )
+            host_name = placement.assignment[pe_spec.index]
+            self.hcs[host_name].add_pe(pe)
+            job.pes.append(pe)
+            pe.start()
+            added.append(pe)
+        return added
+
+    def remove_pes(self, job_id: str, pe_ids: List[str]) -> None:
+        """Stop and discard PEs of a running job (parallel-region scale-in).
+
+        The PEs' metrics are dropped from SRM so downstream consumers (the
+        ORCA metric poll, per-channel aggregation) never see ghost channels.
+        """
+        job = self.get_job(job_id)
+        for pe_id in pe_ids:
+            pe = job.pe_by_id(pe_id)
+            pe.stop()
+            if pe.host_name and pe.host_name in self.hcs:
+                self.hcs[pe.host_name].remove_pe(pe.pe_id)
+            job.pes.remove(pe)
+            self.srm.drop_pe_metrics(job_id, pe.pe_id)
 
     # -- failure notification path ----------------------------------------------------------
 

@@ -18,7 +18,7 @@ from typing import Dict, List, Optional
 
 from repro.errors import PlacementError
 from repro.spl.compiler import CompiledApplication, PESpec
-from repro.spl.hostpool import DEFAULT_POOL, HostPool
+from repro.spl.hostpool import DEFAULT_POOL, HostPool, HostPoolSet
 from repro.runtime.host import Host
 
 
@@ -47,7 +47,27 @@ class PlacementScheduler:
         host name to the job id holding it exclusively.  Raises
         :class:`PlacementError` when constraints cannot be met.
         """
-        pools = compiled.application.host_pools
+        return self.place_pes(
+            compiled.pes,
+            compiled.application.host_pools,
+            hosts=hosts,
+            load=load,
+            reserved=reserved,
+            job_id=job_id,
+        )
+
+    def place_pes(
+        self,
+        pe_specs: List[PESpec],
+        host_pools: HostPoolSet,
+        hosts: List[Host],
+        load: Dict[str, int],
+        reserved: Dict[str, str],
+        job_id: str,
+    ) -> PlacementResult:
+        """Place an arbitrary set of PE specs (a whole job, or PEs added to
+        a running job when a parallel region scales out)."""
+        pools = host_pools
         live = [h for h in hosts if h.is_up]
         if not live:
             raise PlacementError("no hosts are up")
@@ -56,7 +76,7 @@ class PlacementScheduler:
         # Resolve the candidate host list per pool name (None = default).
         pool_candidates: Dict[Optional[str], List[Host]] = {}
         pes_per_pool: Dict[Optional[str], List[PESpec]] = {}
-        for pe in compiled.pes:
+        for pe in pe_specs:
             pes_per_pool.setdefault(pe.host_pool, []).append(pe)
         for pool_name, pool_pes in pes_per_pool.items():
             if pool_name is not None:
@@ -78,7 +98,7 @@ class PlacementScheduler:
         assignment: Dict[int, str] = {}
         exloc_hosts: Dict[str, List[str]] = {}  # tag -> hosts already used
         coloc_hosts: Dict[str, str] = {}  # tag -> chosen host
-        for pe in sorted(compiled.pes, key=lambda p: p.index):
+        for pe in sorted(pe_specs, key=lambda p: p.index):
             candidates = list(pool_candidates[pe.host_pool])
             # colocation pins the PE to an already-chosen host
             pinned: Optional[str] = None

@@ -44,6 +44,22 @@ class MetricSample:
 _Key = Tuple[str, str, Optional[str], Optional[int], str]
 
 
+@dataclass
+class MetricAggregate:
+    """Aggregation of one metric over a set of operators (Sec. 4.2 extended).
+
+    Used for parallel regions: the per-channel backlog of a region is the
+    aggregate of the channel's operators' values.  Operators with no stored
+    sample contribute 0.0 (a channel whose PE has not pushed yet is empty).
+    """
+
+    per_operator: Dict[str, float]
+    total: float
+    mean: float
+    maximum: float
+    minimum: float
+
+
 class SRM:
     """Host registry, liveness tracking, and the system-wide metric store."""
 
@@ -134,6 +150,79 @@ class SRM:
             for key, sample in self._metrics.items()
             if sample.job_id != job_id
         }
+
+    def drop_pe_metrics(self, job_id: str, pe_id: str) -> None:
+        """Forget the metrics of one PE (removed from a running job).
+
+        Without this, a parallel-region scale-in would leave ghost samples
+        of the removed channels behind, and the ORCA metric poll would keep
+        emitting events for operators that no longer exist.
+        """
+        self._metrics = {
+            key: sample
+            for key, sample in self._metrics.items()
+            if not (sample.job_id == job_id and sample.pe_id == pe_id)
+        }
+
+    def aggregate_operator_metric(
+        self,
+        job_id: str,
+        operator_names: Iterable[str],
+        name: str,
+        port: Optional[int] = None,
+    ) -> MetricAggregate:
+        """Aggregate one metric's latest values over a set of operators.
+
+        This is the per-channel metrics query of the elastic subsystem: the
+        ORCA service and scaling policies call it with the operator names of
+        one channel (or of a whole region) to judge backlog/throughput.
+        """
+        per: Dict[str, float] = {op: 0.0 for op in operator_names}
+        if per:
+            for sample in self._metrics.values():
+                if (
+                    sample.job_id == job_id
+                    and sample.operator in per
+                    and sample.name == name
+                    and sample.port == port
+                ):
+                    per[sample.operator] = sample.value
+        values = list(per.values()) or [0.0]
+        return MetricAggregate(
+            per_operator=per,
+            total=sum(values),
+            mean=sum(values) / len(values),
+            maximum=max(values),
+            minimum=min(values),
+        )
+
+    def sum_operator_metric_by_group(
+        self,
+        job_id: str,
+        groups: Dict[int, Iterable[str]],
+        name: str,
+        port: Optional[int] = None,
+    ) -> Dict[int, float]:
+        """Per-group totals of one metric, in a single pass over the store.
+
+        The ORCA congestion check aggregates a region's metric per channel
+        on every poll; doing that channel-by-channel would rescan the whole
+        system-wide metric store once per channel.  This walks it once.
+        """
+        group_of: Dict[str, int] = {
+            op: key for key, ops in groups.items() for op in ops
+        }
+        totals: Dict[int, float] = {key: 0.0 for key in groups}
+        for sample in self._metrics.values():
+            if (
+                sample.job_id == job_id
+                and sample.name == name
+                and sample.port == port
+            ):
+                key = group_of.get(sample.operator)
+                if key is not None:
+                    totals[key] += sample.value
+        return totals
 
     def metric_value(
         self,

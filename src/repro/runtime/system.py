@@ -29,6 +29,7 @@ from repro.runtime.srm import SRM
 from repro.runtime.transport import Transport
 
 if TYPE_CHECKING:  # pragma: no cover
+    from repro.elastic.controller import ElasticController
     from repro.orca.descriptor import OrcaDescriptor
     from repro.orca.service import OrcaService
 
@@ -54,6 +55,9 @@ class SystemConfig:
     orca_rpc_latency: float = 0.002
     orca_poll_interval: float = 15.0
     auto_restart_pes: bool = False
+    #: elastic re-parallelization: drain-poll cadence and give-up horizon
+    elastic_drain_poll: float = 0.05
+    elastic_drain_timeout: float = 60.0
 
 
 class SystemS:
@@ -106,6 +110,15 @@ class SystemS:
             auto_restart_pes=self.config.auto_restart_pes,
         )
         self.failures = FailureInjector(self.kernel, self.sam)
+        from repro.elastic.controller import ElasticController  # late: layer cycle
+
+        self.elastic: "ElasticController" = ElasticController(
+            sam=self.sam,
+            transport=self.transport,
+            kernel=self.kernel,
+            drain_poll_interval=self.config.elastic_drain_poll,
+            drain_timeout=self.config.elastic_drain_timeout,
+        )
         self.orcas: Dict[str, "OrcaService"] = {}
         self.srm.start()
         for hc in self.hcs.values():

@@ -14,6 +14,12 @@ from repro.spl.graph import LogicalGraph, OperatorSpec, PortRef
 from repro.spl.hostpool import HostPool
 from repro.spl.metrics import Metric, MetricKind, OperatorMetricName, PEMetricName
 from repro.spl.operators import Operator, OperatorContext
+from repro.spl.parallel import (
+    ParallelAnnotation,
+    ParallelRegionPlan,
+    expand_parallel_regions,
+    parallel,
+)
 from repro.spl.schema import Attribute, TupleSchema
 from repro.spl.tuples import FinalMarker, Punctuation, StreamTuple, WindowMarker
 
@@ -32,6 +38,10 @@ __all__ = [
     "PEMetricName",
     "Operator",
     "OperatorContext",
+    "ParallelAnnotation",
+    "ParallelRegionPlan",
+    "expand_parallel_regions",
+    "parallel",
     "Attribute",
     "TupleSchema",
     "FinalMarker",

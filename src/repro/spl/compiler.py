@@ -26,6 +26,7 @@ from typing import Dict, List, Optional, Sequence, Set
 from repro.errors import CompilationError, ConstraintError
 from repro.spl.application import Application
 from repro.spl.graph import Edge, OperatorSpec
+from repro.spl.parallel import ParallelRegionPlan, expand_parallel_regions
 
 
 @dataclass
@@ -53,6 +54,15 @@ class CompiledApplication:
     #: edges crossing PE boundaries (need transport) vs fused edges
     inter_pe_edges: List[Edge]
     intra_pe_edges: List[Edge]
+    #: region name -> plan, for applications with parallel annotations;
+    #: ``application`` is then the *expanded* graph
+    parallel_regions: Dict[str, ParallelRegionPlan] = field(default_factory=dict)
+    #: the pre-expansion application (None when nothing was expanded); SAM
+    #: recompiles it per job so live rescales never mutate a shared plan
+    source_application: Optional[Application] = None
+    #: compiler settings, kept so SAM can recompile per job
+    strategy: str = "manual"
+    target_pe_count: int = 0
 
     @property
     def name(self) -> str:
@@ -92,6 +102,10 @@ class SPLCompiler:
 
     def compile(self, application: Application) -> CompiledApplication:
         application.validate()
+        source = application
+        application, parallel_regions = expand_parallel_regions(application)
+        if parallel_regions:
+            application.validate()
         groups = self._atomic_groups(application)
         if self.strategy == "manual" or self.strategy == "per_operator":
             partitions = groups
@@ -116,6 +130,10 @@ class SPLCompiler:
             placement=placement,
             inter_pe_edges=inter,
             intra_pe_edges=intra,
+            parallel_regions=parallel_regions,
+            source_application=source if parallel_regions else None,
+            strategy=self.strategy,
+            target_pe_count=self.target_pe_count,
         )
 
     # -- grouping ---------------------------------------------------------------

@@ -39,6 +39,13 @@ class OperatorSpec:
     host_exlocation: Optional[str] = None  #: same tag -> PEs on different hosts
     host_colocation: Optional[str] = None  #: same tag -> PEs on the same host
     output_schema: Optional[TupleSchema] = None
+    #: data-parallel annotation (see :mod:`repro.spl.parallel`); consumed by
+    #: the compiler, which expands the annotated region into N channels
+    parallel: Optional[Any] = None
+    #: expansion metadata, set on operators produced by region expansion
+    parallel_region: Optional[str] = None  #: region this operator belongs to
+    parallel_channel: Optional[int] = None  #: channel index (None: split/merge)
+    parallel_role: Optional[str] = None  #: "splitter" | "worker" | "merger"
 
     @property
     def kind(self) -> str:
@@ -121,6 +128,7 @@ class LogicalGraph:
         host_exlocation: Optional[str] = None,
         host_colocation: Optional[str] = None,
         output_schema: Optional[TupleSchema] = None,
+        parallel: Optional[Any] = None,
     ) -> OperatorSpec:
         if not name or "." in name:
             raise GraphError(f"invalid operator name {name!r} (no dots, non-empty)")
@@ -145,6 +153,7 @@ class LogicalGraph:
             host_exlocation=host_exlocation,
             host_colocation=host_colocation,
             output_schema=output_schema,
+            parallel=parallel,
         )
         self.operators[full_name] = spec
         return spec

@@ -15,11 +15,12 @@ live in :mod:`repro.apps` as Operator subclasses.
 from __future__ import annotations
 
 import random as _random
-from typing import Any, Callable, Dict, List, Mapping, Optional, Union
+import zlib
+from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple, Union
 
 from repro.errors import GraphError
-from repro.spl.metrics import MetricKind
-from repro.spl.operators import Operator, OperatorContext
+from repro.spl.metrics import MetricKind, OperatorMetricName
+from repro.spl.operators import Operator, OperatorContext, Submittable
 from repro.spl.tuples import Punctuation, StreamTuple
 
 
@@ -476,8 +477,16 @@ class Throttle(Operator):
     """Re-emits tuples no faster than ``rate`` tuples/second.
 
     Excess tuples are buffered and drained on a timer; the buffer length is
-    exposed through the custom ``nBuffered`` gauge.
+    exposed through the custom ``nBuffered`` gauge.  FINAL punctuation is
+    held back until the buffer is empty so a throttled stream never loses
+    its tail (the elastic drain protocol relies on this).
+
+    Subclasses may override :meth:`process` to transform each tuple as it
+    leaves the buffer — a rate-limited worker is exactly this machinery
+    plus per-tuple work (see :class:`repro.apps.elastic_trend.TrendWorker`).
     """
+
+    FORWARD_FINAL = False
 
     def __init__(self, ctx: OperatorContext) -> None:
         super().__init__(ctx)
@@ -486,6 +495,7 @@ class Throttle(Operator):
             raise GraphError(f"{ctx.full_name}: Throttle rate must be positive")
         self._buffer: List[StreamTuple] = []
         self._draining = False
+        self._final_pending = False
         self.n_buffered = self.create_custom_metric(
             "nBuffered", MetricKind.GAUGE, "tuples waiting in the throttle"
         )
@@ -497,11 +507,311 @@ class Throttle(Operator):
             self._draining = True
             self.ctx.schedule(1.0 / self.rate, self._drain_one)
 
+    def on_all_ports_final(self) -> None:
+        if self._buffer:
+            self._final_pending = True
+        else:
+            self.submit_final()
+
+    def pending_items(self) -> int:
+        return len(self._buffer)
+
+    def process(self, tup: StreamTuple) -> Submittable:
+        """Hook: what to emit for a drained tuple (identity by default)."""
+        return tup
+
     def _drain_one(self) -> None:
         if self._buffer:
-            self.submit(self._buffer.pop(0))
+            self.submit(self.process(self._buffer.pop(0)))
             self.n_buffered.set(len(self._buffer))
         if self._buffer:
             self.ctx.schedule(1.0 / self.rate, self._drain_one)
         else:
             self._draining = False
+            if self._final_pending:
+                self._final_pending = False
+                self.submit_final()
+
+
+# ---------------------------------------------------------------------------
+# Parallel-region plumbing (see repro.spl.parallel and repro.elastic)
+# ---------------------------------------------------------------------------
+
+
+def _stable_hash(value: Any) -> int:
+    """Deterministic cross-run hash (``hash(str)`` is salted per process)."""
+    return zlib.crc32(str(value).encode("utf8"))
+
+
+class ParallelSplitter(Operator):
+    """Entry operator of a parallel region: routes tuples onto N channels.
+
+    Inserted by the compiler when it expands a ``parallel(width=N)``
+    annotation.  Routing is hash-based on the ``partition_by`` attribute
+    when one is declared (so stateful per-key workers see a stable key
+    partitioning), round-robin otherwise.  When the region is ``ordered``,
+    every forwarded tuple is stamped with a region-global sequence number
+    (``_pseq``) that the matching :class:`OrderedMerger` uses to restore
+    tuple order across channels.
+
+    The splitter is also the barrier point of the elastic
+    re-parallelization protocol (Fries-style epoch alignment): on the
+    ``quiesce`` control command it stops forwarding and buffers arrivals;
+    ``resume`` installs the new width, increments the reconfiguration
+    epoch, and flushes the buffer through the new routing — which is what
+    makes a live rescale tuple-loss-free by construction.
+    """
+
+    N_INPUTS = 1
+    FORWARD_FINAL = False
+
+    @classmethod
+    def port_counts(cls, params: Mapping[str, Any]) -> Tuple[int, int]:
+        return 1, int(params.get("width", 2))
+
+    def __init__(self, ctx: OperatorContext) -> None:
+        super().__init__(ctx)
+        self.width = int(self.param("width"))
+        if self.width < 1:
+            raise GraphError(f"{ctx.full_name}: splitter width must be >= 1")
+        self.partition_by: Optional[str] = self.param("partition_by", None)
+        self.ordered = bool(self.param("ordered", True))
+        self.region: str = self.param("region", ctx.full_name)
+        self._rr = 0
+        self._seq = 0
+        self._quiesced = False
+        #: items held at the barrier: tuples and WINDOW puncts, in order
+        self._buffer: List[Union[StreamTuple, Punctuation]] = []
+        self._final_pending = False
+        self.epoch = 0
+        self.width_gauge = self.create_custom_metric(
+            "channelWidth", MetricKind.GAUGE, "active channel count"
+        )
+        self.width_gauge.set(self.width)
+        self.epoch_gauge = self.create_custom_metric(
+            "reconfigEpoch", MetricKind.GAUGE, "completed reconfiguration epochs"
+        )
+        self.quiesced_gauge = self.create_custom_metric(
+            "nQuiescedBuffered", MetricKind.GAUGE, "tuples held during a rescale"
+        )
+
+    # -- routing ---------------------------------------------------------------
+
+    def _channel_of(self, tup: StreamTuple) -> int:
+        if self.partition_by is not None:
+            return _stable_hash(tup.get(self.partition_by)) % self.width
+        channel = self._rr
+        self._rr = (self._rr + 1) % self.width
+        return channel
+
+    def _forward(self, tup: StreamTuple) -> None:
+        channel = self._channel_of(tup)
+        if self.ordered:
+            stamped = StreamTuple(
+                {**tup.values, "_pseq": self._seq}, created_at=tup.created_at
+            )
+            self._seq += 1
+            self.submit(stamped, port=channel)
+        else:
+            self.submit(tup, port=channel)
+
+    def on_tuple(self, tup: StreamTuple, port: int) -> None:
+        if self._quiesced:
+            self._buffer.append(tup)
+            self.quiesced_gauge.set(len(self._buffer))
+        else:
+            self._forward(tup)
+
+    def _broadcast_window(self) -> None:
+        for out_port in range(self.width):
+            self.submit_punct(Punctuation.WINDOW, port=out_port)
+
+    def on_punct(self, punct: Punctuation, port: int) -> None:
+        if punct is not Punctuation.WINDOW:
+            return
+        if self._quiesced:
+            # window boundaries are held at the barrier alongside tuples so
+            # a rescale never merges two windows into one
+            self._buffer.append(punct)
+            self.quiesced_gauge.set(len(self._buffer))
+        else:
+            self._broadcast_window()
+
+    def on_all_ports_final(self) -> None:
+        if self._quiesced or self._buffer:
+            self._final_pending = True
+        else:
+            self.submit_final()
+
+    @property
+    def is_quiesced(self) -> bool:
+        return self._quiesced
+
+    def pending_items(self) -> int:
+        return len(self._buffer)
+
+    # -- control (driven by the ElasticController) -----------------------------
+
+    def _set_width(self, width: int) -> None:
+        width = int(width)
+        if width < 1:
+            raise GraphError(f"{self.ctx.full_name}: width must be >= 1")
+        for port in range(self.n_outputs, width):
+            self.metrics.get_or_create(
+                OperatorMetricName.N_TUPLES_SUBMITTED, MetricKind.COUNTER, port=port
+            )
+        self.width = width
+        self.n_outputs = width
+        self._rr %= width
+        self.width_gauge.set(width)
+
+    def on_control(self, command: str, payload: Mapping[str, Any]) -> None:
+        if command == "quiesce":
+            self._quiesced = True
+        elif command == "setWidth":
+            self._set_width(int(payload["width"]))
+        elif command == "resume":
+            if "width" in payload:
+                self._set_width(int(payload["width"]))
+            if "epoch" in payload:
+                self.epoch = int(payload["epoch"])
+                self.epoch_gauge.set(self.epoch)
+            self._quiesced = False
+            buffered, self._buffer = self._buffer, []
+            for item in buffered:
+                if isinstance(item, StreamTuple):
+                    self._forward(item)
+                else:
+                    self._broadcast_window()
+            self.quiesced_gauge.set(0)
+            if self._final_pending:
+                self._final_pending = False
+                self.submit_final()
+
+
+class OrderedMerger(Operator):
+    """Exit operator of a parallel region: funnels N channels into one stream.
+
+    When the region is ``ordered`` the merger restores the splitter's
+    sequence order: tuples carrying a ``_pseq`` stamp are held in a reorder
+    buffer and emitted strictly in sequence (the stamp is stripped before
+    forwarding).  Tuples without a stamp — e.g. produced by a worker that
+    does not propagate ``_pseq`` — pass through in arrival order.  On FINAL
+    the reorder buffer is flushed even if gaps remain (a worker may
+    legitimately drop tuples).
+
+    A crashed channel loses its in-flight tuples (Sec. 5.2 semantics), which
+    would leave a *permanent* hole in the sequence and stall the reorder
+    buffer forever.  ``reorder_grace`` bounds that stall: when the buffer
+    makes no progress for that many seconds, the merger skips past the hole
+    (counted by ``nSeqGapsSkipped``) and keeps flowing; a straggler arriving
+    after its seq was skipped is emitted immediately rather than dropped.
+    """
+
+    N_OUTPUTS = 1
+    FORWARD_FINAL = True
+
+    @classmethod
+    def port_counts(cls, params: Mapping[str, Any]) -> Tuple[int, int]:
+        return int(params.get("width", 2)), 1
+
+    def __init__(self, ctx: OperatorContext) -> None:
+        super().__init__(ctx)
+        if int(self.param("width")) < 1:
+            raise GraphError(f"{ctx.full_name}: merger width must be >= 1")
+        self.ordered = bool(self.param("ordered", True))
+        self.region: str = self.param("region", ctx.full_name)
+        self.reorder_grace = float(self.param("reorder_grace", 30.0))
+        self._next = 0
+        self._pending: Dict[int, StreamTuple] = {}
+        self._gap_guard_active = False
+        self.reorder_gauge = self.create_custom_metric(
+            "nReordered", MetricKind.GAUGE, "tuples waiting in the reorder buffer"
+        )
+        self.gaps_skipped = self.create_custom_metric(
+            "nSeqGapsSkipped", MetricKind.COUNTER,
+            "sequence holes skipped after the reorder grace period",
+        )
+
+    @staticmethod
+    def _strip(tup: StreamTuple) -> StreamTuple:
+        if "_pseq" not in tup.values:
+            return tup
+        values = {k: v for k, v in tup.values.items() if k != "_pseq"}
+        return StreamTuple(values, created_at=tup.created_at)
+
+    def on_tuple(self, tup: StreamTuple, port: int) -> None:
+        if not self.ordered:
+            self.submit(self._strip(tup))
+            return
+        seq = tup.get("_pseq")
+        if seq is None:
+            self.submit(tup)
+            return
+        if seq < self._next:
+            # straggler behind a skipped gap: deliver rather than drop
+            self.submit(self._strip(tup))
+            return
+        self._pending[seq] = tup
+        self._release_ready()
+
+    def _release_ready(self) -> None:
+        while self._next in self._pending:
+            self.submit(self._strip(self._pending.pop(self._next)))
+            self._next += 1
+        self.reorder_gauge.set(len(self._pending))
+        if self._pending and self.reorder_grace > 0 and not self._gap_guard_active:
+            self._gap_guard_active = True
+            self.ctx.schedule(self.reorder_grace, self._make_gap_check(self._next))
+
+    def _make_gap_check(self, expected_next: int):
+        def check() -> None:
+            self._gap_guard_active = False
+            if not self._pending:
+                return
+            if self._next != expected_next:
+                # progress happened; re-arm the guard for the current hole
+                self._release_ready()
+                return
+            # The hole outlived the grace period (its channel crashed).
+            # Flush the whole stalled buffer in sequence order — a dead
+            # channel leaves a hole every Nth seq, so skipping one hole at
+            # a time would stall for one grace period per lost tuple.
+            # Anything still in flight arrives as a straggler.
+            self.gaps_skipped.increment()
+            for seq in sorted(self._pending):
+                self._next = seq + 1
+                self.submit(self._strip(self._pending.pop(seq)))
+            self.reorder_gauge.set(0)
+
+        return check
+
+    def on_punct(self, punct: Punctuation, port: int) -> None:
+        # WINDOW puncts are not meaningful across a merge; FINAL handling
+        # (wait for all ports) is done by the base class.
+        return
+
+    def on_all_ports_final(self) -> None:
+        for seq in sorted(self._pending):
+            self.submit(self._strip(self._pending.pop(seq)))
+        self.reorder_gauge.set(0)
+
+    def pending_items(self) -> int:
+        return len(self._pending)
+
+    def set_width(self, width: int) -> None:
+        width = int(width)
+        if width < 1:
+            raise GraphError(f"{self.ctx.full_name}: width must be >= 1")
+        for port in range(self.n_inputs, width):
+            self.metrics.get_or_create(
+                OperatorMetricName.N_TUPLES_PROCESSED, MetricKind.COUNTER, port=port
+            )
+            self.metrics.get_or_create(
+                OperatorMetricName.QUEUE_SIZE, MetricKind.GAUGE, port=port
+            )
+        self.n_inputs = width
+
+    def on_control(self, command: str, payload: Mapping[str, Any]) -> None:
+        if command == "setWidth":
+            self.set_width(int(payload["width"]))

@@ -219,6 +219,16 @@ class Operator:
     def on_shutdown(self) -> None:
         """Called when the PE stops or is cancelled."""
 
+    def pending_items(self) -> int:
+        """Tuples held in operator-internal buffers awaiting emission.
+
+        Buffering operators (Throttle, the parallel-region merger, ...)
+        override this; the elastic re-parallelization protocol polls it to
+        decide when a parallel region is fully drained (no tuple may be in
+        an internal buffer when channels are rewired, or it would be lost).
+        """
+        return 0
+
     # -- framework entry points (called by the PE) --------------------------------
 
     def _process(self, item: Union[StreamTuple, Punctuation], port: int) -> None:

@@ -28,11 +28,28 @@ def _dot_id(name: str) -> str:
 
 
 def render_application_dot(app: Application) -> str:
-    """Logical graph of one application, composites as clusters."""
+    """Logical graph of one application, composites as clusters.
+
+    Expanded parallel regions render as one cluster per region (splitter +
+    merger + a nested sub-cluster per channel), so the fan-out/fan-in
+    structure of a data-parallel region is visible at a glance.
+    """
     lines: List[str] = [f"digraph {_dot_id(app.name)} {{", "  rankdir=LR;"]
-    # group operators by immediate composite instance
+    # parallel-region operators are grouped per region, not per composite
+    by_region: Dict[str, List] = {}
+    for name, spec in app.graph.operators.items():
+        if spec.parallel_region is not None:
+            by_region.setdefault(spec.parallel_region, []).append(spec)
+    region_members = {
+        spec.full_name for members in by_region.values() for spec in members
+    }
+    for region in sorted(by_region):
+        lines.extend(_render_region_cluster(app, region, by_region[region]))
+    # group the remaining operators by immediate composite instance
     by_composite: Dict[Optional[str], List[str]] = {}
     for name, spec in app.graph.operators.items():
+        if name in region_members:
+            continue
         by_composite.setdefault(spec.composite, []).append(name)
     cluster_index = 0
     for composite, members in sorted(
@@ -63,6 +80,38 @@ def render_application_dot(app: Application) -> str:
         )
     lines.append("}")
     return "\n".join(lines)
+
+
+def _render_region_cluster(app: Application, region: str, members: List) -> List[str]:
+    """One parallel region: splitter/merger plus per-channel sub-clusters."""
+    splitter = next(m for m in members if m.parallel_role == "splitter")
+    width = int(splitter.params.get("width", 0))
+    by_channel: Dict[int, List] = {}
+    for member in members:
+        if member.parallel_channel is not None:
+            by_channel.setdefault(member.parallel_channel, []).append(member)
+    lines = [f"  subgraph cluster_region_{region} {{"]
+    lines.append(
+        f"    label=\"parallel region {region} (width={width})\"; "
+        "style=\"rounded,dashed\"; color=steelblue;"
+    )
+    for member in members:
+        if member.parallel_role in ("splitter", "merger"):
+            lines.append(
+                f"    {_dot_id(member.full_name)} "
+                f"[label=\"{member.name}\\n({member.kind})\", shape=trapezium];"
+            )
+    for channel in sorted(by_channel):
+        lines.append(f"    subgraph cluster_region_{region}_c{channel} {{")
+        lines.append(f"      label=\"channel {channel}\"; style=dotted;")
+        for member in by_channel[channel]:
+            lines.append(
+                f"      {_dot_id(member.full_name)} "
+                f"[label=\"{member.name}\\n({member.kind})\"];"
+            )
+        lines.append("    }")
+    lines.append("  }")
+    return lines
 
 
 def render_application_ascii(app: Application) -> str:

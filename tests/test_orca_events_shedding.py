@@ -40,6 +40,61 @@ class TestEventQueue:
         assert queue and len(queue) == 1
 
 
+class TestQueueLatency:
+    def test_latency_recorded_per_event(self):
+        queue = EventQueue()
+        event = queue.push(OrcaEvent(event_type="a", context=None, enqueued_at=10.0))
+        assert event.queue_latency is None  # not delivered yet
+        queue.pop()
+        latency = queue.record_delivery(event, now=10.25)
+        assert latency == pytest.approx(0.25)
+        assert event.delivered_at == 10.25
+        assert event.queue_latency == pytest.approx(0.25)
+
+    def test_stats_aggregate_mean_max_last(self):
+        queue = EventQueue()
+        for enqueued, delivered in [(0.0, 1.0), (2.0, 2.5), (3.0, 3.1)]:
+            event = queue.push(
+                OrcaEvent(event_type="a", context=None, enqueued_at=enqueued)
+            )
+            queue.pop()
+            queue.record_delivery(event, now=delivered)
+        stats = queue.latency_stats()
+        assert stats.delivered == 3
+        assert stats.mean == pytest.approx((1.0 + 0.5 + 0.1) / 3)
+        assert stats.maximum == pytest.approx(1.0)
+        assert stats.last == pytest.approx(0.1)
+
+    def test_empty_queue_stats_are_zero(self):
+        stats = EventQueue().latency_stats()
+        assert stats.delivered == 0
+        assert stats.mean == stats.maximum == stats.last == 0.0
+
+    def test_service_surfaces_latency_stats(self):
+        """End-to-end: delivered events feed the service's inspection API."""
+        system = SystemS(hosts=1)
+
+        class Recording(Orchestrator):
+            def handleOrcaStart(self, context):
+                from repro.orca.scopes import UserEventScope
+
+                self.orca.registerEventScope(UserEventScope("u"))
+
+        service = system.submit_orchestrator(
+            OrcaDescriptor(name="Lat", logic=Recording, applications=[])
+        )
+        system.run_for(0.1)
+        for i in range(5):
+            service.inject_user_event("tick", {"i": i})
+        system.run_for(0.1)
+        stats = service.queue_latency_stats()
+        assert stats.delivered == 6  # orca_start + 5 user events
+        assert stats.mean >= 0.0 and stats.maximum >= stats.last
+        # every journaled event carries its delivery stamp
+        assert all(e.delivered_at is not None for e in service.event_journal)
+        assert all(e.queue_latency is not None for e in service.event_journal)
+
+
 class TestContextAliases:
     def test_operator_metric_camel_case(self):
         ctx = OperatorMetricContext(

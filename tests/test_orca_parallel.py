@@ -1,0 +1,281 @@
+"""Tests for the ORCA side of elastic parallel regions: ParallelRegionScope,
+channel_congested / region_rescaled events, set_channel_width actuation,
+inspection, and the auto-scaling use case."""
+
+import pytest
+
+from repro import (
+    ManagedApplication,
+    Orchestrator,
+    OrcaDescriptor,
+    SystemConfig,
+    SystemS,
+)
+from repro.apps.elastic_trend import (
+    REGION,
+    AutoScalingTrendOrchestrator,
+    build_elastic_trend_application,
+)
+from repro.elastic import QueueSizeScalingPolicy
+from repro.errors import InspectionError, OrcaPermissionError
+from repro.orca.scopes import ParallelRegionScope
+
+from tests.test_elastic import build_region_app
+
+
+class TestParallelRegionScope:
+    def test_handles_both_region_event_types(self):
+        scope = ParallelRegionScope("s")
+        assert scope.handles("channel_congested")
+        assert scope.handles("region_rescaled")
+        assert not scope.handles("pe_failure")
+
+    def test_region_filter(self):
+        scope = ParallelRegionScope("s").addRegionFilter("analytics")
+        assert scope.matches({"region": "analytics", "event_kind": "x"})
+        assert not scope.matches({"region": "other"})
+
+    def test_event_type_filter(self):
+        scope = ParallelRegionScope("s").addEventTypeFilter("region_rescaled")
+        assert scope.matches({"event_kind": "region_rescaled"})
+        assert not scope.matches({"event_kind": "channel_congested"})
+
+    def test_single_type_scopes_unaffected(self):
+        from repro.orca.scopes import PEFailureScope
+
+        scope = PEFailureScope("s")
+        assert scope.handles("pe_failure")
+        assert not scope.handles("channel_congested")
+
+
+class RecordingRegionOrca(Orchestrator):
+    """Registers a region scope, records region events, never actuates."""
+
+    def __init__(self, app_name="Elastic", region="region"):
+        super().__init__()
+        self.app_name = app_name
+        self.region = region
+        self.congested = []
+        self.rescaled = []
+        self.job_id = None
+
+    def handleOrcaStart(self, context):
+        self.orca.registerEventScope(
+            ParallelRegionScope("region").addRegionFilter(self.region)
+        )
+        self.job_id = self.orca.submit_application(self.app_name).job_id
+
+    def handleChannelCongestedEvent(self, context, scopes):
+        self.congested.append((context, scopes))
+
+    def handleRegionRescaledEvent(self, context, scopes):
+        self.rescaled.append((context, scopes))
+
+
+def submit_orca(system, logic, app, name="Orca"):
+    return system.submit_orchestrator(
+        OrcaDescriptor(
+            name=name,
+            logic=lambda: logic,
+            applications=[ManagedApplication(name=app.name, application=app)],
+        )
+    )
+
+
+@pytest.fixture
+def system():
+    return SystemS(hosts=12, seed=42, config=SystemConfig(orca_poll_interval=5.0))
+
+
+class TestCongestionEvents:
+    def test_congested_channel_raises_event(self, system):
+        # 2 tuples/s service vs 40/s arrival with the default queueSize
+        # congestion metric replaced by the throttle's nBuffered gauge.
+        app = build_region_app(width=1, rate=2.0)
+        work = app.graph.operator("work")
+        work.parallel.congestion_metric = "nBuffered"
+        work.parallel.congestion_threshold = 5.0
+        logic = RecordingRegionOrca()
+        service = submit_orca(system, logic, app)
+        system.run_for(12.0)
+        assert logic.congested
+        context, scopes = logic.congested[0]
+        assert scopes == ["region"]
+        assert context.region == "region"
+        assert context.channel == 0
+        assert context.metric == "nBuffered"
+        assert context.value > context.threshold
+        assert context.width == 1
+        assert context.epoch >= 1
+        assert not service.handler_errors
+
+    def test_uncongested_region_stays_silent(self, system):
+        app = build_region_app(width=2, rate=500.0)  # drains instantly
+        logic = RecordingRegionOrca()
+        submit_orca(system, logic, app)
+        system.run_for(12.0)
+        assert logic.congested == []
+
+    def test_events_respect_scope_matching(self, system):
+        app = build_region_app(width=1, rate=2.0)
+        work = app.graph.operator("work")
+        work.parallel.congestion_metric = "nBuffered"
+        work.parallel.congestion_threshold = 5.0
+
+        class OtherRegionOrca(RecordingRegionOrca):
+            def __init__(self):
+                super().__init__(region="not-this-region")
+
+        logic = OtherRegionOrca()
+        service = submit_orca(system, logic, app)
+        system.run_for(12.0)
+        assert logic.congested == []
+        assert service.queue.dropped_count > 0
+
+
+class TestSetChannelWidthActuation:
+    def test_rescale_emits_event_and_updates_inspection(self, system):
+        app = build_region_app(width=1, limit=150, rate=30.0)
+        logic = RecordingRegionOrca()
+        service = submit_orca(system, logic, app)
+        system.run_for(2.0)
+        operation = service.set_channel_width(logic.job_id, "region", 3)
+        system.run_for(20.0)
+        assert operation.epoch == 1
+        assert len(logic.rescaled) == 1
+        context, scopes = logic.rescaled[0]
+        assert scopes == ["region"]
+        assert (context.old_width, context.new_width) == (1, 3)
+        assert context.duration > 0
+        assert service.channel_width(logic.job_id, "region") == 3
+        assert service.parallel_regions(logic.job_id) == {"region": 3}
+        channels = service.region_channels(logic.job_id, "region")
+        assert [ops[0] for ops in channels] == [
+            "work__c0", "work__c1", "work__c2"
+        ]
+        actions = [r.action for r in service.actuation_log]
+        assert "set_channel_width" in actions
+
+    def test_stream_graph_refreshed_with_new_channels(self, system):
+        app = build_region_app(width=1, rate=30.0)
+        logic = RecordingRegionOrca()
+        service = submit_orca(system, logic, app)
+        system.run_for(2.0)
+        service.set_channel_width(logic.job_id, "region", 2)
+        system.run_for(20.0)
+        # inspection reaches the new channel operator and its PE
+        pe_id = service.pe_of_operator(logic.job_id, "work__c1")
+        assert "work__c1" in service.operators_in_pe(pe_id)
+        # metric events for the new channel keep flowing without skips
+        assert service.metric_event_skips == 0
+        assert not service.handler_errors
+
+    def test_foreign_job_rejected(self, system):
+        app = build_region_app(width=1)
+        logic = RecordingRegionOrca()
+        service = submit_orca(system, logic, app)
+        foreign = system.submit_job(build_region_app(name="Foreign"))
+        system.run_for(2.0)
+        with pytest.raises(OrcaPermissionError):
+            service.set_channel_width(foreign.job_id, "region", 2)
+
+    def test_inspection_of_unknown_region_raises(self, system):
+        app = build_region_app(width=1)
+        logic = RecordingRegionOrca()
+        service = submit_orca(system, logic, app)
+        system.run_for(2.0)
+        with pytest.raises(InspectionError):
+            service.channel_width(logic.job_id, "ghost")
+
+    def test_region_observation_for_policies(self, system):
+        app = build_region_app(width=2, rate=2.0)
+        work = app.graph.operator("work")
+        work.parallel.congestion_metric = "nBuffered"
+        logic = RecordingRegionOrca()
+        service = submit_orca(system, logic, app)
+        system.run_for(10.0)
+        observation = service.region_observation(logic.job_id, "region")
+        assert observation.width == 2
+        assert set(observation.channel_backlogs) == {0, 1}
+        assert observation.total_backlog > 0
+
+
+class TestFailedRescaleVisibility:
+    def test_failed_rescale_delivers_event_and_unwedges_autoscaler(self):
+        # Drain cannot finish in time: 1 tuple/s worker with a deep backlog
+        # against a 2s drain timeout.
+        system = SystemS(
+            hosts=12,
+            config=SystemConfig(orca_poll_interval=5.0, elastic_drain_timeout=2.0),
+        )
+        app = build_region_app(width=1, rate=1.0)
+        logic = RecordingRegionOrca()
+        service = submit_orca(system, logic, app)
+        system.run_for(5.0)
+        operation = service.set_channel_width(logic.job_id, "region", 2)
+        system.run_for(10.0)
+        from repro.elastic import RescaleState
+
+        assert operation.state is RescaleState.FAILED
+        assert len(logic.rescaled) == 1
+        context, _ = logic.rescaled[0]
+        assert context.succeeded is False
+        assert "drain did not complete" in context.error
+        assert service.channel_width(logic.job_id, "region") == 1
+
+    def test_autoscaler_retries_after_failure(self):
+        system = SystemS(
+            hosts=12,
+            config=SystemConfig(orca_poll_interval=5.0, elastic_drain_timeout=0.5),
+        )
+        app = build_elastic_trend_application(
+            width=1, max_width=4, worker_rate=2.0, feed_rate=60.0
+        )
+        logic = AutoScalingTrendOrchestrator(max_width=4)
+        submit_orca(system, logic, app, name="ElasticOrca")
+        system.run_for(60.0)
+        # the deep backlog makes every drain time out, but the in-flight
+        # guard is released each time so the scaler keeps trying
+        assert len(logic.failed_rescales) >= 2
+        assert logic.rescaling is False or logic.failed_rescales
+
+
+class TestElasticTrendUseCase:
+    def test_auto_scaler_reacts_to_congestion(self, system):
+        app = build_elastic_trend_application(
+            width=1, max_width=4, worker_rate=20.0, feed_rate=60.0, limit=1200
+        )
+        logic = AutoScalingTrendOrchestrator(max_width=4)
+        service = submit_orca(system, logic, app, name="ElasticOrca")
+        system.run_for(120.0)
+        # congestion drove the region from 1 channel to the needed width
+        assert logic.congestion_events > 0
+        assert [t[:2] for t in logic.rescale_history] == [(1, 2), (2, 3), (3, 4)]
+        assert logic.observed_width == 4
+        assert service.channel_width(logic.job_id, REGION) == 4
+        # zero loss, exactly once, in order — across three live rescales
+        sink = service.jobs[logic.job_id].operator_instance("out")
+        seqs = [t["seq"] for t in sink.seen]
+        assert sorted(seqs) == list(range(1200))
+        assert seqs == sorted(seqs)
+        assert not service.handler_errors
+
+    def test_policy_driven_scale_in(self, system):
+        # Over-provisioned region + idle feed tail: the timer policy narrows it.
+        app = build_elastic_trend_application(
+            width=4, max_width=4, worker_rate=50.0, feed_rate=20.0, limit=100
+        )
+        logic = AutoScalingTrendOrchestrator(
+            max_width=4,
+            scale_in_policy=QueueSizeScalingPolicy(
+                high_watermark=50.0, low_watermark=2.0, min_width=1, max_width=4
+            ),
+            scale_in_period=15.0,
+        )
+        service = submit_orca(system, logic, app, name="ElasticOrca")
+        system.run_for(90.0)
+        assert logic.rescale_history  # at least one scale-in happened
+        assert all(new < old for old, new, _ in logic.rescale_history)
+        assert service.channel_width(logic.job_id, REGION) < 4
+        sink = service.jobs[logic.job_id].operator_instance("out")
+        assert sorted(t["seq"] for t in sink.seen) == list(range(100))

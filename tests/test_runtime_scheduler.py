@@ -2,9 +2,10 @@
 
 import pytest
 
-from repro.errors import PlacementError
+from repro.errors import PlacementError, SubmissionError
 from repro.runtime.host import Host
 from repro.runtime.scheduler import PlacementScheduler
+from repro.runtime.system import SystemS
 from repro.spl.application import Application
 from repro.spl.compiler import SPLCompiler
 from repro.spl.hostpool import HostPool
@@ -224,3 +225,120 @@ class TestExlocationColocation:
         src_host = result.assignment[compiled.pe_of("src")]
         sink_host = result.assignment[compiled.pe_of("sink")]
         assert src_host != sink_host
+
+
+class TestFailurePaths:
+    """Unhappy paths: dead clusters, inter-job contention, impossible tags."""
+
+    def test_every_host_down_raises(self):
+        hosts = [Host(f"h{i}") for i in range(4)]
+        for host in hosts:
+            host.mark_down()
+        with pytest.raises(PlacementError, match="no hosts are up"):
+            place(build_app(), hosts)
+
+    def test_all_hosts_down_fails_submission_end_to_end(self):
+        system = SystemS(hosts=2)
+        for host in system.srm.hosts.values():
+            host.mark_down()
+        with pytest.raises(SubmissionError):
+            system.submit_job(
+                SPLCompiler("manual").compile(_tiny_app("Dead")).application
+            )
+
+    def test_exclusive_pool_contention_between_two_jobs(self):
+        """Two jobs demanding the same exclusive pool: first wins, second fails."""
+        hosts = [Host("h1"), Host("h2")]
+        reserved = {}
+        load = {}
+        first = place(
+            _exclusive_compiled("A"), hosts, load=load, reserved=reserved,
+            job_id="job_a",
+        )
+        assert set(first.newly_reserved) == {"h1", "h2"}
+        # occupancy as SAM would report it after job_a spawned
+        load = {host: 1 for host in first.assignment.values()}
+        with pytest.raises(PlacementError, match="exclusive"):
+            place(
+                _exclusive_compiled("B"), hosts, load=load, reserved=reserved,
+                job_id="job_b",
+            )
+        # the failed attempt must not have stolen job_a's reservations
+        assert all(owner == "job_a" for owner in reserved.values())
+
+    def test_exclusive_pool_contention_end_to_end_rolls_back(self):
+        system = SystemS(hosts=2)
+        system.submit_job(_exclusive_app("A"))
+        system.run_for(1.0)
+        with pytest.raises(SubmissionError):
+            system.submit_job(_exclusive_app("B"))
+        # SAM rolled back any reservation the failed submission made:
+        # every reserved host still belongs to the first job
+        owners = set(system.sam.reserved_hosts.values())
+        assert owners == {"job_1"}
+        # and the first job keeps running untouched
+        assert system.sam.get_job("job_1").is_running
+
+    def test_unsatisfiable_exlocation_tags(self):
+        """More mutually-exlocated PEs than live hosts can ever satisfy."""
+        compiled = build_app(
+            op_kwargs={
+                name: {"host_exlocation": "spread"}
+                for name in ("src", "mid", "sink")
+            }
+        )
+        with pytest.raises(PlacementError, match="exloc"):
+            place(compiled, [Host("h1"), Host("h2")])
+
+    def test_unsatisfiable_exlocation_end_to_end(self):
+        system = SystemS(hosts=2)
+        app = Application("Spread")
+        g = app.graph
+        src = g.add_operator("src", Beacon, host_exlocation="x")
+        mid = g.add_operator(
+            "mid", Functor, params={"fn": lambda t: t}, host_exlocation="x"
+        )
+        sink = g.add_operator("sink", Sink, host_exlocation="x")
+        g.connect(src.oport(0), mid.iport(0))
+        g.connect(mid.oport(0), sink.iport(0))
+        with pytest.raises(SubmissionError):
+            system.submit_job(app)
+        assert system.sam.jobs == {}  # nothing half-created
+
+    def test_contradictory_colocation_tags(self):
+        """One PE pinned to two different hosts via colocation groups."""
+        scheduler = PlacementScheduler()
+        compiled = build_app(
+            op_kwargs={
+                "src": {"host_colocation": "g1"},
+                "mid": {"host_colocation": "g2"},
+            }
+        )
+        # place src on h1 and mid on h2 by capacity, then demand a PE in
+        # both groups: pre-seed the colocation map through a first pass
+        result = scheduler.place(
+            compiled, [Host("h1", capacity=1), Host("h2", capacity=1),
+                       Host("h3")], load={}, reserved={}, job_id="job_t",
+        )
+        assert len(set(result.assignment.values())) >= 2
+
+
+def _tiny_app(name):
+    app = Application(name)
+    g = app.graph
+    src = g.add_operator("src", Beacon)
+    sink = g.add_operator("sink", Sink)
+    g.connect(src.oport(0), sink.iport(0))
+    return app
+
+
+def _exclusive_app(name):
+    app = _tiny_app(name)
+    app.add_host_pool(HostPool("mine", exclusive=True))
+    for spec in app.graph.operators.values():
+        spec.host_pool = "mine"
+    return app
+
+
+def _exclusive_compiled(name):
+    return SPLCompiler("manual").compile(_exclusive_app(name))

@@ -1,6 +1,9 @@
 """Tests for the visualization tooling."""
 
 from repro.apps.figure2 import build_figure2_application
+from repro.spl.application import Application
+from repro.spl.library import Beacon, Functor, Sink
+from repro.spl.parallel import expand_parallel_regions, parallel
 from repro.tools import (
     render_application_ascii,
     render_application_dot,
@@ -32,6 +35,67 @@ class TestApplicationViews:
         for name in app.graph.operators:
             assert name in text
         assert "in c1" in text
+
+
+def build_parallel_app(width=2):
+    app = Application("ParViz")
+    g = app.graph
+    src = g.add_operator("src", Beacon)
+    work = g.add_operator(
+        "work",
+        Functor,
+        params={"fn": lambda t: t},
+        parallel=parallel(width=width, name="region"),
+    )
+    sink = g.add_operator("sink", Sink)
+    g.connect(src.oport(0), work.iport(0))
+    g.connect(work.oport(0), sink.iport(0))
+    expanded, _ = expand_parallel_regions(app)
+    return expanded
+
+
+PARALLEL_DOT_SNAPSHOT = """\
+digraph "ParViz" {
+  rankdir=LR;
+  subgraph cluster_region_region {
+    label="parallel region region (width=2)"; style="rounded,dashed"; color=steelblue;
+    "region__split" [label="region__split\\n(ParallelSplitter)", shape=trapezium];
+    "region__merge" [label="region__merge\\n(OrderedMerger)", shape=trapezium];
+    subgraph cluster_region_region_c0 {
+      label="channel 0"; style=dotted;
+      "work__c0" [label="work__c0\\n(Functor)"];
+    }
+    subgraph cluster_region_region_c1 {
+      label="channel 1"; style=dotted;
+      "work__c1" [label="work__c1\\n(Functor)"];
+    }
+  }
+  "src" [label="src\\n(Beacon)"];
+  "sink" [label="sink\\n(Sink)"];
+  "region__split" -> "work__c0";
+  "work__c0" -> "region__merge";
+  "region__split" -> "work__c1";
+  "work__c1" -> "region__merge";
+  "src" -> "region__split";
+  "region__merge" -> "sink";
+}"""
+
+
+class TestParallelRegionView:
+    def test_region_cluster_snapshot(self):
+        assert render_application_dot(build_parallel_app()) == PARALLEL_DOT_SNAPSHOT
+
+    def test_channel_clusters_scale_with_width(self):
+        dot = render_application_dot(build_parallel_app(width=3))
+        assert "width=3" in dot
+        for channel in range(3):
+            assert f"cluster_region_region_c{channel}" in dot
+        assert dot.count("->") == 8  # 2 external + 3x(split->work->merge)
+
+    def test_region_rendering_is_deterministic(self):
+        a = render_application_dot(build_parallel_app())
+        b = render_application_dot(build_parallel_app())
+        assert a == b
 
 
 class TestDeploymentView:
