@@ -19,20 +19,30 @@ paper's ORCA orchestrators could observe but never actuate.
   logic can consult to decide target widths.
 """
 
-from repro.elastic.controller import ElasticController, RescaleOperation, RescaleState
+from repro.elastic.controller import (
+    ChannelReroute,
+    ElasticController,
+    RescaleOperation,
+    RescaleState,
+    StateMigration,
+)
 from repro.elastic.policy import (
     QueueSizeScalingPolicy,
     RegionObservation,
     ScalingPolicy,
+    StateAwareScalingPolicy,
     ThroughputScalingPolicy,
 )
 
 __all__ = [
+    "ChannelReroute",
     "ElasticController",
     "QueueSizeScalingPolicy",
     "RegionObservation",
     "RescaleOperation",
     "RescaleState",
     "ScalingPolicy",
+    "StateAwareScalingPolicy",
+    "StateMigration",
     "ThroughputScalingPolicy",
 ]

@@ -14,14 +14,31 @@ reconfiguration epoch clock):
    flowed out of the region: no tuple in flight on the transport toward
    any channel operator or the merger, no tuple in any channel operator's
    internal buffer, no tuple waiting in the merger's reorder buffer.
-3. **Rewire** — with the region provably empty, channels are added or
+3. **Migrate** — for a partitioned region (``partition_by`` set,
+   ``migrate_state`` not disabled), keyed operator state moves with the
+   routing change: every channel operator's keyed states are scanned for
+   entries whose ``hash(key) % width'`` owner differs from their current
+   channel (on a shrink, the doomed channels contribute *all* their
+   entries), the moving partitions are extracted while the region is
+   provably empty, and — after the rewire — installed on their new owner
+   channels before the splitter resumes.  If the rewire fails, the
+   extracted partitions are reinstalled on their source channels, so a
+   rolled-back rescale loses no state either.
+4. **Rewire** — with the region provably empty, channels are added or
    removed: logical graph surgery (:func:`repro.spl.parallel.resize_region`),
    compiled-plan surgery (PE specs, placement, inter/intra edges), live
    runtime changes (SAM places + starts new channel PEs / stops removed
    ones), and route rebuilds on the surviving PEs.
-4. **Resume** — the splitter installs the new width, the epoch counter
+5. **Resume** — the splitter installs the new width, the epoch counter
    advances, and the tuples buffered at the barrier flush through the new
    routing as the first tuples of the new epoch.
+
+The controller is also the reaction point for crashed channels outside
+any rescale: SAM notifies it of PE failures and completed restarts, and
+it masks / unmasks the affected channels on the region's splitter so
+tuples are rerouted around the dead PE (``channel_rerouted`` records are
+pushed to registered listeners — the ORCA service turns them into
+events).
 
 Because tuples are only ever *held* (at the splitter) or *delivered*
 (downstream) — never discarded — a rescale is tuple-loss-free by
@@ -32,17 +49,20 @@ global order across the barrier.
 from __future__ import annotations
 
 import enum
+import time as _time
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Set, Tuple, Union
+from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional, Set, Tuple, Union
 
 from repro.errors import ElasticError
 from repro.orca.epochs import MetricEpochCounter
 from repro.sim.kernel import Kernel
 from repro.spl.compiler import CompiledApplication, PESpec
 from repro.spl.graph import OperatorSpec
+from repro.spl.library import stable_channel_of
 from repro.spl.parallel import ParallelRegionPlan, resize_region
+from repro.spl.state import estimate_value_size
 from repro.runtime.job import Job, JobState
-from repro.runtime.pe import PEState
+from repro.runtime.pe import PERuntime, PEState
 from repro.runtime.transport import Transport
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -51,10 +71,64 @@ if TYPE_CHECKING:  # pragma: no cover
 
 class RescaleState(enum.Enum):
     DRAINING = "draining"
+    MIGRATING = "migrating"
     REWIRING = "rewiring"
     COMPLETED = "completed"
     FAILED = "failed"
     NOOP = "noop"
+
+
+@dataclass
+class StateMigration:
+    """What the migration phase of one rescale moved (or rolled back)."""
+
+    region: str
+    old_width: int
+    new_width: int
+    keys_moved: int = 0
+    bytes_moved: int = 0
+    #: (src channel, dst channel) -> keyed entries moved along that edge
+    moves: Dict[Tuple[int, int], int] = field(default_factory=dict)
+    #: channels whose PE was down at extraction time (their state was
+    #: already lost to the crash; nothing could be migrated off them)
+    skipped_channels: List[int] = field(default_factory=list)
+    #: keyed entries whose *new* owner channel was down at install time —
+    #: dropped with the crash semantics of the dead channel (it restarts
+    #: empty anyway), not treated as a rescale failure
+    keys_lost: int = 0
+    #: non-keyed (global) states dropped with removed channels — global
+    #: state cannot be re-partitioned, mirroring the paper's no-checkpoint
+    #: stance for anything that is not keyed
+    dropped_global_states: int = 0
+    #: True when a failed rewire reinstalled the partitions at the source
+    rolled_back: bool = False
+    #: wall-clock cost of extract + install (the simulated protocol pays
+    #: its latency at the drain barrier; this measures the real state
+    #: shuffling work)
+    wall_ms: float = 0.0
+
+
+#: One extracted partition: (chain position, src channel, dst channel,
+#: keyed-state name, entries).
+_Move = Tuple[int, int, int, str, Dict[Any, Any]]
+
+
+@dataclass
+class ChannelReroute:
+    """A splitter mask/unmask issued because a channel's PE crashed or
+    finished restarting."""
+
+    job_id: str
+    region: str
+    channel: int
+    masked: bool  #: True: channel taken out of the ring; False: restored
+    reason: str
+    width: int
+    pe_id: str
+    time: float
+    #: on unmask: detour keyed entries purged from the other channels
+    #: (state accrued for this channel's keys while it was masked)
+    purged_keys: int = 0
 
 
 @dataclass
@@ -76,6 +150,9 @@ class RescaleOperation:
     #: PE ids created / removed by the rewire step
     added_pe_ids: List[str] = field(default_factory=list)
     removed_pe_ids: List[str] = field(default_factory=list)
+    #: keyed-state migration performed by this rescale (None: region not
+    #: partitioned, migration disabled, or no-op rescale)
+    migration: Optional[StateMigration] = None
 
     @property
     def duration(self) -> float:
@@ -105,6 +182,15 @@ class ElasticController:
         self.epochs = MetricEpochCounter()
         self.history: List[RescaleOperation] = []
         self._active: Dict[Tuple[str, str], RescaleOperation] = {}
+        #: channel mask/unmask records (crashed-channel rerouting)
+        self.reroutes: List[ChannelReroute] = []
+        #: callbacks invoked for every ChannelReroute (the ORCA service
+        #: registers here to emit ``channel_rerouted`` events)
+        self.reroute_listeners: List[Callable[[ChannelReroute], None]] = []
+        #: (job_id, region) -> channels this controller actually masked;
+        #: a PE restart only unmasks (and reports) channels found here, so
+        #: a graceful stop_pe + restart_pe never emits phantom reroutes
+        self._masked_channels: Dict[Tuple[str, str], Set[int]] = {}
 
     # -- public API --------------------------------------------------------------
 
@@ -176,6 +262,122 @@ class ElasticController:
             label=f"elastic-drain-{job.job_id}-{region}",
         )
         return op
+
+    # -- crashed-channel rerouting ------------------------------------------------
+
+    def handle_pe_failure(self, pe: PERuntime, reason: str) -> None:
+        """SAM observer: a PE crashed — mask its parallel-region channels.
+
+        The splitter takes the dead channels out of its hash ring /
+        round-robin rotation, so traffic flows around the crash instead of
+        into it, until ``restart_pe`` completes and
+        :meth:`handle_pe_restarted` unmasks them.
+        """
+        self._remask_channels_of(pe, masked=True, reason=reason)
+
+    def handle_pe_restarted(self, pe: PERuntime) -> None:
+        """SAM observer: a PE restart completed — unmask its channels."""
+        self._remask_channels_of(pe, masked=False, reason="restart_pe")
+
+    def _remask_channels_of(self, pe: PERuntime, masked: bool, reason: str) -> None:
+        job = pe.job
+        if job.state is not JobState.RUNNING:
+            return
+        for plan in job.compiled.parallel_regions.values():
+            tracked = self._masked_channels.setdefault(
+                (job.job_id, plan.name), set()
+            )
+            channels = sorted(
+                {
+                    channel
+                    for channel in (
+                        plan.channel_of(op_name) for op_name in pe.spec.operators
+                    )
+                    if channel is not None
+                }
+            )
+            if not masked:
+                # only channels this controller masked rejoin (a graceful
+                # stop_pe + restart_pe must not emit phantom unmasks)
+                channels = [c for c in channels if c in tracked]
+            else:
+                channels = [c for c in channels if c not in tracked]
+            if not channels:
+                continue
+            try:
+                splitter_pe = job.pe_of_operator(plan.splitter)
+            except Exception:
+                continue
+            if splitter_pe.state is not PEState.RUNNING:
+                continue
+            purged = 0
+            if not masked:
+                # The restarted channel starts empty (crash semantics), so
+                # state its keys accrued on detour channels is stale the
+                # moment traffic routes home again.  Purge it now: left in
+                # place, a later rescale would migrate the stale entries
+                # onto the owner and overwrite its fresher post-restart
+                # state.
+                purged = self._purge_detour_state(job, plan, set(channels))
+            command = "maskChannel" if masked else "unmaskChannel"
+            for channel in channels:
+                splitter_pe.send_control(plan.splitter, command, {"channel": channel})
+                if masked:
+                    tracked.add(channel)
+                else:
+                    tracked.discard(channel)
+                record = ChannelReroute(
+                    job_id=job.job_id,
+                    region=plan.name,
+                    channel=channel,
+                    masked=masked,
+                    reason=reason,
+                    width=plan.width,
+                    pe_id=pe.pe_id,
+                    time=self.kernel.now,
+                    # the purge ran once for the whole channel set; report
+                    # it on the first record so summing over events is
+                    # accurate
+                    purged_keys=purged,
+                )
+                purged = 0
+                self.reroutes.append(record)
+                for listener in list(self.reroute_listeners):
+                    listener(record)
+
+    def _purge_detour_state(
+        self, job: Job, plan: ParallelRegionPlan, channels: Set[int]
+    ) -> int:
+        """Drop keyed entries owned by ``channels`` from every other channel.
+
+        Returns how many entries were purged.  Only meaningful for
+        partitioned regions with migration enabled — elsewhere keyed
+        ownership is undefined and nothing is touched.
+        """
+        if plan.partition_by is None or not getattr(plan, "migrate_state", True):
+            return 0
+        purged = 0
+        for channel, ops in enumerate(plan.channel_ops):
+            if channel in channels:
+                continue
+            for op_name in ops:
+                try:
+                    pe = job.pe_of_operator(op_name)
+                except Exception:
+                    continue
+                if pe.state is not PEState.RUNNING:
+                    continue
+                operator = pe.operators.get(op_name)
+                if operator is None or not operator.state.in_use:
+                    continue
+                for keyed in operator.state.keyed_states().values():
+                    purged += len(
+                        keyed.extract_partition(
+                            lambda key: stable_channel_of(key, plan.width)
+                            in channels
+                        )
+                    )
+        return purged
 
     # -- drain barrier -----------------------------------------------------------
 
@@ -270,6 +472,175 @@ class ElasticController:
         if on_complete is not None:
             on_complete(op)
 
+    # -- state migration -----------------------------------------------------------
+
+    @staticmethod
+    def _region_migrates(plan: ParallelRegionPlan) -> bool:
+        return plan.partition_by is not None and getattr(
+            plan, "migrate_state", True
+        )
+
+    def _extract_keyed_partitions(
+        self,
+        job: Job,
+        plan: ParallelRegionPlan,
+        new_width: int,
+        migration: StateMigration,
+    ) -> List[_Move]:
+        """Pull every keyed entry off its channel when ownership changes.
+
+        Runs after the drain barrier (the region is empty, so state is
+        stable) and *before* any graph or PE surgery (doomed channels'
+        operator instances are still alive).  Extraction removes the
+        entries from the source stores: from this point the controller
+        owns them exclusively until install or rollback.
+        """
+        moves: List[_Move] = []
+        for src_channel, ops in enumerate(plan.channel_ops):
+            shrinking = src_channel >= new_width
+            for position, op_name in enumerate(ops):
+                pe = job.pe_of_operator(op_name)
+                if pe.state is not PEState.RUNNING:
+                    # a crashed channel's state died with it; nothing to move
+                    if src_channel not in migration.skipped_channels:
+                        migration.skipped_channels.append(src_channel)
+                    continue
+                operator = pe.operators.get(op_name)
+                if operator is None or not operator.state.in_use:
+                    continue
+                for state_name, keyed in operator.state.keyed_states().items():
+                    extracted = keyed.extract_partition(
+                        lambda key: shrinking
+                        or stable_channel_of(key, new_width) != src_channel
+                    )
+                    if not extracted:
+                        continue
+                    buckets: Dict[int, Dict[Any, Any]] = {}
+                    for key, value in extracted.items():
+                        buckets.setdefault(
+                            stable_channel_of(key, new_width), {}
+                        )[key] = value
+                    for dst_channel, entries in buckets.items():
+                        moves.append(
+                            (position, src_channel, dst_channel, state_name, entries)
+                        )
+                        migration.keys_moved += len(entries)
+                        migration.bytes_moved += sum(
+                            estimate_value_size(k) + estimate_value_size(v)
+                            for k, v in entries.items()
+                        )
+                        edge = (src_channel, dst_channel)
+                        migration.moves[edge] = migration.moves.get(edge, 0) + len(
+                            entries
+                        )
+                if shrinking:
+                    migration.dropped_global_states += sum(
+                        1
+                        for gs in operator.state.global_states().values()
+                        if self._global_state_has_content(gs.value)
+                    )
+        return moves
+
+    @staticmethod
+    def _global_state_has_content(value: Any) -> bool:
+        """Whether dropping this global value loses application data.
+
+        Default-initialized states (empty windows) are the fresh-instance
+        baseline, and bare numbers are treated as channel-local
+        bookkeeping (arrival-seq counters, cursors) — counting either as
+        dropped would make every shrink of a region containing a Join or
+        Dedup report phantom state loss on a loss-free rescale.  Only
+        non-empty containers and other rich objects count.
+        """
+        if value is None or isinstance(value, (bool, int, float)):
+            return False
+        if isinstance(value, (str, bytes, list, tuple, set, frozenset, dict)):
+            return len(value) > 0
+        return True
+
+    def _install_keyed_partitions(
+        self,
+        job: Job,
+        plan: ParallelRegionPlan,
+        moves: List[_Move],
+        migration: StateMigration,
+        installed: List[_Move],
+        dropped: List[_Move],
+    ) -> None:
+        """Install extracted partitions on their new owner channels.
+
+        Runs after the rewire: ``plan.channel_ops`` is the *new* layout and
+        freshly added channels already have live operator instances.  A
+        new owner whose PE is down (a crashed surviving channel) absorbs
+        its entries the way the crash itself would have: they are dropped
+        and counted — but kept in ``dropped`` so a rollback can still
+        return them to their (alive) source channel.
+
+        Each processed move shifts from ``moves`` into ``installed`` or
+        ``dropped`` as it completes, so a mid-loop failure leaves the
+        caller an exact split: ``installed`` must be uninstalled and the
+        rest reinstalled at the source — never both for the same move
+        (which would duplicate keys across two channels).
+        """
+        while moves:
+            position, _src, dst_channel, state_name, entries = moves[0]
+            target_name = plan.channel_ops[dst_channel][position]
+            pe = job.pe_of_operator(target_name)
+            if pe.state is not PEState.RUNNING:
+                migration.keys_lost += len(entries)
+                dropped.append(moves.pop(0))
+                continue
+            operator = pe.operators.get(target_name)
+            if operator is None:
+                raise ElasticError(
+                    f"migration target {target_name!r} has no live instance"
+                )
+            operator.state.keyed(state_name).install(entries)
+            installed.append(moves.pop(0))
+
+    def _uninstall_keyed_partitions(
+        self, job: Job, plan: ParallelRegionPlan, installed: List[_Move]
+    ) -> List[_Move]:
+        """Undo a completed install: pull the exact migrated key sets back
+        out of their destination stores so they can be reinstalled at the
+        source (rollback after a post-install rewire failure)."""
+        recovered: List[_Move] = []
+        for position, src_channel, dst_channel, state_name, entries in installed:
+            if dst_channel >= len(plan.channel_ops):
+                continue
+            target_name = plan.channel_ops[dst_channel][position]
+            try:
+                pe = job.pe_of_operator(target_name)
+            except Exception:
+                continue
+            operator = pe.operators.get(target_name)
+            if operator is None:
+                continue
+            pulled = operator.state.keyed(state_name).extract_partition(
+                lambda key: key in entries
+            )
+            if pulled:
+                recovered.append(
+                    (position, src_channel, dst_channel, state_name, pulled)
+                )
+        return recovered
+
+    def _reinstall_extracted(
+        self, job: Job, plan: ParallelRegionPlan, moves: List[_Move]
+    ) -> None:
+        """Rollback: put extracted partitions back on their source channels."""
+        for position, src_channel, _dst, state_name, entries in moves:
+            if src_channel >= len(plan.channel_ops):
+                continue  # source channel no longer exists; nowhere to go
+            source_name = plan.channel_ops[src_channel][position]
+            try:
+                pe = job.pe_of_operator(source_name)
+            except Exception:
+                continue
+            operator = pe.operators.get(source_name)
+            if operator is not None:
+                operator.state.keyed(state_name).install(entries)
+
     # -- rewire ------------------------------------------------------------------
 
     def _rewire_and_resume(
@@ -279,10 +650,40 @@ class ElasticController:
         op: RescaleOperation,
         on_complete: Optional[Callable[[RescaleOperation], None]],
     ) -> None:
-        op.state = RescaleState.REWIRING
         compiled = job.compiled
         graph = compiled.application.graph
+        moves: List[_Move] = []
+        installed: List[_Move] = []
+        dropped: List[_Move] = []
+        migration: Optional[StateMigration] = None
         try:
+            # The whole rewire runs synchronously inside one kernel event, so
+            # nothing can crash *during* it — but the merger or splitter PE
+            # may have died while the drain was polling.  Verify both before
+            # touching any state, so a doomed rescale fails without ever
+            # extracting a partition.
+            for endpoint in (plan.splitter, plan.merger):
+                endpoint_pe = job.pe_of_operator(endpoint)
+                if endpoint_pe.state is not PEState.RUNNING:
+                    raise ElasticError(
+                        f"PE of {endpoint!r} is {endpoint_pe.state.value}; "
+                        "cannot rewire"
+                    )
+            if self._region_migrates(plan):
+                op.state = RescaleState.MIGRATING
+                migration = StateMigration(
+                    region=plan.name,
+                    old_width=op.old_width,
+                    new_width=op.new_width,
+                )
+                wall_start = _time.perf_counter()
+                moves = self._extract_keyed_partitions(
+                    job, plan, op.new_width, migration
+                )
+                migration.wall_ms += (_time.perf_counter() - wall_start) * 1000.0
+                op.migration = migration
+
+            op.state = RescaleState.REWIRING
             added_specs, removed_names = resize_region(graph, plan, op.new_width)
 
             # Physical plan surgery, then live PE set changes.
@@ -298,14 +699,30 @@ class ElasticController:
                 except Exception:
                     # No runtimes were created: undo the logical and
                     # physical plan surgery so the region is exactly as it
-                    # was, then fail the operation (the splitter resumes at
-                    # the old width and the job keeps flowing).
+                    # was, reinstall any extracted state on its source
+                    # channels, then fail the operation (the splitter
+                    # resumes at the old width and the job keeps flowing).
                     self._rollback_scale_out(job, compiled, plan, op.old_width)
+                    if moves:
+                        self._reinstall_extracted(job, plan, moves)
+                        moves = []
+                        if migration is not None:
+                            migration.rolled_back = True
                     raise
                 op.added_pe_ids = [pe.pe_id for pe in added_pes]
             for pe in job.pes:
                 if pe.state is PEState.RUNNING:
                     pe.rebuild_routes()
+
+            # Install migrated partitions on their new owners while the
+            # region is still quiesced — state must be in place before the
+            # first post-resume tuple reaches its rehashed channel.
+            if moves:
+                wall_start = _time.perf_counter()
+                self._install_keyed_partitions(
+                    job, plan, moves, migration, installed, dropped
+                )
+                migration.wall_ms += (_time.perf_counter() - wall_start) * 1000.0
 
             # Live operator updates: merger first (its ports must exist
             # before the splitter routes to them), then the splitter resumes
@@ -319,9 +736,35 @@ class ElasticController:
             )
         except Exception as exc:
             # Never let a rewire error escape into the kernel: the splitter
-            # must be resumed or the region would buffer forever.
+            # must be resumed or the region would buffer forever.  Any
+            # still-extracted partitions go back to their sources, and
+            # partitions already installed on their new owners are pulled
+            # back out first (best effort — surviving channels reabsorb
+            # their keys, so a rolled-back rescale loses no state).
+            if installed:
+                moves = self._uninstall_keyed_partitions(job, plan, installed) + moves
+            if dropped:
+                # their dead *destination* never received them; the (alive)
+                # source still owns the keys at the restored old width
+                if migration is not None:
+                    migration.keys_lost -= sum(len(m[4]) for m in dropped)
+                moves = moves + dropped
+            if moves:
+                self._reinstall_extracted(job, plan, moves)
+                if migration is not None:
+                    migration.rolled_back = True
             self._fail(job, plan, op, on_complete, f"rewire failed: {exc}")
             return
+
+        # Mirror the splitter's width clamp on the mask-tracking set: a
+        # removed masked channel must not leave a stale entry behind, or a
+        # later graceful restart of a *new* PE at that index would emit
+        # the phantom unmask the tracking exists to prevent.
+        tracked = self._masked_channels.get((op.job_id, op.region))
+        if tracked:
+            self._masked_channels[(op.job_id, op.region)] = {
+                channel for channel in tracked if channel < op.new_width
+            }
 
         op.state = RescaleState.COMPLETED
         op.completed_at = self.kernel.now
@@ -399,6 +842,11 @@ class ElasticController:
                 host_colocations={
                     s.host_colocation for s in group if s.host_colocation is not None
                 },
+                stateful_ops=[
+                    s.full_name
+                    for s in group
+                    if getattr(s.op_class, "STATEFUL", False)
+                ],
             )
             next_index += 1
             compiled.pes.append(pe_spec)

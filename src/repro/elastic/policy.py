@@ -27,6 +27,10 @@ class RegionObservation:
     channel_backlogs: Dict[int, float] = field(default_factory=dict)
     #: region-wide output rate (tuples/second), when the caller tracked one
     throughput: Optional[float] = None
+    #: channel index -> aggregated ``stateBytes`` of the channel's operators
+    #: (filled by ``OrcaService.region_observation`` from SRM; the input for
+    #: state-aware policies that weigh migration cost against load)
+    channel_state_sizes: Dict[int, float] = field(default_factory=dict)
     time: float = 0.0
 
     @property
@@ -36,6 +40,10 @@ class RegionObservation:
     @property
     def total_backlog(self) -> float:
         return sum(self.channel_backlogs.values())
+
+    @property
+    def total_state_bytes(self) -> float:
+        return sum(self.channel_state_sizes.values())
 
 
 class ScalingPolicy:
@@ -119,3 +127,50 @@ class ThroughputScalingPolicy(ScalingPolicy):
             self.max_width,
         )
         return target if target != observation.width else None
+
+
+class StateAwareScalingPolicy(ScalingPolicy):
+    """Wraps another policy and weighs the migration cost of its decision.
+
+    A width change of a partitioned region moves roughly
+    ``|Δwidth| / max(width, width')`` of the region's keyed state (every
+    key whose ``hash(key) % width`` owner changes).  When that estimate
+    exceeds ``max_migration_bytes`` the inner decision is vetoed — unless
+    the region is congested beyond ``force_backlog``, at which point
+    scaling out is worth any migration pause.  This is the "state-aware
+    policy" building block the ORCA inspection API feeds via
+    ``RegionObservation.channel_state_sizes``.
+    """
+
+    def __init__(
+        self,
+        inner: ScalingPolicy,
+        max_migration_bytes: float,
+        force_backlog: Optional[float] = None,
+    ) -> None:
+        if max_migration_bytes <= 0:
+            raise ValueError("max_migration_bytes must be positive")
+        self.inner = inner
+        self.max_migration_bytes = max_migration_bytes
+        self.force_backlog = force_backlog
+
+    def estimated_migration_bytes(
+        self, observation: RegionObservation, new_width: int
+    ) -> float:
+        old_width = max(observation.width, 1)
+        moved_fraction = abs(new_width - old_width) / max(new_width, old_width)
+        return observation.total_state_bytes * moved_fraction
+
+    def decide(self, observation: RegionObservation) -> Optional[int]:
+        target = self.inner.decide(observation)
+        if target is None:
+            return None
+        if (
+            self.force_backlog is not None
+            and observation.max_backlog > self.force_backlog
+            and target > observation.width
+        ):
+            return target
+        if self.estimated_migration_bytes(observation, target) > self.max_migration_bytes:
+            return None
+        return target

@@ -12,6 +12,7 @@ An orchestrator has two halves (Sec. 3):
 
 from repro.orca.contexts import (
     ChannelCongestedContext,
+    ChannelReroutedContext,
     HostFailureContext,
     JobCancellationContext,
     JobSubmissionContext,
@@ -21,6 +22,7 @@ from repro.orca.contexts import (
     PEFailureContext,
     PEMetricContext,
     RegionRescaledContext,
+    RegionStateMigratedContext,
     TimerContext,
     UserEventContext,
 )
@@ -49,6 +51,7 @@ __all__ = [
     "when",
     "AppConfig",
     "ChannelCongestedContext",
+    "ChannelReroutedContext",
     "HostFailureContext",
     "HostFailureScope",
     "JobCancellationContext",
@@ -70,6 +73,7 @@ __all__ = [
     "PEMetricContext",
     "PEMetricScope",
     "RegionRescaledContext",
+    "RegionStateMigratedContext",
     "TimerContext",
     "TimerScope",
     "UserEventContext",

@@ -185,6 +185,53 @@ class RegionRescaledContext:
 
 
 @dataclass(frozen=True)
+class RegionStateMigratedContext:
+    """A rescale's migration phase moved keyed operator state.
+
+    Delivered right before the matching ``region_rescaled`` event when the
+    completed rescale migrated at least one keyed entry (or dropped global
+    state with removed channels).  ``moves`` maps ``(src, dst)`` channel
+    pairs to the number of keyed entries that travelled along that edge.
+    """
+
+    job_id: str
+    app_name: str
+    region: str
+    old_width: int
+    new_width: int
+    keys_moved: int
+    bytes_moved: int
+    moves: Dict[tuple, int]
+    dropped_global_states: int
+    skipped_channels: tuple  #: channels whose PE was down at extraction
+    wall_ms: float  #: real time spent extracting + installing partitions
+    epoch: int  #: reconfiguration epoch of the enclosing rescale
+    time: float
+
+
+@dataclass(frozen=True)
+class ChannelReroutedContext:
+    """A parallel-region channel was masked (or unmasked) on its splitter.
+
+    Emitted when a channel's PE crashes — the splitter routes its keys to
+    the surviving channels until ``restart_pe`` completes — and again,
+    with ``masked=False``, once the restarted channel rejoined the ring.
+    """
+
+    job_id: str
+    app_name: str
+    region: str
+    channel: int
+    masked: bool
+    reason: str
+    width: int
+    pe_id: str
+    time: float
+    #: on unmask: stale detour entries purged from the other channels
+    purged_keys: int = 0
+
+
+@dataclass(frozen=True)
 class TimerContext:
     """A timer created through the ORCA service expired."""
 

@@ -19,6 +19,7 @@ from typing import TYPE_CHECKING, List
 
 from repro.orca.contexts import (
     ChannelCongestedContext,
+    ChannelReroutedContext,
     HostFailureContext,
     JobCancellationContext,
     JobSubmissionContext,
@@ -28,6 +29,7 @@ from repro.orca.contexts import (
     PEFailureContext,
     PEMetricContext,
     RegionRescaledContext,
+    RegionStateMigratedContext,
     TimerContext,
     UserEventContext,
 )
@@ -104,6 +106,17 @@ class Orchestrator:
         self, context: RegionRescaledContext, scopes: List[str]
     ) -> None:
         """A parallel region completed a live channel-width change."""
+
+    def handleRegionStateMigratedEvent(  # noqa: N802
+        self, context: RegionStateMigratedContext, scopes: List[str]
+    ) -> None:
+        """A rescale's migration phase moved keyed state between channels."""
+
+    def handleChannelReroutedEvent(  # noqa: N802
+        self, context: ChannelReroutedContext, scopes: List[str]
+    ) -> None:
+        """A channel was masked from (or restored to) its region's splitter
+        because its PE crashed / finished restarting."""
 
     # -- timers and user events ----------------------------------------------------------------
 

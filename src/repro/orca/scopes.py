@@ -254,29 +254,59 @@ class UserEventScope(EventScope):
 class ParallelRegionScope(EventScope):
     """Parallel-region lifecycle events (the elastic subsystem).
 
-    Covers two related event types with one subscope, so ORCA logic that
+    Covers the related event types with one subscope, so ORCA logic that
     drives elasticity registers a single scope:
 
     * ``channel_congested`` — one channel's aggregated backlog exceeded
       the region's congestion threshold at the last metric poll;
     * ``region_rescaled`` — a ``set_channel_width()`` actuation completed
-      and the region is flowing at its new width.
+      and the region is flowing at its new width;
+    * ``region_state_migrated`` — the rescale's migration phase moved
+      keyed operator state between channels (delivered right before the
+      matching ``region_rescaled``);
+    * ``channel_rerouted`` — a channel was masked out of (or restored to)
+      the splitter's hash ring because its PE crashed / restarted.
+
+    State-aware routines pair this scope with the service's region
+    inspection API — ``state_of(job, region, key)`` for one key's owner
+    channel and values, ``region_state_sizes()`` for per-channel
+    ``stateBytes`` aggregates from SRM.
     """
 
     EVENT_TYPE = "channel_congested"
-    EVENT_TYPES = ("channel_congested", "region_rescaled")
+    EVENT_TYPES = (
+        "channel_congested",
+        "region_rescaled",
+        "region_state_migrated",
+        "channel_rerouted",
+    )
 
     #: metric identifiers commonly used as region congestion metrics
     queueSize = "queueSize"
     nBuffered = "nBuffered"
+    #: per-operator state-footprint gauges collected by the host controllers
+    stateBytes = "stateBytes"
+    nStateKeys = "nStateKeys"
 
     def addRegionFilter(self, names: Values) -> "ParallelRegionScope":  # noqa: N802
         self._add("region", names)
         return self
 
     def addEventTypeFilter(self, kinds: Values) -> "ParallelRegionScope":  # noqa: N802
-        """Restrict to ``channel_congested`` and/or ``region_rescaled``."""
+        """Restrict to a subset of the region event kinds (e.g.
+        ``channel_congested``, ``region_state_migrated``)."""
         self._add("event_kind", kinds)
+        return self
+
+    def addChannelFilter(self, channels: Values) -> "ParallelRegionScope":  # noqa: N802
+        """Restrict to events touching specific channel indices.
+
+        Channel-scoped events (``channel_congested``, ``channel_rerouted``)
+        match on their single channel; region-wide events
+        (``region_rescaled``, ``region_state_migrated``) carry every
+        channel index and therefore still match any channel filter.
+        """
+        self._add("channel", channels)
         return self
 
 

@@ -33,6 +33,7 @@ from repro.errors import (
 from repro.orca.commandtool import OrcaCommandTool
 from repro.orca.contexts import (
     ChannelCongestedContext,
+    ChannelReroutedContext,
     HostFailureContext,
     JobCancellationContext,
     JobSubmissionContext,
@@ -42,6 +43,7 @@ from repro.orca.contexts import (
     PEFailureContext,
     PEMetricContext,
     RegionRescaledContext,
+    RegionStateMigratedContext,
     TimerContext,
     UserEventContext,
 )
@@ -127,6 +129,8 @@ class OrcaService:
         self._poll_handle = self.kernel.schedule(
             self._poll_interval, self._poll_metrics, label=f"{self.orca_id}-poll"
         )
+        # Crashed-channel reroutes (splitter masks) become ORCA events.
+        self.system.elastic.reroute_listeners.append(self._on_channel_rerouted)
 
     def _register_application(self, managed: ManagedApplication) -> None:
         if managed.application is not None:
@@ -155,6 +159,9 @@ class OrcaService:
         if self._poll_handle is not None:
             self._poll_handle.cancel()
         self.timers.cancel_all()
+        listeners = self.system.elastic.reroute_listeners
+        if self._on_channel_rerouted in listeners:
+            listeners.remove(self._on_channel_rerouted)
 
     # -- time ------------------------------------------------------------------------
 
@@ -227,6 +234,8 @@ class OrcaService:
         "user": ("handleUserEvent", True),
         "channel_congested": ("handleChannelCongestedEvent", True),
         "region_rescaled": ("handleRegionRescaledEvent", True),
+        "region_state_migrated": ("handleRegionStateMigratedEvent", True),
+        "channel_rerouted": ("handleChannelReroutedEvent", True),
     }
 
     def _deliver(self, event: OrcaEvent) -> None:
@@ -323,6 +332,7 @@ class OrcaService:
                         "application": job.app_name,
                         "job": job_id,
                         "region": plan.name,
+                        "channel": channel,
                         "event_kind": "channel_congested",
                     }
                     self._enqueue("channel_congested", context, attrs)
@@ -554,12 +564,19 @@ class OrcaService:
 
     # -- actuation: PE control ------------------------------------------------------------------------------
 
-    def restart_pe(self, pe_id: str) -> None:
-        """Restart a crashed/stopped PE of a job this orchestrator owns."""
+    def restart_pe(self, pe_id: str, rehydrate: bool = False) -> None:
+        """Restart a crashed/stopped PE of a job this orchestrator owns.
+
+        ``rehydrate=True`` restores each stateful operator from its last
+        quiesced snapshot (captured at the most recent graceful stop);
+        the default keeps the paper's restart-empty semantics.
+        """
         job_id = self.graph.job_of_pe(pe_id)
         self._check_owned(job_id)
-        self.system.sam.restart_pe(job_id, pe_id)
-        self._log_actuation("restart_pe", pe_id)
+        self.system.sam.restart_pe(job_id, pe_id, rehydrate=rehydrate)
+        self._log_actuation(
+            "restart_pe", f"{pe_id} rehydrate={rehydrate}" if rehydrate else pe_id
+        )
 
     def stop_pe(self, pe_id: str) -> None:
         job_id = self.graph.job_of_pe(pe_id)
@@ -611,6 +628,43 @@ class OrcaService:
                 job.app_name,
                 {pe.index: (pe.pe_id, pe.host_name) for pe in job.pes},
             )
+        migration = operation.migration
+        if (
+            succeeded
+            and migration is not None
+            and (migration.keys_moved or migration.dropped_global_states)
+        ):
+            # Delivered before the matching region_rescaled so handlers see
+            # the state movement in causal order.
+            migrated = RegionStateMigratedContext(
+                job_id=operation.job_id,
+                app_name=job.app_name,
+                region=operation.region,
+                old_width=migration.old_width,
+                new_width=migration.new_width,
+                keys_moved=migration.keys_moved,
+                bytes_moved=migration.bytes_moved,
+                moves=dict(migration.moves),
+                dropped_global_states=migration.dropped_global_states,
+                skipped_channels=tuple(migration.skipped_channels),
+                wall_ms=migration.wall_ms,
+                epoch=operation.epoch,
+                time=self.now,
+            )
+            self._enqueue(
+                "region_state_migrated",
+                migrated,
+                {
+                    "application": job.app_name,
+                    "job": operation.job_id,
+                    "region": operation.region,
+                    # region-wide event: matches any addChannelFilter choice
+                    "channel": tuple(
+                        range(max(operation.old_width, operation.new_width))
+                    ),
+                    "event_kind": "region_state_migrated",
+                },
+            )
         context = RegionRescaledContext(
             job_id=operation.job_id,
             app_name=job.app_name,
@@ -627,9 +681,37 @@ class OrcaService:
             "application": job.app_name,
             "job": operation.job_id,
             "region": operation.region,
+            # region-wide event: matches any addChannelFilter choice
+            "channel": tuple(range(max(operation.old_width, operation.new_width))),
             "event_kind": "region_rescaled",
         }
         self._enqueue("region_rescaled", context, attrs)
+
+    def _on_channel_rerouted(self, record) -> None:
+        """Elastic-controller listener: a splitter mask/unmask happened."""
+        job = self.jobs.get(record.job_id)
+        if job is None:
+            return  # not a job this orchestrator owns
+        context = ChannelReroutedContext(
+            job_id=record.job_id,
+            app_name=job.app_name,
+            region=record.region,
+            channel=record.channel,
+            masked=record.masked,
+            reason=record.reason,
+            width=record.width,
+            pe_id=record.pe_id,
+            time=self.now,
+            purged_keys=record.purged_keys,
+        )
+        attrs: Dict[str, Any] = {
+            "application": job.app_name,
+            "job": record.job_id,
+            "region": record.region,
+            "channel": record.channel,
+            "event_kind": "channel_rerouted",
+        }
+        self._enqueue("channel_rerouted", context, attrs)
 
     # -- actuation: placement ----------------------------------------------------------------------------------
 
@@ -766,6 +848,56 @@ class OrcaService:
             job_id, dict(enumerate(plan.channel_ops)), plan.congestion_metric
         )
 
+    def region_state_sizes(self, job_id: str, region: str) -> Dict[int, float]:
+        """Channel index -> aggregated ``stateBytes`` of the channel (SRM).
+
+        The per-operator gauges are refreshed by the host controllers at
+        every metric push, so this reflects state as of the last push —
+        the same freshness contract as every other SRM-backed query.
+        """
+        plan = self._region_plan(job_id, region)
+        return self.system.srm.sum_operator_metric_by_group(
+            job_id, dict(enumerate(plan.channel_ops)), "stateBytes"
+        )
+
+    def region_key_owner(self, job_id: str, region: str, key) -> int:
+        """The channel that owns ``key`` at the region's current width."""
+        from repro.spl.library import stable_channel_of  # late: layer cycle
+
+        plan = self._region_plan(job_id, region)
+        if plan.partition_by is None:
+            raise InspectionError(
+                f"region {region!r} is not partitioned (no partition_by)"
+            )
+        return stable_channel_of(key, plan.width)
+
+    def state_of(self, job_id: str, region: str, key) -> Dict[str, Any]:
+        """Live keyed state of one partition key (Sec. 4.2 extended).
+
+        Returns ``{"channel": owner, "values": {op_full_name: {state_name:
+        value}}}``, read from the owner channel's live operator instances.
+        Only keys the operators actually stored appear in ``values``; a key
+        the region has never seen yields an empty values map.  This is the
+        inspection hook that lets user routines write state-aware policies
+        (e.g. pin a hot key's channel before deciding a width).
+        """
+        job = self._check_owned(job_id)
+        plan = self._region_plan(job_id, region)
+        channel = self.region_key_owner(job_id, region, key)
+        values: Dict[str, Dict[str, Any]] = {}
+        for op_name in plan.channel_ops[channel]:
+            instance = job.operator_instance(op_name)
+            if instance is None or not instance.state.in_use:
+                continue
+            found = {
+                state_name: keyed.get(key)
+                for state_name, keyed in instance.state.keyed_states().items()
+                if key in keyed
+            }
+            if found:
+                values[op_name] = found
+        return {"channel": channel, "values": values}
+
     def region_observation(self, job_id: str, region: str):
         """A :class:`repro.elastic.policy.RegionObservation` for policies."""
         from repro.elastic.policy import RegionObservation  # late: layer cycle
@@ -776,6 +908,7 @@ class OrcaService:
             region=region,
             width=plan.width,
             channel_backlogs=self.region_channel_backlogs(job_id, region),
+            channel_state_sizes=self.region_state_sizes(job_id, region),
             time=self.now,
         )
 

@@ -10,7 +10,12 @@ use cases rely on:
 * **crash** — operator instances are discarded *without* shutdown hooks;
   scheduled work is cancelled; in-flight tuples toward the PE are lost.
 * **restart** — fresh operator instances with empty state (windows refill
-  from scratch, which is what Fig. 9(b) shows).
+  from scratch, which is what Fig. 9(b) shows).  Optionally,
+  ``restart(rehydrate=True)`` reinstalls the *last quiesced snapshot* of
+  each stateful operator (captured at the most recent graceful stop) —
+  an opt-in on top of the paper's no-checkpoint default; a crash never
+  produces a snapshot, so a crashed PE that was never cleanly stopped
+  still restarts empty.
 """
 
 from __future__ import annotations
@@ -63,6 +68,9 @@ class PERuntime:
         self.state = PEState.CONSTRUCTED
         self.operators: Dict[str, Operator] = {}
         self.metrics = MetricRegistry()
+        #: operator full name -> last quiesced state snapshot (captured on
+        #: graceful stop; consumed by ``restart(rehydrate=True)``)
+        self.state_registry: Dict[str, dict] = {}
         self._pending: List[ScheduledEvent] = []
         self.last_crash_reason: Optional[str] = None
         self.on_crash: Optional[Callable[["PERuntime", str], None]] = None
@@ -135,17 +143,42 @@ class PERuntime:
                 )
             self.operators[op_name] = operator
 
-    def stop(self) -> None:
-        """Graceful stop: shutdown hooks run, pending work cancelled."""
+    def stop(self, capture_state: bool = True) -> None:
+        """Graceful stop: quiesced snapshots captured, shutdown hooks run,
+        pending work cancelled.
+
+        ``capture_state=False`` skips the snapshot deep-copy — used when
+        the PE is being discarded for good (job cancellation, parallel
+        region scale-in) and nothing could ever rehydrate from it.
+        """
         if self.state is not PEState.RUNNING:
             return
+        if capture_state:
+            self.capture_state_snapshots()
         for operator in self.operators.values():
             operator.on_shutdown()
         self._cancel_pending()
         self.state = PEState.STOPPED
 
+    def capture_state_snapshots(self) -> Dict[str, dict]:
+        """Snapshot every stateful operator into the state registry.
+
+        An operator is snapshotted when the compiler declared it stateful
+        (``PESpec.stateful_ops``) or when its state store is in use (a
+        Custom operator may hold state without a STATEFUL class marker).
+        """
+        declared = set(getattr(self.spec, "stateful_ops", ()) or ())
+        for op_name, operator in self.operators.items():
+            if op_name in declared or operator.state.in_use:
+                self.state_registry[op_name] = operator.snapshot()
+        return dict(self.state_registry)
+
     def crash(self, reason: str = "crash") -> None:
-        """Abrupt process death: no shutdown hooks, state is lost."""
+        """Abrupt process death: no shutdown hooks, state is lost.
+
+        The state registry keeps whatever was captured at the *previous*
+        graceful stop — the in-memory state at crash time is gone.
+        """
         if self.state is not PEState.RUNNING:
             return
         self._cancel_pending()
@@ -155,12 +188,23 @@ class PERuntime:
         if self.on_crash is not None:
             self.on_crash(self, reason)
 
-    def restart(self) -> None:
-        """Bring a stopped/crashed PE back with fresh operator state."""
+    def restart(self, rehydrate: bool = False) -> None:
+        """Bring a stopped/crashed PE back.
+
+        ``rehydrate=False`` (the paper's semantics, and the default):
+        fresh operator instances with empty state.  ``rehydrate=True``:
+        each operator with a snapshot in the state registry is restored
+        from its last quiesced snapshot before initialization.
+        """
         if self.state is PEState.RUNNING:
             raise PEControlError(f"PE {self.pe_id} is running; stop it first")
         self.metrics.get(PEMetricName.N_RESTARTS).increment()
         self._instantiate_operators()
+        if rehydrate:
+            for op_name, payload in self.state_registry.items():
+                operator = self.operators.get(op_name)
+                if operator is not None:
+                    operator.restore(payload)
         self.state = PEState.RUNNING
         for operator in self.operators.values():
             operator.on_initialize()
@@ -251,10 +295,12 @@ class PERuntime:
     # -- metrics ------------------------------------------------------------------
 
     def update_queue_metrics(self) -> None:
-        """Refresh queueSize gauges from transport in-flight counts.
+        """Refresh queueSize and state-size gauges at collection time.
 
         Called by the host controller just before a metric snapshot so the
-        gauges reflect the backlog at collection time.
+        gauges reflect the backlog (and the operator state footprint) at
+        collection time; the samples flow to SRM with everything else, so
+        ORCA routines can aggregate ``stateBytes`` per region channel.
         """
         for op_name, operator in self.operators.items():
             total = 0
@@ -268,6 +314,13 @@ class PERuntime:
             operator.metrics.get_or_create(
                 OperatorMetricName.QUEUE_SIZE, MetricKind.GAUGE
             ).set(total)
+            if operator.state.in_use:
+                operator.metrics.get_or_create(
+                    "stateBytes", MetricKind.GAUGE
+                ).set(operator.state.size_bytes())
+                operator.metrics.get_or_create(
+                    "nStateKeys", MetricKind.GAUGE
+                ).set(operator.state.n_keys())
 
     def send_control(self, op_full_name: str, command: str, payload: dict) -> None:
         """Route a control command to one operator instance (Sec. 3)."""

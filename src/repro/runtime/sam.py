@@ -64,6 +64,11 @@ class SAM:
         self._orca_failure_sinks: Dict[str, Callable] = {}
         #: orca id -> host failure callback installed by the ORCA service
         self._orca_host_sinks: Dict[str, Callable] = {}
+        #: runtime-internal observers of PE crashes / completed restarts
+        #: (the elastic controller registers here to mask/unmask parallel
+        #: region channels whose PE went down)
+        self.pe_failure_observers: List[Callable[[PERuntime, str], None]] = []
+        self.pe_restart_observers: List[Callable[[PERuntime], None]] = []
         srm.on_host_failure = self._on_host_failure
         for hc in hcs.values():
             hc.on_pe_crash = self._on_local_pe_crash
@@ -146,7 +151,7 @@ class SAM:
         job.state = JobState.CANCELLING
         self.import_export.disconnect_job(job_id)
         for pe in job.pes:
-            pe.stop()
+            pe.stop(capture_state=False)  # the job is gone; nothing rehydrates
             if pe.host_name and pe.host_name in self.hcs:
                 self.hcs[pe.host_name].remove_pe(pe.pe_id)
         self._release_reservations(job_id)
@@ -164,21 +169,30 @@ class SAM:
 
     # -- PE control ----------------------------------------------------------------------
 
-    def restart_pe(self, job_id: str, pe_id: str) -> None:
-        """Restart a crashed/stopped PE after the configured restart delay."""
+    def restart_pe(self, job_id: str, pe_id: str, rehydrate: bool = False) -> None:
+        """Restart a crashed/stopped PE after the configured restart delay.
+
+        ``rehydrate=True`` restores each stateful operator from its last
+        quiesced snapshot (see :meth:`PERuntime.restart`); the default is
+        the paper's restart-empty semantics.
+        """
         job = self.get_job(job_id)
         pe = job.pe_by_id(pe_id)
         if pe.state is PEState.RUNNING:
             raise PEControlError(f"PE {pe_id} is running; cannot restart")
         self.restarts_issued += 1
-        self.kernel.schedule(self.pe_restart_delay, self._do_restart, job, pe)
+        self.kernel.schedule(
+            self.pe_restart_delay, self._do_restart, job, pe, rehydrate
+        )
 
-    def _do_restart(self, job: Job, pe: PERuntime) -> None:
+    def _do_restart(self, job: Job, pe: PERuntime, rehydrate: bool = False) -> None:
         if job.state is not JobState.RUNNING:
             return
         if pe.state is PEState.RUNNING:
             return
-        pe.restart()
+        pe.restart(rehydrate=rehydrate)
+        for observer in self.pe_restart_observers:
+            observer(pe)
 
     def stop_pe(self, job_id: str, pe_id: str) -> None:
         job = self.get_job(job_id)
@@ -240,7 +254,9 @@ class SAM:
         job = self.get_job(job_id)
         for pe_id in pe_ids:
             pe = job.pe_by_id(pe_id)
-            pe.stop()
+            # discarded for good: skip the quiesced-snapshot deep copy (the
+            # migration phase already extracted anything worth keeping)
+            pe.stop(capture_state=False)
             if pe.host_name and pe.host_name in self.hcs:
                 self.hcs[pe.host_name].remove_pe(pe.pe_id)
             job.pes.remove(pe)
@@ -279,6 +295,8 @@ class SAM:
         job = pe.job
         if job.state is not JobState.RUNNING:
             return
+        for observer in self.pe_failure_observers:
+            observer(pe, reason)
         sink = None
         if job.owner_orca is not None:
             sink = self._orca_failure_sinks.get(job.owner_orca)

@@ -119,6 +119,12 @@ class SystemS:
             drain_poll_interval=self.config.elastic_drain_poll,
             drain_timeout=self.config.elastic_drain_timeout,
         )
+        # Crashed parallel-region channels are routed around automatically:
+        # SAM tells the elastic controller about PE crashes / completed
+        # restarts; the controller masks / unmasks the affected channels on
+        # the region's splitter.
+        self.sam.pe_failure_observers.append(self.elastic.handle_pe_failure)
+        self.sam.pe_restart_observers.append(self.elastic.handle_pe_restarted)
         self.orcas: Dict[str, "OrcaService"] = {}
         self.srm.start()
         for hc in self.hcs.values():

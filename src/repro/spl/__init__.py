@@ -21,6 +21,7 @@ from repro.spl.parallel import (
     parallel,
 )
 from repro.spl.schema import Attribute, TupleSchema
+from repro.spl.state import GlobalState, KeyedState, StateStore
 from repro.spl.tuples import FinalMarker, Punctuation, StreamTuple, WindowMarker
 
 __all__ = [
@@ -44,6 +45,9 @@ __all__ = [
     "parallel",
     "Attribute",
     "TupleSchema",
+    "GlobalState",
+    "KeyedState",
+    "StateStore",
     "FinalMarker",
     "Punctuation",
     "StreamTuple",

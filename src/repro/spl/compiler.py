@@ -38,6 +38,10 @@ class PESpec:
     host_pool: Optional[str] = None
     host_exlocations: Set[str] = field(default_factory=set)
     host_colocations: Set[str] = field(default_factory=set)
+    #: state descriptors: operators whose class declares ``STATEFUL = True``
+    #: (the PE runtime snapshots exactly these on graceful stop, and the
+    #: elastic migration phase consults them when re-partitioning a region)
+    stateful_ops: List[str] = field(default_factory=list)
 
     def __repr__(self) -> str:
         return f"PESpec(#{self.index}, ops={self.operators})"
@@ -246,9 +250,10 @@ class SPLCompiler:
                 if spec.host_pool is not None:
                     pool = spec.host_pool
                     break
+            ordered_group = sorted(group, key=lambda s: order[s.full_name])
             pe = PESpec(
                 index=index,
-                operators=[s.full_name for s in sorted(group, key=lambda s: order[s.full_name])],
+                operators=[s.full_name for s in ordered_group],
                 host_pool=pool,
                 host_exlocations={
                     s.host_exlocation for s in group if s.host_exlocation is not None
@@ -256,6 +261,11 @@ class SPLCompiler:
                 host_colocations={
                     s.host_colocation for s in group if s.host_colocation is not None
                 },
+                stateful_ops=[
+                    s.full_name
+                    for s in ordered_group
+                    if getattr(s.op_class, "STATEFUL", False)
+                ],
             )
             pes.append(pe)
         return pes

@@ -21,6 +21,7 @@ from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple, Union
 from repro.errors import GraphError
 from repro.spl.metrics import MetricKind, OperatorMetricName
 from repro.spl.operators import Operator, OperatorContext, Submittable
+from repro.spl.state import KeyedSeqIndex
 from repro.spl.tuples import Punctuation, StreamTuple
 
 
@@ -237,9 +238,16 @@ class Join(Operator):
     port's window on the ``key`` attribute, emitting one merged tuple per
     match (left values win on attribute clashes, the right side is
     prefixed with ``right_prefix`` when ``prefix_right=True``).
+
+    The windows live in the operator's :class:`~repro.spl.state.StateStore`
+    partitioned by the join key — entries carry their arrival sequence, so
+    inside a parallel region annotated with ``partition_by=key`` the
+    per-key match candidates *and* their eviction bookkeeping migrate with
+    the key on a rescale (the window bound stays exact on both channels).
     """
 
     N_INPUTS = 2
+    STATEFUL = True
 
     def __init__(self, ctx: OperatorContext) -> None:
         super().__init__(ctx)
@@ -248,27 +256,92 @@ class Join(Operator):
         if self.window <= 0:
             raise GraphError(f"{ctx.full_name}: Join window must be positive")
         self.prefix_right = bool(self.param("prefix_right", False))
-        self._windows: tuple = ([], [])
+        #: per port: join-key -> [[arrival seq, tuple], ...].  The arrival
+        #: seq lives *inside* the keyed entry so eviction bookkeeping
+        #: migrates together with the entries it orders (an external order
+        #: list would be left behind by a partition move, leaking tuples
+        #: past the window bound on the destination channel forever).
+        self._by_key = (self.state.keyed("w0"), self.state.keyed("w1"))
+        self._seq = (
+            self.state.global_("seq0", default=int),
+            self.state.global_("seq1", default=int),
+        )
+        #: in-memory eviction accel per port (rebuilds itself after a
+        #: migration or rehydration mutates the keyed store underneath);
+        #: keeps the per-tuple path O(log window) while the authoritative
+        #: seqs stay inside the migratable entries
+        self._index = tuple(
+            KeyedSeqIndex(keyed, lambda bucket: (entry[0] for entry in bucket))
+            for keyed in self._by_key
+        )
+        self._entry_count = [0, 0]
+        self._count_version = [-1, -1]
         self.n_matches = self.create_custom_metric(
             "nMatches", MetricKind.COUNTER, "joined tuple pairs emitted"
         )
 
+    def _resync_count(self, port: int) -> None:
+        """Refresh the entry count — and the arrival-seq floor — after a
+        migration or rehydration mutated the keyed store.
+
+        The seq counter is channel-local (global state, not migrated), so
+        migrated entries can carry seqs *above* the local counter.  New
+        appends must stay the bucket maximum or the seq-sorted-bucket
+        invariant breaks and eviction misclassifies live index entries as
+        stale, leaking entries past the window bound forever.
+        """
+        keyed = self._by_key[port]
+        if self._count_version[port] != keyed.version:
+            count = 0
+            max_seq = -1
+            for _key, bucket in keyed.items():
+                count += len(bucket)
+                if bucket and bucket[-1][0] > max_seq:
+                    max_seq = bucket[-1][0]
+            self._entry_count[port] = count
+            if self._seq[port].get(0) <= max_seq:
+                self._seq[port].set(max_seq + 1)
+            self._count_version[port] = keyed.version
+
+    def _evict_to_window(self, port: int) -> None:
+        """Drop oldest-arrival entries until the port holds <= window.
+
+        After a migration merges partitions from several source channels,
+        seqs from different channels interleave only approximately — the
+        window *bound* stays exact, the eviction order is best-effort
+        FIFO.
+        """
+        keyed = self._by_key[port]
+        while self._entry_count[port] > self.window:
+            popped = self._index[port].pop_oldest()
+            if popped is None:
+                break
+            seq, key_value = popped
+            bucket = keyed.get(key_value)
+            if not bucket or bucket[0][0] != seq:
+                continue  # stale index entry (re-keyed since push)
+            bucket.pop(0)
+            self._entry_count[port] -= 1
+            if not bucket:
+                keyed.delete(key_value)
+
     def on_tuple(self, tup: StreamTuple, port: int) -> None:
-        own = self._windows[port]
-        other = self._windows[1 - port]
         key_value = tup.get(self.key)
-        for candidate in other:
-            if candidate.get(self.key) == key_value:
-                left, right = (tup, candidate) if port == 0 else (candidate, tup)
-                merged = dict(right.values)
-                if self.prefix_right:
-                    merged = {f"r_{k}": v for k, v in merged.items()}
-                merged.update(left.values)
-                self.n_matches.increment()
-                self.submit(merged)
-        own.append(tup)
-        if len(own) > self.window:
-            own.pop(0)
+        for _seq, candidate in self._by_key[1 - port].get(key_value, ()):
+            left, right = (tup, candidate) if port == 0 else (candidate, tup)
+            merged = dict(right.values)
+            if self.prefix_right:
+                merged = {f"r_{k}": v for k, v in merged.items()}
+            merged.update(left.values)
+            self.n_matches.increment()
+            self.submit(merged)
+        self._resync_count(port)
+        seq = self._seq[port].get(0)
+        self._seq[port].set(seq + 1)
+        self._by_key[port].setdefault(key_value, list).append([seq, tup])
+        self._index[port].push(seq, key_value)
+        self._entry_count[port] += 1
+        self._evict_to_window(port)
 
     def on_punct(self, punct: Punctuation, port: int) -> None:
         # WINDOW puncts are not meaningful across a join; FINAL handling
@@ -277,12 +350,18 @@ class Join(Operator):
 
 
 class Aggregate(Operator):
-    """Tumbling count-window aggregation.
+    """Tumbling count-window aggregation, optionally keyed.
 
-    Parameters: ``count`` (window size) and ``aggregator``
-    (``list[StreamTuple] -> dict``).  Emits one tuple per tumble and a
-    WINDOW punctuation after it.  On FINAL, flushes the partial window.
+    Parameters: ``count`` (window size), ``aggregator``
+    (``list[StreamTuple] -> dict``), and optional ``key``: when set, one
+    tumbling window is kept *per distinct value* of that attribute (in
+    keyed state, so the windows migrate with their key inside a
+    ``partition_by=key`` parallel region) and the key attribute is merged
+    into each emitted tuple.  Emits one tuple per tumble and a WINDOW
+    punctuation after it.  On FINAL, flushes the partial window(s).
     """
+
+    STATEFUL = True
 
     def __init__(self, ctx: OperatorContext) -> None:
         super().__init__(ctx)
@@ -292,22 +371,150 @@ class Aggregate(Operator):
         self.aggregator: Callable[[List[StreamTuple]], Dict[str, Any]] = self.param(
             "aggregator"
         )
-        self._window: List[StreamTuple] = []
+        self.key: Optional[str] = self.param("key", None)
+        self._window = self.state.global_("window", default=list)
+        self._keyed_windows = self.state.keyed("windows")
 
     def on_tuple(self, tup: StreamTuple, port: int) -> None:
-        self._window.append(tup)
-        if len(self._window) >= self.count:
-            self._flush()
-
-    def _flush(self) -> None:
-        if not self._window:
+        if self.key is None:
+            window = self._window.value
+            window.append(tup)
+            if len(window) >= self.count:
+                self._flush_global()
             return
-        batch, self._window = self._window, []
+        key_value = tup.get(self.key)
+        window = self._keyed_windows.setdefault(key_value, list)
+        window.append(tup)
+        if len(window) >= self.count:
+            self._flush_key(key_value)
+
+    def _flush_global(self) -> None:
+        batch = self._window.value
+        if not batch:
+            return
+        self._window.set([])
         self.submit(self.aggregator(batch))
         self.submit_punct(Punctuation.WINDOW)
 
+    def _flush_key(self, key_value: Any) -> None:
+        batch = self._keyed_windows.get(key_value)
+        if not batch:
+            return
+        self._keyed_windows.delete(key_value)
+        result = dict(self.aggregator(batch))
+        result.setdefault(self.key, key_value)
+        self.submit(result)
+        self.submit_punct(Punctuation.WINDOW)
+
     def on_all_ports_final(self) -> None:
-        self._flush()
+        if self.key is None:
+            self._flush_global()
+        else:
+            for key_value in sorted(self._keyed_windows.keys(), key=str):
+                self._flush_key(key_value)
+
+
+class Dedup(Operator):
+    """Forwards the first tuple per distinct ``key`` value; drops repeats.
+
+    Parameters: ``key`` (attribute deduplicated on) and optional
+    ``capacity`` (max distinct keys remembered; oldest-first eviction, so
+    a re-occurrence after eviction passes again).  The seen-set lives in
+    keyed state and therefore migrates with its keys across rescales of a
+    ``partition_by=key`` parallel region — without migration, a rescale
+    would re-admit duplicates for every key that changed channels.
+    """
+
+    STATEFUL = True
+
+    def __init__(self, ctx: OperatorContext) -> None:
+        super().__init__(ctx)
+        self.key: str = self.param("key")
+        self.capacity: Optional[int] = self.param("capacity", None)
+        if self.capacity is not None and int(self.capacity) <= 0:
+            raise GraphError(f"{ctx.full_name}: Dedup capacity must be positive")
+        #: key -> [first-seen arrival seq, occurrence count]; the seq lives
+        #: inside the keyed entry so capacity eviction keeps working after
+        #: a migration moved part of the seen-set to another channel
+        self._seen = self.state.keyed("seen")
+        self._next_seq = self.state.global_("nextSeq", default=int)
+        #: in-memory eviction accel (rebuilds itself after migrations /
+        #: rehydrations) — the authoritative first-seen seqs stay inside
+        #: the migratable entries
+        self._index = KeyedSeqIndex(self._seen, lambda entry: (entry[0],))
+        self._seq_floor_version = -1
+        self.n_duplicates = self.create_custom_metric(
+            "nDuplicates", MetricKind.COUNTER, "tuples dropped as repeats"
+        )
+
+    def _resync_seq_floor(self) -> None:
+        """Keep the channel-local seq counter above migrated-in seqs so
+        first-seen ordering stays meaningful after a partition merge."""
+        if self._seq_floor_version == self._seen.version:
+            return
+        max_seq = max((entry[0] for _, entry in self._seen.items()), default=-1)
+        if self._next_seq.get(0) <= max_seq:
+            self._next_seq.set(max_seq + 1)
+        self._seq_floor_version = self._seen.version
+
+    def on_tuple(self, tup: StreamTuple, port: int) -> None:
+        key_value = tup.get(self.key)
+        entry = self._seen.get(key_value)
+        if entry is not None:
+            entry[1] += 1
+            self.n_duplicates.increment()
+            return
+        self._resync_seq_floor()
+        seq = self._next_seq.get(0)
+        self._next_seq.set(seq + 1)
+        self._seen.put(key_value, [seq, 1])
+        self._index.push(seq, key_value)
+        if self.capacity is not None:
+            while len(self._seen) > int(self.capacity):
+                popped = self._index.pop_oldest()
+                if popped is None:
+                    break
+                old_seq, old_key = popped
+                old_entry = self._seen.get(old_key)
+                if old_entry is None or old_entry[0] != old_seq:
+                    continue  # stale index entry (evicted and re-admitted)
+                self._seen.delete(old_key)
+        self.submit(tup)
+
+    def on_punct(self, punct: Punctuation, port: int) -> None:
+        if punct is Punctuation.WINDOW:
+            self.submit_punct(punct)
+
+
+class KeyedCounter(Operator):
+    """Forwards each tuple with a running per-key occurrence count.
+
+    Parameters: ``key`` (attribute counted on) and ``count_attr`` (output
+    attribute, default ``"count"``).  The counts live in keyed state, so
+    inside a ``partition_by=key`` parallel region the sequence of counts
+    observed downstream for one key is contiguous (1, 2, 3, ...) across
+    live rescales *iff* state migration worked — which makes this operator
+    the canonical probe for zero-state-loss assertions, on top of being a
+    useful keyed running aggregation in its own right.
+    """
+
+    STATEFUL = True
+
+    def __init__(self, ctx: OperatorContext) -> None:
+        super().__init__(ctx)
+        self.key: str = self.param("key")
+        self.count_attr: str = self.param("count_attr", "count")
+        self._counts = self.state.keyed("counts")
+
+    def on_tuple(self, tup: StreamTuple, port: int) -> None:
+        count = self._counts.update(
+            tup.get(self.key), lambda n: n + 1, default=0
+        )
+        self.submit(tup.with_values(**{self.count_attr: count}))
+
+    def on_punct(self, punct: Punctuation, port: int) -> None:
+        if punct is Punctuation.WINDOW:
+            self.submit_punct(punct)
 
 
 class Sink(Operator):
@@ -543,6 +750,17 @@ def _stable_hash(value: Any) -> int:
     return zlib.crc32(str(value).encode("utf8"))
 
 
+def stable_channel_of(value: Any, width: int) -> int:
+    """Owner channel of a partition key at the given region width.
+
+    The single source of truth shared by the :class:`ParallelSplitter`'s
+    routing and the elastic state-migration planner — both must agree on
+    ``hash(key) % width`` or a migrated partition would land on a channel
+    the splitter never routes its key to.
+    """
+    return _stable_hash(value) % width
+
+
 class ParallelSplitter(Operator):
     """Entry operator of a parallel region: routes tuples onto N channels.
 
@@ -560,6 +778,17 @@ class ParallelSplitter(Operator):
     ``resume`` installs the new width, increments the reconfiguration
     epoch, and flushes the buffer through the new routing — which is what
     makes a live rescale tuple-loss-free by construction.
+
+    Channels whose PE crashed can be *masked* (``maskChannel`` /
+    ``unmaskChannel`` control commands, driven by the elastic controller
+    on ``pe_failure`` / ``restart_pe``): a masked channel is taken out of
+    the hash ring and round-robin rotation, so tuples are rerouted to the
+    surviving channels instead of being fed to a dead PE.  Keyed state
+    accrued on the detour channels is *purged* by the elastic controller
+    when the channel is unmasked — the restarted channel starts empty
+    (the paper's no-checkpoint failure semantics), and stale detour
+    entries must not outlive the detour or a later rescale would migrate
+    them over the owner's fresher state.
     """
 
     N_INPUTS = 1
@@ -580,6 +809,8 @@ class ParallelSplitter(Operator):
         self._rr = 0
         self._seq = 0
         self._quiesced = False
+        #: channels currently routed around (their PE is down)
+        self._masked: set = set()
         #: items held at the barrier: tuples and WINDOW puncts, in order
         self._buffer: List[Union[StreamTuple, Punctuation]] = []
         self._final_pending = False
@@ -594,15 +825,36 @@ class ParallelSplitter(Operator):
         self.quiesced_gauge = self.create_custom_metric(
             "nQuiescedBuffered", MetricKind.GAUGE, "tuples held during a rescale"
         )
+        self.masked_gauge = self.create_custom_metric(
+            "nMaskedChannels", MetricKind.GAUGE, "channels routed around"
+        )
+        self.rerouted_counter = self.create_custom_metric(
+            "nReroutedTuples", MetricKind.COUNTER,
+            "tuples diverted off a masked channel",
+        )
 
     # -- routing ---------------------------------------------------------------
 
+    @property
+    def masked_channels(self) -> set:
+        return set(self._masked)
+
     def _channel_of(self, tup: StreamTuple) -> int:
         if self.partition_by is not None:
-            return _stable_hash(tup.get(self.partition_by)) % self.width
-        channel = self._rr
-        self._rr = (self._rr + 1) % self.width
-        return channel
+            digest = _stable_hash(tup.get(self.partition_by))
+            channel = digest % self.width
+            if channel in self._masked:
+                alive = [c for c in range(self.width) if c not in self._masked]
+                if alive:
+                    channel = alive[digest % len(alive)]
+                    self.rerouted_counter.increment()
+            return channel
+        for _ in range(self.width):
+            channel = self._rr
+            self._rr = (self._rr + 1) % self.width
+            if channel not in self._masked:
+                return channel
+        return channel  # every channel masked: nowhere better to go
 
     def _forward(self, tup: StreamTuple) -> None:
         channel = self._channel_of(tup)
@@ -663,10 +915,20 @@ class ParallelSplitter(Operator):
         self.width = width
         self.n_outputs = width
         self._rr %= width
+        self._masked = {c for c in self._masked if c < width}
         self.width_gauge.set(width)
+        self.masked_gauge.set(len(self._masked))
 
     def on_control(self, command: str, payload: Mapping[str, Any]) -> None:
-        if command == "quiesce":
+        if command == "maskChannel":
+            channel = int(payload["channel"])
+            if 0 <= channel < self.width:
+                self._masked.add(channel)
+                self.masked_gauge.set(len(self._masked))
+        elif command == "unmaskChannel":
+            self._masked.discard(int(payload["channel"]))
+            self.masked_gauge.set(len(self._masked))
+        elif command == "quiesce":
             self._quiesced = True
         elif command == "setWidth":
             self._set_width(int(payload["width"]))
@@ -702,14 +964,24 @@ class OrderedMerger(Operator):
 
     A crashed channel loses its in-flight tuples (Sec. 5.2 semantics), which
     would leave a *permanent* hole in the sequence and stall the reorder
-    buffer forever.  ``reorder_grace`` bounds that stall: when the buffer
-    makes no progress for that many seconds, the merger skips past the hole
-    (counted by ``nSeqGapsSkipped``) and keeps flowing; a straggler arriving
-    after its seq was skipped is emitted immediately rather than dropped.
+    buffer forever.  ``reorder_grace`` bounds that stall per *tuple*: each
+    buffered tuple remembers its arrival time, and once the lowest buffered
+    seq has waited a full grace period the holes below it are declared dead
+    and skipped (counted by ``nSeqGapsSkipped``).  Because expiry is judged
+    per arrival rather than by flushing the whole buffer, ``_next`` (and
+    hence the emitted sequence) advances monotonically even when several
+    consecutive channels crash: recently-arrived tuples from slow-but-alive
+    channels are never flushed past, so they cannot later surface out of
+    order.  A straggler arriving after its seq was skipped is still emitted
+    immediately rather than dropped.
     """
 
     N_OUTPUTS = 1
     FORWARD_FINAL = True
+    #: tolerance for grace expiry: a re-armed guard can fire a few float
+    #: ULPs before ``arrival + grace``; without the slack the check would
+    #: re-arm a zero-length timer forever at the same simulated instant
+    _GRACE_EPS = 1e-9
 
     @classmethod
     def port_counts(cls, params: Mapping[str, Any]) -> Tuple[int, int]:
@@ -723,8 +995,9 @@ class OrderedMerger(Operator):
         self.region: str = self.param("region", ctx.full_name)
         self.reorder_grace = float(self.param("reorder_grace", 30.0))
         self._next = 0
-        self._pending: Dict[int, StreamTuple] = {}
-        self._gap_guard_active = False
+        #: seq -> (tuple, arrival time); arrival drives per-tuple expiry
+        self._pending: Dict[int, Tuple[StreamTuple, float]] = {}
+        self._guard_armed = False
         self.reorder_gauge = self.create_custom_metric(
             "nReordered", MetricKind.GAUGE, "tuples waiting in the reorder buffer"
         )
@@ -752,39 +1025,60 @@ class OrderedMerger(Operator):
             # straggler behind a skipped gap: deliver rather than drop
             self.submit(self._strip(tup))
             return
-        self._pending[seq] = tup
+        self._pending[seq] = (tup, self.now())
         self._release_ready()
 
     def _release_ready(self) -> None:
         while self._next in self._pending:
-            self.submit(self._strip(self._pending.pop(self._next)))
+            tup, _ = self._pending.pop(self._next)
+            self.submit(self._strip(tup))
             self._next += 1
         self.reorder_gauge.set(len(self._pending))
-        if self._pending and self.reorder_grace > 0 and not self._gap_guard_active:
-            self._gap_guard_active = True
-            self.ctx.schedule(self.reorder_grace, self._make_gap_check(self._next))
+        self._arm_guard()
 
-    def _make_gap_check(self, expected_next: int):
-        def check() -> None:
-            self._gap_guard_active = False
-            if not self._pending:
-                return
-            if self._next != expected_next:
-                # progress happened; re-arm the guard for the current hole
-                self._release_ready()
-                return
-            # The hole outlived the grace period (its channel crashed).
-            # Flush the whole stalled buffer in sequence order — a dead
-            # channel leaves a hole every Nth seq, so skipping one hole at
-            # a time would stall for one grace period per lost tuple.
-            # Anything still in flight arrives as a straggler.
-            self.gaps_skipped.increment()
-            for seq in sorted(self._pending):
-                self._next = seq + 1
-                self.submit(self._strip(self._pending.pop(seq)))
-            self.reorder_gauge.set(0)
+    def _arm_guard(self) -> None:
+        """Schedule hole expiry for when the oldest buffered tuple has
+        waited a full grace period (one timer outstanding at a time)."""
+        if self._guard_armed or not self._pending or self.reorder_grace <= 0:
+            return
+        oldest = min(arrival for _, arrival in self._pending.values())
+        delay = max(self.reorder_grace - (self.now() - oldest), 0.0)
+        self._guard_armed = True
+        self.ctx.schedule(delay, self._expire_holes)
 
-        return check
+    def _expire_holes(self) -> None:
+        """Skip holes that some buffered tuple has waited out.
+
+        The head hole (the missing ``_next``) is at least as old as every
+        pending tuple above it, so once the *oldest pending arrival* is a
+        full grace period in the past the hole is declared dead (its
+        channel crashed) and ``_next`` jumps forward to the lowest buffered
+        seq.  The evidence is re-evaluated after each release: holes whose
+        only witnesses are fresh arrivals stay open, so tuples from a
+        slow-but-alive channel are never flushed past, and ``_next`` (and
+        the emitted sequence) advances monotonically even when several
+        consecutive channels crash.  Each lost tuple stalls the stream at
+        most one grace period, because expiries pipeline per arrival
+        instead of restarting a global timer per hole.
+        """
+        self._guard_armed = False
+        if self._finalized or not self._pending:
+            return
+        now = self.now()
+        while self._pending:
+            oldest = min(arrival for _, arrival in self._pending.values())
+            if now - oldest < self.reorder_grace - self._GRACE_EPS:
+                break
+            head = min(self._pending)
+            if head > self._next:
+                self.gaps_skipped.increment()
+            self._next = head
+            while self._next in self._pending:
+                tup, _ = self._pending.pop(self._next)
+                self.submit(self._strip(tup))
+                self._next += 1
+        self.reorder_gauge.set(len(self._pending))
+        self._arm_guard()
 
     def on_punct(self, punct: Punctuation, port: int) -> None:
         # WINDOW puncts are not meaningful across a merge; FINAL handling
@@ -793,7 +1087,9 @@ class OrderedMerger(Operator):
 
     def on_all_ports_final(self) -> None:
         for seq in sorted(self._pending):
-            self.submit(self._strip(self._pending.pop(seq)))
+            tup, _ = self._pending.pop(seq)
+            self._next = max(self._next, seq + 1)
+            self.submit(self._strip(tup))
         self.reorder_gauge.set(0)
 
     def pending_items(self) -> int:

@@ -18,6 +18,7 @@ from typing import TYPE_CHECKING, Any, Callable, ClassVar, Dict, Mapping, Option
 
 from repro.errors import GraphError
 from repro.spl.metrics import MetricKind, MetricRegistry, Metric, OperatorMetricName
+from repro.spl.state import StateStore
 from repro.spl.tuples import Punctuation, StreamTuple
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
@@ -53,6 +54,8 @@ class OperatorContext:
         self.app_name = app_name
         self.submission_params = dict(submission_params)
         self.pe_id = pe_id
+        #: the operator instance's partitioned state (see repro.spl.state)
+        self.state = StateStore()
         self._now_fn = now_fn
         self._submit_fn = submit_fn
         self._punct_fn = punct_fn
@@ -97,6 +100,12 @@ class Operator:
     KIND: ClassVar[Optional[str]] = None
     N_INPUTS: ClassVar[int] = 1
     N_OUTPUTS: ClassVar[int] = 1
+    #: Declares that instances hold meaningful state in ``self.state``.
+    #: The compiler records stateful operators in each PESpec (state
+    #: descriptors), the PE runtime snapshots them on graceful stop, and
+    #: the elastic migration phase considers them when a partitioned
+    #: region changes width.
+    STATEFUL: ClassVar[bool] = False
     #: Whether a FINAL punctuation received on every input port is
     #: automatically forwarded to all output ports after
     #: :meth:`on_all_ports_final` runs.
@@ -126,6 +135,12 @@ class Operator:
         return n_in, n_out
 
     # -- parameter access ------------------------------------------------------
+
+    @property
+    def state(self) -> StateStore:
+        """The instance's partitioned state store (``state.keyed(name)`` /
+        ``state.global_(name)``)."""
+        return self.ctx.state
 
     def param(self, name: str, default: Any = _REQUIRED) -> Any:
         """Operator parameter from the logical graph; raises if required & missing."""
@@ -219,6 +234,17 @@ class Operator:
     def on_shutdown(self) -> None:
         """Called when the PE stops or is cancelled."""
 
+    def on_snapshot(self) -> Any:
+        """Hook: extra instance state not held in ``self.state``.
+
+        Returned value rides along in :meth:`snapshot` payloads and is
+        handed back to :meth:`on_restore`.  Must be deep-copyable.
+        """
+        return None
+
+    def on_restore(self, extra: Any) -> None:
+        """Hook: reinstall whatever :meth:`on_snapshot` returned."""
+
     def pending_items(self) -> int:
         """Tuples held in operator-internal buffers awaiting emission.
 
@@ -228,6 +254,22 @@ class Operator:
         an internal buffer when channels are rewired, or it would be lost).
         """
         return 0
+
+    # -- state snapshot / restore (framework entry points) ------------------------
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Capture this instance's state as a plain, detached payload.
+
+        Only meaningful when the operator is quiesced or drained (the
+        callers — PE graceful stop, the elastic migration phase — ensure
+        that); a crash never produces a snapshot (Sec. 5.2 semantics).
+        """
+        return {"store": self.state.snapshot(), "extra": self.on_snapshot()}
+
+    def restore(self, payload: Mapping[str, Any]) -> None:
+        """Reinstall a :meth:`snapshot` payload into this (fresh) instance."""
+        self.state.restore(payload.get("store", {}))
+        self.on_restore(payload.get("extra"))
 
     # -- framework entry points (called by the PE) --------------------------------
 

@@ -56,6 +56,10 @@ class ParallelAnnotation:
     reorder_grace: float = 30.0
     congestion_metric: str = "queueSize"
     congestion_threshold: float = 10.0
+    #: move keyed operator state with its keys when the region is rescaled
+    #: (requires ``partition_by``; set False for the paper's restart-empty
+    #: semantics even across rescales)
+    migrate_state: bool = True
 
     def validate(self) -> None:
         if self.width < 1:
@@ -77,6 +81,7 @@ def parallel(
     reorder_grace: float = 30.0,
     congestion_metric: str = "queueSize",
     congestion_threshold: float = 10.0,
+    migrate_state: bool = True,
 ) -> ParallelAnnotation:
     """Sugar for building a :class:`ParallelAnnotation` (SPL's ``@parallel``)."""
     return ParallelAnnotation(
@@ -88,6 +93,7 @@ def parallel(
         reorder_grace=reorder_grace,
         congestion_metric=congestion_metric,
         congestion_threshold=congestion_threshold,
+        migrate_state=migrate_state,
     )
 
 
@@ -110,6 +116,8 @@ class ParallelRegionPlan:
     templates: List[OperatorSpec] = field(default_factory=list)
     #: per channel, the channel's operator full names in chain order
     channel_ops: List[List[str]] = field(default_factory=list)
+    #: keyed state follows its keys across rescales (needs partition_by)
+    migrate_state: bool = True
 
     def all_channel_operators(self) -> List[str]:
         return [name for ops in self.channel_ops for name in ops]
@@ -313,6 +321,7 @@ def expand_parallel_regions(
             merger=f"{region}__merge",
             chain=[c.full_name for c in chain],
             templates=list(chain),
+            migrate_state=annotation.migrate_state,
         )
         splitter = g.add_operator(
             plan.splitter,

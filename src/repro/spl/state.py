@@ -1,0 +1,316 @@
+"""Partitioned operator state: the StateStore layer.
+
+PR 1's elastic parallel regions remap ``hash(key) % width`` on rescale, so
+keyed operator state held in ad-hoc instance attributes silently restarts
+on its new channel.  This module makes operator state *explicit* so every
+adaptation routine — live re-parallelization, PE restart rehydration,
+state-aware scaling policies — can reason about it:
+
+* :class:`KeyedState` — a named map ``partition key -> value``.  Keys are
+  the unit of migration: when a parallel region changes width, the elastic
+  controller extracts the entries whose ``hash(key) % width'`` owner
+  changed and installs them on their new channel (Fries-style: state moves
+  transactionally with the routing change).
+* :class:`GlobalState` — a named single value (often a list or a window
+  object) that belongs to the operator instance as a whole.  Global state
+  cannot be re-partitioned; on a scale-in the doomed channels' global
+  state is dropped (and counted) exactly like the paper's no-checkpoint
+  semantics.
+* :class:`StateStore` — the per-operator collection of named states,
+  reachable as ``self.state`` from any :class:`~repro.spl.operators.Operator`
+  (``state.keyed(name)`` / ``state.global_(name)``).  It snapshots and
+  restores as a plain dict so PE restarts can optionally rehydrate.
+
+Handles stay valid across ``restore()``/``install()``: both mutate the
+named state objects in place, so an operator may cache
+``self._counts = self.state.keyed("counts")`` in ``__init__`` and never
+notice that a migration or a rehydration swapped the contents underneath.
+
+Keyed state in a partitioned parallel region must be keyed by the region's
+``partition_by`` attribute value — that is the contract that makes
+ownership computable as ``hash(key) % width`` on both the splitter and the
+migration planner.
+"""
+
+from __future__ import annotations
+
+import copy
+import heapq
+from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional, Tuple
+
+#: one accounting scheme for tuple wire sizes and stateBytes gauges
+from repro.spl.tuples import estimate_value_size  # noqa: F401  (re-export)
+
+
+class KeyedState:
+    """A named keyed state: ``partition key -> value``.
+
+    The value may be anything copyable (a count, a list of tuples, a
+    window object...).  :meth:`extract_partition` / :meth:`install` are
+    the migration primitives used by :mod:`repro.elastic`.
+
+    ``version`` increments on every *external* bulk mutation (install,
+    restore, extract, clear) — operators that maintain in-memory indexes
+    over the state (eviction heaps, counts) compare it to know when a
+    migration or rehydration changed the contents underneath them.
+    """
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._data: Dict[Any, Any] = {}
+        #: bumped by install/restore/extract_partition/clear
+        self.version = 0
+
+    # -- mapping access --------------------------------------------------------
+
+    def get(self, key: Any, default: Any = None) -> Any:
+        return self._data.get(key, default)
+
+    def put(self, key: Any, value: Any) -> None:
+        self._data[key] = value
+
+    def setdefault(self, key: Any, factory: Callable[[], Any]) -> Any:
+        """Value for ``key``, creating it with ``factory()`` when absent."""
+        if key not in self._data:
+            self._data[key] = factory()
+        return self._data[key]
+
+    def update(self, key: Any, fn: Callable[[Any], Any], default: Any = None) -> Any:
+        """Apply ``fn`` to the current value (or ``default``); store and return."""
+        value = fn(self._data.get(key, default))
+        self._data[key] = value
+        return value
+
+    def delete(self, key: Any) -> bool:
+        return self._data.pop(key, _MISSING) is not _MISSING
+
+    def __contains__(self, key: Any) -> bool:
+        return key in self._data
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def keys(self) -> List[Any]:
+        return list(self._data)
+
+    def items(self) -> List[Tuple[Any, Any]]:
+        return list(self._data.items())
+
+    def clear(self) -> None:
+        self._data.clear()
+        self.version += 1
+
+    # -- migration primitives ---------------------------------------------------
+
+    def extract_partition(self, predicate: Callable[[Any], bool]) -> Dict[Any, Any]:
+        """Remove and return every entry whose key satisfies ``predicate``.
+
+        The extracted dict is the *live* values (not copies): the caller
+        owns them exclusively from this point on, which is exactly the
+        transactional hand-off a migration needs.
+        """
+        moving = [key for key in self._data if predicate(key)]
+        if moving:
+            self.version += 1
+        return {key: self._data.pop(key) for key in moving}
+
+    def install(
+        self,
+        entries: Dict[Any, Any],
+        merge_fn: Optional[Callable[[Any, Any], Any]] = None,
+    ) -> None:
+        """Install migrated entries; ``merge_fn(existing, incoming)`` resolves
+        key collisions (incoming wins by default — collisions only occur
+        when partitions from several source channels merge onto one)."""
+        if entries:
+            self.version += 1
+        for key, value in entries.items():
+            if merge_fn is not None and key in self._data:
+                self._data[key] = merge_fn(self._data[key], value)
+            else:
+                self._data[key] = value
+
+    # -- snapshot ---------------------------------------------------------------
+
+    def snapshot(self) -> Dict[Any, Any]:
+        return copy.deepcopy(self._data)
+
+    def restore(self, payload: Dict[Any, Any]) -> None:
+        self._data = copy.deepcopy(payload)
+        self.version += 1
+
+    def size_bytes(self) -> int:
+        return sum(
+            estimate_value_size(k) + estimate_value_size(v)
+            for k, v in self._data.items()
+        )
+
+    def __repr__(self) -> str:
+        return f"KeyedState({self.name!r}, {len(self._data)} keys)"
+
+
+_MISSING = object()
+
+
+class KeyedSeqIndex:
+    """Oldest-first in-memory index over a :class:`KeyedState` whose
+    entries embed their arrival sequence numbers.
+
+    The authoritative data — the seqs inside the entries — migrates with
+    the keys; this index is disposable accel structure.  It rebuilds
+    itself from the store (via ``seqs_of``) whenever the store's
+    ``version`` shows an external mutation (migration install/extract,
+    rehydration), and uses lazy deletion: :meth:`pop_oldest` may return a
+    ``(seq, key)`` that is no longer live, so callers must verify the
+    entry still carries that seq before acting on it.
+    """
+
+    def __init__(
+        self, keyed: KeyedState, seqs_of: Callable[[Any], Iterable[int]]
+    ) -> None:
+        self._keyed = keyed
+        self._seqs_of = seqs_of
+        self._heap: List[Tuple[int, int, Any]] = []
+        self._synced_version = -1
+        self._tiebreak = 0  #: keeps heap comparisons off (uncomparable) keys
+
+    def _resync(self) -> None:
+        if self._synced_version == self._keyed.version:
+            return
+        heap: List[Tuple[int, int, Any]] = []
+        for key, entry in self._keyed.items():
+            for seq in self._seqs_of(entry):
+                self._tiebreak += 1
+                heap.append((seq, self._tiebreak, key))
+        heapq.heapify(heap)
+        self._heap = heap
+        self._synced_version = self._keyed.version
+
+    def push(self, seq: int, key: Any) -> None:
+        self._resync()
+        self._tiebreak += 1
+        heapq.heappush(self._heap, (seq, self._tiebreak, key))
+
+    def pop_oldest(self) -> Optional[Tuple[int, Any]]:
+        """The lowest (seq, key) in the index, or None when exhausted."""
+        self._resync()
+        if not self._heap:
+            return None
+        seq, _tiebreak, key = heapq.heappop(self._heap)
+        return seq, key
+
+
+class GlobalState:
+    """A named, non-partitioned value owned by one operator instance."""
+
+    def __init__(self, name: str, default: Optional[Callable[[], Any]] = None) -> None:
+        self.name = name
+        self._value: Any = default() if default is not None else None
+
+    @property
+    def value(self) -> Any:
+        return self._value
+
+    @value.setter
+    def value(self, new_value: Any) -> None:
+        self._value = new_value
+
+    def get(self, default: Any = None) -> Any:
+        return self._value if self._value is not None else default
+
+    def set(self, value: Any) -> None:
+        self._value = value
+
+    def snapshot(self) -> Any:
+        return copy.deepcopy(self._value)
+
+    def restore(self, payload: Any) -> None:
+        self._value = copy.deepcopy(payload)
+
+    def size_bytes(self) -> int:
+        return estimate_value_size(self._value)
+
+    def __repr__(self) -> str:
+        return f"GlobalState({self.name!r})"
+
+
+class StateStore:
+    """All named states of one operator instance.
+
+    Created by the :class:`~repro.spl.operators.OperatorContext`; operators
+    reach it as ``self.state``.  ``snapshot()`` returns a plain dict
+    (deep-copied, safe to hold across mutations); ``restore()`` re-installs
+    a snapshot *in place*, so handles returned by :meth:`keyed` /
+    :meth:`global_` before the restore stay valid.
+    """
+
+    def __init__(self) -> None:
+        self._keyed: Dict[str, KeyedState] = {}
+        self._global: Dict[str, GlobalState] = {}
+
+    # -- named state access ------------------------------------------------------
+
+    def keyed(self, name: str) -> KeyedState:
+        state = self._keyed.get(name)
+        if state is None:
+            state = KeyedState(name)
+            self._keyed[name] = state
+        return state
+
+    def global_(self, name: str, default: Optional[Callable[[], Any]] = None) -> GlobalState:
+        state = self._global.get(name)
+        if state is None:
+            state = GlobalState(name, default)
+            self._global[name] = state
+        return state
+
+    @property
+    def in_use(self) -> bool:
+        return bool(self._keyed or self._global)
+
+    def keyed_states(self) -> Dict[str, KeyedState]:
+        return dict(self._keyed)
+
+    def global_states(self) -> Dict[str, GlobalState]:
+        return dict(self._global)
+
+    def __iter__(self) -> Iterator[str]:
+        yield from self._keyed
+        yield from self._global
+
+    # -- accounting --------------------------------------------------------------
+
+    def n_keys(self) -> int:
+        """Total keyed entries across all named keyed states."""
+        return sum(len(state) for state in self._keyed.values())
+
+    def size_bytes(self) -> int:
+        return sum(s.size_bytes() for s in self._keyed.values()) + sum(
+            s.size_bytes() for s in self._global.values()
+        )
+
+    # -- snapshot / restore -------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, Any]:
+        return {
+            "keyed": {name: s.snapshot() for name, s in self._keyed.items()},
+            "global": {name: s.snapshot() for name, s in self._global.items()},
+        }
+
+    def restore(self, payload: Dict[str, Any]) -> None:
+        for name, data in payload.get("keyed", {}).items():
+            self.keyed(name).restore(data)
+        for name, data in payload.get("global", {}).items():
+            self.global_(name).restore(data)
+
+    def clear(self) -> None:
+        for state in self._keyed.values():
+            state.clear()
+        for state in self._global.values():
+            state._value = None
+
+    def __repr__(self) -> str:
+        return (
+            f"StateStore(keyed={sorted(self._keyed)}, "
+            f"global={sorted(self._global)})"
+        )

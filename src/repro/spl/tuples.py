@@ -87,25 +87,37 @@ class StreamTuple:
         return f"StreamTuple({inner})"
 
 
+def estimate_value_size(value: Any) -> int:
+    """Cheap, deterministic byte estimate of one attribute/state value.
+
+    The single accounting scheme shared by tuple wire sizes
+    (``nTupleBytesProcessed``) and the operator-state footprint gauges
+    (``stateBytes``) — keeping both on one ruler means thresholds
+    calibrated against transport metrics transfer to state metrics.
+    """
+    if isinstance(value, str):
+        return len(value)
+    if isinstance(value, bytes):
+        return len(value)
+    if isinstance(value, bool):
+        return 1
+    if isinstance(value, (int, float)):
+        return 8
+    if isinstance(value, (list, tuple, set, frozenset)):
+        return 8 + sum(estimate_value_size(v) for v in value)
+    if isinstance(value, dict):
+        return 8 + sum(
+            estimate_value_size(k) + estimate_value_size(v)
+            for k, v in value.items()
+        )
+    size_bytes = getattr(value, "size_bytes", None)  # nested StreamTuple
+    if isinstance(size_bytes, int):
+        return size_bytes
+    return 16
+
+
 def _estimate_size(values: Mapping[str, Any]) -> int:
-    """Cheap, deterministic size estimate for metric accounting."""
-    total = 0
-    for key, value in values.items():
-        total += len(key)
-        if isinstance(value, str):
-            total += len(value)
-        elif isinstance(value, bytes):
-            total += len(value)
-        elif isinstance(value, bool):
-            total += 1
-        elif isinstance(value, int):
-            total += 8
-        elif isinstance(value, float):
-            total += 8
-        elif isinstance(value, (list, tuple)):
-            total += 8 + 8 * len(value)
-        elif isinstance(value, dict):
-            total += 8 + 16 * len(value)
-        else:
-            total += 16
-    return total
+    """Size estimate of a tuple's attribute map (keys + values)."""
+    return sum(
+        len(key) + estimate_value_size(value) for key, value in values.items()
+    )

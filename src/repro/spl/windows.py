@@ -109,6 +109,19 @@ class SlidingTimeWindow:
         sd = self.stddev()
         return mean + k * sd, mean - k * sd
 
+    def to_snapshot(self) -> dict:
+        """Plain-data snapshot (window objects also deep-copy cleanly, so
+        they may be stored in a StateStore directly; this form is for
+        operators that prefer explicit payloads)."""
+        return {"span": self.span, "items": list(self._items)}
+
+    @classmethod
+    def from_snapshot(cls, payload: dict) -> "SlidingTimeWindow":
+        window = cls(payload["span"])
+        for timestamp, value in payload["items"]:
+            window.insert(timestamp, value)
+        return window
+
 
 class TumblingCountWindow:
     """Count-based tumbling window: fills to ``size`` then flushes."""
@@ -137,6 +150,15 @@ class TumblingCountWindow:
         self._items = []
         return batch
 
+    def to_snapshot(self) -> dict:
+        return {"size": self.size, "items": list(self._items)}
+
+    @classmethod
+    def from_snapshot(cls, payload: dict) -> "TumblingCountWindow":
+        window = cls(payload["size"])
+        window._items = list(payload["items"])
+        return window
+
 
 class SlidingCountWindow:
     """Count-based sliding window holding the last ``size`` values."""
@@ -164,6 +186,16 @@ class SlidingCountWindow:
         if not self._items:
             raise ValueError("mean of empty window")
         return sum(self._items) / len(self._items)
+
+    def to_snapshot(self) -> dict:
+        return {"size": self.size, "items": list(self._items)}
+
+    @classmethod
+    def from_snapshot(cls, payload: dict) -> "SlidingCountWindow":
+        window = cls(payload["size"])
+        for value in payload["items"]:
+            window.insert(value)
+        return window
 
 
 def merge_sorted_by_time(

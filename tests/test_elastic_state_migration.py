@@ -1,0 +1,489 @@
+"""Integration tests for the partitioned-state layer across the runtime:
+live keyed-state migration during rescales (out, in, rollback, disabled),
+PE restart rehydration, crashed-channel rerouting (splitter masking), the
+state metrics flowing through SRM, and the ORCA state inspection surface
+and events."""
+
+import pytest
+
+from repro import ManagedApplication, OrcaDescriptor, Orchestrator, SystemS
+from repro.elastic import (
+    QueueSizeScalingPolicy,
+    RegionObservation,
+    RescaleState,
+    StateAwareScalingPolicy,
+)
+from repro.orca.scopes import ParallelRegionScope
+from repro.runtime.pe import PEState
+from repro.spl.application import Application
+from repro.spl.library import CallbackSource, KeyedCounter, Sink, stable_channel_of
+from repro.spl.parallel import parallel
+
+N_KEYS = 8
+
+
+def keyed_generator(n_keys=N_KEYS):
+    def generate(now, count):
+        return [{"key": f"k{count % n_keys}", "seq": count}]
+
+    return generate
+
+
+def build_keyed_app(width=2, limit=None, period=0.02, migrate_state=True,
+                    max_width=8, name="KeyedElastic"):
+    app = Application(name)
+    g = app.graph
+    src = g.add_operator(
+        "src",
+        CallbackSource,
+        params={"generator": keyed_generator(), "period": period, "limit": limit},
+        partition="feed",
+    )
+    work = g.add_operator(
+        "work",
+        KeyedCounter,
+        params={"key": "key"},
+        parallel=parallel(
+            width=width,
+            name="region",
+            partition_by="key",
+            max_width=max_width,
+            migrate_state=migrate_state,
+        ),
+    )
+    sink = g.add_operator("sink", Sink, partition="out")
+    g.connect(src.oport(0), work.iport(0))
+    g.connect(work.oport(0), sink.iport(0))
+    return app
+
+
+def counts_by_key(sink):
+    observed = {}
+    for t in sink.seen:
+        observed.setdefault(t["key"], []).append(t["count"])
+    return observed
+
+
+def assert_contiguous_counts(sink):
+    """Every key's counts must be exactly 1, 2, 3, ... — any reset or gap
+    means keyed state (or a tuple) was lost."""
+    for key, counts in counts_by_key(sink).items():
+        assert counts == list(range(1, len(counts) + 1)), (
+            f"key {key}: counts not contiguous: {counts[:10]}..."
+        )
+
+
+class TestLiveStateMigration:
+    def test_scale_out_migrates_keyed_state(self):
+        system = SystemS(hosts=12)
+        job = system.submit_job(build_keyed_app(width=2, limit=400))
+        system.run_for(3.0)
+        operation = system.elastic.set_channel_width(job, "region", 4)
+        system.run_for(30.0)
+        assert operation.state is RescaleState.COMPLETED
+        migration = operation.migration
+        assert migration is not None
+        assert migration.keys_moved > 0
+        assert migration.bytes_moved > 0
+        assert migration.new_width == 4 and not migration.rolled_back
+        # every key now lives on (exactly) its hash(key) % 4 owner channel
+        for i in range(N_KEYS):
+            key = f"k{i}"
+            owner = stable_channel_of(key, 4)
+            for channel in range(4):
+                instance = job.operator_instance(f"work__c{channel}")
+                present = key in instance.state.keyed("counts")
+                assert present == (channel == owner)
+        system.run_for(30.0)
+        sink = job.operator_instance("sink")
+        assert sorted(t["seq"] for t in sink.seen) == list(range(400))
+        assert_contiguous_counts(sink)
+
+    def test_scale_in_merges_partitions_onto_fewer_channels(self):
+        """Restore into a narrower width: partitions from several doomed
+        channels merge onto their new owners with nothing lost."""
+        system = SystemS(hosts=12)
+        job = system.submit_job(build_keyed_app(width=4, limit=400))
+        system.run_for(3.0)
+        pre_counts = {}
+        for channel in range(4):
+            instance = job.operator_instance(f"work__c{channel}")
+            pre_counts.update(dict(instance.state.keyed("counts").items()))
+        assert len(pre_counts) == N_KEYS
+        operation = system.elastic.set_channel_width(job, "region", 2)
+        system.run_for(30.0)
+        assert operation.state is RescaleState.COMPLETED
+        migration = operation.migration
+        assert migration is not None and migration.keys_moved > 0
+        # keys previously spread over 4 channels all found a home on 2
+        merged = {}
+        for channel in range(2):
+            instance = job.operator_instance(f"work__c{channel}")
+            for key, count in instance.state.keyed("counts").items():
+                assert stable_channel_of(key, 2) == channel
+                merged[key] = count
+        for key, count in pre_counts.items():
+            assert merged[key] >= count  # count kept growing post-rescale
+        system.run_for(30.0)
+        assert_contiguous_counts(job.operator_instance("sink"))
+
+    def test_migration_disabled_keeps_paper_semantics(self):
+        system = SystemS(hosts=12)
+        job = system.submit_job(
+            build_keyed_app(width=2, limit=400, migrate_state=False)
+        )
+        system.run_for(3.0)
+        operation = system.elastic.set_channel_width(job, "region", 4)
+        system.run_for(10.0)
+        assert operation.state is RescaleState.COMPLETED
+        assert operation.migration is None  # no migration phase ran
+
+    def test_round_robin_region_has_no_migration(self):
+        """No partition_by -> keyed ownership is undefined -> no migration."""
+        from tests.test_elastic import build_region_app
+
+        system = SystemS(hosts=12)
+        job = system.submit_job(build_region_app(width=2))
+        system.run_for(2.0)
+        operation = system.elastic.set_channel_width(job, "region", 3)
+        system.run_for(10.0)
+        assert operation.state is RescaleState.COMPLETED
+        assert operation.migration is None
+
+    def test_rollback_reinstalls_extracted_state(self):
+        """Migration during rollback: when the new channels cannot be
+        placed, the already-extracted partitions return to their source
+        channels and the stream continues with zero state loss."""
+        from repro.runtime.host import Host
+
+        # capacity for exactly the initial 6 PEs (src, split, c0, c1, merge,
+        # sink) — the two extra channels of a 2->4 rescale cannot be placed
+        system = SystemS(hosts=[Host(f"h{i}", capacity=1) for i in range(6)])
+        job = system.sam.submit_job(
+            system.compile(build_keyed_app(width=2, limit=400, period=0.01))
+        )
+        system.run_for(2.0)
+        operation = system.elastic.set_channel_width(job, "region", 4)
+        system.run_for(30.0)
+        assert operation.state is RescaleState.FAILED
+        assert operation.migration is not None
+        assert operation.migration.rolled_back
+        # keys are back on their width-2 owners and counting continues
+        for i in range(N_KEYS):
+            key = f"k{i}"
+            owner = stable_channel_of(key, 2)
+            instance = job.operator_instance(f"work__c{owner}")
+            assert key in instance.state.keyed("counts")
+        system.run_for(30.0)
+        sink = job.operator_instance("sink")
+        assert sorted(t["seq"] for t in sink.seen) == list(range(400))
+        assert_contiguous_counts(sink)
+
+    def test_merger_crash_during_drain_fails_before_migration(self):
+        """A rescale whose merger died while draining must fail *without*
+        touching any keyed state: extraction never runs, the splitter
+        resumes at the old width, and every key stays on its old owner."""
+        system = SystemS(hosts=12)
+        job = system.submit_job(build_keyed_app(width=2, limit=None))
+        system.run_for(3.0)
+        before = {}
+        for channel in range(2):
+            instance = job.operator_instance(f"work__c{channel}")
+            before.update(dict(instance.state.keyed("counts").items()))
+        operation = system.elastic.set_channel_width(job, "region", 4)
+        job.pe_of_operator("region__merge").crash("test")  # dies mid-drain
+        system.run_for(10.0)
+        assert operation.state is RescaleState.FAILED
+        assert "cannot rewire" in operation.error
+        assert operation.migration is None  # nothing was ever extracted
+        splitter = job.operator_instance("region__split")
+        assert not splitter.is_quiesced and splitter.width == 2
+        for key in before:
+            owner = stable_channel_of(key, 2)
+            instance = job.operator_instance(f"work__c{owner}")
+            assert instance.state.keyed("counts").get(key, 0) >= before[key]
+
+    def test_crashed_channel_is_skipped_by_extraction(self):
+        system = SystemS(hosts=12)
+        job = system.submit_job(build_keyed_app(width=3, limit=None))
+        system.run_for(3.0)
+        job.pe_of_operator("work__c1").crash("test")
+        operation = system.elastic.set_channel_width(job, "region", 2)
+        system.run_for(20.0)
+        assert operation.state is RescaleState.COMPLETED
+        assert operation.migration is not None
+        assert 1 in operation.migration.skipped_channels
+
+
+class TestRehydrateRestart:
+    def build_plain_counter_app(self):
+        app = Application("Plain")
+        g = app.graph
+        src = g.add_operator(
+            "src",
+            CallbackSource,
+            params={"generator": keyed_generator(), "period": 0.05},
+            partition="feed",
+        )
+        work = g.add_operator("work", KeyedCounter, params={"key": "key"})
+        sink = g.add_operator("sink", Sink, partition="out")
+        g.connect(src.oport(0), work.iport(0))
+        g.connect(work.oport(0), sink.iport(0))
+        return app
+
+    def test_graceful_stop_captures_and_rehydrate_restores(self):
+        system = SystemS(hosts=6)
+        job = system.submit_job(self.build_plain_counter_app())
+        system.run_for(5.0)
+        pe = job.pe_of_operator("work")
+        before = dict(pe.operators["work"].state.keyed("counts").items())
+        assert before
+        system.sam.stop_pe(job.job_id, pe.pe_id)
+        assert pe.state_registry  # quiesced snapshot captured at stop
+        system.sam.restart_pe(job.job_id, pe.pe_id, rehydrate=True)
+        system.run_for(2.0)
+        after = dict(pe.operators["work"].state.keyed("counts").items())
+        for key, count in before.items():
+            assert after.get(key, 0) >= count
+
+    def test_default_restart_is_empty_paper_semantics(self):
+        system = SystemS(hosts=6)
+        job = system.submit_job(self.build_plain_counter_app())
+        system.run_for(10.0)
+        pe = job.pe_of_operator("work")
+        before = dict(pe.operators["work"].state.keyed("counts").items())
+        assert before and min(before.values()) >= 2
+        system.sam.stop_pe(job.job_id, pe.pe_id)
+        system.sam.restart_pe(job.job_id, pe.pe_id)  # rehydrate defaults False
+        system.run_for(2.0)  # restart delay (1s) + 1s of fresh counting
+        after = dict(pe.operators["work"].state.keyed("counts").items())
+        # fresh instance: counting restarted from scratch (Fig. 9(b))
+        assert after and max(after.values()) < min(before.values())
+
+    def test_crash_never_produces_a_snapshot(self):
+        system = SystemS(hosts=6)
+        job = system.submit_job(self.build_plain_counter_app())
+        system.run_for(10.0)
+        pe = job.pe_of_operator("work")
+        before = dict(pe.operators["work"].state.keyed("counts").items())
+        assert before and min(before.values()) >= 2
+        pe.crash("test")
+        assert not pe.state_registry
+        pe.restart(rehydrate=True)  # nothing to rehydrate from: starts empty
+        system.run_for(1.0)
+        after = dict(pe.operators["work"].state.keyed("counts").items())
+        assert after and max(after.values()) < min(before.values())
+
+
+class TestCrashedChannelRerouting:
+    def test_splitter_masks_dead_channel_and_traffic_flows(self):
+        system = SystemS(hosts=12)
+        job = system.submit_job(build_keyed_app(width=2, limit=None, period=0.05))
+        system.run_for(2.0)
+        dead_pe = job.pe_of_operator("work__c1")
+        dead_pe.crash("test")
+        system.run_for(1.0)  # failure notification delay elapses
+        splitter = job.operator_instance("region__split")
+        assert splitter.masked_channels == {1}
+        assert [r for r in system.elastic.reroutes if r.masked]
+        sink = job.operator_instance("sink")
+        seen_before = len(sink.seen)
+        system.run_for(5.0)
+        # every key still flows (rerouted off the dead channel)
+        fresh = [t for t in sink.seen[seen_before:]]
+        assert {t["key"] for t in fresh} == {f"k{i}" for i in range(N_KEYS)}
+        assert splitter.metric("nReroutedTuples").value > 0
+
+    def test_restart_unmasks_the_channel(self):
+        system = SystemS(hosts=12)
+        job = system.submit_job(build_keyed_app(width=2, limit=None, period=0.05))
+        system.run_for(2.0)
+        dead_pe = job.pe_of_operator("work__c1")
+        dead_pe.crash("test")
+        system.run_for(1.0)
+        splitter = job.operator_instance("region__split")
+        assert splitter.masked_channels == {1}
+        system.sam.restart_pe(job.job_id, dead_pe.pe_id)
+        system.run_for(3.0)
+        assert dead_pe.state is PEState.RUNNING
+        assert splitter.masked_channels == set()
+        unmasks = [r for r in system.elastic.reroutes if not r.masked]
+        assert unmasks and unmasks[-1].reason == "restart_pe"
+
+    def test_graceful_restart_emits_no_phantom_reroutes(self):
+        """Regression: stop_pe + restart_pe on a channel PE that was never
+        masked must not emit mask/unmask reroute records."""
+        system = SystemS(hosts=12)
+        job = system.submit_job(build_keyed_app(width=2, limit=None, period=0.05))
+        system.run_for(2.0)
+        pe = job.pe_of_operator("work__c1")
+        system.sam.stop_pe(job.job_id, pe.pe_id)
+        system.sam.restart_pe(job.job_id, pe.pe_id)
+        system.run_for(3.0)
+        assert pe.state is PEState.RUNNING
+        assert system.elastic.reroutes == []
+
+    def test_unmask_purges_stale_detour_state(self):
+        """Regression: keyed entries accrued on detour channels while a
+        channel was masked are purged at unmask time — otherwise the next
+        rescale would migrate them over the owner's fresher state."""
+        system = SystemS(hosts=12)
+        job = system.submit_job(build_keyed_app(width=2, limit=None, period=0.02))
+        system.run_for(2.0)
+        dead_pe = job.pe_of_operator("work__c1")
+        dead_pe.crash("test")
+        system.run_for(3.0)  # detour traffic accrues c1's keys on c0
+        c1_keys = {f"k{i}" for i in range(N_KEYS)
+                   if stable_channel_of(f"k{i}", 2) == 1}
+        survivor = job.operator_instance("work__c0")
+        assert any(key in survivor.state.keyed("counts") for key in c1_keys)
+        system.sam.restart_pe(job.job_id, dead_pe.pe_id)
+        system.run_for(3.0)
+        # detour entries are gone from the survivor...
+        assert not any(key in survivor.state.keyed("counts") for key in c1_keys)
+        unmask = [r for r in system.elastic.reroutes if not r.masked][-1]
+        assert unmask.purged_keys > 0
+        # ...and a follow-up rescale does not resurrect them: the restarted
+        # channel's (fresh) counts keep growing monotonically afterwards
+        # (the drain must first wait out the merger's reorder grace on the
+        # seq holes the crash left, hence the long horizon)
+        operation = system.elastic.set_channel_width(job, "region", 4)
+        system.run_for(40.0)
+        assert operation.state is RescaleState.COMPLETED
+        sink = job.operator_instance("sink")
+        post = {}
+        for t in sink.seen:
+            if t["key"] in c1_keys:
+                post.setdefault(t["key"], []).append(t["count"])
+        for key, counts in post.items():
+            tail = counts[-20:]
+            assert tail == sorted(tail)  # no backwards jump from stale state
+
+
+class TestStateMetricsAndInspection:
+    def make_orchestrated(self):
+        system = SystemS(hosts=12)
+        app = build_keyed_app(width=2, limit=None, period=0.05)
+
+        class RegionWatcher(Orchestrator):
+            def __init__(self):
+                super().__init__()
+                self.migrated = []
+                self.rerouted = []
+                self.job_id = None
+
+            def handleOrcaStart(self, context):
+                scope = ParallelRegionScope("regions")
+                scope.addRegionFilter("region")
+                self._orca.register_event_scope(scope)
+                job = self._orca.submit_application("KeyedElastic")
+                self.job_id = job.job_id
+
+            def handleRegionStateMigratedEvent(self, context, scopes):
+                self.migrated.append(context)
+
+            def handleChannelReroutedEvent(self, context, scopes):
+                self.rerouted.append(context)
+
+        service = system.submit_orchestrator(
+            OrcaDescriptor(
+                name="Watcher",
+                logic=RegionWatcher,
+                applications=[ManagedApplication(name=app.name, application=app)],
+                metric_poll_interval=5.0,
+            )
+        )
+        return system, service
+
+    def test_state_bytes_flow_to_srm_and_region_sizes(self):
+        system, service = self.make_orchestrated()
+        system.run_for(8.0)  # metric pushes every 3s
+        job_id = service.logic.job_id
+        sizes = service.region_state_sizes(job_id, "region")
+        assert set(sizes) == {0, 1}
+        assert sum(sizes.values()) > 0
+        observation = service.region_observation(job_id, "region")
+        assert observation.channel_state_sizes == sizes
+        assert observation.total_state_bytes == pytest.approx(sum(sizes.values()))
+
+    def test_state_of_inspects_live_keyed_state(self):
+        system, service = self.make_orchestrated()
+        system.run_for(5.0)
+        job_id = service.logic.job_id
+        result = service.state_of(job_id, "region", "k0")
+        assert result["channel"] == stable_channel_of("k0", 2)
+        owner_op = f"work__c{result['channel']}"
+        assert result["values"][owner_op]["counts"] >= 1
+        assert service.region_key_owner(job_id, "region", "k0") == result["channel"]
+        # a key the region never saw: owner is computable, values empty
+        ghost = service.state_of(job_id, "region", "neverseen")
+        assert ghost["values"] == {}
+
+    def test_migration_event_delivered_before_rescaled(self):
+        system, service = self.make_orchestrated()
+        system.run_for(5.0)
+        job_id = service.logic.job_id
+        service.set_channel_width(job_id, "region", 4)
+        system.run_for(20.0)
+        assert len(service.logic.migrated) == 1
+        context = service.logic.migrated[0]
+        assert context.keys_moved > 0 and context.new_width == 4
+        assert context.wall_ms >= 0.0
+        journal_types = [e.event_type for e in service.event_journal]
+        assert journal_types.index("region_state_migrated") < journal_types.index(
+            "region_rescaled"
+        )
+
+    def test_channel_rerouted_events_reach_the_logic(self):
+        system, service = self.make_orchestrated()
+        system.run_for(3.0)
+        job = service.jobs[service.logic.job_id]
+        dead_pe = job.pe_of_operator("work__c1")
+        dead_pe.crash("test")
+        system.run_for(2.0)
+        masked = [c for c in service.logic.rerouted if c.masked]
+        assert masked and masked[0].channel == 1
+        service.restart_pe(dead_pe.pe_id)
+        system.run_for(3.0)
+        unmasked = [c for c in service.logic.rerouted if not c.masked]
+        assert unmasked
+
+
+class TestStateAwarePolicy:
+    def obs(self, width, backlogs, state_sizes):
+        return RegionObservation(
+            job_id="job_1",
+            region="region",
+            width=width,
+            channel_backlogs=backlogs,
+            channel_state_sizes=state_sizes,
+        )
+
+    def test_vetoes_expensive_migration(self):
+        inner = QueueSizeScalingPolicy(high_watermark=10, low_watermark=1)
+        policy = StateAwareScalingPolicy(inner, max_migration_bytes=100)
+        # inner wants 3; migration would move ~1/3 of 900 bytes = 300 > 100
+        decision = policy.decide(self.obs(2, {0: 50.0}, {0: 450.0, 1: 450.0}))
+        assert decision is None
+
+    def test_allows_cheap_migration(self):
+        inner = QueueSizeScalingPolicy(high_watermark=10, low_watermark=1)
+        policy = StateAwareScalingPolicy(inner, max_migration_bytes=1000)
+        assert policy.decide(self.obs(2, {0: 50.0}, {0: 450.0, 1: 450.0})) == 3
+
+    def test_force_backlog_overrides_veto_for_scale_out(self):
+        inner = QueueSizeScalingPolicy(high_watermark=10, low_watermark=1)
+        policy = StateAwareScalingPolicy(
+            inner, max_migration_bytes=1, force_backlog=100.0
+        )
+        assert policy.decide(self.obs(2, {0: 500.0}, {0: 1e6})) == 3
+
+    def test_passthrough_when_inner_declines(self):
+        inner = QueueSizeScalingPolicy(high_watermark=10, low_watermark=1)
+        policy = StateAwareScalingPolicy(inner, max_migration_bytes=1)
+        assert policy.decide(self.obs(2, {0: 5.0}, {0: 1e6})) is None
+
+    def test_constructor_validation(self):
+        inner = QueueSizeScalingPolicy()
+        with pytest.raises(ValueError):
+            StateAwareScalingPolicy(inner, max_migration_bytes=0)

@@ -330,9 +330,11 @@ class TestOrderedMerger:
         op._process(tup(v="a", _pseq=0), 0)
         op._process(tup(v="c", _pseq=2), 1)  # seq 1 died with its channel
         assert [i["v"] for _, i in emitted] == ["a"]
-        # fire the scheduled gap guard (the harness captures schedules)
+        # fire the scheduled gap guard (the harness captures schedules);
+        # expiry is judged by arrival age, so advance the fake clock first
         guard = op._test_scheduled[-1]
         assert guard.delay == 5.0
+        op._test_clock["now"] = 5.0
         guard.fn()
         assert [i["v"] for _, i in emitted] == ["a", "c"]
         assert op.metric("nSeqGapsSkipped").value == 1
@@ -341,9 +343,41 @@ class TestOrderedMerger:
     def test_straggler_after_skip_is_delivered(self):
         op, emitted = self.make(reorder_grace=5.0)
         op._process(tup(v="c", _pseq=2), 1)
+        op._test_clock["now"] = 5.0
         op._test_scheduled[-1].fn()  # skip the 0..1 hole
         op._process(tup(v="a", _pseq=0), 0)  # straggler arrives late
         assert [i["v"] for _, i in emitted] == ["c", "a"]  # delivered, not dropped
+
+    def test_double_crash_gap_skip_advances_monotonically(self):
+        """Regression: holes from *two* crashed channels must be skipped in
+        strictly increasing seq order, and fresh tuples (a slow-but-alive
+        channel) must not be flushed past just because older seqs expired."""
+        op, emitted = self.make(width=4, reorder_grace=5.0)
+        # channels 1 and 2 died: seqs 1, 2, 5, 6 will never arrive
+        op._process(tup(v="s0", _pseq=0), 0)   # released immediately
+        op._process(tup(v="s3", _pseq=3), 3)   # blocked by holes 1, 2
+        op._process(tup(v="s4", _pseq=4), 0)
+        assert [i["v"] for _, i in emitted] == ["s0"]
+        guard = op._test_scheduled[-1]
+        # a *fresh* tuple far ahead arrives just before the guard fires:
+        # its holes (5, 6) have not aged out yet and must stay open
+        op._test_clock["now"] = 4.9
+        op._process(tup(v="s7", _pseq=7), 3)
+        op._test_clock["now"] = 5.0
+        guard.fn()
+        # holes 1-2 expired (witnessed by s3/s4, both 5s old); hole 5-6 is
+        # only witnessed by the 0.1s-old s7, so s7 stays buffered
+        assert [i["v"] for _, i in emitted] == ["s0", "s3", "s4"]
+        assert op.metric("nSeqGapsSkipped").value == 1
+        assert op.pending_items() == 1
+        # second crashed channel's holes expire once s7 has aged out
+        op._test_clock["now"] = 9.9
+        op._test_scheduled[-1].fn()
+        assert [i["v"] for _, i in emitted] == ["s0", "s3", "s4", "s7"]
+        assert op.metric("nSeqGapsSkipped").value == 2
+        # emission order was strictly monotone in seq throughout
+        seqs = [i.get("v") for _, i in emitted]
+        assert seqs == sorted(seqs, key=lambda v: int(v[1:]))
 
     def test_gap_guard_rearms_on_progress(self):
         op, emitted = self.make(reorder_grace=5.0)

@@ -1,0 +1,397 @@
+"""Tests for the partitioned operator state layer (repro.spl.state):
+StateStore primitives, Operator snapshot/restore hooks, the stateful
+library operators (Aggregate, Join, Dedup) ported onto the store, window
+snapshots, and the compiler's PESpec state descriptors."""
+
+import pytest
+
+from repro.spl.compiler import SPLCompiler
+from repro.spl.application import Application
+from repro.spl.library import (
+    Aggregate,
+    Beacon,
+    Dedup,
+    Join,
+    Sink,
+    stable_channel_of,
+)
+from repro.spl.operators import Operator
+from repro.spl.state import GlobalState, KeyedState, StateStore, estimate_value_size
+from repro.spl.tuples import Punctuation, StreamTuple
+from repro.spl.windows import (
+    SlidingCountWindow,
+    SlidingTimeWindow,
+    TumblingCountWindow,
+)
+
+from tests.conftest import make_operator_harness
+
+
+def tup(**values):
+    return StreamTuple(values)
+
+
+class TestKeyedState:
+    def test_put_get_delete(self):
+        state = KeyedState("counts")
+        state.put("a", 1)
+        assert state.get("a") == 1
+        assert "a" in state and len(state) == 1
+        assert state.delete("a") and not state.delete("a")
+        assert state.get("a", 42) == 42
+
+    def test_update_and_setdefault(self):
+        state = KeyedState("counts")
+        assert state.update("k", lambda n: n + 1, default=0) == 1
+        assert state.update("k", lambda n: n + 1, default=0) == 2
+        bucket = state.setdefault("list", list)
+        bucket.append(5)
+        assert state.get("list") == [5]
+
+    def test_extract_partition_removes_entries(self):
+        state = KeyedState("counts")
+        for i in range(10):
+            state.put(f"k{i}", i)
+        moved = state.extract_partition(lambda key: int(key[1:]) % 2 == 0)
+        assert set(moved) == {f"k{i}" for i in range(0, 10, 2)}
+        assert set(state.keys()) == {f"k{i}" for i in range(1, 10, 2)}
+
+    def test_install_merges_on_collision(self):
+        state = KeyedState("counts")
+        state.put("k", 3)
+        state.install({"k": 4, "j": 1}, merge_fn=lambda old, new: old + new)
+        assert state.get("k") == 7 and state.get("j") == 1
+        state.install({"k": 100})  # incoming wins without merge_fn
+        assert state.get("k") == 100
+
+    def test_snapshot_is_detached(self):
+        state = KeyedState("w")
+        state.put("k", [1, 2])
+        snap = state.snapshot()
+        state.get("k").append(3)
+        assert snap["k"] == [1, 2]
+        state.restore(snap)
+        assert state.get("k") == [1, 2]
+
+
+class TestGlobalStateAndStore:
+    def test_global_default_factory(self):
+        gs = GlobalState("order", default=list)
+        gs.value.append(1)
+        assert gs.value == [1]
+
+    def test_store_handles_survive_restore(self):
+        store = StateStore()
+        counts = store.keyed("counts")
+        order = store.global_("order", default=list)
+        counts.put("a", 1)
+        order.value.append("a")
+        snap = store.snapshot()
+        counts.put("a", 99)
+        counts.put("b", 2)
+        order.value.append("b")
+        store.restore(snap)
+        # the same handle objects see the restored contents
+        assert counts.get("a") == 1 and "b" not in counts
+        assert order.value == ["a"]
+
+    def test_store_accounting(self):
+        store = StateStore()
+        assert not store.in_use and store.n_keys() == 0
+        store.keyed("a").put("k", "value")
+        store.keyed("b").put("k2", 7)
+        store.global_("g").set([1, 2, 3])
+        assert store.in_use
+        assert store.n_keys() == 2
+        assert store.size_bytes() > 0
+
+    def test_estimate_value_size_variants(self):
+        assert estimate_value_size("abcd") == 4
+        assert estimate_value_size(3.5) == 8
+        assert estimate_value_size(True) == 1
+        assert estimate_value_size([1, 2]) == 8 + 16
+        assert estimate_value_size({"k": 1}) == 8 + 1 + 8
+        assert estimate_value_size(tup(a=1)) == tup(a=1).size_bytes
+        assert estimate_value_size(object()) == 16
+
+
+class TestOperatorSnapshotRestore:
+    def test_snapshot_roundtrip_through_fresh_instance(self):
+        class Counter(Operator):
+            STATEFUL = True
+
+            def on_tuple(self, t, port):
+                self.state.keyed("counts").update(
+                    t["key"], lambda n: n + 1, default=0
+                )
+
+        op, _ = make_operator_harness(Counter)
+        for key in ("a", "a", "b"):
+            op._process(tup(key=key), 0)
+        payload = op.snapshot()
+
+        fresh, _ = make_operator_harness(Counter)
+        fresh.restore(payload)
+        assert fresh.state.keyed("counts").get("a") == 2
+        assert fresh.state.keyed("counts").get("b") == 1
+
+    def test_on_snapshot_extra_rides_along(self):
+        class WithExtra(Operator):
+            def __init__(self, ctx):
+                super().__init__(ctx)
+                self.cursor = 0
+
+            def on_snapshot(self):
+                return {"cursor": self.cursor}
+
+            def on_restore(self, extra):
+                self.cursor = extra["cursor"]
+
+        op, _ = make_operator_harness(WithExtra)
+        op.cursor = 17
+        payload = op.snapshot()
+        fresh, _ = make_operator_harness(WithExtra)
+        fresh.restore(payload)
+        assert fresh.cursor == 17
+
+
+class TestAggregateOnState:
+    def agg(self, batch):
+        return {"total": sum(t["v"] for t in batch)}
+
+    def test_unkeyed_aggregate_still_tumbles(self):
+        op, emitted = make_operator_harness(
+            Aggregate, params={"count": 2, "aggregator": self.agg}
+        )
+        for v in (1, 2, 3):
+            op._process(tup(v=v), 0)
+        tuples = [i for _, i in emitted if isinstance(i, StreamTuple)]
+        assert [t["total"] for t in tuples] == [3]
+        op._process(Punctuation.FINAL, 0)
+        tuples = [i for _, i in emitted if isinstance(i, StreamTuple)]
+        assert [t["total"] for t in tuples] == [3, 3]  # partial flush
+
+    def test_keyed_aggregate_tumbles_per_key(self):
+        op, emitted = make_operator_harness(
+            Aggregate, params={"count": 2, "aggregator": self.agg, "key": "k"}
+        )
+        op._process(tup(k="a", v=1), 0)
+        op._process(tup(k="b", v=10), 0)
+        op._process(tup(k="a", v=2), 0)  # tumbles key a
+        tuples = [i for _, i in emitted if isinstance(i, StreamTuple)]
+        assert [(t["k"], t["total"]) for t in tuples] == [("a", 3)]
+        op._process(Punctuation.FINAL, 0)
+        tuples = [i for _, i in emitted if isinstance(i, StreamTuple)]
+        assert ("b", 10) in [(t["k"], t["total"]) for t in tuples]
+
+    def test_snapshot_mid_window_preserves_partial_window(self):
+        """State edge case: an operator snapshotted mid-window resumes the
+        window exactly where it was."""
+        op, emitted = make_operator_harness(
+            Aggregate, params={"count": 5, "aggregator": self.agg}
+        )
+        for v in (1, 2, 3):
+            op._process(tup(v=v), 0)
+        assert emitted == []  # window partially filled
+        payload = op.snapshot()
+
+        fresh, fresh_emitted = make_operator_harness(
+            Aggregate, params={"count": 5, "aggregator": self.agg}
+        )
+        fresh.restore(payload)
+        fresh._process(tup(v=4), 0)
+        fresh._process(tup(v=5), 0)
+        tuples = [i for _, i in fresh_emitted if isinstance(i, StreamTuple)]
+        assert [t["total"] for t in tuples] == [15]  # all five values
+
+    def test_keyed_snapshot_mid_window(self):
+        op, _ = make_operator_harness(
+            Aggregate, params={"count": 3, "aggregator": self.agg, "key": "k"}
+        )
+        op._process(tup(k="a", v=1), 0)
+        op._process(tup(k="a", v=2), 0)
+        payload = op.snapshot()
+        fresh, fresh_emitted = make_operator_harness(
+            Aggregate, params={"count": 3, "aggregator": self.agg, "key": "k"}
+        )
+        fresh.restore(payload)
+        fresh._process(tup(k="a", v=3), 0)
+        tuples = [i for _, i in fresh_emitted if isinstance(i, StreamTuple)]
+        assert [(t["k"], t["total"]) for t in tuples] == [("a", 6)]
+
+
+class TestJoinOnState:
+    def test_join_matches_by_key(self):
+        op, emitted = make_operator_harness(Join, params={"key": "k"})
+        op._process(tup(k="x", left=1), 0)
+        op._process(tup(k="y", left=2), 0)
+        op._process(tup(k="x", right=10), 1)
+        tuples = [i for _, i in emitted if isinstance(i, StreamTuple)]
+        assert len(tuples) == 1
+        assert tuples[0]["left"] == 1 and tuples[0]["right"] == 10
+
+    def test_join_window_eviction_spans_keys(self):
+        op, emitted = make_operator_harness(Join, params={"key": "k", "window": 2})
+        op._process(tup(k="a", n=1), 0)
+        op._process(tup(k="b", n=2), 0)
+        op._process(tup(k="c", n=3), 0)  # evicts the (a, 1) entry
+        op._process(tup(k="a", m=9), 1)
+        assert [i for _, i in emitted if isinstance(i, StreamTuple)] == []
+        op._process(tup(k="b", m=8), 1)
+        tuples = [i for _, i in emitted if isinstance(i, StreamTuple)]
+        assert len(tuples) == 1 and tuples[0]["n"] == 2
+
+    def test_join_state_is_keyed_by_join_key(self):
+        op, _ = make_operator_harness(Join, params={"key": "k"})
+        op._process(tup(k="x", left=1), 0)
+        op._process(tup(k="y", right=2), 1)
+        assert set(op.state.keyed("w0").keys()) == {"x"}
+        assert set(op.state.keyed("w1").keys()) == {"y"}
+        assert Join.STATEFUL
+
+    def test_join_window_bound_survives_migration(self):
+        """Regression: eviction bookkeeping lives inside the keyed entries,
+        so a migrated partition still evicts on the destination operator
+        (an external order list would have been left behind)."""
+        src, _ = make_operator_harness(Join, params={"key": "k", "window": 3})
+        for i in range(3):
+            src._process(tup(k=f"k{i}", n=i), 0)
+        dst, _ = make_operator_harness(Join, params={"key": "k", "window": 3})
+        moved = src.state.keyed("w0").extract_partition(lambda k: k in ("k0", "k1"))
+        dst.state.keyed("w0").install(moved)
+        # destination: 2 migrated + 2 fresh entries -> bound of 3 enforced,
+        # and the evicted entries are the oldest *migrated* ones
+        dst._process(tup(k="a", n=10), 0)
+        dst._process(tup(k="b", n=11), 0)
+        total = sum(len(b) for _, b in dst.state.keyed("w0").items())
+        assert total == 3
+        assert "k0" not in dst.state.keyed("w0")  # oldest migrated entry evicted
+
+    def test_join_seq_floor_bumps_past_migrated_entries(self):
+        """Regression: migrated entries can carry seqs far above the
+        destination's local counter; appends must not slot below them or
+        eviction misclassifies live entries as stale and the window grows
+        without bound."""
+        src, _ = make_operator_harness(Join, params={"key": "k", "window": 3})
+        for i in range(50):  # drive the source's arrival seq well past 0
+            src._process(tup(k="K", n=i), 0)
+        dst, _ = make_operator_harness(Join, params={"key": "k", "window": 3})
+        moved = src.state.keyed("w0").extract_partition(lambda k: True)
+        dst.state.keyed("w0").install(moved)  # entries with seqs 47..49
+        for i in range(10):  # fresh counter would restart at 0 without the floor
+            dst._process(tup(k="K", n=100 + i), 0)
+        bucket = dst.state.keyed("w0").get("K")
+        assert len(bucket) == 3  # bound enforced, no leak
+        seqs = [entry[0] for entry in bucket]
+        assert seqs == sorted(seqs)  # bucket stayed seq-sorted
+        # the window holds the *newest* tuples, not stuck migrated ones
+        assert [entry[1]["n"] for entry in bucket] == [107, 108, 109]
+
+
+class TestDedup:
+    def test_first_occurrence_passes_repeats_drop(self):
+        op, emitted = make_operator_harness(Dedup, params={"key": "id"})
+        for value in ("a", "b", "a", "a", "c", "b"):
+            op._process(tup(id=value), 0)
+        passed = [i["id"] for _, i in emitted if isinstance(i, StreamTuple)]
+        assert passed == ["a", "b", "c"]
+        assert op.metric("nDuplicates").value == 3
+
+    def test_capacity_eviction_readmits(self):
+        op, emitted = make_operator_harness(
+            Dedup, params={"key": "id", "capacity": 2}
+        )
+        for value in ("a", "b", "c", "a"):  # 'a' evicted by 'c'
+            op._process(tup(id=value), 0)
+        passed = [i["id"] for _, i in emitted if isinstance(i, StreamTuple)]
+        assert passed == ["a", "b", "c", "a"]
+
+    def test_invalid_capacity_rejected(self):
+        from repro.errors import GraphError
+
+        with pytest.raises(GraphError):
+            make_operator_harness(Dedup, params={"key": "id", "capacity": 0})
+
+    def test_capacity_bound_survives_migration(self):
+        """Regression: the first-seen seq rides inside each keyed entry, so
+        a migrated seen-set still counts toward (and is evictable from)
+        the destination's capacity bound."""
+        src, _ = make_operator_harness(Dedup, params={"key": "id", "capacity": 3})
+        for value in ("a", "b"):
+            src._process(tup(id=value), 0)
+        dst, dst_emitted = make_operator_harness(
+            Dedup, params={"key": "id", "capacity": 3}
+        )
+        moved = src.state.keyed("seen").extract_partition(lambda k: True)
+        dst.state.keyed("seen").install(moved)
+        # migrated keys still dedup on the destination
+        dst._process(tup(id="a"), 0)
+        assert dst.metric("nDuplicates").value == 1
+        # and they occupy (and age out of) the capacity bound
+        dst._process(tup(id="x"), 0)
+        dst._process(tup(id="y"), 0)  # capacity 3 exceeded: evicts 'a'
+        assert len(dst.state.keyed("seen")) == 3
+        assert "a" not in dst.state.keyed("seen")
+        passed = [i["id"] for _, i in dst_emitted if isinstance(i, StreamTuple)]
+        assert passed == ["x", "y"]
+
+
+class TestWindowSnapshots:
+    def test_sliding_time_window_roundtrip(self):
+        window = SlidingTimeWindow(span=10.0)
+        for ts, v in [(1.0, 2.0), (2.0, 4.0), (3.0, 6.0)]:
+            window.insert(ts, v)
+        clone = SlidingTimeWindow.from_snapshot(window.to_snapshot())
+        assert clone.mean() == window.mean()
+        assert clone.values() == window.values()
+
+    def test_tumbling_count_window_roundtrip(self):
+        window = TumblingCountWindow(size=4)
+        window.insert("a")
+        window.insert("b")
+        clone = TumblingCountWindow.from_snapshot(window.to_snapshot())
+        assert len(clone) == 2
+        assert clone.insert("c") is None
+        assert clone.insert("d") == ["a", "b", "c", "d"]
+
+    def test_sliding_count_window_roundtrip(self):
+        window = SlidingCountWindow(size=3)
+        for v in (1.0, 2.0, 3.0, 4.0):
+            window.insert(v)
+        clone = SlidingCountWindow.from_snapshot(window.to_snapshot())
+        assert clone.values() == [2.0, 3.0, 4.0]
+
+    def test_window_objects_survive_store_snapshot(self):
+        store = StateStore()
+        store.keyed("windows").put("sym", SlidingTimeWindow(span=5.0))
+        store.keyed("windows").get("sym").insert(1.0, 10.0)
+        snap = store.snapshot()
+        store.keyed("windows").get("sym").insert(2.0, 20.0)
+        store.restore(snap)
+        assert store.keyed("windows").get("sym").values() == [10.0]
+
+
+class TestCompilerStateDescriptors:
+    def test_pespec_records_stateful_operators(self):
+        app = Application("Desc")
+        g = app.graph
+        src = g.add_operator("src", Beacon, params={"values": {}}, partition="p")
+        agg = g.add_operator(
+            "agg",
+            Aggregate,
+            params={"count": 2, "aggregator": lambda b: {}},
+            partition="p",
+        )
+        sink = g.add_operator("sink", Sink, partition="p")
+        g.connect(src.oport(0), agg.iport(0))
+        g.connect(agg.oport(0), sink.iport(0))
+        compiled = SPLCompiler("manual").compile(app)
+        assert len(compiled.pes) == 1
+        assert compiled.pes[0].stateful_ops == ["agg"]
+
+    def test_stable_channel_of_matches_modulo(self):
+        for width in (1, 2, 5):
+            for key in ("a", "b", 3, None):
+                owner = stable_channel_of(key, width)
+                assert 0 <= owner < width
+                assert owner == stable_channel_of(key, width)  # deterministic
