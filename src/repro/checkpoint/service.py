@@ -1,0 +1,296 @@
+"""The background checkpoint daemon.
+
+Every ``interval`` sim-seconds the service walks the running jobs and
+captures each stateful PE's operators into the
+:class:`~repro.checkpoint.store.CheckpointStore`:
+
+1. **Capture (incremental).**  For every keyed state it asks the
+   :class:`~repro.spl.state.KeyedState` for its dirty delta — deep copies
+   of only the keys touched since the last committed checkpoint, plus the
+   dropped-key set — and merges it over the previous epoch's materialized
+   view.  Cold partitions are carried forward by reference (they are
+   detached copies already), so a hot loop hammering a few keys never
+   forces the whole map to be re-serialized.  Global states and the
+   operator's ``on_snapshot()`` extra are small by convention and are
+   captured in full.
+2. **Record.**  The payloads are written to the store as a new epoch
+   (uncommitted — *torn* if the process died here).
+3. **Commit.**  The epoch is marked committed, dirty tracking is reset,
+   and registered listeners (the ORCA service) are notified.
+
+``commit_fault`` is a test hook simulating a crash between record and
+commit: the epoch stays torn and dirty tracking is *not* reset, so the
+next round re-captures the same delta — exactly what a restarted
+checkpointer would do.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Tuple
+
+from repro.checkpoint.store import CheckpointStore
+from repro.sim.kernel import Kernel
+from repro.spl.state import estimate_value_size
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.runtime.job import Job
+    from repro.runtime.pe import PERuntime
+    from repro.runtime.sam import SAM
+
+
+@dataclass
+class CheckpointRecord:
+    """One checkpoint attempt of one PE, as reported to listeners."""
+
+    job_id: str
+    pe_id: str
+    epoch: int
+    time: float
+    committed: bool
+    full: bool
+    n_operators: int
+    keys_dirty: int
+    keys_total: int
+    bytes_written: int
+
+
+class CheckpointService:
+    """Periodic incremental checkpointing of every stateful PE."""
+
+    def __init__(
+        self,
+        kernel: Kernel,
+        sam: "SAM",
+        store: CheckpointStore,
+        interval: float = 0.0,
+    ) -> None:
+        """Create the daemon (call :meth:`start` to begin the loop).
+
+        Args:
+            kernel: The simulation kernel the loop is scheduled on.
+            sam: Job registry — every running job's PEs are candidates.
+            store: Destination for recorded/committed epochs.
+            interval: Sim-seconds between rounds; 0 disables the loop
+                (the paper's no-checkpoint default).
+        """
+        self.kernel = kernel
+        self.sam = sam
+        self.store = store
+        self.interval = interval
+        #: called with a CheckpointRecord after every *committed* epoch
+        #: (the ORCA service registers here to emit checkpoint_committed)
+        self.commit_listeners: List[Callable[[CheckpointRecord], None]] = []
+        #: test hook: return True to skip the commit (simulates a crash
+        #: between record and commit, leaving a torn epoch behind)
+        self.commit_fault: Optional[Callable[["PERuntime"], bool]] = None
+        #: every checkpoint attempt, committed or torn, in order
+        self.records: List[CheckpointRecord] = []
+        #: (job, pe, op, state) -> last committed materialized keyed map
+        self._materialized: Dict[Tuple[str, str, str, str], Dict] = {}
+        self._loop_handle = None
+        self._running = False
+
+    # -- lifecycle --------------------------------------------------------------
+
+    def start(self) -> None:
+        """Begin the periodic loop (no-op when ``interval`` is 0)."""
+        if self.interval > 0 and not self._running:
+            self._running = True
+            self._loop_handle = self.kernel.schedule(
+                self.interval, self._loop, label="checkpoint-loop"
+            )
+
+    def stop(self) -> None:
+        """Cancel the periodic loop."""
+        self._running = False
+        if self._loop_handle is not None:
+            self._loop_handle.cancel()
+            self._loop_handle = None
+
+    def set_interval(self, seconds: float) -> None:
+        """Change the checkpoint cadence at runtime.
+
+        Args:
+            seconds: New interval in sim-seconds; 0 stops the loop.
+        """
+        if seconds < 0:
+            raise ValueError("checkpoint interval must be >= 0")
+        self.interval = seconds
+        self.stop()
+        self.start()
+
+    def _loop(self) -> None:
+        if not self._running:
+            return
+        self.checkpoint_all()
+        self._loop_handle = self.kernel.schedule(
+            self.interval, self._loop, label="checkpoint-loop"
+        )
+
+    # -- capture ----------------------------------------------------------------
+
+    def checkpoint_all(self) -> List[CheckpointRecord]:
+        """Checkpoint every stateful PE of every running job.
+
+        Returns:
+            The records of this round's attempts (committed or torn).
+        """
+        records: List[CheckpointRecord] = []
+        for job in self.sam.running_jobs():
+            records.extend(self.checkpoint_job(job))
+        return records
+
+    def checkpoint_job(self, job: "Job") -> List[CheckpointRecord]:
+        """Checkpoint every stateful, running PE of one job.
+
+        Args:
+            job: The job to capture.
+
+        Returns:
+            One record per PE that actually had state to capture.
+        """
+        records: List[CheckpointRecord] = []
+        for pe in list(job.pes):
+            record = self.checkpoint_pe(pe)
+            if record is not None:
+                records.append(record)
+        return records
+
+    def checkpoint_pe(self, pe: "PERuntime") -> Optional[CheckpointRecord]:
+        """Capture, record, and commit one PE's stateful operators.
+
+        Args:
+            pe: The PE to capture; skipped unless it is running and hosts
+                at least one stateful operator (declared in the PE spec or
+                holding live state).
+
+        Returns:
+            The :class:`CheckpointRecord` of this attempt, or None when
+            the PE was skipped.
+        """
+        if not pe.is_running:
+            return None
+        declared = set(getattr(pe.spec, "stateful_ops", ()) or ())
+        payloads: Dict[str, dict] = {}
+        any_full = False
+        keys_dirty = 0
+        keys_total = 0
+        bytes_written = 0
+        cleaners: List[Callable[[], None]] = []
+        commits: List[Tuple[Tuple[str, str, str, str], Dict]] = []
+        for op_name, operator in pe.operators.items():
+            if op_name not in declared and not operator.state.in_use:
+                continue
+            keyed_payload: Dict[str, Dict] = {}
+            for state_name, keyed in operator.state.keyed_states().items():
+                base_key = (pe.job.job_id, pe.pe_id, op_name, state_name)
+                full, changed, dropped = keyed.dirty_snapshot()
+                base = self._materialized.get(base_key)
+                if full or base is None:
+                    if not full:
+                        # delta without a base (e.g. the service was
+                        # reset): fall back to a full capture
+                        changed, dropped = keyed.snapshot(), set()
+                    materialized = changed
+                    any_full = True
+                    keys_dirty += len(changed)
+                else:
+                    materialized = dict(base)
+                    for key in dropped:
+                        materialized.pop(key, None)
+                    materialized.update(changed)
+                    keys_dirty += len(changed) + len(dropped)
+                bytes_written += sum(
+                    estimate_value_size(k) + estimate_value_size(v)
+                    for k, v in changed.items()
+                )
+                keys_total += len(materialized)
+                keyed_payload[state_name] = materialized
+                commits.append((base_key, materialized))
+                cleaners.append(keyed.mark_clean)
+            global_payload = {
+                name: state.snapshot()
+                for name, state in operator.state.global_states().items()
+            }
+            extra = copy.deepcopy(operator.on_snapshot())
+            bytes_written += sum(
+                estimate_value_size(v) for v in global_payload.values()
+            ) + estimate_value_size(extra)
+            payloads[op_name] = {
+                "store": {"keyed": keyed_payload, "global": global_payload},
+                "extra": extra,
+            }
+        if not payloads:
+            return None
+        entry = self.store.record(
+            pe.job.job_id,
+            pe.pe_id,
+            payloads,
+            self.kernel.now,
+            full=any_full,
+            keys_dirty=keys_dirty,
+            keys_total=keys_total,
+            bytes_written=bytes_written,
+        )
+        committed = True
+        if self.commit_fault is not None and self.commit_fault(pe):
+            committed = False  # torn: dirty tracking stays, base unchanged
+        else:
+            self.store.commit(pe.job.job_id, pe.pe_id, entry.epoch)
+            for base_key, materialized in commits:
+                self._materialized[base_key] = materialized
+            for clean in cleaners:
+                clean()
+        record = CheckpointRecord(
+            job_id=pe.job.job_id,
+            pe_id=pe.pe_id,
+            epoch=entry.epoch,
+            time=entry.time,
+            committed=committed,
+            full=any_full,
+            n_operators=len(payloads),
+            keys_dirty=keys_dirty,
+            keys_total=keys_total,
+            bytes_written=bytes_written,
+        )
+        self.records.append(record)
+        if committed:
+            for listener in list(self.commit_listeners):
+                listener(record)
+        return record
+
+    # -- cleanup ----------------------------------------------------------------
+
+    def forget_pe(self, job_id: str, pe_id: str) -> None:
+        """Drop the materialized bases of one removed PE.
+
+        Args:
+            job_id: Owning job.
+            pe_id: The removed PE.
+        """
+        self._materialized = {
+            key: value
+            for key, value in self._materialized.items()
+            if not (key[0] == job_id and key[1] == pe_id)
+        }
+
+    def forget_job(self, job_id: str) -> None:
+        """Drop the materialized bases of one cancelled job.
+
+        Args:
+            job_id: The cancelled job.
+        """
+        self._materialized = {
+            key: value
+            for key, value in self._materialized.items()
+            if key[0] != job_id
+        }
+
+    def __repr__(self) -> str:
+        """Return a short debugging representation."""
+        return (
+            f"CheckpointService(interval={self.interval}, "
+            f"records={len(self.records)})"
+        )

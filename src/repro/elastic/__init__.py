@@ -25,6 +25,7 @@ from repro.elastic.controller import (
     RescaleOperation,
     RescaleState,
     StateMigration,
+    StateReclaim,
 )
 from repro.elastic.policy import (
     QueueSizeScalingPolicy,
@@ -44,5 +45,6 @@ __all__ = [
     "ScalingPolicy",
     "StateAwareScalingPolicy",
     "StateMigration",
+    "StateReclaim",
     "ThroughputScalingPolicy",
 ]

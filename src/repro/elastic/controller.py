@@ -38,7 +38,19 @@ any rescale: SAM notifies it of PE failures and completed restarts, and
 it masks / unmasks the affected channels on the region's splitter so
 tuples are rerouted around the dead PE (``channel_rerouted`` records are
 pushed to registered listeners — the ORCA service turns them into
-events).
+events).  When a checkpoint store is wired in, the detour channels are
+*seeded* with the dead channel's last committed checkpoint at mask time
+(rerouted keys continue from the checkpoint instead of from scratch).
+At unmask the detour-accrued keyed state is *reclaimed* — extracted from
+the detour channels and installed back on the restarted owner
+(``state_reclaimed`` records); this replaces the old unmask-time purge
+for every partitioned region with migration enabled, store or not (the
+detour entries are the freshest continuation of those keys either way).
+Scale-in gains a third state phase: a region's user-defined
+``global_merge`` hook folds a doomed channel's global state into its
+survivor instead of dropping it.  All three phases ride the same
+:class:`~repro.spl.state.KeyedState` extraction/install primitives and
+the same epoch clock as checkpoint commits (see :mod:`repro.checkpoint`).
 
 Because tuples are only ever *held* (at the splitter) or *delivered*
 (downstream) — never discarded — a rescale is tuple-loss-free by
@@ -48,17 +60,19 @@ global order across the barrier.
 
 from __future__ import annotations
 
+import copy
 import enum
 import time as _time
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional, Set, Tuple, Union
 
+from repro.checkpoint.store import CheckpointStore
 from repro.errors import ElasticError
 from repro.orca.epochs import MetricEpochCounter
 from repro.sim.kernel import Kernel
 from repro.spl.compiler import CompiledApplication, PESpec
 from repro.spl.graph import OperatorSpec
-from repro.spl.library import stable_channel_of
+from repro.spl.library import detour_channel_of, stable_channel_of
 from repro.spl.parallel import ParallelRegionPlan, resize_region
 from repro.spl.state import estimate_value_size
 from repro.runtime.job import Job, JobState
@@ -70,6 +84,8 @@ if TYPE_CHECKING:  # pragma: no cover
 
 
 class RescaleState(enum.Enum):
+    """Lifecycle phase of one rescale operation."""
+
     DRAINING = "draining"
     MIGRATING = "migrating"
     REWIRING = "rewiring"
@@ -98,8 +114,11 @@ class StateMigration:
     keys_lost: int = 0
     #: non-keyed (global) states dropped with removed channels — global
     #: state cannot be re-partitioned, mirroring the paper's no-checkpoint
-    #: stance for anything that is not keyed
+    #: stance for anything that is not keyed (and not merged)
     dropped_global_states: int = 0
+    #: global states folded into a survivor via the region's user-defined
+    #: ``global_merge`` hook instead of being dropped
+    global_states_merged: int = 0
     #: True when a failed rewire reinstalled the partitions at the source
     rolled_back: bool = False
     #: wall-clock cost of extract + install (the simulated protocol pays
@@ -111,6 +130,10 @@ class StateMigration:
 #: One extracted partition: (chain position, src channel, dst channel,
 #: keyed-state name, entries).
 _Move = Tuple[int, int, int, str, Dict[Any, Any]]
+
+#: One captured global state: (chain position, src channel, state name,
+#: detached value copy).
+_GlobalMove = Tuple[int, int, str, Any]
 
 
 @dataclass
@@ -126,9 +149,36 @@ class ChannelReroute:
     width: int
     pe_id: str
     time: float
-    #: on unmask: detour keyed entries purged from the other channels
-    #: (state accrued for this channel's keys while it was masked)
+    #: on unmask: detour keyed entries that could not be reclaimed (their
+    #: owner operator was not live) and were dropped instead
     purged_keys: int = 0
+    #: on unmask: detour keyed entries returned to the restarted channel
+    reclaimed_keys: int = 0
+    #: on mask: keyed entries installed on the detour channels from the
+    #: dead channel's last committed checkpoint epoch
+    seeded_keys: int = 0
+
+
+@dataclass
+class StateReclaim:
+    """Keyed state returned to a channel when it rejoined the ring.
+
+    Produced at unmask time for partitioned regions with migration
+    enabled: every detour channel's entries whose owner is the unmasked
+    channel are extracted and installed back on the (just restarted)
+    owner.  ``epoch`` is drawn from the same clock as checkpoint commits
+    and rescale epochs, so reclaims order totally with both.
+    """
+
+    job_id: str
+    region: str
+    channels: Tuple[int, ...]
+    pe_id: str
+    keys_reclaimed: int
+    keys_purged: int
+    bytes_reclaimed: int
+    epoch: int
+    time: float
 
 
 @dataclass
@@ -156,6 +206,7 @@ class RescaleOperation:
 
     @property
     def duration(self) -> float:
+        """Seconds from quiesce to resume (0.0 while still in flight)."""
         if self.completed_at is None:
             return 0.0
         return self.completed_at - self.started_at
@@ -171,15 +222,35 @@ class ElasticController:
         kernel: Kernel,
         drain_poll_interval: float = 0.05,
         drain_timeout: float = 60.0,
+        epochs: Optional[MetricEpochCounter] = None,
+        checkpoint_store: Optional[CheckpointStore] = None,
     ) -> None:
+        """Create the controller.
+
+        Args:
+            sam: Job/PE registry used to reach runtimes and place channels.
+            transport: Tuple transport, polled for in-flight backlog.
+            kernel: Simulation kernel the protocol is scheduled on.
+            drain_poll_interval: Seconds between drain-barrier polls.
+            drain_timeout: Give-up horizon for the drain barrier.
+            epochs: Reconfiguration epoch clock; pass the checkpoint
+                store's clock to totally order rescales, reclaims, and
+                checkpoint commits (one transactional state-epoch
+                mechanism).  A private counter is used when omitted.
+            checkpoint_store: When provided, masked channels' detours are
+                seeded from the dead channel's last committed epoch.
+        """
         self.sam = sam
         self.transport = transport
         self.kernel = kernel
         self.drain_poll_interval = drain_poll_interval
         self.drain_timeout = drain_timeout
-        #: reconfiguration epoch clock (shared across all regions, like the
-        #: ORCA service's metric epoch: one monotone logical clock)
-        self.epochs = MetricEpochCounter()
+        #: reconfiguration epoch clock (shared across all regions — and,
+        #: when wired by SystemS, with checkpoint commits: one monotone
+        #: logical clock for every state-bearing transition)
+        self.epochs = epochs if epochs is not None else MetricEpochCounter()
+        #: committed checkpoint epochs, consulted for detour seeding
+        self.checkpoint_store = checkpoint_store
         self.history: List[RescaleOperation] = []
         self._active: Dict[Tuple[str, str], RescaleOperation] = {}
         #: channel mask/unmask records (crashed-channel rerouting)
@@ -187,6 +258,11 @@ class ElasticController:
         #: callbacks invoked for every ChannelReroute (the ORCA service
         #: registers here to emit ``channel_rerouted`` events)
         self.reroute_listeners: List[Callable[[ChannelReroute], None]] = []
+        #: unmask-time reclaim records, newest last
+        self.reclaims: List[StateReclaim] = []
+        #: callbacks invoked for every StateReclaim (the ORCA service
+        #: registers here to emit ``state_reclaimed`` events)
+        self.reclaim_listeners: List[Callable[[StateReclaim], None]] = []
         #: (job_id, region) -> channels this controller actually masked;
         #: a PE restart only unmasks (and reports) channels found here, so
         #: a graceful stop_pe + restart_pe never emits phantom reroutes
@@ -195,6 +271,15 @@ class ElasticController:
     # -- public API --------------------------------------------------------------
 
     def rescale_in_progress(self, job_id: str, region: str) -> bool:
+        """Whether a rescale of ``region`` of ``job_id`` is currently active.
+
+        Args:
+            job_id: The job owning the region.
+            region: The parallel region name.
+
+        Returns:
+            True while a set_channel_width() protocol run is in flight.
+        """
         return (job_id, region) in self._active
 
     def set_channel_width(
@@ -204,12 +289,22 @@ class ElasticController:
         new_width: int,
         on_complete: Optional[Callable[[RescaleOperation], None]] = None,
     ) -> RescaleOperation:
-        """Start the rescale protocol; returns the tracking operation.
+        """Start the rescale protocol for one region.
 
         The protocol itself runs asynchronously on the simulation kernel
         (quiesce now, drain over the following instants, rewire + resume
-        when the barrier is clean); ``on_complete`` fires when the region
-        has resumed (state COMPLETED) or the protocol gave up (FAILED).
+        when the barrier is clean).
+
+        Args:
+            job: The job (or job id) owning the region.
+            region: Parallel region name.
+            new_width: Desired channel count (within ``[1, max_width]``).
+            on_complete: Fires when the region has resumed (state
+                COMPLETED) or the protocol gave up (FAILED).
+
+        Returns:
+            The tracking :class:`RescaleOperation` (already appended to
+            ``history`` for no-op requests).
         """
         if isinstance(job, str):
             job = self.sam.get_job(job)
@@ -271,12 +366,25 @@ class ElasticController:
         The splitter takes the dead channels out of its hash ring /
         round-robin rotation, so traffic flows around the crash instead of
         into it, until ``restart_pe`` completes and
-        :meth:`handle_pe_restarted` unmasks them.
+        :meth:`handle_pe_restarted` unmasks them.  With a checkpoint
+        store wired in, the detour channels are seeded from the dead
+        channel's last committed epoch.
+
+        Args:
+            pe: The crashed PE.
+            reason: Crash reason as reported by the host controller.
         """
         self._remask_channels_of(pe, masked=True, reason=reason)
 
     def handle_pe_restarted(self, pe: PERuntime) -> None:
-        """SAM observer: a PE restart completed — unmask its channels."""
+        """SAM observer: a PE restart completed — unmask its channels.
+
+        Detour-accrued keyed state is reclaimed onto the restarted
+        channels before they rejoin the ring (``state_reclaimed``).
+
+        Args:
+            pe: The restarted PE.
+        """
         self._remask_channels_of(pe, masked=False, reason="restart_pe")
 
     def _remask_channels_of(self, pe: PERuntime, masked: bool, reason: str) -> None:
@@ -310,15 +418,31 @@ class ElasticController:
                 continue
             if splitter_pe.state is not PEState.RUNNING:
                 continue
-            purged = 0
+            purged = reclaimed = seeded = 0
             if not masked:
-                # The restarted channel starts empty (crash semantics), so
-                # state its keys accrued on detour channels is stale the
-                # moment traffic routes home again.  Purge it now: left in
-                # place, a later rescale would migrate the stale entries
-                # onto the owner and overwrite its fresher post-restart
-                # state.
-                purged = self._purge_detour_state(job, plan, set(channels))
+                # Return the detour-accrued keyed state to the restarted
+                # owner before traffic routes home again: the detour
+                # entries are the freshest continuation of those keys
+                # (possibly seeded from the owner's checkpoint at mask
+                # time), so they supersede whatever rehydration restored.
+                reclaimed, purged, bytes_reclaimed = self._reclaim_detour_state(
+                    job, plan, set(channels)
+                )
+                if reclaimed or purged:
+                    reclaim = StateReclaim(
+                        job_id=job.job_id,
+                        region=plan.name,
+                        channels=tuple(channels),
+                        pe_id=pe.pe_id,
+                        keys_reclaimed=reclaimed,
+                        keys_purged=purged,
+                        bytes_reclaimed=bytes_reclaimed,
+                        epoch=self.epochs.next(),
+                        time=self.kernel.now,
+                    )
+                    self.reclaims.append(reclaim)
+                    for listener in list(self.reclaim_listeners):
+                        listener(reclaim)
             command = "maskChannel" if masked else "unmaskChannel"
             for channel in channels:
                 splitter_pe.send_control(plan.splitter, command, {"channel": channel})
@@ -326,6 +450,15 @@ class ElasticController:
                     tracked.add(channel)
                 else:
                     tracked.discard(channel)
+            if masked:
+                # With the dead channels now out of the ring, seed the
+                # detour channels from the crashed PE's last committed
+                # checkpoint epoch so rerouted keys continue from the
+                # checkpoint instead of from scratch.
+                seeded = self._seed_detour_state(
+                    job, plan, pe, set(channels), splitter_pe
+                )
+            for channel in channels:
                 record = ChannelReroute(
                     job_id=job.job_id,
                     region=plan.name,
@@ -335,49 +468,158 @@ class ElasticController:
                     width=plan.width,
                     pe_id=pe.pe_id,
                     time=self.kernel.now,
-                    # the purge ran once for the whole channel set; report
-                    # it on the first record so summing over events is
-                    # accurate
+                    # the reclaim/seed ran once for the whole channel set;
+                    # report it on the first record so summing over events
+                    # is accurate
                     purged_keys=purged,
+                    reclaimed_keys=reclaimed,
+                    seeded_keys=seeded,
                 )
-                purged = 0
+                purged = reclaimed = seeded = 0
                 self.reroutes.append(record)
                 for listener in list(self.reroute_listeners):
                     listener(record)
 
-    def _purge_detour_state(
+    def _reclaim_detour_state(
         self, job: Job, plan: ParallelRegionPlan, channels: Set[int]
-    ) -> int:
-        """Drop keyed entries owned by ``channels`` from every other channel.
+    ) -> Tuple[int, int, int]:
+        """Move detour-accrued keyed entries back to their owner channels.
 
-        Returns how many entries were purged.  Only meaningful for
-        partitioned regions with migration enabled — elsewhere keyed
-        ownership is undefined and nothing is touched.
+        Every entry held by a surviving channel whose key is owned by one
+        of the (just restarted) ``channels`` is extracted and installed on
+        the owner's operator at the same chain position; incoming entries
+        win over rehydrated ones (the detour is the freshest continuation
+        of those keys).  Entries whose owner operator is not live are
+        dropped and counted.
+
+        Args:
+            job: The job owning the region.
+            plan: The (partitioned) region plan.
+            channels: The channels rejoining the ring.
+
+        Returns:
+            ``(keys_reclaimed, keys_purged, bytes_reclaimed)``; all zero
+            for regions without keyed ownership (no ``partition_by``) or
+            with migration disabled.
         """
         if plan.partition_by is None or not getattr(plan, "migrate_state", True):
-            return 0
-        purged = 0
-        for channel, ops in enumerate(plan.channel_ops):
-            if channel in channels:
+            return 0, 0, 0
+        reclaimed = purged = bytes_reclaimed = 0
+        for src_channel, ops in enumerate(plan.channel_ops):
+            if src_channel in channels:
                 continue
-            for op_name in ops:
+            for position, op_name in enumerate(ops):
                 try:
-                    pe = job.pe_of_operator(op_name)
+                    src_pe = job.pe_of_operator(op_name)
                 except Exception:
                     continue
-                if pe.state is not PEState.RUNNING:
+                if src_pe.state is not PEState.RUNNING:
                     continue
-                operator = pe.operators.get(op_name)
+                operator = src_pe.operators.get(op_name)
                 if operator is None or not operator.state.in_use:
                     continue
-                for keyed in operator.state.keyed_states().values():
-                    purged += len(
-                        keyed.extract_partition(
-                            lambda key: stable_channel_of(key, plan.width)
-                            in channels
-                        )
+                for state_name, keyed in operator.state.keyed_states().items():
+                    extracted = keyed.extract_partition(
+                        lambda key: stable_channel_of(key, plan.width)
+                        in channels
                     )
-        return purged
+                    if not extracted:
+                        continue
+                    buckets: Dict[int, Dict[Any, Any]] = {}
+                    for key, value in extracted.items():
+                        buckets.setdefault(
+                            stable_channel_of(key, plan.width), {}
+                        )[key] = value
+                    for owner, entries in buckets.items():
+                        target_name = plan.channel_ops[owner][position]
+                        try:
+                            target_pe = job.pe_of_operator(target_name)
+                        except Exception:
+                            purged += len(entries)
+                            continue
+                        target_op = target_pe.operators.get(target_name)
+                        if (
+                            target_pe.state is not PEState.RUNNING
+                            or target_op is None
+                        ):
+                            purged += len(entries)
+                            continue
+                        target_op.state.keyed(state_name).install(entries)
+                        reclaimed += len(entries)
+                        bytes_reclaimed += sum(
+                            estimate_value_size(k) + estimate_value_size(v)
+                            for k, v in entries.items()
+                        )
+        return reclaimed, purged, bytes_reclaimed
+
+    def _seed_detour_state(
+        self,
+        job: Job,
+        plan: ParallelRegionPlan,
+        dead_pe: PERuntime,
+        channels: Set[int],
+        splitter_pe: PERuntime,
+    ) -> int:
+        """Install a dead channel's checkpointed keyed state on its detours.
+
+        Reads the crashed PE's last *committed* checkpoint epoch and
+        installs (detached copies of) its keyed entries on the channels
+        the splitter now detours those keys to, so per-key computations
+        continue from the checkpoint during the outage.  The entries flow
+        home again through :meth:`_reclaim_detour_state` at unmask.
+
+        Args:
+            job: The job owning the region.
+            plan: The (partitioned) region plan.
+            dead_pe: The crashed channel PE whose checkpoint is seeded.
+            channels: The channels just masked.
+            splitter_pe: The splitter's PE (source of the live mask set).
+
+        Returns:
+            Number of keyed entries installed on detour channels (0 when
+            no store is wired, no committed epoch exists, or the region
+            has no keyed ownership).
+        """
+        if self.checkpoint_store is None:
+            return 0
+        if plan.partition_by is None or not getattr(plan, "migrate_state", True):
+            return 0
+        entry = self.checkpoint_store.latest_committed(job.job_id, dead_pe.pe_id)
+        if entry is None:
+            return 0
+        splitter_op = splitter_pe.operators.get(plan.splitter)
+        if splitter_op is None:
+            return 0
+        masked_set = splitter_op.masked_channels
+        seeded = 0
+        for op_name, payload in entry.payloads.items():
+            channel = plan.channel_of(op_name)
+            if channel is None:
+                continue
+            position = plan.channel_ops[channel].index(op_name)
+            for state_name, entries in (
+                payload.get("store", {}).get("keyed", {}).items()
+            ):
+                buckets: Dict[int, Dict[Any, Any]] = {}
+                for key, value in entries.items():
+                    if stable_channel_of(key, plan.width) not in channels:
+                        continue  # not a key the mask detours
+                    detour = detour_channel_of(key, plan.width, masked_set)
+                    if detour in masked_set:
+                        continue  # every channel masked: nowhere to seed
+                    buckets.setdefault(detour, {})[key] = copy.deepcopy(value)
+                for detour, seed_entries in buckets.items():
+                    target_name = plan.channel_ops[detour][position]
+                    try:
+                        target_pe = job.pe_of_operator(target_name)
+                    except Exception:
+                        continue
+                    target_op = target_pe.operators.get(target_name)
+                    if target_pe.state is not PEState.RUNNING or target_op is None:
+                        continue
+                    target_op.state.keyed(state_name).install(seed_entries)
+                    seeded += len(seed_entries)
+        return seeded
 
     # -- drain barrier -----------------------------------------------------------
 
@@ -486,6 +728,8 @@ class ElasticController:
         plan: ParallelRegionPlan,
         new_width: int,
         migration: StateMigration,
+        global_moves: Optional[List[_GlobalMove]] = None,
+        migrate_keyed: bool = True,
     ) -> List[_Move]:
         """Pull every keyed entry off its channel when ownership changes.
 
@@ -494,6 +738,14 @@ class ElasticController:
         operator instances are still alive).  Extraction removes the
         entries from the source stores: from this point the controller
         owns them exclusively until install or rollback.
+
+        When the region declares a ``global_merge`` hook, the doomed
+        channels' non-empty global states are additionally captured (as
+        detached copies) into ``global_moves`` for the post-rewire merge
+        instead of being counted as dropped.  ``migrate_keyed=False``
+        skips the keyed extraction entirely — used for regions without
+        keyed ownership (no ``partition_by``) whose shrink still wants
+        the global merge.
         """
         moves: List[_Move] = []
         for src_channel, ops in enumerate(plan.channel_ops):
@@ -508,38 +760,76 @@ class ElasticController:
                 operator = pe.operators.get(op_name)
                 if operator is None or not operator.state.in_use:
                     continue
-                for state_name, keyed in operator.state.keyed_states().items():
-                    extracted = keyed.extract_partition(
-                        lambda key: shrinking
-                        or stable_channel_of(key, new_width) != src_channel
-                    )
-                    if not extracted:
-                        continue
-                    buckets: Dict[int, Dict[Any, Any]] = {}
-                    for key, value in extracted.items():
-                        buckets.setdefault(
-                            stable_channel_of(key, new_width), {}
-                        )[key] = value
-                    for dst_channel, entries in buckets.items():
-                        moves.append(
-                            (position, src_channel, dst_channel, state_name, entries)
+                if migrate_keyed:
+                    for state_name, keyed in operator.state.keyed_states().items():
+                        extracted = keyed.extract_partition(
+                            lambda key: shrinking
+                            or stable_channel_of(key, new_width) != src_channel
                         )
-                        migration.keys_moved += len(entries)
-                        migration.bytes_moved += sum(
-                            estimate_value_size(k) + estimate_value_size(v)
-                            for k, v in entries.items()
-                        )
-                        edge = (src_channel, dst_channel)
-                        migration.moves[edge] = migration.moves.get(edge, 0) + len(
-                            entries
-                        )
+                        if not extracted:
+                            continue
+                        buckets: Dict[int, Dict[Any, Any]] = {}
+                        for key, value in extracted.items():
+                            buckets.setdefault(
+                                stable_channel_of(key, new_width), {}
+                            )[key] = value
+                        for dst_channel, entries in buckets.items():
+                            moves.append(
+                                (position, src_channel, dst_channel, state_name, entries)
+                            )
+                            migration.keys_moved += len(entries)
+                            migration.bytes_moved += sum(
+                                estimate_value_size(k) + estimate_value_size(v)
+                                for k, v in entries.items()
+                            )
+                            edge = (src_channel, dst_channel)
+                            migration.moves[edge] = migration.moves.get(edge, 0) + len(
+                                entries
+                            )
                 if shrinking:
-                    migration.dropped_global_states += sum(
-                        1
-                        for gs in operator.state.global_states().values()
-                        if self._global_state_has_content(gs.value)
-                    )
+                    for state_name, gs in operator.state.global_states().items():
+                        if not self._global_state_has_content(gs.value):
+                            continue
+                        if plan.global_merge is not None and global_moves is not None:
+                            global_moves.append(
+                                (position, src_channel, state_name, gs.snapshot())
+                            )
+                        else:
+                            migration.dropped_global_states += 1
         return moves
+
+    def _merge_global_states(
+        self,
+        job: Job,
+        plan: ParallelRegionPlan,
+        global_moves: List[_GlobalMove],
+        new_width: int,
+        migration: StateMigration,
+    ) -> None:
+        """Fold captured doomed-channel global states into their survivors.
+
+        Runs after the rewire, while the region is still quiesced: the
+        survivor of doomed channel ``c`` is ``c % new_width`` (stable and
+        deterministic), and the region's ``global_merge(state_name,
+        survivor_value, doomed_value)`` hook decides the folded value.  A
+        survivor whose PE is down absorbs the loss the way the crash
+        itself would: the state is dropped and counted.
+        """
+        for position, src_channel, state_name, value in global_moves:
+            survivor_channel = src_channel % new_width
+            target_name = plan.channel_ops[survivor_channel][position]
+            try:
+                target_pe = job.pe_of_operator(target_name)
+            except Exception:
+                migration.dropped_global_states += 1
+                continue
+            target_op = target_pe.operators.get(target_name)
+            if target_pe.state is not PEState.RUNNING or target_op is None:
+                migration.dropped_global_states += 1
+                continue
+            gs = target_op.state.global_(state_name)
+            gs.set(plan.global_merge(state_name, gs.value, value))
+            migration.global_states_merged += 1
 
     @staticmethod
     def _global_state_has_content(value: Any) -> bool:
@@ -655,6 +945,7 @@ class ElasticController:
         moves: List[_Move] = []
         installed: List[_Move] = []
         dropped: List[_Move] = []
+        global_moves: List[_GlobalMove] = []
         migration: Optional[StateMigration] = None
         try:
             # The whole rewire runs synchronously inside one kernel event, so
@@ -669,7 +960,11 @@ class ElasticController:
                         f"PE of {endpoint!r} is {endpoint_pe.state.value}; "
                         "cannot rewire"
                     )
-            if self._region_migrates(plan):
+            migrates_keyed = self._region_migrates(plan)
+            wants_global_merge = (
+                plan.global_merge is not None and op.new_width < op.old_width
+            )
+            if migrates_keyed or wants_global_merge:
                 op.state = RescaleState.MIGRATING
                 migration = StateMigration(
                     region=plan.name,
@@ -678,7 +973,12 @@ class ElasticController:
                 )
                 wall_start = _time.perf_counter()
                 moves = self._extract_keyed_partitions(
-                    job, plan, op.new_width, migration
+                    job,
+                    plan,
+                    op.new_width,
+                    migration,
+                    global_moves,
+                    migrate_keyed=migrates_keyed,
                 )
                 migration.wall_ms += (_time.perf_counter() - wall_start) * 1000.0
                 op.migration = migration
@@ -723,6 +1023,13 @@ class ElasticController:
                     job, plan, moves, migration, installed, dropped
                 )
                 migration.wall_ms += (_time.perf_counter() - wall_start) * 1000.0
+
+            # Fold captured doomed-channel global states into their
+            # survivors (user-defined merge hook) before traffic resumes.
+            if global_moves:
+                self._merge_global_states(
+                    job, plan, global_moves, op.new_width, migration
+                )
 
             # Live operator updates: merger first (its ports must exist
             # before the splitter routes to them), then the splitter resumes

@@ -13,6 +13,7 @@ An orchestrator has two halves (Sec. 3):
 from repro.orca.contexts import (
     ChannelCongestedContext,
     ChannelReroutedContext,
+    CheckpointCommittedContext,
     HostFailureContext,
     JobCancellationContext,
     JobSubmissionContext,
@@ -23,6 +24,8 @@ from repro.orca.contexts import (
     PEMetricContext,
     RegionRescaledContext,
     RegionStateMigratedContext,
+    RehydrateSkippedContext,
+    StateReclaimedContext,
     TimerContext,
     UserEventContext,
 )
@@ -30,6 +33,7 @@ from repro.orca.dependencies import AppConfig
 from repro.orca.descriptor import ManagedApplication, OrcaDescriptor
 from repro.orca.orchestrator import Orchestrator
 from repro.orca.scopes import (
+    CheckpointScope,
     HostFailureScope,
     JobCancellationScope,
     JobSubmissionScope,
@@ -52,6 +56,8 @@ __all__ = [
     "AppConfig",
     "ChannelCongestedContext",
     "ChannelReroutedContext",
+    "CheckpointCommittedContext",
+    "CheckpointScope",
     "HostFailureContext",
     "HostFailureScope",
     "JobCancellationContext",
@@ -74,6 +80,8 @@ __all__ = [
     "PEMetricScope",
     "RegionRescaledContext",
     "RegionStateMigratedContext",
+    "RehydrateSkippedContext",
+    "StateReclaimedContext",
     "TimerContext",
     "TimerScope",
     "UserEventContext",

@@ -207,6 +207,9 @@ class RegionStateMigratedContext:
     wall_ms: float  #: real time spent extracting + installing partitions
     epoch: int  #: reconfiguration epoch of the enclosing rescale
     time: float
+    #: global states folded into survivors by the region's user-defined
+    #: ``global_merge`` hook (scale-in only)
+    global_states_merged: int = 0
 
 
 @dataclass(frozen=True)
@@ -227,8 +230,76 @@ class ChannelReroutedContext:
     width: int
     pe_id: str
     time: float
-    #: on unmask: stale detour entries purged from the other channels
+    #: on unmask: detour entries that could not be reclaimed (dropped)
     purged_keys: int = 0
+    #: on unmask: detour entries returned to the restarted channel
+    reclaimed_keys: int = 0
+    #: on mask: entries seeded onto detours from the last committed epoch
+    seeded_keys: int = 0
+
+
+@dataclass(frozen=True)
+class CheckpointCommittedContext:
+    """A PE's state store was checkpointed and the epoch committed.
+
+    Produced by the background :class:`~repro.checkpoint.service.
+    CheckpointService` on every committed epoch of a managed job's PE.
+    ``epoch`` is drawn from the clock shared with reconfiguration, so
+    handlers can order checkpoints against rescales and reclaims.
+    """
+
+    job_id: str
+    app_name: str
+    pe_id: str
+    host: Optional[str]
+    epoch: int
+    full: bool  #: True when any keyed state was captured in full
+    n_operators: int
+    keys_dirty: int  #: keys actually re-serialized (incremental capture)
+    keys_total: int
+    bytes_written: int
+    time: float
+
+
+@dataclass(frozen=True)
+class StateReclaimedContext:
+    """Detour-accrued keyed state returned to a restarted channel.
+
+    Delivered when a masked channel rejoined its region's ring and the
+    elastic controller moved the state its keys accrued on the detour
+    channels back to it (instead of purging it, which is what the
+    no-checkpoint semantics would do).
+    """
+
+    job_id: str
+    app_name: str
+    region: str
+    channels: tuple  #: the channel indices that rejoined the ring
+    pe_id: str
+    keys_reclaimed: int
+    keys_purged: int  #: entries dropped because their owner was not live
+    bytes_reclaimed: int
+    epoch: int  #: shared state-epoch clock (orders against checkpoints)
+    time: float
+
+
+@dataclass(frozen=True)
+class RehydrateSkippedContext:
+    """A ``restart_pe(rehydrate=True)`` found nothing to restore.
+
+    Without this event a policy cannot distinguish a restored PE from one
+    that silently restarted empty (no committed checkpoint epoch and no
+    quiesced snapshot existed) — exactly the blind spot user-defined
+    failover routines need surfaced.
+    """
+
+    job_id: str
+    app_name: str
+    pe_id: str
+    pe_index: int
+    host: Optional[str]
+    reason: str  #: currently always "no_snapshot"
+    time: float
 
 
 @dataclass(frozen=True)

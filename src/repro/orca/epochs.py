@@ -16,20 +16,18 @@ from __future__ import annotations
 
 from typing import Optional, Tuple
 
+from repro.checkpoint.store import EpochClock
 
-class MetricEpochCounter:
-    """One epoch per SRM metric poll."""
 
-    def __init__(self) -> None:
-        self._epoch = 0
+class MetricEpochCounter(EpochClock):
+    """One epoch per SRM metric poll.
 
-    def next(self) -> int:
-        self._epoch += 1
-        return self._epoch
-
-    @property
-    def current(self) -> int:
-        return self._epoch
+    A named alias of the system-wide :class:`~repro.checkpoint.store.
+    EpochClock` (one implementation of the monotone counter): the ORCA
+    service keeps a private instance for metric polls, while the elastic
+    controller shares the checkpoint store's instance so reconfiguration
+    and fault tolerance order on one clock.
+    """
 
 
 class FailureEpochTracker:

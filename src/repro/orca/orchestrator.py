@@ -20,6 +20,7 @@ from typing import TYPE_CHECKING, List
 from repro.orca.contexts import (
     ChannelCongestedContext,
     ChannelReroutedContext,
+    CheckpointCommittedContext,
     HostFailureContext,
     JobCancellationContext,
     JobSubmissionContext,
@@ -30,6 +31,8 @@ from repro.orca.contexts import (
     PEMetricContext,
     RegionRescaledContext,
     RegionStateMigratedContext,
+    RehydrateSkippedContext,
+    StateReclaimedContext,
     TimerContext,
     UserEventContext,
 )
@@ -117,6 +120,23 @@ class Orchestrator:
     ) -> None:
         """A channel was masked from (or restored to) its region's splitter
         because its PE crashed / finished restarting."""
+
+    # -- checkpointing and recovery (state subsystem) ------------------------------------------
+
+    def handleCheckpointCommittedEvent(  # noqa: N802
+        self, context: CheckpointCommittedContext, scopes: List[str]
+    ) -> None:
+        """A managed PE's state store was checkpointed (epoch committed)."""
+
+    def handleStateReclaimedEvent(  # noqa: N802
+        self, context: StateReclaimedContext, scopes: List[str]
+    ) -> None:
+        """A restarted channel got its detour-accrued keyed state back."""
+
+    def handleRehydrateSkippedEvent(  # noqa: N802
+        self, context: RehydrateSkippedContext, scopes: List[str]
+    ) -> None:
+        """A rehydrating PE restart found nothing to restore (started empty)."""
 
     # -- timers and user events ----------------------------------------------------------------
 

@@ -194,3 +194,24 @@ class RuleOrchestrator(Orchestrator):
 
     def handleUserEvent(self, context, scopes) -> None:  # noqa: N802
         self._dispatch("user", context, scopes)
+
+    def handleChannelCongestedEvent(self, context, scopes) -> None:  # noqa: N802
+        self._dispatch("channel_congested", context, scopes)
+
+    def handleRegionRescaledEvent(self, context, scopes) -> None:  # noqa: N802
+        self._dispatch("region_rescaled", context, scopes)
+
+    def handleRegionStateMigratedEvent(self, context, scopes) -> None:  # noqa: N802
+        self._dispatch("region_state_migrated", context, scopes)
+
+    def handleChannelReroutedEvent(self, context, scopes) -> None:  # noqa: N802
+        self._dispatch("channel_rerouted", context, scopes)
+
+    def handleCheckpointCommittedEvent(self, context, scopes) -> None:  # noqa: N802
+        self._dispatch("checkpoint_committed", context, scopes)
+
+    def handleStateReclaimedEvent(self, context, scopes) -> None:  # noqa: N802
+        self._dispatch("state_reclaimed", context, scopes)
+
+    def handleRehydrateSkippedEvent(self, context, scopes) -> None:  # noqa: N802
+        self._dispatch("rehydrate_skipped", context, scopes)

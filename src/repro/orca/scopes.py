@@ -279,6 +279,7 @@ class ParallelRegionScope(EventScope):
         "region_rescaled",
         "region_state_migrated",
         "channel_rerouted",
+        "state_reclaimed",
     )
 
     #: metric identifiers commonly used as region congestion metrics
@@ -307,6 +308,49 @@ class ParallelRegionScope(EventScope):
         channel index and therefore still match any channel filter.
         """
         self._add("channel", channels)
+        return self
+
+
+class CheckpointScope(EventScope):
+    """Checkpoint / recovery lifecycle events (the state subsystem).
+
+    Covers the related event types with one subscope, so ORCA logic that
+    reasons about state durability registers a single scope:
+
+    * ``checkpoint_committed`` — a PE's state store was captured and the
+      epoch committed (carries incremental-capture statistics);
+    * ``state_reclaimed`` — a restarted channel got its detour-accrued
+      keyed state back at unmask time;
+    * ``rehydrate_skipped`` — a ``restart_pe(rehydrate=True)`` found
+      neither a committed checkpoint epoch nor a quiesced snapshot and
+      the PE restarted empty.
+
+    Staleness-reactive routines pair this scope with the ``checkpointLag``
+    PE gauge in SRM (a :class:`PEMetricScope` on that metric) and the
+    service's ``checkpoint_status()`` / ``checkpoint_now()`` hooks.
+    """
+
+    EVENT_TYPE = "checkpoint_committed"
+    EVENT_TYPES = (
+        "checkpoint_committed",
+        "state_reclaimed",
+        "rehydrate_skipped",
+    )
+
+    #: the PE-level staleness gauge collected at every metric push
+    checkpointLag = "checkpointLag"
+
+    def addPEFilter(self, pe_ids: Values) -> "CheckpointScope":  # noqa: N802
+        self._add("pe", pe_ids)
+        return self
+
+    def addRegionFilter(self, names: Values) -> "CheckpointScope":  # noqa: N802
+        self._add("region", names)
+        return self
+
+    def addEventTypeFilter(self, kinds: Values) -> "CheckpointScope":  # noqa: N802
+        """Restrict to a subset of the checkpoint event kinds."""
+        self._add("event_kind", kinds)
         return self
 
 

@@ -34,6 +34,7 @@ from repro.orca.commandtool import OrcaCommandTool
 from repro.orca.contexts import (
     ChannelCongestedContext,
     ChannelReroutedContext,
+    CheckpointCommittedContext,
     HostFailureContext,
     JobCancellationContext,
     JobSubmissionContext,
@@ -44,6 +45,8 @@ from repro.orca.contexts import (
     PEMetricContext,
     RegionRescaledContext,
     RegionStateMigratedContext,
+    RehydrateSkippedContext,
+    StateReclaimedContext,
     TimerContext,
     UserEventContext,
 )
@@ -131,6 +134,13 @@ class OrcaService:
         )
         # Crashed-channel reroutes (splitter masks) become ORCA events.
         self.system.elastic.reroute_listeners.append(self._on_channel_rerouted)
+        # Unmask-time state reclaims and checkpoint commits become events,
+        # and completed PE restarts are inspected for skipped rehydration.
+        self.system.elastic.reclaim_listeners.append(self._on_state_reclaimed)
+        self.system.checkpoints.commit_listeners.append(
+            self._on_checkpoint_committed
+        )
+        self.system.sam.pe_restart_observers.append(self._on_pe_restarted)
 
     def _register_application(self, managed: ManagedApplication) -> None:
         if managed.application is not None:
@@ -159,9 +169,17 @@ class OrcaService:
         if self._poll_handle is not None:
             self._poll_handle.cancel()
         self.timers.cancel_all()
-        listeners = self.system.elastic.reroute_listeners
-        if self._on_channel_rerouted in listeners:
-            listeners.remove(self._on_channel_rerouted)
+        for registry, callback in (
+            (self.system.elastic.reroute_listeners, self._on_channel_rerouted),
+            (self.system.elastic.reclaim_listeners, self._on_state_reclaimed),
+            (
+                self.system.checkpoints.commit_listeners,
+                self._on_checkpoint_committed,
+            ),
+            (self.system.sam.pe_restart_observers, self._on_pe_restarted),
+        ):
+            if callback in registry:
+                registry.remove(callback)
 
     # -- time ------------------------------------------------------------------------
 
@@ -236,6 +254,9 @@ class OrcaService:
         "region_rescaled": ("handleRegionRescaledEvent", True),
         "region_state_migrated": ("handleRegionStateMigratedEvent", True),
         "channel_rerouted": ("handleChannelReroutedEvent", True),
+        "checkpoint_committed": ("handleCheckpointCommittedEvent", True),
+        "state_reclaimed": ("handleStateReclaimedEvent", True),
+        "rehydrate_skipped": ("handleRehydrateSkippedEvent", True),
     }
 
     def _deliver(self, event: OrcaEvent) -> None:
@@ -593,6 +614,50 @@ class OrcaService:
         pe.send_control(op_full_name, command, payload)
         self._log_actuation("control", f"{op_full_name}:{command}")
 
+    # -- actuation: checkpointing ----------------------------------------------------------------
+
+    def checkpoint_now(self, job_id: str):
+        """Force an immediate checkpoint of every stateful PE of a job.
+
+        The policy hook for stale-checkpoint reactions: a routine that
+        observes a high ``checkpointLag`` gauge (or infrequent
+        ``checkpoint_committed`` events) can force a capture instead of
+        waiting for the next periodic round.  Returns the list of
+        :class:`~repro.checkpoint.service.CheckpointRecord` produced.
+        """
+        job = self._check_owned(job_id)
+        records = self.system.checkpoints.checkpoint_job(job)
+        self._log_actuation("checkpoint", f"{job_id} ({len(records)} PEs)")
+        return records
+
+    def set_checkpoint_interval(self, seconds: float) -> None:
+        """Change the background checkpoint cadence at runtime.
+
+        Args:
+            seconds: New interval in sim-seconds; 0 stops periodic
+                checkpointing (the paper's no-checkpoint default).
+        """
+        self.system.checkpoints.set_interval(seconds)
+        self._log_actuation("checkpoint_interval", str(seconds))
+
+    def checkpoint_status(self, job_id: str) -> Dict[str, Dict[str, Any]]:
+        """Newest committed checkpoint epoch of each of a job's PEs.
+
+        Returns:
+            ``pe_id -> {"epoch", "committed_at", "age", "keys_total"}``
+            for every PE with at least one committed epoch.
+        """
+        self._check_owned(job_id)
+        status: Dict[str, Dict[str, Any]] = {}
+        for pe_id, entry in self.system.checkpoint_store.job_status(job_id).items():
+            status[pe_id] = {
+                "epoch": entry.epoch,
+                "committed_at": entry.time,
+                "age": self.now - entry.time,
+                "keys_total": entry.keys_total,
+            }
+        return status
+
     # -- actuation: elastic parallel regions ---------------------------------------------------
 
     def set_channel_width(self, job_id: str, region: str, width: int):
@@ -632,7 +697,11 @@ class OrcaService:
         if (
             succeeded
             and migration is not None
-            and (migration.keys_moved or migration.dropped_global_states)
+            and (
+                migration.keys_moved
+                or migration.dropped_global_states
+                or migration.global_states_merged
+            )
         ):
             # Delivered before the matching region_rescaled so handlers see
             # the state movement in causal order.
@@ -650,6 +719,7 @@ class OrcaService:
                 wall_ms=migration.wall_ms,
                 epoch=operation.epoch,
                 time=self.now,
+                global_states_merged=migration.global_states_merged,
             )
             self._enqueue(
                 "region_state_migrated",
@@ -703,6 +773,8 @@ class OrcaService:
             pe_id=record.pe_id,
             time=self.now,
             purged_keys=record.purged_keys,
+            reclaimed_keys=record.reclaimed_keys,
+            seeded_keys=record.seeded_keys,
         )
         attrs: Dict[str, Any] = {
             "application": job.app_name,
@@ -712,6 +784,86 @@ class OrcaService:
             "event_kind": "channel_rerouted",
         }
         self._enqueue("channel_rerouted", context, attrs)
+
+    # -- checkpointing and recovery events -----------------------------------------------------
+
+    def _on_checkpoint_committed(self, record) -> None:
+        """Checkpoint-service listener: a PE's epoch was committed."""
+        job = self.jobs.get(record.job_id)
+        if job is None:
+            return  # not a job this orchestrator owns
+        context = CheckpointCommittedContext(
+            job_id=record.job_id,
+            app_name=job.app_name,
+            pe_id=record.pe_id,
+            host=self.graph.host_of_pe(record.pe_id),
+            epoch=record.epoch,
+            full=record.full,
+            n_operators=record.n_operators,
+            keys_dirty=record.keys_dirty,
+            keys_total=record.keys_total,
+            bytes_written=record.bytes_written,
+            time=self.now,
+        )
+        attrs: Dict[str, Any] = {
+            "application": job.app_name,
+            "job": record.job_id,
+            "pe": record.pe_id,
+            "event_kind": "checkpoint_committed",
+        }
+        self._enqueue("checkpoint_committed", context, attrs)
+
+    def _on_state_reclaimed(self, record) -> None:
+        """Elastic-controller listener: an unmask reclaimed detour state."""
+        job = self.jobs.get(record.job_id)
+        if job is None:
+            return
+        context = StateReclaimedContext(
+            job_id=record.job_id,
+            app_name=job.app_name,
+            region=record.region,
+            channels=tuple(record.channels),
+            pe_id=record.pe_id,
+            keys_reclaimed=record.keys_reclaimed,
+            keys_purged=record.keys_purged,
+            bytes_reclaimed=record.bytes_reclaimed,
+            epoch=record.epoch,
+            time=self.now,
+        )
+        attrs: Dict[str, Any] = {
+            "application": job.app_name,
+            "job": record.job_id,
+            "region": record.region,
+            "channel": tuple(record.channels),
+            "pe": record.pe_id,
+            "event_kind": "state_reclaimed",
+        }
+        self._enqueue("state_reclaimed", context, attrs)
+
+    def _on_pe_restarted(self, pe: PERuntime) -> None:
+        """SAM observer: emit ``rehydrate_skipped`` for empty rehydrations."""
+        job = self.jobs.get(pe.job.job_id)
+        if job is None:
+            return
+        report = pe.last_restore
+        if report is None or report.source != "none":
+            return  # restart did not request rehydration, or it restored
+        context = RehydrateSkippedContext(
+            job_id=job.job_id,
+            app_name=job.app_name,
+            pe_id=pe.pe_id,
+            pe_index=pe.index,
+            host=pe.host_name,
+            reason="no_snapshot",
+            time=self.now,
+        )
+        attrs: Dict[str, Any] = {
+            "application": job.app_name,
+            "job": job.job_id,
+            "pe": pe.pe_id,
+            "event_kind": "rehydrate_skipped",
+        }
+        self._enqueue("rehydrate_skipped", context, attrs)
 
     # -- actuation: placement ----------------------------------------------------------------------------------
 

@@ -11,11 +11,17 @@ use cases rely on:
   scheduled work is cancelled; in-flight tuples toward the PE are lost.
 * **restart** — fresh operator instances with empty state (windows refill
   from scratch, which is what Fig. 9(b) shows).  Optionally,
-  ``restart(rehydrate=True)`` reinstalls the *last quiesced snapshot* of
-  each stateful operator (captured at the most recent graceful stop) —
-  an opt-in on top of the paper's no-checkpoint default; a crash never
-  produces a snapshot, so a crashed PE that was never cleanly stopped
-  still restarts empty.
+  ``restart(rehydrate=True)`` reinstalls state from the best available
+  source: the latest *committed* checkpoint epoch when the runtime has a
+  :class:`~repro.checkpoint.store.CheckpointStore` (which makes
+  rehydration meaningful after *crashes* too — torn epochs are never
+  loaded), falling back to the last quiesced snapshot captured at the
+  most recent graceful stop.  Without a store, the paper's semantics are
+  unchanged: a crash never produces a snapshot, so a crashed PE that was
+  never cleanly stopped still restarts empty.  Every rehydrating restart
+  leaves a :class:`~repro.checkpoint.store.RestoreReport` in
+  ``last_restore`` so observers can distinguish a restored PE from an
+  empty one (the ``rehydrate_skipped`` ORCA event).
 """
 
 from __future__ import annotations
@@ -23,6 +29,7 @@ from __future__ import annotations
 import enum
 from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Tuple, Union
 
+from repro.checkpoint.store import CheckpointStore, RestoreReport
 from repro.errors import PEControlError
 from repro.sim.kernel import Kernel, ScheduledEvent
 from repro.spl.compiler import CompiledApplication, PESpec
@@ -57,6 +64,7 @@ class PERuntime:
         transport: Transport,
         publish_export: Callable[[str, str, Item], None],
         host_name: Optional[str] = None,
+        checkpoints: Optional[CheckpointStore] = None,
     ) -> None:
         self.pe_id = pe_id
         self.spec = spec
@@ -69,8 +77,16 @@ class PERuntime:
         self.operators: Dict[str, Operator] = {}
         self.metrics = MetricRegistry()
         #: operator full name -> last quiesced state snapshot (captured on
-        #: graceful stop; consumed by ``restart(rehydrate=True)``)
+        #: graceful stop; consumed by ``restart(rehydrate=True)`` when no
+        #: checkpoint store is wired in)
         self.state_registry: Dict[str, dict] = {}
+        #: committed-epoch snapshots (preferred rehydration source); the
+        #: graceful-stop snapshot is also recorded here so quiesced state
+        #: and periodic checkpoints share one epoch mechanism
+        self.checkpoints = checkpoints
+        #: what the last ``restart(rehydrate=True)`` restored (None when
+        #: the last restart did not request rehydration)
+        self.last_restore: Optional[RestoreReport] = None
         self._pending: List[ScheduledEvent] = []
         self.last_crash_reason: Optional[str] = None
         self.on_crash: Optional[Callable[["PERuntime", str], None]] = None
@@ -168,9 +184,28 @@ class PERuntime:
         Custom operator may hold state without a STATEFUL class marker).
         """
         declared = set(getattr(self.spec, "stateful_ops", ()) or ())
+        captured: Dict[str, dict] = {}
         for op_name, operator in self.operators.items():
             if op_name in declared or operator.state.in_use:
-                self.state_registry[op_name] = operator.snapshot()
+                captured[op_name] = operator.snapshot()
+        self.state_registry.update(captured)
+        if captured and self.checkpoints is not None:
+            # Quiesced snapshots ride the same epoch mechanism as periodic
+            # checkpoints: record + commit in one step (the PE is stopped,
+            # nothing can tear the capture).
+            n_keys = sum(
+                self.operators[name].state.n_keys() for name in captured
+            )
+            entry = self.checkpoints.record(
+                self.job.job_id,
+                self.pe_id,
+                dict(captured),
+                self.kernel.now,
+                full=True,
+                keys_dirty=n_keys,
+                keys_total=n_keys,
+            )
+            self.checkpoints.commit(self.job.job_id, self.pe_id, entry.epoch)
         return dict(self.state_registry)
 
     def crash(self, reason: str = "crash") -> None:
@@ -193,18 +228,41 @@ class PERuntime:
 
         ``rehydrate=False`` (the paper's semantics, and the default):
         fresh operator instances with empty state.  ``rehydrate=True``:
-        each operator with a snapshot in the state registry is restored
-        from its last quiesced snapshot before initialization.
+        operators are restored from the latest *committed* checkpoint
+        epoch when a store is wired in (crash recovery), else from the
+        last quiesced snapshot in the state registry (graceful-stop
+        recovery), else they start empty — with the outcome recorded in
+        ``last_restore`` either way.
         """
         if self.state is PEState.RUNNING:
             raise PEControlError(f"PE {self.pe_id} is running; stop it first")
         self.metrics.get(PEMetricName.N_RESTARTS).increment()
         self._instantiate_operators()
+        self.last_restore = None
         if rehydrate:
-            for op_name, payload in self.state_registry.items():
+            payloads: Dict[str, dict] = {}
+            source = "none"
+            epoch: Optional[int] = None
+            if self.checkpoints is not None:
+                entry = self.checkpoints.latest_committed(
+                    self.job.job_id, self.pe_id
+                )
+                if entry is not None:
+                    payloads, source, epoch = entry.payloads, "checkpoint", entry.epoch
+            if not payloads and self.state_registry:
+                payloads, source = dict(self.state_registry), "quiesced"
+            restored = []
+            for op_name, payload in payloads.items():
                 operator = self.operators.get(op_name)
                 if operator is not None:
                     operator.restore(payload)
+                    restored.append(op_name)
+            self.last_restore = RestoreReport(
+                source=source if restored else "none",
+                epoch=epoch if restored else None,
+                restored_ops=tuple(restored),
+                time=self.kernel.now,
+            )
         self.state = PEState.RUNNING
         for operator in self.operators.values():
             operator.on_initialize()
@@ -321,6 +379,14 @@ class PERuntime:
                 operator.metrics.get_or_create(
                     "nStateKeys", MetricKind.GAUGE
                 ).set(operator.state.n_keys())
+        if self.checkpoints is not None:
+            latest = self.checkpoints.latest_committed(self.job.job_id, self.pe_id)
+            if latest is not None:
+                # staleness of the newest committed epoch: the gauge SRM
+                # serves to ORCA routines that react to lagging checkpoints
+                self.metrics.get_or_create(
+                    "checkpointLag", MetricKind.GAUGE
+                ).set(self.kernel.now - latest.time)
 
     def send_control(self, op_full_name: str, command: str, payload: dict) -> None:
         """Route a control command to one operator instance (Sec. 3)."""

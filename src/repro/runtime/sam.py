@@ -10,8 +10,9 @@ service manages the crashed PE and pushes the failure to it.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional
 
+from repro.checkpoint.store import CheckpointStore
 from repro.errors import (
     CancellationError,
     PEControlError,
@@ -29,6 +30,9 @@ from repro.runtime.scheduler import PlacementScheduler
 from repro.runtime.srm import SRM
 from repro.runtime.transport import Transport
 
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.checkpoint.service import CheckpointService
+
 
 class SAM:
     """Job lifecycle manager and orchestrator registry."""
@@ -45,6 +49,7 @@ class SAM:
         pe_restart_delay: float = 1.0,
         failure_notification_delay: float = 0.05,
         auto_restart_pes: bool = False,
+        checkpoint_store: Optional[CheckpointStore] = None,
     ) -> None:
         self.kernel = kernel
         self.srm = srm
@@ -52,6 +57,12 @@ class SAM:
         self.transport = transport
         self.import_export = import_export
         self.ids = ids
+        #: committed-epoch snapshots handed to every PE runtime (None keeps
+        #: the paper's no-checkpoint semantics)
+        self.checkpoint_store = checkpoint_store
+        #: the background checkpoint daemon, set by SystemS after
+        #: construction (used only for materialized-base cleanup)
+        self.checkpoint_service: Optional["CheckpointService"] = None
         self.pe_spawn_delay = pe_spawn_delay
         self.pe_restart_delay = pe_restart_delay
         self.failure_notification_delay = failure_notification_delay
@@ -125,6 +136,7 @@ class SAM:
                 kernel=self.kernel,
                 transport=self.transport,
                 publish_export=self.import_export.publish,
+                checkpoints=self.checkpoint_store,
             )
             host_name = placement.assignment[pe_spec.index]
             self.hcs[host_name].add_pe(pe)
@@ -156,6 +168,10 @@ class SAM:
                 self.hcs[pe.host_name].remove_pe(pe.pe_id)
         self._release_reservations(job_id)
         self.srm.drop_job_metrics(job_id)
+        if self.checkpoint_store is not None:
+            self.checkpoint_store.drop_job(job_id)
+        if self.checkpoint_service is not None:
+            self.checkpoint_service.forget_job(job_id)
         job.state = JobState.CANCELLED
         job.cancel_time = self.kernel.now
         return job
@@ -237,6 +253,7 @@ class SAM:
                 kernel=self.kernel,
                 transport=self.transport,
                 publish_export=self.import_export.publish,
+                checkpoints=self.checkpoint_store,
             )
             host_name = placement.assignment[pe_spec.index]
             self.hcs[host_name].add_pe(pe)
@@ -261,6 +278,12 @@ class SAM:
                 self.hcs[pe.host_name].remove_pe(pe.pe_id)
             job.pes.remove(pe)
             self.srm.drop_pe_metrics(job_id, pe.pe_id)
+            # a removed channel PE can never be restarted: its checkpoint
+            # chain would only ever rehydrate a ghost
+            if self.checkpoint_store is not None:
+                self.checkpoint_store.drop_pe(job_id, pe.pe_id)
+            if self.checkpoint_service is not None:
+                self.checkpoint_service.forget_pe(job_id, pe.pe_id)
 
     # -- failure notification path ----------------------------------------------------------
 

@@ -13,6 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Union
 
+from repro.checkpoint import CheckpointService, CheckpointStore
 from repro.sim.clock import Clock
 from repro.sim.kernel import Kernel
 from repro.sim.rand import RandomStreams
@@ -58,6 +59,13 @@ class SystemConfig:
     #: elastic re-parallelization: drain-poll cadence and give-up horizon
     elastic_drain_poll: float = 0.05
     elastic_drain_timeout: float = 60.0
+    #: periodic checkpointing: sim-seconds between background snapshots of
+    #: every stateful PE's state store (0 keeps the paper's no-checkpoint
+    #: default: only graceful stops produce restorable snapshots)
+    checkpoint_interval: float = 0.0
+    #: committed checkpoint epochs retained per PE (>= 1; 2 keeps one
+    #: fallback epoch behind the newest commit for torn-epoch recovery)
+    checkpoint_retention: int = 2
 
 
 class SystemS:
@@ -97,6 +105,9 @@ class SystemS:
                 heartbeat_interval=self.config.heartbeat_interval,
             )
             self.hcs[host.name] = hc
+        self.checkpoint_store = CheckpointStore(
+            retention=self.config.checkpoint_retention
+        )
         self.sam = SAM(
             kernel=self.kernel,
             srm=self.srm,
@@ -108,6 +119,7 @@ class SystemS:
             pe_restart_delay=self.config.pe_restart_delay,
             failure_notification_delay=self.config.failure_notification_delay,
             auto_restart_pes=self.config.auto_restart_pes,
+            checkpoint_store=self.checkpoint_store,
         )
         self.failures = FailureInjector(self.kernel, self.sam)
         from repro.elastic.controller import ElasticController  # late: layer cycle
@@ -118,7 +130,20 @@ class SystemS:
             kernel=self.kernel,
             drain_poll_interval=self.config.elastic_drain_poll,
             drain_timeout=self.config.elastic_drain_timeout,
+            # one transactional state-epoch clock for reconfiguration AND
+            # fault tolerance (Fries-style): rescale epochs, checkpoint
+            # epochs, and reclaim epochs are totally ordered
+            epochs=self.checkpoint_store.epochs,
+            checkpoint_store=self.checkpoint_store,
         )
+        self.checkpoints = CheckpointService(
+            kernel=self.kernel,
+            sam=self.sam,
+            store=self.checkpoint_store,
+            interval=self.config.checkpoint_interval,
+        )
+        self.sam.checkpoint_service = self.checkpoints
+        self.checkpoints.start()
         # Crashed parallel-region channels are routed around automatically:
         # SAM tells the elastic controller about PE crashes / completed
         # restarts; the controller masks / unmasks the affected channels on

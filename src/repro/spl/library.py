@@ -761,6 +761,25 @@ def stable_channel_of(value: Any, width: int) -> int:
     return _stable_hash(value) % width
 
 
+def detour_channel_of(value: Any, width: int, masked: "set") -> int:
+    """Channel a partition key routes to while some channels are masked.
+
+    The owner channel when it is alive; otherwise the deterministic detour
+    over the surviving channels.  Used by the elastic controller's detour
+    state seeding; must stay in lockstep with
+    :meth:`ParallelSplitter._channel_of` (the per-tuple hot path keeps
+    its own single-hash copy of this logic), or state would be seeded
+    onto a channel the key never visits.
+    """
+    digest = _stable_hash(value)
+    channel = digest % width
+    if channel in masked:
+        alive = [c for c in range(width) if c not in masked]
+        if alive:
+            return alive[digest % len(alive)]
+    return channel
+
+
 class ParallelSplitter(Operator):
     """Entry operator of a parallel region: routes tuples onto N channels.
 
@@ -841,6 +860,8 @@ class ParallelSplitter(Operator):
 
     def _channel_of(self, tup: StreamTuple) -> int:
         if self.partition_by is not None:
+            # single-hash copy of detour_channel_of(): this is the
+            # per-tuple hot path, and both must agree on the detour target
             digest = _stable_hash(tup.get(self.partition_by))
             channel = digest % self.width
             if channel in self._masked:

@@ -14,6 +14,7 @@ before delegating to the hooks.
 
 from __future__ import annotations
 
+import copy
 from typing import TYPE_CHECKING, Any, Callable, ClassVar, Dict, Mapping, Optional, Tuple, Union
 
 from repro.errors import GraphError
@@ -263,13 +264,23 @@ class Operator:
         Only meaningful when the operator is quiesced or drained (the
         callers — PE graceful stop, the elastic migration phase — ensure
         that); a crash never produces a snapshot (Sec. 5.2 semantics).
+        The ``extra`` returned by :meth:`on_snapshot` is deep-copied so
+        the payload never aliases live operator internals.
         """
-        return {"store": self.state.snapshot(), "extra": self.on_snapshot()}
+        return {
+            "store": self.state.snapshot(),
+            "extra": copy.deepcopy(self.on_snapshot()),
+        }
 
     def restore(self, payload: Mapping[str, Any]) -> None:
-        """Reinstall a :meth:`snapshot` payload into this (fresh) instance."""
+        """Reinstall a :meth:`snapshot` payload into this (fresh) instance.
+
+        Both halves are detached before installation: the payload may be
+        a retained checkpoint epoch, and an operator adopting ``extra``
+        as a live buffer must not mutate the committed snapshot in place.
+        """
         self.state.restore(payload.get("store", {}))
-        self.on_restore(payload.get("extra"))
+        self.on_restore(copy.deepcopy(payload.get("extra")))
 
     # -- framework entry points (called by the PE) --------------------------------
 

@@ -29,7 +29,7 @@ channels during a live rescale (:func:`resize_region`).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.errors import ParallelRegionError
 from repro.spl.application import Application
@@ -60,6 +60,10 @@ class ParallelAnnotation:
     #: (requires ``partition_by``; set False for the paper's restart-empty
     #: semantics even across rescales)
     migrate_state: bool = True
+    #: user-defined merge hook for scale-in: ``(state_name, survivor_value,
+    #: doomed_value) -> merged`` folds a removed channel's *global* state
+    #: into its survivor (``doomed % new_width``) instead of dropping it
+    global_merge: Optional[Callable[[str, Any, Any], Any]] = None
 
     def validate(self) -> None:
         if self.width < 1:
@@ -82,6 +86,7 @@ def parallel(
     congestion_metric: str = "queueSize",
     congestion_threshold: float = 10.0,
     migrate_state: bool = True,
+    global_merge: Optional[Callable[[str, Any, Any], Any]] = None,
 ) -> ParallelAnnotation:
     """Sugar for building a :class:`ParallelAnnotation` (SPL's ``@parallel``)."""
     return ParallelAnnotation(
@@ -94,6 +99,7 @@ def parallel(
         congestion_metric=congestion_metric,
         congestion_threshold=congestion_threshold,
         migrate_state=migrate_state,
+        global_merge=global_merge,
     )
 
 
@@ -118,6 +124,8 @@ class ParallelRegionPlan:
     channel_ops: List[List[str]] = field(default_factory=list)
     #: keyed state follows its keys across rescales (needs partition_by)
     migrate_state: bool = True
+    #: scale-in merge hook for global state (see ParallelAnnotation)
+    global_merge: Optional[Callable[[str, Any, Any], Any]] = None
 
     def all_channel_operators(self) -> List[str]:
         return [name for ops in self.channel_ops for name in ops]
@@ -322,6 +330,7 @@ def expand_parallel_regions(
             chain=[c.full_name for c in chain],
             templates=list(chain),
             migrate_state=annotation.migrate_state,
+            global_merge=annotation.global_merge,
         )
         splitter = g.add_operator(
             plan.splitter,

@@ -1,0 +1,102 @@
+"""Documentation health checks, run in tier-1 and by the CI docs job.
+
+* every relative (intra-repo) markdown link in ``docs/`` and
+  ``README.md`` must resolve to an existing file or directory;
+* the modules the state/recovery subsystem documents —
+  ``repro.spl.state``, ``repro.elastic.controller``, and everything in
+  ``repro.checkpoint`` — must carry module, public-class, and
+  public-method docstrings (the D1 "undocumented" family; CI also runs
+  the equivalent ruff rule set on the same files).
+"""
+
+from __future__ import annotations
+
+import ast
+import pathlib
+import re
+
+import pytest
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+#: markdown inline links: [text](target), skipping images handled the same
+_LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+
+#: modules the docstring satellite covers (repo-relative)
+DOCSTYLE_FILES = [
+    "src/repro/spl/state.py",
+    "src/repro/elastic/controller.py",
+    "src/repro/checkpoint/__init__.py",
+    "src/repro/checkpoint/store.py",
+    "src/repro/checkpoint/service.py",
+]
+
+
+def iter_markdown_files():
+    files = [REPO_ROOT / "README.md"]
+    docs = REPO_ROOT / "docs"
+    if docs.is_dir():
+        files.extend(sorted(docs.glob("**/*.md")))
+    return files
+
+
+def iter_relative_links(md_path: pathlib.Path):
+    for match in _LINK_RE.finditer(md_path.read_text()):
+        target = match.group(1)
+        if target.startswith(("http://", "https://", "mailto:", "#")):
+            continue
+        yield target
+
+
+class TestIntraRepoLinks:
+    @pytest.mark.parametrize(
+        "md_path", iter_markdown_files(), ids=lambda p: str(p.relative_to(REPO_ROOT))
+    )
+    def test_relative_links_resolve(self, md_path):
+        broken = []
+        for target in iter_relative_links(md_path):
+            path_part = target.split("#", 1)[0]
+            if not path_part:
+                continue
+            resolved = (md_path.parent / path_part).resolve()
+            if not resolved.exists():
+                broken.append(target)
+        assert not broken, f"{md_path.name}: broken intra-repo links: {broken}"
+
+    def test_docs_directory_exists_and_is_linked(self):
+        docs = REPO_ROOT / "docs"
+        assert docs.is_dir() and list(docs.glob("*.md"))
+        readme = (REPO_ROOT / "README.md").read_text()
+        assert "docs/" in readme  # the README points readers at the docs set
+
+
+def _missing_docstrings(path: pathlib.Path):
+    """D1-family check: undocumented public module/class/function/method."""
+    tree = ast.parse(path.read_text())
+    missing = []
+    if ast.get_docstring(tree) is None:
+        missing.append(f"{path.name}: module docstring (D100)")
+
+    def visit(node, prefix):
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.ClassDef):
+                if not child.name.startswith("_"):
+                    if ast.get_docstring(child) is None:
+                        missing.append(f"{prefix}{child.name} (D101)")
+                    visit(child, f"{prefix}{child.name}.")
+            elif isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                name = child.name
+                if name.startswith("_"):
+                    continue  # private helpers and dunders are exempt
+                if ast.get_docstring(child) is None:
+                    missing.append(f"{prefix}{name} (D102/D103)")
+
+    visit(tree, f"{path.name}: ")
+    return missing
+
+
+class TestDocstringLint:
+    @pytest.mark.parametrize("rel_path", DOCSTYLE_FILES)
+    def test_public_api_is_documented(self, rel_path):
+        missing = _missing_docstrings(REPO_ROOT / rel_path)
+        assert not missing, "undocumented public API:\n  " + "\n  ".join(missing)

@@ -323,10 +323,12 @@ class TestCrashedChannelRerouting:
         assert pe.state is PEState.RUNNING
         assert system.elastic.reroutes == []
 
-    def test_unmask_purges_stale_detour_state(self):
-        """Regression: keyed entries accrued on detour channels while a
-        channel was masked are purged at unmask time — otherwise the next
-        rescale would migrate them over the owner's fresher state."""
+    def test_unmask_reclaims_detour_state(self):
+        """Keyed entries accrued on detour channels while a channel was
+        masked are *reclaimed* at unmask time: extracted from the detours
+        and installed back on the restarted owner, so per-key computation
+        continues from the detour values instead of restarting — and a
+        later rescale cannot migrate stale duplicates over the owner."""
         system = SystemS(hosts=12)
         job = system.submit_job(build_keyed_app(width=2, limit=None, period=0.02))
         system.run_for(2.0)
@@ -336,15 +338,29 @@ class TestCrashedChannelRerouting:
         c1_keys = {f"k{i}" for i in range(N_KEYS)
                    if stable_channel_of(f"k{i}", 2) == 1}
         survivor = job.operator_instance("work__c0")
-        assert any(key in survivor.state.keyed("counts") for key in c1_keys)
+        detour_counts = {
+            key: survivor.state.keyed("counts").get(key)
+            for key in c1_keys
+            if key in survivor.state.keyed("counts")
+        }
+        assert detour_counts
         system.sam.restart_pe(job.job_id, dead_pe.pe_id)
         system.run_for(3.0)
-        # detour entries are gone from the survivor...
+        # detour entries moved off the survivor and onto the restarted
+        # channel, where counting continues from the reclaimed values
         assert not any(key in survivor.state.keyed("counts") for key in c1_keys)
+        restarted = job.operator_instance("work__c1")
+        for key, count in detour_counts.items():
+            assert restarted.state.keyed("counts").get(key, 0) >= count
         unmask = [r for r in system.elastic.reroutes if not r.masked][-1]
-        assert unmask.purged_keys > 0
-        # ...and a follow-up rescale does not resurrect them: the restarted
-        # channel's (fresh) counts keep growing monotonically afterwards
+        assert unmask.reclaimed_keys == len(detour_counts)
+        assert unmask.purged_keys == 0
+        reclaim = system.elastic.reclaims[-1]
+        assert reclaim.keys_reclaimed == len(detour_counts)
+        assert reclaim.channels == (1,)
+        assert reclaim.epoch > 0
+        # a follow-up rescale does not resurrect stale entries: the
+        # restarted channel's counts keep growing monotonically afterwards
         # (the drain must first wait out the merger's reorder grace on the
         # seq holes the crash left, hence the long horizon)
         operation = system.elastic.set_channel_width(job, "region", 4)
