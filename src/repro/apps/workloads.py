@@ -197,3 +197,153 @@ class ProfileWorkload:
             return [self.make_profile(now) for _ in range(self.rate)]
 
         return generate
+
+
+@dataclass
+class ChaosFeed:
+    """Keyed workload with live rate and key-skew controls.
+
+    The feed of the chaos subsystem (:mod:`repro.chaos`): a seeded keyed
+    stream whose *rate* and *key distribution* can be perturbed while the
+    job runs — ``RateSurge`` multiplies the per-tick output and
+    ``KeySkewShift`` concentrates a fraction of the traffic on a hot key
+    set.  Every tuple carries a globally contiguous ``seq``, which is what
+    resilience scorecards use for exact tuple-loss and duplicate
+    accounting: the feed owns the counter (not the operator instance), so
+    a crashed-and-restarted source PE continues the sequence instead of
+    restarting it.
+
+    Attributes:
+        n_keys: Size of the key universe (``k0 .. k{n-1}``).
+        base_rate: Tuples per generation tick at rate factor 1.0.
+        seed: Seed of the feed's private random stream.
+        key_prefix: Prefix of generated key names.
+    """
+
+    n_keys: int = 16
+    base_rate: int = 1
+    seed: int = 17
+    key_prefix: str = "k"
+
+    def __post_init__(self) -> None:
+        """Initialize the seeded stream and the live control knobs."""
+        self._rng = random.Random(self.seed)
+        self._seq = 0
+        self.rate_factor = 1.0
+        self.hot_fraction = 0.0
+        self.hot_keys: Sequence[str] = ()
+        #: bumped on every skew change, so observers can tell apart
+        #: value-identical shifts
+        self.skew_token = 0
+        #: (token, hot_fraction, hot_keys) entries of windowed shifts;
+        #: the *top* entry is in force, so overlapping windows (nested
+        #: or staggered) unwind once all are popped
+        self._skew_stack: list = []
+        self._next_push_token = 1
+        #: the skew windows unwind *to*: the uniform distribution, or
+        #: whatever a direct (persistent) set_skew call installed last
+        self._base_skew: tuple = (0.0, ())
+
+    @property
+    def emitted(self) -> int:
+        """Tuples generated so far (the expected-count side of scorecards)."""
+        return self._seq
+
+    # -- live controls (driven by chaos perturbations) ----------------------
+
+    def set_rate_factor(self, factor: float) -> float:
+        """Scale the per-tick output; returns the previous factor."""
+        previous = self.rate_factor
+        self.rate_factor = max(0.0, float(factor))
+        return previous
+
+    def _apply_skew(self, hot_fraction: float, hot_keys: Sequence[str]) -> None:
+        """Install one skew (resolving the default hot-key set)."""
+        self.hot_fraction = min(1.0, max(0.0, float(hot_fraction)))
+        if self.hot_fraction > 0.0:
+            self.hot_keys = tuple(hot_keys) or tuple(
+                f"{self.key_prefix}{i}" for i in range(min(2, self.n_keys))
+            )
+        else:
+            self.hot_keys = tuple(hot_keys)
+        self.skew_token += 1
+
+    def set_skew(
+        self, hot_fraction: float, hot_keys: Sequence[str] = ()
+    ) -> Dict[str, Any]:
+        """Concentrate ``hot_fraction`` of the traffic on ``hot_keys``.
+
+        This is the *persistent* control: it also becomes the baseline
+        that windowed shifts (:meth:`push_skew`) unwind back to.
+
+        Args:
+            hot_fraction: Probability in [0, 1] a tuple draws a hot key.
+            hot_keys: The hot key set (default: the first two keys).
+
+        Returns:
+            The previous skew settings, for restoration.
+        """
+        previous = {"hot_fraction": self.hot_fraction, "hot_keys": self.hot_keys}
+        self._apply_skew(hot_fraction, hot_keys)
+        self._base_skew = (self.hot_fraction, self.hot_keys)
+        return previous
+
+    def clear_skew(self) -> None:
+        """Return to the uniform key distribution (drops pushed shifts)."""
+        self._skew_stack = []
+        self._base_skew = (0.0, ())
+        self._apply_skew(0.0, ())
+
+    def push_skew(self, hot_fraction: float, hot_keys: Sequence[str] = ()) -> int:
+        """Apply a *windowed* skew shift; returns a token for :meth:`pop_skew`.
+
+        Pushed shifts form a stack: the newest entry is in force, and
+        popping any entry (in whatever order the windows expire —
+        nested, staggered, or value-identical) re-applies the newest
+        surviving one, falling back to the baseline (the last persistent
+        :meth:`set_skew`, or uniform) when none remain.  This is what
+        chaos ``KeySkewShift`` windows use.
+        """
+        token = self._next_push_token
+        self._next_push_token += 1
+        self._apply_skew(hot_fraction, hot_keys)
+        self._skew_stack.append((token, self.hot_fraction, self.hot_keys))
+        return token
+
+    def pop_skew(self, token: int) -> None:
+        """Retire one pushed shift; the newest surviving shift (or the
+        baseline) takes over.  Unknown tokens are ignored."""
+        before = len(self._skew_stack)
+        self._skew_stack = [e for e in self._skew_stack if e[0] != token]
+        if len(self._skew_stack) == before:
+            return
+        if self._skew_stack:
+            _, fraction, keys = self._skew_stack[-1]
+            self._apply_skew(fraction, keys)
+        else:
+            self._apply_skew(*self._base_skew)
+
+    # -- generation ---------------------------------------------------------
+
+    def _draw_key(self) -> str:
+        rng = self._rng
+        if self.hot_fraction > 0.0 and self.hot_keys and (
+            rng.random() < self.hot_fraction
+        ):
+            return rng.choice(list(self.hot_keys))
+        return f"{self.key_prefix}{rng.randrange(self.n_keys)}"
+
+    def make_item(self, now: float) -> Dict[str, Any]:
+        """Generate one keyed tuple with the next global sequence number."""
+        item = {"key": self._draw_key(), "seq": self._seq, "ts": now}
+        self._seq += 1
+        return item
+
+    def generator(self) -> Callable[[float, int], List[Dict[str, Any]]]:
+        """A tick generator for :class:`~repro.spl.library.CallbackSource`."""
+
+        def generate(now: float, count: int) -> List[Dict[str, Any]]:
+            n = max(0, int(round(self.base_rate * self.rate_factor)))
+            return [self.make_item(now) for _ in range(n)]
+
+        return generate

@@ -1,0 +1,98 @@
+"""repro.chaos — deterministic chaos campaigns for adaptation routines.
+
+The paper's evaluation triggers a *single* fault; user-defined adaptation
+earns its keep under *combinations* of runtime disturbances with
+adversarial timing.  This package turns the one-shot
+:class:`~repro.runtime.failures.FailureInjector` into a seeded
+campaign engine:
+
+* :mod:`repro.chaos.perturbations` — the disturbance library: PE/host
+  crash-and-flap, transport latency spikes / partitions / loss, input
+  rate surges and key-skew shifts, torn checkpoint commits, and live
+  rescales;
+* :mod:`repro.chaos.scenario` — the declarative ``Scenario`` /
+  ``Campaign`` DSL (timed steps, seeded jitter) plus composable presets
+  (``rolling_host_outage``, ``gray_network``, ``flash_crowd``, ...);
+* :mod:`repro.chaos.engine` — the ``ChaosEngine`` executing scenarios on
+  the simulation kernel, journaling every injection, publishing
+  ``chaos_injected`` ORCA events and ``chaos*`` SRM gauges, and stamping
+  recovery times;
+* :mod:`repro.chaos.scorecard` — the ``ResilienceScorecard``: exact
+  tuple loss/duplicates, state-recovery fraction, recovery latency, and
+  ORCA event latency, rendered as byte-stable text for determinism
+  checks.
+
+See ``docs/chaos.md`` for the full DSL and scorecard reference and
+``examples/chaos_campaign.py`` for a runnable walkthrough.
+"""
+
+from repro.chaos.engine import CHAOS_JOB_ID, ChaosEngine, ChaosInjection, ScenarioRun
+from repro.chaos.perturbations import (
+    ChaosError,
+    CheckpointFault,
+    CrashPE,
+    FailHost,
+    HostFlap,
+    KeySkewShift,
+    LatencySpike,
+    LinkLoss,
+    LinkPartition,
+    PEFlap,
+    Perturbation,
+    RateSurge,
+    Rescale,
+    RestartPE,
+)
+from repro.chaos.scenario import (
+    Campaign,
+    Scenario,
+    Step,
+    flash_crowd,
+    gray_network,
+    rolling_channel_outage,
+    rolling_host_outage,
+    step,
+    torn_checkpoints,
+)
+from repro.chaos.scorecard import (
+    ResilienceScorecard,
+    collect_scorecard,
+    live_keyed_state,
+    state_recovery_fraction,
+    tuple_accounting,
+)
+
+__all__ = [
+    "CHAOS_JOB_ID",
+    "Campaign",
+    "ChaosEngine",
+    "ChaosError",
+    "ChaosInjection",
+    "CheckpointFault",
+    "CrashPE",
+    "FailHost",
+    "HostFlap",
+    "KeySkewShift",
+    "LatencySpike",
+    "LinkLoss",
+    "LinkPartition",
+    "PEFlap",
+    "Perturbation",
+    "RateSurge",
+    "Rescale",
+    "ResilienceScorecard",
+    "RestartPE",
+    "Scenario",
+    "ScenarioRun",
+    "Step",
+    "collect_scorecard",
+    "flash_crowd",
+    "gray_network",
+    "live_keyed_state",
+    "rolling_channel_outage",
+    "rolling_host_outage",
+    "state_recovery_fraction",
+    "step",
+    "torn_checkpoints",
+    "tuple_accounting",
+]

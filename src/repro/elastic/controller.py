@@ -253,6 +253,11 @@ class ElasticController:
         self.checkpoint_store = checkpoint_store
         self.history: List[RescaleOperation] = []
         self._active: Dict[Tuple[str, str], RescaleOperation] = {}
+        #: callbacks invoked for every finished rescale (COMPLETED or
+        #: FAILED), regardless of who initiated it — the ORCA service
+        #: registers here so its stream graph tracks rescales driven
+        #: outside the service (autoscalers, chaos campaigns, tests)
+        self.rescale_listeners: List[Callable[[RescaleOperation], None]] = []
         #: channel mask/unmask records (crashed-channel rerouting)
         self.reroutes: List[ChannelReroute] = []
         #: callbacks invoked for every ChannelReroute (the ORCA service
@@ -713,6 +718,8 @@ class ElasticController:
                 splitter_pe.send_control(plan.splitter, "resume", {})
         if on_complete is not None:
             on_complete(op)
+        for listener in list(self.rescale_listeners):
+            listener(op)
 
     # -- state migration -----------------------------------------------------------
 
@@ -1079,6 +1086,8 @@ class ElasticController:
         self.history.append(op)
         if on_complete is not None:
             on_complete(op)
+        for listener in list(self.rescale_listeners):
+            listener(op)
 
     def _rollback_scale_out(
         self,

@@ -13,6 +13,7 @@ An orchestrator has two halves (Sec. 3):
 from repro.orca.contexts import (
     ChannelCongestedContext,
     ChannelReroutedContext,
+    ChaosInjectedContext,
     CheckpointCommittedContext,
     HostFailureContext,
     JobCancellationContext,
@@ -33,6 +34,7 @@ from repro.orca.dependencies import AppConfig
 from repro.orca.descriptor import ManagedApplication, OrcaDescriptor
 from repro.orca.orchestrator import Orchestrator
 from repro.orca.scopes import (
+    ChaosScope,
     CheckpointScope,
     HostFailureScope,
     JobCancellationScope,
@@ -56,6 +58,8 @@ __all__ = [
     "AppConfig",
     "ChannelCongestedContext",
     "ChannelReroutedContext",
+    "ChaosInjectedContext",
+    "ChaosScope",
     "CheckpointCommittedContext",
     "CheckpointScope",
     "HostFailureContext",

@@ -303,6 +303,30 @@ class RehydrateSkippedContext:
 
 
 @dataclass(frozen=True)
+class ChaosInjectedContext:
+    """A chaos-campaign step fired (see :mod:`repro.chaos`).
+
+    Published by the chaos engine for every injected perturbation, so
+    orchestration routines can *react* to injected faults (back off a
+    scaling decision during a known outage window, annotate their own
+    telemetry) — or be tested blind to them by simply not registering a
+    :class:`~repro.orca.scopes.ChaosScope`.  ``detail`` carries the
+    perturbation's public payload (engine-internal state snapshots are
+    stripped).
+    """
+
+    scenario: str
+    step_index: int
+    kind: str  #: perturbation kind (pe_flap, latency_spike, rate_surge, ...)
+    target: str  #: PE id, host name, region, or "feed"
+    run_id: str
+    time: float
+    job_id: Optional[str] = None
+    app_name: Optional[str] = None
+    detail: Dict[str, Any] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
 class TimerContext:
     """A timer created through the ORCA service expired."""
 

@@ -20,6 +20,7 @@ from typing import TYPE_CHECKING, List
 from repro.orca.contexts import (
     ChannelCongestedContext,
     ChannelReroutedContext,
+    ChaosInjectedContext,
     CheckpointCommittedContext,
     HostFailureContext,
     JobCancellationContext,
@@ -137,6 +138,13 @@ class Orchestrator:
         self, context: RehydrateSkippedContext, scopes: List[str]
     ) -> None:
         """A rehydrating PE restart found nothing to restore (started empty)."""
+
+    # -- chaos campaigns (the chaos subsystem) -------------------------------------------------
+
+    def handleChaosInjectedEvent(  # noqa: N802
+        self, context: ChaosInjectedContext, scopes: List[str]
+    ) -> None:
+        """A chaos-campaign perturbation was injected (ChaosScope only)."""
 
     # -- timers and user events ----------------------------------------------------------------
 

@@ -215,3 +215,6 @@ class RuleOrchestrator(Orchestrator):
 
     def handleRehydrateSkippedEvent(self, context, scopes) -> None:  # noqa: N802
         self._dispatch("rehydrate_skipped", context, scopes)
+
+    def handleChaosInjectedEvent(self, context, scopes) -> None:  # noqa: N802
+        self._dispatch("chaos_injected", context, scopes)

@@ -354,6 +354,34 @@ class CheckpointScope(EventScope):
         return self
 
 
+class ChaosScope(EventScope):
+    """Chaos-campaign injection events (the :mod:`repro.chaos` subsystem).
+
+    A routine that registers this scope *sees* injected faults as
+    ``chaos_injected`` events (and can correlate its own reactions with
+    the campaign); a routine tested blind to the campaign simply does
+    not register it — the events then match no subscope and are dropped,
+    exactly like any other unsubscribed event type.
+    """
+
+    EVENT_TYPE = "chaos_injected"
+
+    def addScenarioFilter(self, names: Values) -> "ChaosScope":  # noqa: N802
+        """Restrict to injections of specific scenarios."""
+        self._add("scenario", names)
+        return self
+
+    def addKindFilter(self, kinds: Values) -> "ChaosScope":  # noqa: N802
+        """Restrict to perturbation kinds (``pe_flap``, ``rate_surge``...)."""
+        self._add("kind", kinds)
+        return self
+
+    def addTargetFilter(self, targets: Values) -> "ChaosScope":  # noqa: N802
+        """Restrict to injection targets (PE ids, hosts, regions)."""
+        self._add("target", targets)
+        return self
+
+
 class ScopeRegistry:
     """The set of subscopes registered with one ORCA service.
 

@@ -34,6 +34,7 @@ from repro.orca.commandtool import OrcaCommandTool
 from repro.orca.contexts import (
     ChannelCongestedContext,
     ChannelReroutedContext,
+    ChaosInjectedContext,
     CheckpointCommittedContext,
     HostFailureContext,
     JobCancellationContext,
@@ -134,6 +135,11 @@ class OrcaService:
         )
         # Crashed-channel reroutes (splitter masks) become ORCA events.
         self.system.elastic.reroute_listeners.append(self._on_channel_rerouted)
+        # Every finished rescale of an owned job refreshes the stream
+        # graph and becomes events — including rescales driven outside
+        # this service (autoscalers, chaos campaigns, direct controller
+        # calls), which previously left the graph stale.
+        self.system.elastic.rescale_listeners.append(self._on_region_rescaled)
         # Unmask-time state reclaims and checkpoint commits become events,
         # and completed PE restarts are inspected for skipped rehydration.
         self.system.elastic.reclaim_listeners.append(self._on_state_reclaimed)
@@ -141,6 +147,9 @@ class OrcaService:
             self._on_checkpoint_committed
         )
         self.system.sam.pe_restart_observers.append(self._on_pe_restarted)
+        # Chaos-campaign injections become chaos_injected events (only
+        # delivered to logic that registered a ChaosScope).
+        self.system.chaos.injection_listeners.append(self._on_chaos_injected)
 
     def _register_application(self, managed: ManagedApplication) -> None:
         if managed.application is not None:
@@ -171,12 +180,14 @@ class OrcaService:
         self.timers.cancel_all()
         for registry, callback in (
             (self.system.elastic.reroute_listeners, self._on_channel_rerouted),
+            (self.system.elastic.rescale_listeners, self._on_region_rescaled),
             (self.system.elastic.reclaim_listeners, self._on_state_reclaimed),
             (
                 self.system.checkpoints.commit_listeners,
                 self._on_checkpoint_committed,
             ),
             (self.system.sam.pe_restart_observers, self._on_pe_restarted),
+            (self.system.chaos.injection_listeners, self._on_chaos_injected),
         ):
             if callback in registry:
                 registry.remove(callback)
@@ -257,6 +268,7 @@ class OrcaService:
         "checkpoint_committed": ("handleCheckpointCommittedEvent", True),
         "state_reclaimed": ("handleStateReclaimedEvent", True),
         "rehydrate_skipped": ("handleRehydrateSkippedEvent", True),
+        "chaos_injected": ("handleChaosInjectedEvent", True),
     }
 
     def _deliver(self, event: OrcaEvent) -> None:
@@ -671,9 +683,9 @@ class OrcaService:
         Returns the :class:`~repro.elastic.controller.RescaleOperation`.
         """
         job = self._check_owned(job_id)
-        operation = self.system.elastic.set_channel_width(
-            job, region, width, on_complete=self._on_region_rescaled
-        )
+        # completion flows through the controller-level rescale listener
+        # (registered at boot), same as externally-driven rescales
+        operation = self.system.elastic.set_channel_width(job, region, width)
         self._log_actuation("set_channel_width", f"{job_id}:{region}->{width}")
         return operation
 
@@ -682,7 +694,7 @@ class OrcaService:
 
         job = self.jobs.get(operation.job_id)
         if job is None:
-            return
+            return  # not a job this orchestrator owns
         succeeded = operation.state is RescaleState.COMPLETED
         if succeeded:
             # Refresh logical + physical stream graph: the rescale changed
@@ -792,11 +804,19 @@ class OrcaService:
         job = self.jobs.get(record.job_id)
         if job is None:
             return  # not a job this orchestrator owns
+        try:
+            host = self.graph.host_of_pe(record.pe_id)
+        except InspectionError:
+            # A rescale driven outside this service (e.g. a chaos
+            # perturbation calling the elastic controller directly) adds
+            # channel PEs the stream graph has not registered; the commit
+            # event must still flow.
+            host = None
         context = CheckpointCommittedContext(
             job_id=record.job_id,
             app_name=job.app_name,
             pe_id=record.pe_id,
-            host=self.graph.host_of_pe(record.pe_id),
+            host=host,
             epoch=record.epoch,
             full=record.full,
             n_operators=record.n_operators,
@@ -839,6 +859,38 @@ class OrcaService:
             "event_kind": "state_reclaimed",
         }
         self._enqueue("state_reclaimed", context, attrs)
+
+    def _on_chaos_injected(self, injection) -> None:
+        """Chaos-engine listener: a campaign step fired.
+
+        Unlike job-scoped listeners this forwards every injection — chaos
+        is system-level, like host failures — but delivery still depends
+        on a registered :class:`~repro.orca.scopes.ChaosScope`, so logic
+        not opted in stays blind to the campaign.
+        """
+        job = self.jobs.get(injection.job_id) if injection.job_id else None
+        context = ChaosInjectedContext(
+            scenario=injection.scenario,
+            step_index=injection.step_index,
+            kind=injection.kind,
+            target=injection.target,
+            run_id=injection.run_id,
+            time=self.now,
+            job_id=injection.job_id,
+            app_name=job.app_name if job is not None else None,
+            detail=injection.public_detail(),
+        )
+        attrs: Dict[str, Any] = {
+            "scenario": injection.scenario,
+            "kind": injection.kind,
+            "target": injection.target,
+            "event_kind": "chaos_injected",
+        }
+        if injection.job_id is not None:
+            attrs["job"] = injection.job_id
+        if job is not None:
+            attrs["application"] = job.app_name
+        self._enqueue("chaos_injected", context, attrs)
 
     def _on_pe_restarted(self, pe: PERuntime) -> None:
         """SAM observer: emit ``rehydrate_skipped`` for empty rehydrations."""
@@ -1067,6 +1119,21 @@ class OrcaService:
     def queue_latency_stats(self) -> QueueLatencyStats:
         """Queue-wait statistics of delivered events (one-at-a-time FIFO)."""
         return self.queue.latency_stats()
+
+    # -- inspection: chaos campaigns -----------------------------------------------------------
+
+    def chaos_status(self) -> Dict[str, Any]:
+        """Campaign and injector counters (the chaos inspection hook).
+
+        Returns:
+            ``{"runs", "injections", "active_link_faults", "injector":
+            {"injected", "by_kind", "noops", "pending"}, "last_injection"}``
+            — the failure injector's per-kind counters and recorded
+            no-ops plus the chaos engine's journal summary, so routines
+            (and tests) can correlate their reactions with the fault mix
+            actually injected.
+        """
+        return self.system.chaos.status()
 
     def __repr__(self) -> str:
         return f"OrcaService({self.orca_id}, logic={type(self.logic).__name__})"

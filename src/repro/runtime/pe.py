@@ -220,6 +220,10 @@ class PERuntime:
         self.operators = {}
         self.state = PEState.CRASHED
         self.last_crash_reason = reason
+        # Items in flight toward this PE die with the process: they are
+        # counted (dropped_in_flight) instead of being delivered to the
+        # next incarnation after a restart.
+        self.transport.drop_in_flight(self.pe_id)
         if self.on_crash is not None:
             self.on_crash(self, reason)
 
@@ -318,7 +322,7 @@ class PERuntime:
                 self._deliver_local(dst_name, dst_port, item)
             else:
                 dst_pe = self.job.pe_by_index(dst_pe_index)
-                self.transport.send(dst_pe, dst_name, dst_port, item)
+                self.transport.send(dst_pe, dst_name, dst_port, item, src_pe=self)
 
     def receive(self, op_full_name: str, port: int, item: Item) -> None:
         """Entry point for the transport and the import registry."""

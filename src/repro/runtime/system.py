@@ -30,6 +30,7 @@ from repro.runtime.srm import SRM
 from repro.runtime.transport import Transport
 
 if TYPE_CHECKING:  # pragma: no cover
+    from repro.chaos.engine import ChaosEngine
     from repro.elastic.controller import ElasticController
     from repro.orca.descriptor import OrcaDescriptor
     from repro.orca.service import OrcaService
@@ -90,7 +91,13 @@ class SystemS:
             heartbeat_timeout=self.config.heartbeat_timeout,
             sweep_interval=self.config.sweep_interval,
         )
-        self.transport = Transport(self.kernel, latency=self.config.transport_latency)
+        self.transport = Transport(
+            self.kernel,
+            latency=self.config.transport_latency,
+            # seeded stream: probabilistic link faults (chaos campaigns)
+            # stay deterministic per system seed
+            rng=self.random.stream("transport"),
+        )
         self.import_export = ImportExportRegistry(
             self.kernel, latency=self.config.transport_latency
         )
@@ -150,6 +157,12 @@ class SystemS:
         # the region's splitter.
         self.sam.pe_failure_observers.append(self.elastic.handle_pe_failure)
         self.sam.pe_restart_observers.append(self.elastic.handle_pe_restarted)
+        from repro.chaos.engine import ChaosEngine  # late: layer cycle
+
+        # The chaos-campaign engine: schedules scenario steps on the
+        # kernel, journals injections, and feeds chaos_injected events to
+        # every orchestrator (see repro.chaos).
+        self.chaos: "ChaosEngine" = ChaosEngine(self)
         self.orcas: Dict[str, "OrcaService"] = {}
         self.srm.start()
         for hc in self.hcs.values():

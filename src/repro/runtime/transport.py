@@ -9,11 +9,29 @@ paper subscribes to for Split/Merge operators).
 Intra-PE connections do not use the transport at all: fused operators call
 each other synchronously, which is exactly why fusion removes queueing —
 and why the orchestrator may care about partitioning (Sec. 4.3).
+
+Two fault surfaces extend the plain hop model for chaos experiments
+(:mod:`repro.chaos`):
+
+* **Link faults** — :class:`LinkFault` modifiers installed per link
+  (selected by source/destination PE or host) add latency, drop a seeded
+  fraction of items, or *partition* the link: partitioned items are held
+  and flushed when the fault heals, modelling TCP retransmission rather
+  than silent loss.  Delivery stays FIFO per (source PE, destination PE)
+  pair even when a fault expires mid-stream, exactly like a TCP
+  connection.
+* **Crash accounting** — when a PE crashes, everything in flight toward
+  it is condemned: each such item is counted in ``dropped_in_flight``
+  instead of being silently delivered to the next incarnation of the
+  process (a crash-restart within one transport latency must not leak
+  pre-crash items into the restarted PE).
 """
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Dict, Tuple, Union
+import random
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple, Union
 
 from repro.sim.kernel import Kernel
 from repro.spl.tuples import Punctuation, StreamTuple
@@ -24,17 +42,245 @@ if TYPE_CHECKING:  # pragma: no cover
 Item = Union[StreamTuple, Punctuation]
 
 
+@dataclass
+class LinkFault:
+    """One installed per-link perturbation.
+
+    A fault applies to a send when every selector that is set matches
+    (selectors left as None match anything): ``src_pe``/``dst_pe`` match
+    PE ids, ``src_host``/``dst_host`` match host names.  Effects compose
+    across matching faults (latencies add; any matching partition holds;
+    drop probabilities apply independently).
+
+    Attributes:
+        fault_id: Registry key, allocated by :meth:`Transport.install_link_fault`.
+        extra_latency: Seconds added to the base transport latency.
+        drop_probability: Chance (seeded, deterministic) the item is lost.
+        partition: When True, items are held until the fault heals and
+            then delivered in order (TCP-retransmit semantics, no loss).
+        until: Absolute sim time the fault expires on its own; None means
+            it lasts until :meth:`Transport.clear_link_fault`.
+    """
+
+    fault_id: int
+    extra_latency: float = 0.0
+    drop_probability: float = 0.0
+    partition: bool = False
+    src_pe: Optional[str] = None
+    dst_pe: Optional[str] = None
+    src_host: Optional[str] = None
+    dst_host: Optional[str] = None
+    until: Optional[float] = None
+
+    def matches(
+        self,
+        src_pe_id: Optional[str],
+        src_host: Optional[str],
+        dst_pe_id: str,
+        dst_host: Optional[str],
+    ) -> bool:
+        """Whether this fault applies to one (source, destination) link."""
+        if self.src_pe is not None and self.src_pe != src_pe_id:
+            return False
+        if self.dst_pe is not None and self.dst_pe != dst_pe_id:
+            return False
+        if self.src_host is not None and self.src_host != src_host:
+            return False
+        if self.dst_host is not None and self.dst_host != dst_host:
+            return False
+        return True
+
+
 class Transport:
     """Delivers items between PEs with latency and in-flight accounting."""
 
-    def __init__(self, kernel: Kernel, latency: float = 0.001) -> None:
+    def __init__(
+        self,
+        kernel: Kernel,
+        latency: float = 0.001,
+        rng: Optional[random.Random] = None,
+    ) -> None:
         self.kernel = kernel
         self.latency = latency
+        #: seeded stream for probabilistic link-fault drops (deterministic)
+        self.rng = rng if rng is not None else random.Random(0)
         #: (pe_id, operator full name, port) -> items scheduled but not delivered
         self._in_flight: Dict[Tuple[str, str, int], int] = {}
         self.total_sent = 0
         self.total_delivered = 0
+        #: items that arrived at a non-running PE and were discarded
         self.total_dropped = 0
+        #: items condemned because their destination PE crashed while they
+        #: were in flight (they never reach the restarted incarnation)
+        self.dropped_in_flight = 0
+        #: items lost to a lossy link fault (drop_probability)
+        self.dropped_by_fault = 0
+        #: destination PE id -> incarnation number; bumped on every crash
+        #: so in-flight items addressed to the dead incarnation are dropped
+        self._incarnations: Dict[str, int] = {}
+        #: installed link faults by id
+        self._link_faults: Dict[int, LinkFault] = {}
+        #: fault id -> items held by an *untimed* partition, flushed in
+        #: order when the fault is cleared
+        self._held: Dict[int, List[tuple]] = {}
+        self._next_fault_id = 1
+        #: (src pe id or "", dst pe id) -> latest scheduled arrival, so a
+        #: fault expiring mid-stream cannot reorder a connection's items
+        self._fifo_horizon: Dict[Tuple[str, str], float] = {}
+
+    # -- link faults --------------------------------------------------------
+
+    def install_link_fault(
+        self,
+        extra_latency: float = 0.0,
+        drop_probability: float = 0.0,
+        partition: bool = False,
+        src_pe: Optional[str] = None,
+        dst_pe: Optional[str] = None,
+        src_host: Optional[str] = None,
+        dst_host: Optional[str] = None,
+        duration: Optional[float] = None,
+    ) -> LinkFault:
+        """Install a per-link perturbation and return its handle.
+
+        Args:
+            extra_latency: Seconds added to every matching delivery.
+            drop_probability: Seeded drop chance in [0, 1] per item.
+            partition: Hold matching items until the fault heals.
+            src_pe: Only sends from this PE id (None: any).
+            dst_pe: Only sends toward this PE id (None: any).
+            src_host: Only sends from PEs on this host (None: any).
+            dst_host: Only sends toward PEs on this host (None: any).
+            duration: Seconds until self-expiry (None: until cleared).
+
+        Returns:
+            The installed :class:`LinkFault` (pass to
+            :meth:`clear_link_fault` to heal it early).
+        """
+        fault = LinkFault(
+            fault_id=self._next_fault_id,
+            extra_latency=extra_latency,
+            drop_probability=drop_probability,
+            partition=partition,
+            src_pe=src_pe,
+            dst_pe=dst_pe,
+            src_host=src_host,
+            dst_host=dst_host,
+            until=None if duration is None else self.kernel.now + duration,
+        )
+        self._next_fault_id += 1
+        self._link_faults[fault.fault_id] = fault
+        return fault
+
+    def clear_link_fault(self, fault: Union[LinkFault, int]) -> None:
+        """Heal one link fault now (idempotent).
+
+        Timed partitions' items were scheduled against the fault's
+        ``until`` and keep those delivery times; an *untimed* partition's
+        held items are flushed now, in order, with the base latency.
+
+        Args:
+            fault: The handle (or id) returned by :meth:`install_link_fault`.
+        """
+        fault_id = fault.fault_id if isinstance(fault, LinkFault) else fault
+        installed = self._link_faults.pop(fault_id, None)
+        held = self._held.pop(fault_id, [])
+        if installed is None and not held:
+            return
+        for src_pe, dst_pe, op_full_name, port, item, incarnation in held:
+            self._resend_held(
+                src_pe, dst_pe, op_full_name, port, item, incarnation
+            )
+        self._prune_faults()
+
+    def _resend_held(
+        self,
+        src_pe: Optional["PERuntime"],
+        dst_pe: "PERuntime",
+        op_full_name: str,
+        port: int,
+        item: Item,
+        incarnation: int,
+    ) -> None:
+        """Re-route one flushed item through the faults active *now*.
+
+        Fault composition survives the flush: a still-open partition on
+        the same link re-holds the item (appended behind that fault's
+        queue, preserving link FIFO), a timed partition or latency spike
+        still in force delays it, and an unimpeded link delivers it with
+        the base latency.  Drop faults are not re-applied — the item
+        already survived its send.
+        """
+        faults = self._matching_faults(src_pe, dst_pe)
+        latency = self.latency
+        hold_until: Optional[float] = None
+        for fault in faults:
+            latency += fault.extra_latency
+            if fault.partition:
+                if fault.until is None:
+                    self._held.setdefault(fault.fault_id, []).append(
+                        (src_pe, dst_pe, op_full_name, port, item, incarnation)
+                    )
+                    return
+                hold_until = max(hold_until or 0.0, fault.until)
+        deliver_at = self.kernel.now + latency
+        if hold_until is not None:
+            deliver_at = max(deliver_at, hold_until + self.latency)
+        self._schedule_delivery(
+            deliver_at,
+            src_pe.pe_id if src_pe is not None else "",
+            dst_pe,
+            op_full_name,
+            port,
+            item,
+            incarnation=incarnation,
+        )
+
+    def active_link_faults(self) -> List[LinkFault]:
+        """Snapshot of the faults currently in force (expired ones pruned)."""
+        self._prune_faults()
+        return list(self._link_faults.values())
+
+    def _prune_faults(self) -> None:
+        now = self.kernel.now
+        expired = [
+            fault_id
+            for fault_id, fault in self._link_faults.items()
+            if fault.until is not None and fault.until <= now
+        ]
+        for fault_id in expired:
+            del self._link_faults[fault_id]
+
+    def _matching_faults(
+        self, src_pe: Optional["PERuntime"], dst_pe: "PERuntime"
+    ) -> List[LinkFault]:
+        if not self._link_faults:
+            return []
+        self._prune_faults()
+        src_pe_id = src_pe.pe_id if src_pe is not None else None
+        src_host = src_pe.host_name if src_pe is not None else None
+        return [
+            fault
+            for fault in self._link_faults.values()
+            if fault.matches(src_pe_id, src_host, dst_pe.pe_id, dst_pe.host_name)
+        ]
+
+    # -- crash accounting ----------------------------------------------------
+
+    def drop_in_flight(self, pe_id: str) -> None:
+        """Condemn everything currently in flight toward a crashed PE.
+
+        Called by :meth:`PERuntime.crash`: the items stay scheduled (their
+        kernel events cannot be retracted cheaply) but are recognized at
+        delivery time by incarnation mismatch, counted in
+        ``dropped_in_flight``, and never handed to the restarted process.
+
+        Args:
+            pe_id: The crashed PE.
+        """
+        self._incarnations[pe_id] = self._incarnations.get(pe_id, 0) + 1
+
+    # -- send / deliver ------------------------------------------------------
 
     def send(
         self,
@@ -42,23 +288,98 @@ class Transport:
         op_full_name: str,
         port: int,
         item: Item,
+        src_pe: Optional["PERuntime"] = None,
     ) -> None:
-        """Schedule delivery of ``item`` to an input port of a remote PE."""
+        """Schedule delivery of ``item`` to an input port of a remote PE.
+
+        Args:
+            dst_pe: Destination PE runtime.
+            op_full_name: Destination operator full name.
+            port: Destination input port.
+            item: Tuple or punctuation to deliver.
+            src_pe: Sending PE, when known — enables per-link fault
+                matching and per-connection FIFO (None for registry-less
+                senders such as tests).
+        """
+        self.total_sent += 1
+        faults = self._matching_faults(src_pe, dst_pe)
+        latency = self.latency
+        hold_until: Optional[float] = None
+        untimed_partition: Optional[LinkFault] = None
+        for fault in faults:
+            if fault.drop_probability > 0.0 and (
+                self.rng.random() < fault.drop_probability
+            ):
+                self.dropped_by_fault += 1
+                return
+            latency += fault.extra_latency
+            if fault.partition:
+                if fault.until is None:
+                    # untimed partition: hold the item until the fault is
+                    # cleared (clear_link_fault flushes the queue)
+                    untimed_partition = fault
+                else:
+                    hold_until = max(hold_until or 0.0, fault.until)
+        src_key = src_pe.pe_id if src_pe is not None else ""
         key = (dst_pe.pe_id, op_full_name, port)
         self._in_flight[key] = self._in_flight.get(key, 0) + 1
-        self.total_sent += 1
-        self.kernel.schedule(
-            self.latency,
+        if untimed_partition is not None:
+            # the destination incarnation is captured at *send* time (a
+            # crash during the partition must still condemn held items)
+            # and the source PE rides along so the flush can re-match
+            # faults and respect the same per-link FIFO as ordinary sends
+            self._held.setdefault(untimed_partition.fault_id, []).append(
+                (
+                    src_pe,
+                    dst_pe,
+                    op_full_name,
+                    port,
+                    item,
+                    self._incarnations.get(dst_pe.pe_id, 0),
+                )
+            )
+            return
+        deliver_at = self.kernel.now + latency
+        if hold_until is not None:
+            deliver_at = max(deliver_at, hold_until + self.latency)
+        self._schedule_delivery(
+            deliver_at, src_key, dst_pe, op_full_name, port, item
+        )
+
+    def _schedule_delivery(
+        self,
+        deliver_at: float,
+        src_key: Optional[str],
+        dst_pe: "PERuntime",
+        op_full_name: str,
+        port: int,
+        item: Item,
+        incarnation: Optional[int] = None,
+    ) -> None:
+        """Schedule one (already in-flight-counted) delivery, FIFO per link."""
+        link = (src_key or "", dst_pe.pe_id)
+        deliver_at = max(deliver_at, self._fifo_horizon.get(link, 0.0))
+        self._fifo_horizon[link] = deliver_at
+        if incarnation is None:
+            incarnation = self._incarnations.get(dst_pe.pe_id, 0)
+        self.kernel.schedule_at(
+            deliver_at,
             self._deliver,
             dst_pe,
             op_full_name,
             port,
             item,
+            incarnation,
             label=f"transport->{op_full_name}[{port}]",
         )
 
     def _deliver(
-        self, dst_pe: "PERuntime", op_full_name: str, port: int, item: Item
+        self,
+        dst_pe: "PERuntime",
+        op_full_name: str,
+        port: int,
+        item: Item,
+        incarnation: int = 0,
     ) -> None:
         key = (dst_pe.pe_id, op_full_name, port)
         count = self._in_flight.get(key, 0)
@@ -66,6 +387,12 @@ class Transport:
             self._in_flight.pop(key, None)
         else:
             self._in_flight[key] = count - 1
+        if incarnation != self._incarnations.get(dst_pe.pe_id, 0):
+            # The destination crashed after this item was sent: the item
+            # died with the process and must not leak into its restarted
+            # incarnation.
+            self.dropped_in_flight += 1
+            return
         if not dst_pe.is_running:
             # Receiving process is down: the tuple is lost (the paper's
             # Sec. 5.2: crashes of stateless PEs "may lead to tuple loss").

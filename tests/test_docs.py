@@ -29,6 +29,11 @@ DOCSTYLE_FILES = [
     "src/repro/checkpoint/__init__.py",
     "src/repro/checkpoint/store.py",
     "src/repro/checkpoint/service.py",
+    "src/repro/chaos/__init__.py",
+    "src/repro/chaos/perturbations.py",
+    "src/repro/chaos/scenario.py",
+    "src/repro/chaos/engine.py",
+    "src/repro/chaos/scorecard.py",
 ]
 
 

@@ -179,3 +179,149 @@ class TestJobQueries:
     def test_all_operator_names(self, system):
         job = system.submit_job(make_linear_app())
         assert set(job.all_operator_names()) == {"src", "sink"}
+
+
+class TestCrashInFlightAccounting:
+    """Items in flight toward a crashed PE die with the process (satellite
+    of the chaos PR): they are counted in ``dropped_in_flight`` and never
+    delivered to the restarted incarnation."""
+
+    def test_in_flight_items_dropped_on_crash(self, system):
+        job = system.submit_job(make_linear_app(period=0.5))
+        system.run_for(2.1)
+        src_pe = job.pe_of_operator("src")
+        sink_pe = job.pe_of_operator("sink")
+        # put an item in flight by hand, then crash the destination and
+        # restart it *before* the delivery time: the item must not leak
+        # into the new incarnation
+        from repro.spl.tuples import StreamTuple
+
+        system.transport.send(
+            sink_pe, "sink", 0, StreamTuple({"k": 99}), src_pe=src_pe
+        )
+        sink_pe.crash("test")
+        sink_pe.restart()
+        before = len(get_op(job, "sink").seen)
+        system.run_for(0.5)
+        assert system.transport.dropped_in_flight >= 1
+        assert all(t.get("k") != 99 for t in get_op(job, "sink").seen[before:])
+
+    def test_post_crash_sends_still_count_total_dropped(self, system):
+        job = system.submit_job(make_linear_app(period=0.5))
+        system.run_for(2.1)
+        job.pe_of_operator("sink").crash("test")
+        system.run_for(3.0)  # source keeps routing to the dead PE
+        assert system.transport.total_dropped > 0
+
+
+class TestLinkFaults:
+    def test_latency_spike_delays_delivery(self, system):
+        job = system.submit_job(make_linear_app(period=0.5))
+        system.run_for(2.1)
+        sink_pe = job.pe_of_operator("sink")
+        received_before = len(get_op(job, "sink").seen)
+        system.transport.install_link_fault(
+            extra_latency=0.4, dst_pe=sink_pe.pe_id, duration=1.0
+        )
+        # a tick lands inside the spike: its delivery shifts ~0.4s
+        system.run_for(0.45)
+        count_mid = len(get_op(job, "sink").seen)
+        system.run_for(2.0)
+        assert len(get_op(job, "sink").seen) > count_mid >= received_before
+
+    def test_partition_holds_and_flushes_without_loss(self, system):
+        job = system.submit_job(make_linear_app(period=0.2, limit=20))
+        system.run_for(1.05)
+        sink_pe = job.pe_of_operator("sink")
+        fault = system.transport.install_link_fault(
+            partition=True, dst_pe=sink_pe.pe_id, duration=2.0
+        )
+        held_at = len(get_op(job, "sink").seen)
+        system.run_for(1.9)  # inside the partition: nothing arrives
+        assert len(get_op(job, "sink").seen) == held_at
+        system.run_for(10.0)  # healed: everything flushes in order
+        seen = [t["iter"] for t in get_op(job, "sink").seen]
+        assert seen == list(range(20))
+        assert system.transport.dropped_by_fault == 0
+
+    def test_lossy_link_drops_deterministically(self):
+        from repro import SystemS
+
+        def run(seed):
+            system = SystemS(hosts=4, seed=seed)
+            job = system.submit_job(make_linear_app(period=0.1, limit=50))
+            system.run_for(0.5)
+            system.transport.install_link_fault(
+                drop_probability=0.5, duration=3.0
+            )
+            system.run_for(20.0)
+            return (
+                system.transport.dropped_by_fault,
+                [t["iter"] for t in get_op(job, "sink").seen],
+            )
+
+        dropped_a, seen_a = run(7)
+        dropped_b, seen_b = run(7)
+        assert dropped_a > 0
+        assert (dropped_a, seen_a) == (dropped_b, seen_b)  # seeded determinism
+
+    def test_fault_expiry_keeps_per_link_fifo(self, system):
+        """A spike expiring mid-stream must not reorder a connection."""
+        job = system.submit_job(make_linear_app(period=0.05, limit=40))
+        system.run_for(1.02)
+        sink_pe = job.pe_of_operator("sink")
+        system.transport.install_link_fault(
+            extra_latency=0.3, dst_pe=sink_pe.pe_id, duration=0.2
+        )
+        system.run_for(10.0)
+        seen = [t["iter"] for t in get_op(job, "sink").seen]
+        assert seen == sorted(seen)  # FIFO preserved across the expiry
+        assert len(seen) == 40  # and nothing was lost
+
+    def test_clear_link_fault_heals_early(self, system):
+        job = system.submit_job(make_linear_app(period=0.2))
+        system.run_for(1.05)
+        fault = system.transport.install_link_fault(extra_latency=5.0)
+        assert len(system.transport.active_link_faults()) == 1
+        system.transport.clear_link_fault(fault)
+        assert system.transport.active_link_faults() == []
+
+    def test_untimed_partition_flushes_on_clear(self, system):
+        """An untimed partition holds items until clear_link_fault, which
+        flushes them in order — and the link is immediately usable again
+        (regression: the hold must not poison the FIFO horizon)."""
+        job = system.submit_job(make_linear_app(period=0.2, limit=30))
+        system.run_for(1.05)
+        sink_pe = job.pe_of_operator("sink")
+        fault = system.transport.install_link_fault(
+            partition=True, dst_pe=sink_pe.pe_id
+        )
+        held_at = len(get_op(job, "sink").seen)
+        system.run_for(2.0)
+        assert len(get_op(job, "sink").seen) == held_at  # all held
+        system.transport.clear_link_fault(fault)
+        system.run_for(10.0)  # flushed AND new sends flow normally
+        seen = [t["iter"] for t in get_op(job, "sink").seen]
+        assert seen == list(range(30))
+
+    def test_flush_respects_still_open_timed_partition(self, system):
+        """Items flushed from a cleared untimed partition must still honor
+        another partition that remains in force on the same link
+        (regression: the flush used to bypass fault composition)."""
+        job = system.submit_job(make_linear_app(period=0.2, limit=10))
+        system.run_for(1.05)
+        sink_pe = job.pe_of_operator("sink")
+        untimed = system.transport.install_link_fault(
+            partition=True, dst_pe=sink_pe.pe_id
+        )
+        system.run_for(1.0)  # a few items held in the untimed queue
+        held_at = len(get_op(job, "sink").seen)
+        timed = system.transport.install_link_fault(
+            partition=True, dst_pe=sink_pe.pe_id, duration=5.0
+        )
+        system.transport.clear_link_fault(untimed)
+        system.run_for(3.0)  # timed partition still open: nothing arrives
+        assert len(get_op(job, "sink").seen) == held_at
+        system.run_for(10.0)  # timed partition healed: everything flushes
+        seen = [t["iter"] for t in get_op(job, "sink").seen]
+        assert seen == list(range(10))
