@@ -1,0 +1,108 @@
+"""Adversarial chaos-fuzzing walkthrough: search, shrink, serialize.
+
+Runs the barrier-targeted fuzz search (``repro.chaos.fuzz``) against
+the standard elastic + checkpoint stack: sweeps seeds, re-aims step
+times at observed runtime barriers (rescale phases, checkpoint
+commits, splitter masks), and judges every run with the system-wide
+invariant-oracle suite.  On the healthy stack the search comes back
+clean; with ``--plant-torn-commits`` the stack is deliberately
+weakened (every checkpoint commit torn through the existing
+``commit_fault`` hook), the search finds the violation, and the
+shrinker reduces it to a minimal repro printed as corpus-ready JSON.
+
+Usage::
+
+    python examples/chaos_fuzz.py                       # healthy stack
+    python examples/chaos_fuzz.py --plant-torn-commits  # find + shrink
+    python examples/chaos_fuzz.py --plant-torn-commits --check-determinism
+
+See the "Fuzzing workflow" section of ``docs/chaos.md``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+
+from repro.chaos import KeySkewShift, LatencySpike, PEFlap, RateSurge, Scenario
+from repro.chaos.fuzz import (
+    FuzzBudget,
+    FuzzHarnessConfig,
+    fuzz_scenario,
+    run_fuzz_case,
+    shrink_scenario,
+)
+
+
+def base_scenario() -> Scenario:
+    """A noisy mixed scenario: network, load, and one channel flap."""
+    return (
+        Scenario("fuzz_demo", description="mixed disturbance hunt")
+        .add(0.5, LatencySpike(extra=0.05, duration=1.5))
+        .add(0.8, RateSurge(factor=2.0, duration=3.0))
+        .add(1.02, PEFlap(operator="work__c0", downtime=1.0))
+        .add(2.0, KeySkewShift(hot_fraction=0.8, hot_keys=("k0",), duration=2.0))
+    )
+
+
+def run_pipeline(seed: int, rounds: int, torn_commits: bool) -> str:
+    """One search (+ shrink on failure); returns a deterministic digest."""
+    config = FuzzHarnessConfig(duration=8.0, torn_commits=torn_commits)
+    budget = FuzzBudget(seeds=(seed, seed + 5), mutation_rounds=rounds)
+    report = fuzz_scenario(
+        base_scenario(),
+        lambda scenario, s: run_fuzz_case(scenario, config.with_seed(s)),
+        budget,
+    )
+    print("--- search summary ---")
+    summary = "\n".join(report.summary_lines())
+    print(summary)
+
+    if not report.found_violation:
+        print("\nno invariant violation found: the stack held.")
+        return summary
+
+    worst = report.worst
+    shrunk = shrink_scenario(
+        worst.scenario,
+        lambda s: bool(
+            run_fuzz_case(s, config.with_seed(worst.seed)).violations
+        ),
+    )
+    minimized = json.dumps(shrunk.scenario.to_dict(), indent=2, sort_keys=True)
+    print(
+        f"\n--- shrunk {shrunk.original_steps} -> {shrunk.steps} step(s) "
+        f"in {shrunk.runs} run(s) ---"
+    )
+    print("minimized scenario (corpus-ready JSON):")
+    print(minimized)
+    return summary + "\n" + minimized
+
+
+def main() -> None:
+    """Parse arguments and run the walkthrough."""
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument("--rounds", type=int, default=2)
+    parser.add_argument(
+        "--plant-torn-commits",
+        action="store_true",
+        help="weaken the stack: every checkpoint commit stays torn",
+    )
+    parser.add_argument(
+        "--check-determinism",
+        action="store_true",
+        help="run the whole pipeline twice and fail unless identical",
+    )
+    args = parser.parse_args()
+    first = run_pipeline(args.seed, args.rounds, args.plant_torn_commits)
+    if args.check_determinism:
+        print("\n=== repeat run (same seed) ===")
+        second = run_pipeline(args.seed, args.rounds, args.plant_torn_commits)
+        if first != second:
+            raise SystemExit("fuzz pipelines diverged across identical runs!")
+        print("determinism check passed: search + shrink are replayable")
+
+
+if __name__ == "__main__":
+    main()

@@ -20,14 +20,21 @@ campaign engine:
 * :mod:`repro.chaos.scorecard` — the ``ResilienceScorecard``: exact
   tuple loss/duplicates, state-recovery fraction, recovery latency, and
   ORCA event latency, rendered as byte-stable text for determinism
-  checks.
+  checks;
+* :mod:`repro.chaos.fuzz` — the adversarial layer on top: system-wide
+  invariant oracles, a barrier-targeted search driver over the
+  seed/step-time space, and a shrinker that reduces failures to minimal
+  repros serialized (``Scenario.to_dict``) into the regression corpus
+  under ``tests/corpus/``.
 
-See ``docs/chaos.md`` for the full DSL and scorecard reference and
-``examples/chaos_campaign.py`` for a runnable walkthrough.
+See ``docs/chaos.md`` for the full DSL, scorecard, and fuzzing
+reference and ``examples/chaos_campaign.py`` /
+``examples/chaos_fuzz.py`` for runnable walkthroughs.
 """
 
 from repro.chaos.engine import CHAOS_JOB_ID, ChaosEngine, ChaosInjection, ScenarioRun
 from repro.chaos.perturbations import (
+    PERTURBATION_KINDS,
     ChaosError,
     CheckpointFault,
     CrashPE,
@@ -42,6 +49,8 @@ from repro.chaos.perturbations import (
     RateSurge,
     Rescale,
     RestartPE,
+    perturbation_from_dict,
+    perturbation_to_dict,
 )
 from repro.chaos.scenario import (
     Campaign,
@@ -64,6 +73,7 @@ from repro.chaos.scorecard import (
 
 __all__ = [
     "CHAOS_JOB_ID",
+    "PERTURBATION_KINDS",
     "Campaign",
     "ChaosEngine",
     "ChaosError",
@@ -89,6 +99,8 @@ __all__ = [
     "flash_crowd",
     "gray_network",
     "live_keyed_state",
+    "perturbation_from_dict",
+    "perturbation_to_dict",
     "rolling_channel_outage",
     "rolling_host_outage",
     "state_recovery_fraction",

@@ -176,7 +176,13 @@ class ChaosEngine:
 
         Returns:
             The tracking :class:`ScenarioRun` (already in ``runs``).
+
+        Raises:
+            ChaosError: The scenario fails :meth:`Scenario.validate`
+                (empty, blank name, negative step times/jitter) —
+                rejected before anything is scheduled.
         """
+        scenario.validate()
         rng = self.system.random.stream(f"chaos:{scenario.name}")
         run = ScenarioRun(
             run_id=f"chaos-{self._next_run}",
@@ -188,6 +194,7 @@ class ChaosEngine:
                 "noops": len(self.system.failures.noops),
                 "dropped_in_flight": self.system.transport.dropped_in_flight,
                 "dropped_by_fault": self.system.transport.dropped_by_fault,
+                "total_dropped": self.system.transport.total_dropped,
             },
         )
         self._next_run += 1
@@ -385,12 +392,33 @@ class ChaosEngine:
     # -- inspection ---------------------------------------------------------
 
     def status(self) -> Dict[str, Any]:
-        """Snapshot served by the ORCA ``chaos_status()`` inspection."""
+        """Snapshot served by the ORCA ``chaos_status()`` inspection.
+
+        Beyond the injector's :meth:`~repro.runtime.failures.FailureInjector.stats`
+        counters and the journal summary, the snapshot breaks active link
+        faults down by effect (``latency``/``partition``/``loss`` — one
+        fault can count toward several) and totals run progress
+        (``runs_done``, ``step_errors``, ``cancelled_steps``) so long
+        fuzz searches are inspectable from ORCA mid-flight.
+        """
         injector = self.system.failures.stats()
+        link_faults = self.system.transport.active_link_faults()
+        by_effect = {"latency": 0, "partition": 0, "loss": 0}
+        for fault in link_faults:
+            if fault.extra_latency > 0.0:
+                by_effect["latency"] += 1
+            if fault.partition:
+                by_effect["partition"] += 1
+            if fault.drop_probability > 0.0:
+                by_effect["loss"] += 1
         return {
             "runs": len(self.runs),
+            "runs_done": sum(1 for run in self.runs if run.done),
             "injections": len(self.injections),
-            "active_link_faults": len(self.system.transport.active_link_faults()),
+            "step_errors": sum(len(run.errors) for run in self.runs),
+            "cancelled_steps": sum(run.cancelled_steps for run in self.runs),
+            "active_link_faults": len(link_faults),
+            "active_link_faults_by_effect": by_effect,
             "injector": {
                 "injected": injector.injected,
                 "by_kind": injector.by_kind,

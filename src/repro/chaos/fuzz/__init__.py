@@ -1,0 +1,67 @@
+"""repro.chaos.fuzz — adversarial chaos search with invariant oracles.
+
+PR 4's campaigns fire faults at *declared* times; the interleavings
+that actually break reconfiguration protocols (Fries-style transaction
+arguments, PAPERS.md) hide at runtime barriers the scenario author
+cannot see.  This package turns the campaign suite into a property
+fuzzer:
+
+* :mod:`repro.chaos.fuzz.oracles` — the system-wide invariant suite
+  (zero tuple loss, keyed-state conservation, epoch-clock monotonicity,
+  per-connection FIFO, no phantom reroutes, no stuck rescales),
+  conditioned on an :class:`OracleProfile` so restart-empty stacks are
+  judged by what they actually promise;
+* :mod:`repro.chaos.fuzz.harness` — builds a fresh elastic + checkpoint
+  stack per case, runs one scenario, scores it, and mines runtime
+  barrier timestamps from the new instrumentation taps;
+* :mod:`repro.chaos.fuzz.search` — the seeded seed-sweep +
+  barrier-targeted mutation driver maximizing an oracle-violation /
+  latency objective;
+* :mod:`repro.chaos.fuzz.shrink` — bisects a failing scenario to a
+  minimal repro, ready for ``Scenario.to_dict`` serialization into the
+  replayable corpus under ``tests/corpus/``.
+
+See the "Fuzzing workflow" section of ``docs/chaos.md`` and the
+runnable ``examples/chaos_fuzz.py``.
+"""
+
+from repro.chaos.fuzz.harness import (
+    FuzzHarnessConfig,
+    FuzzOutcome,
+    objective_score,
+    run_fuzz_case,
+)
+from repro.chaos.fuzz.oracles import (
+    FifoProbe,
+    OracleProfile,
+    OracleReport,
+    OracleViolation,
+    evaluate_oracles,
+)
+from repro.chaos.fuzz.search import (
+    FuzzBudget,
+    FuzzReport,
+    SeedResult,
+    fuzz_scenario,
+    mutate_step_time,
+)
+from repro.chaos.fuzz.shrink import ShrinkResult, shrink_scenario
+
+__all__ = [
+    "FifoProbe",
+    "FuzzBudget",
+    "FuzzHarnessConfig",
+    "FuzzOutcome",
+    "FuzzReport",
+    "OracleProfile",
+    "OracleReport",
+    "OracleViolation",
+    "SeedResult",
+    "ShrinkResult",
+    "evaluate_oracles",
+    "fuzz_scenario",
+    "mutate_step_time",
+    "objective_score",
+    "run_fuzz_case",
+    "shrink_scenario",
+]

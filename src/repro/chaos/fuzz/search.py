@@ -1,0 +1,214 @@
+"""The adversarial search driver.
+
+Declared chaos campaigns fire at hand-picked times; the nastiest
+interleavings — a crash *exactly* at the rescale drain barrier, a host
+death between checkpoint record and commit — live in the gaps between
+those times.  The driver hunts them:
+
+1. **Seed sweep** — run the base scenario under every seed in the
+   budget; each run's outcome carries the runtime-barrier instants the
+   instrumentation taps observed (rescale phases, checkpoint
+   commits/tears, splitter masks).
+2. **Barrier-targeted mutation** — per seed, repeatedly pick a step and
+   re-aim its firing time at one of the observed barriers (plus a small
+   offset straddling it), keeping a mutation only when it *worsens* the
+   objective (oracle violations dominate, then losses, recovery
+   shortfall, and latency).  The mutation stream is seeded from
+   ``(scenario name, seed, round)``, so a fixed budget explores the
+   same schedule every time — the whole search is replayable.
+3. **Stop on blood** — by default the search returns as soon as any
+   oracle violation is found, handing the failing scenario to the
+   shrinker (:mod:`repro.chaos.fuzz.shrink`).
+
+Everything downstream of the run function is plain data, so the driver
+works with any runner of type ``(Scenario, seed) -> FuzzOutcome`` — the
+standard one is :func:`repro.chaos.fuzz.harness.run_fuzz_case`.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.chaos.fuzz.harness import FuzzOutcome
+from repro.chaos.scenario import Scenario, Step
+
+#: step-time offsets tried around a targeted barrier: just before (the
+#: fault lands while the barrier is being approached), exactly at, and
+#: just after it
+BARRIER_OFFSETS = (-0.08, -0.03, -0.01, 0.0, 0.02)
+
+
+@dataclass(frozen=True)
+class FuzzBudget:
+    """How much searching one :func:`fuzz_scenario` call may do.
+
+    Attributes:
+        seeds: Root seeds swept, in order.
+        mutation_rounds: Barrier-targeted mutations tried per seed.
+        stop_on_violation: Return as soon as an oracle violation is
+            found (the shrinker takes over from there).
+    """
+
+    seeds: Tuple[int, ...] = (42, 7, 19)
+    mutation_rounds: int = 4
+    stop_on_violation: bool = True
+
+
+@dataclass
+class SeedResult:
+    """The worst outcome one seed's search line reached.
+
+    Attributes:
+        seed: The root seed.
+        best: The worst-objective outcome found under this seed.
+        runs: Scenario executions this seed consumed.
+        mutations_kept: Mutations that worsened (and replaced) the
+            current scenario.
+        barriers_targeted: Distinct barrier labels aimed at.
+    """
+
+    seed: int
+    best: FuzzOutcome
+    runs: int = 1
+    mutations_kept: int = 0
+    barriers_targeted: List[str] = field(default_factory=list)
+
+
+@dataclass
+class FuzzReport:
+    """The full result of one adversarial search.
+
+    Attributes:
+        scenario_name: The base scenario searched.
+        results: Per-seed search lines, in sweep order.
+        runs_executed: Total scenario executions consumed.
+    """
+
+    scenario_name: str
+    results: List[SeedResult] = field(default_factory=list)
+    runs_executed: int = 0
+
+    @property
+    def worst(self) -> FuzzOutcome:
+        """The overall worst outcome (ties broken by sweep order)."""
+        best = self.results[0].best
+        for result in self.results[1:]:
+            if result.best.objective > best.objective:
+                best = result.best
+        return best
+
+    @property
+    def found_violation(self) -> bool:
+        """Whether any searched run broke an invariant."""
+        return any(result.best.violations for result in self.results)
+
+    def summary_lines(self) -> List[str]:
+        """Render the search as deterministic, diff-stable text."""
+        lines = [
+            f"fuzz search: {self.scenario_name} "
+            f"(seeds={[r.seed for r in self.results]}, "
+            f"runs={self.runs_executed})",
+        ]
+        for result in self.results:
+            targeted = ",".join(result.barriers_targeted) or "-"
+            lines.append(
+                f"  seed {result.seed}: objective={result.best.objective:.4f} "
+                f"runs={result.runs} kept={result.mutations_kept} "
+                f"violations={len(result.best.violations)} "
+                f"barriers=[{targeted}]"
+            )
+        worst = self.worst
+        lines.append(
+            f"  worst: seed {worst.seed} objective={worst.objective:.4f} "
+            f"steps={[round(s.at, 4) for s in worst.scenario.steps]}"
+        )
+        for violation in worst.violations:
+            lines.append(f"    VIOLATION {violation.oracle}: {violation.detail}")
+        return lines
+
+
+def mutate_step_time(scenario: Scenario, index: int, new_at: float) -> Scenario:
+    """A copy of ``scenario`` with one step re-aimed at ``new_at``.
+
+    The scenario keeps its name (so the engine's per-scenario jitter
+    stream stays the same) and the step keeps its perturbation and
+    jitter window.
+
+    Args:
+        scenario: The scenario to mutate.
+        index: Step to re-time.
+        new_at: New firing offset (clamped to >= 0).
+
+    Returns:
+        The mutated scenario; the original is untouched.
+    """
+    steps = list(scenario.steps)
+    old = steps[index]
+    steps[index] = Step(
+        at=max(0.0, round(new_at, 6)),
+        perturbation=old.perturbation,
+        jitter=old.jitter,
+    )
+    return Scenario(
+        name=scenario.name, steps=steps, description=scenario.description
+    )
+
+
+def fuzz_scenario(
+    scenario: Scenario,
+    run_fn: Callable[[Scenario, int], FuzzOutcome],
+    budget: Optional[FuzzBudget] = None,
+) -> FuzzReport:
+    """Search the seed x step-time space for the worst interleaving.
+
+    Args:
+        scenario: The base scenario (validated before the sweep).
+        run_fn: Executes one ``(scenario, seed)`` case — typically a
+            :func:`~repro.chaos.fuzz.harness.run_fuzz_case` closure over
+            a :class:`~repro.chaos.fuzz.harness.FuzzHarnessConfig`.
+        budget: Search budget (default: 3 seeds x 4 mutation rounds).
+
+    Returns:
+        The :class:`FuzzReport`; deterministic for a fixed budget —
+        running the same search twice explores the identical schedule
+        and returns identical summaries.
+    """
+    scenario.validate()
+    budget = budget or FuzzBudget()
+    report = FuzzReport(scenario_name=scenario.name)
+    for seed in budget.seeds:
+        current = scenario
+        outcome = run_fn(current, seed)
+        result = SeedResult(seed=seed, best=outcome)
+        report.results.append(result)
+        report.runs_executed += 1
+        if outcome.violations and budget.stop_on_violation:
+            return report
+        for round_index in range(budget.mutation_rounds):
+            barriers = result.best.barriers
+            if not barriers or not current.steps:
+                break
+            rng = random.Random(f"fuzz:{scenario.name}:{seed}:{round_index}")
+            step_index = rng.randrange(len(current.steps))
+            label, barrier_at = barriers[rng.randrange(len(barriers))]
+            offset = BARRIER_OFFSETS[rng.randrange(len(BARRIER_OFFSETS))]
+            candidate = mutate_step_time(
+                current, step_index, barrier_at + offset
+            )
+            result.barriers_targeted.append(label)
+            mutated_outcome = run_fn(candidate, seed)
+            result.runs += 1
+            report.runs_executed += 1
+            if mutated_outcome.violations and budget.stop_on_violation:
+                # a violation is what the search hunts: it wins the seed
+                # line outright, objective ties notwithstanding
+                result.best = mutated_outcome
+                result.mutations_kept += 1
+                return report
+            if mutated_outcome.objective > result.best.objective:
+                result.best = mutated_outcome
+                result.mutations_kept += 1
+                current = candidate
+    return report

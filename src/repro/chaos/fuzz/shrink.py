@@ -1,0 +1,109 @@
+"""The failing-scenario shrinker.
+
+A scenario the search flagged usually carries bystander steps — latency
+waves and load surges that rode along while one flap did the damage.
+The shrinker bisects the step list (delta-debugging style: drop halves,
+then quarters, down to single steps, looping to a fixed point) and
+keeps a removal only when the reduced scenario *still fails* the
+predicate, yielding the minimal repro that is then serialized
+(``Scenario.to_dict``) into the regression corpus under
+``tests/corpus/``.
+
+Shrinking is deterministic: candidates are tried in a fixed order and
+the predicate re-executes real runs, so the same failing input always
+shrinks to the same minimized scenario.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List
+
+from repro.chaos.scenario import Scenario, Step
+
+
+@dataclass
+class ShrinkResult:
+    """What one shrink pass achieved.
+
+    Attributes:
+        scenario: The minimized, still-failing scenario.
+        original_steps: Step count before shrinking.
+        runs: Predicate executions consumed.
+        removed: Step descriptions dropped along the way, in removal
+            order.
+    """
+
+    scenario: Scenario
+    original_steps: int
+    runs: int = 0
+    removed: List[str] = field(default_factory=list)
+
+    @property
+    def steps(self) -> int:
+        """Step count of the minimized scenario."""
+        return len(self.scenario.steps)
+
+
+def shrink_scenario(
+    scenario: Scenario,
+    still_failing: Callable[[Scenario], bool],
+    max_runs: int = 64,
+) -> ShrinkResult:
+    """Reduce a failing scenario to a minimal still-failing repro.
+
+    Args:
+        scenario: The scenario the search flagged (must currently fail
+            ``still_failing`` — the shrinker trusts the caller on that
+            and only ever *keeps* reductions that still fail).
+        still_failing: Re-runs a candidate and reports whether the
+            failure persists (typically: the oracle suite still finds a
+            violation).
+        max_runs: Hard cap on predicate executions; the best-so-far
+            scenario is returned when it is exhausted.
+
+    Returns:
+        The :class:`ShrinkResult` with the minimized scenario — 1-step
+        minimal when a single step reproduces the failure.
+    """
+    steps = list(scenario.steps)
+    result = ShrinkResult(scenario=scenario, original_steps=len(steps))
+
+    def rebuild(subset: List[Step]) -> Scenario:
+        return Scenario(
+            name=scenario.name,
+            steps=list(subset),
+            description=scenario.description,
+        )
+
+    def describe(scenario_step: Step) -> str:
+        return (
+            f"{scenario_step.perturbation.KIND}@{scenario_step.at:.4f}"
+        )
+
+    changed = True
+    while changed and len(steps) > 1:
+        changed = False
+        chunk = max(1, len(steps) // 2)
+        while chunk >= 1:
+            index = 0
+            while index < len(steps) and len(steps) > 1:
+                trial = steps[:index] + steps[index + chunk:]
+                if not trial:
+                    index += chunk
+                    continue
+                if result.runs >= max_runs:
+                    result.scenario = rebuild(steps)
+                    return result
+                result.runs += 1
+                if still_failing(rebuild(trial)):
+                    result.removed.extend(
+                        describe(s) for s in steps[index:index + chunk]
+                    )
+                    steps = trial
+                    changed = True
+                else:
+                    index += chunk
+            chunk //= 2
+    result.scenario = rebuild(steps)
+    return result

@@ -40,6 +40,57 @@ class ChaosError(ReproError):
     """A perturbation could not resolve or apply its target."""
 
 
+def buffered_item_count(pe: PERuntime) -> int:
+    """Data tuples held in a PE's operator buffers (punctuations excluded).
+
+    Crash-class perturbations record this on the injection so scorecards
+    and the fuzzer's loss-accounting oracle can tell a tuple that died in
+    an operator buffer (restart-empty semantics, legitimate) from one
+    the system lost without any crash explanation (a bug).  Counting
+    punctuations would inflate ``accounted_losses`` and let the
+    unaccounted-loss oracle mask that many real losses.
+
+    Args:
+        pe: The PE about to be disturbed.
+
+    Returns:
+        Total ``pending_tuples()`` over the PE's operators.
+    """
+    return sum(op.pending_tuples() for op in pe.operators.values())
+
+
+def capture_committed_state(
+    engine: "ChaosEngine", pe: PERuntime
+) -> Dict[str, Dict[Any, Any]]:
+    """The victim's latest *committed* checkpoint, merged per state name.
+
+    Recorded on crash injections as the run's restore floor: whatever a
+    rehydrating recovery restores (plus detour continuation) must never
+    fall below the state the store had durably committed at the instant
+    of the crash — the exact guarantee the fuzzer's state-conservation
+    oracle checks right after each recovery, immune to checkpoint-lag
+    false positives that judging against live at-crash state would give.
+
+    Args:
+        engine: The chaos engine (reaches the system's checkpoint store).
+        pe: The crashing PE.
+
+    Returns:
+        ``state_name -> {key: value}`` from the newest committed epoch
+        (empty when none exists — e.g. restart-empty stacks).
+    """
+    entry = engine.system.checkpoint_store.latest_committed(
+        pe.job.job_id, pe.pe_id
+    )
+    if entry is None:
+        return {}
+    merged: Dict[str, Dict[Any, Any]] = {}
+    for payload in entry.payloads.values():
+        for state_name, entries in payload.get("store", {}).get("keyed", {}).items():
+            merged.setdefault(state_name, {}).update(entries)
+    return copy.deepcopy(merged)
+
+
 def capture_keyed_state(pe: PERuntime) -> Dict[str, Dict[Any, Any]]:
     """Deep-copy every keyed state currently held by a PE's operators.
 
@@ -134,6 +185,8 @@ class CrashPE(Perturbation):
         detail: Dict[str, Any] = {"pe_ids": [pe.pe_id], "reason": self.reason}
         if pe.state is PEState.RUNNING:
             detail["_state_at_crash"] = capture_keyed_state(pe)
+            detail["_committed_at_crash"] = capture_committed_state(engine, pe)
+            detail["buffered_at_crash"] = buffered_item_count(pe)
         engine.system.failures.crash_pe(
             run.job.job_id, pe_id=pe.pe_id, reason=self.reason
         )
@@ -195,6 +248,8 @@ class PEFlap(Perturbation):
         }
         if pe.state is PEState.RUNNING:
             detail["_state_at_crash"] = capture_keyed_state(pe)
+            detail["_committed_at_crash"] = capture_committed_state(engine, pe)
+            detail["buffered_at_crash"] = buffered_item_count(pe)
         injector = engine.system.failures
         injector.crash_pe(run.job.job_id, pe_id=pe.pe_id, reason=self.reason)
         injector.restart_pe(
@@ -237,15 +292,24 @@ class FailHost(Perturbation):
         hc = engine.system.hcs.get(host)
         detail: Dict[str, Any] = {"pe_ids": []}
         state: Dict[str, Dict[Any, Any]] = {}
+        committed: Dict[str, Dict[Any, Any]] = {}
+        buffered = 0
         if hc is not None:
             for pe in hc.pes.values():
                 if pe.state is not PEState.RUNNING:
                     continue  # not a victim: it was already down
                 detail["pe_ids"].append(pe.pe_id)
+                buffered += buffered_item_count(pe)
                 for name, entries in capture_keyed_state(pe).items():
                     state.setdefault(name, {}).update(entries)
+                for name, entries in capture_committed_state(engine, pe).items():
+                    committed.setdefault(name, {}).update(entries)
+        if detail["pe_ids"]:
+            detail["buffered_at_crash"] = buffered
         if state:
             detail["_state_at_crash"] = state
+        if committed:
+            detail["_committed_at_crash"] = committed
         engine.system.failures.fail_host(host)
         return host, detail
 
@@ -581,6 +645,83 @@ class Rescale(Perturbation):
             "width": self.width,
             "old_width": operation.old_width,
         }
+
+
+#: serialization registry: perturbation kind -> dataclass, the inverse of
+#: ``Perturbation.KIND`` (used by the scenario corpus round-trip)
+PERTURBATION_KINDS: Dict[str, type] = {
+    cls.KIND: cls
+    for cls in (
+        CrashPE,
+        RestartPE,
+        PEFlap,
+        FailHost,
+        HostFlap,
+        LatencySpike,
+        LinkPartition,
+        LinkLoss,
+        RateSurge,
+        KeySkewShift,
+        CheckpointFault,
+        Rescale,
+    )
+}
+
+
+def perturbation_to_dict(perturbation: Perturbation) -> Dict[str, Any]:
+    """Serialize one perturbation to a JSON-safe mapping.
+
+    The mapping round-trips through :func:`perturbation_from_dict`:
+    ``{"kind": <KIND>, "params": {<public dataclass fields>}}`` with
+    tuples rendered as lists.
+
+    Args:
+        perturbation: The perturbation to serialize.
+
+    Returns:
+        A JSON-serializable dict.
+
+    Raises:
+        ChaosError: The perturbation's kind is not registered.
+    """
+    if perturbation.KIND not in PERTURBATION_KINDS:
+        raise ChaosError(
+            f"unserializable perturbation kind {perturbation.KIND!r}"
+        )
+    params = {
+        key: (list(value) if isinstance(value, tuple) else value)
+        for key, value in vars(perturbation).items()
+        if not key.startswith("_")
+    }
+    return {"kind": perturbation.KIND, "params": params}
+
+
+def perturbation_from_dict(data: Dict[str, Any]) -> Perturbation:
+    """Rebuild a perturbation from its :func:`perturbation_to_dict` form.
+
+    Args:
+        data: ``{"kind": ..., "params": {...}}``.
+
+    Returns:
+        The reconstructed perturbation.
+
+    Raises:
+        ChaosError: Unknown kind or parameters the kind does not accept.
+    """
+    kind = data.get("kind")
+    cls = PERTURBATION_KINDS.get(kind)
+    if cls is None:
+        raise ChaosError(
+            f"unknown perturbation kind {kind!r} "
+            f"(known: {sorted(PERTURBATION_KINDS)})"
+        )
+    params = dict(data.get("params", {}))
+    if isinstance(params.get("hot_keys"), list):
+        params["hot_keys"] = tuple(params["hot_keys"])
+    try:
+        return cls(**params)
+    except TypeError as exc:
+        raise ChaosError(f"bad parameters for {kind!r}: {exc}") from exc
 
 
 def detail_public_view(detail: Dict[str, Any]) -> Dict[str, Any]:

@@ -20,11 +20,13 @@ the roadmap: ``rolling_host_outage``, ``rolling_channel_outage``,
 
 from __future__ import annotations
 
+import math
 import random
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence
+from typing import Any, Dict, List, Optional, Sequence
 
 from repro.chaos.perturbations import (
+    ChaosError,
     CheckpointFault,
     HostFlap,
     KeySkewShift,
@@ -34,6 +36,8 @@ from repro.chaos.perturbations import (
     Perturbation,
     RateSurge,
     Rescale,
+    perturbation_from_dict,
+    perturbation_to_dict,
 )
 
 
@@ -57,6 +61,65 @@ class Step:
         if self.jitter <= 0.0:
             return self.at
         return self.at + rng.random() * self.jitter
+
+    def validate(self, index: int = 0) -> "Step":
+        """Reject unschedulable steps with a precise error.
+
+        Args:
+            index: Position within the owning scenario (for the message).
+
+        Returns:
+            self, for chaining.
+
+        Raises:
+            ChaosError: Negative/non-finite ``at`` or ``jitter``, or a
+                payload that is not a :class:`Perturbation`.
+        """
+        if not math.isfinite(self.at) or self.at < 0.0:
+            raise ChaosError(
+                f"step {index}: 'at' must be finite and >= 0, got {self.at!r}"
+            )
+        if not math.isfinite(self.jitter) or self.jitter < 0.0:
+            raise ChaosError(
+                f"step {index}: 'jitter' must be finite and >= 0, "
+                f"got {self.jitter!r}"
+            )
+        if not isinstance(self.perturbation, Perturbation):
+            raise ChaosError(
+                f"step {index}: perturbation must be a Perturbation, "
+                f"got {type(self.perturbation).__name__}"
+            )
+        return self
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Serialize to a JSON-safe mapping (see :meth:`from_dict`)."""
+        return {
+            "at": self.at,
+            "jitter": self.jitter,
+            "perturbation": perturbation_to_dict(self.perturbation),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "Step":
+        """Rebuild a step from its :meth:`to_dict` form.
+
+        Args:
+            data: ``{"at", "jitter", "perturbation"}``.
+
+        Returns:
+            The reconstructed step.
+
+        Raises:
+            ChaosError: Malformed mapping or unknown perturbation kind.
+        """
+        try:
+            return cls(
+                at=float(data["at"]),
+                perturbation=perturbation_from_dict(data["perturbation"]),
+                jitter=float(data.get("jitter", 0.0)),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ChaosError(f"malformed step mapping: {exc!r}") from exc
 
 
 def step(at: float, perturbation: Perturbation, jitter: float = 0.0) -> Step:
@@ -87,6 +150,63 @@ class Scenario:
         """Latest nominal step offset (jitter windows included)."""
         return max((s.at + s.jitter for s in self.steps), default=0.0)
 
+    def validate(self) -> "Scenario":
+        """Reject unrunnable scenarios with a precise error.
+
+        Called by :meth:`~repro.chaos.engine.ChaosEngine.run_scenario`
+        before anything is scheduled, so a bad scenario fails loudly at
+        submission instead of as silent no-ops mid-campaign.
+
+        Returns:
+            self, for chaining.
+
+        Raises:
+            ChaosError: Empty/blank name, no steps, or any invalid step
+                (negative ``at``/``jitter``, non-perturbation payload).
+        """
+        if not isinstance(self.name, str) or not self.name.strip():
+            raise ChaosError(f"scenario name must be non-empty, got {self.name!r}")
+        if not self.steps:
+            raise ChaosError(f"scenario {self.name!r} has no steps")
+        for index, scenario_step in enumerate(self.steps):
+            try:
+                scenario_step.validate(index)
+            except ChaosError as exc:
+                raise ChaosError(f"scenario {self.name!r}: {exc}") from exc
+        return self
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Serialize to a JSON-safe mapping (the corpus file format)."""
+        return {
+            "name": self.name,
+            "description": self.description,
+            "steps": [s.to_dict() for s in self.steps],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "Scenario":
+        """Rebuild a scenario from its :meth:`to_dict` form.
+
+        Args:
+            data: ``{"name", "description", "steps"}``.
+
+        Returns:
+            The reconstructed scenario (structurally round-trip-equal:
+            ``Scenario.from_dict(s.to_dict()).to_dict() == s.to_dict()``).
+
+        Raises:
+            ChaosError: Malformed mapping or unknown perturbation kind.
+        """
+        try:
+            steps = [Step.from_dict(entry) for entry in data.get("steps", [])]
+            return cls(
+                name=data["name"],
+                steps=steps,
+                description=data.get("description", ""),
+            )
+        except (KeyError, TypeError) as exc:
+            raise ChaosError(f"malformed scenario mapping: {exc!r}") from exc
+
 
 @dataclass
 class Campaign:
@@ -109,6 +229,65 @@ class Campaign:
     duration: float = 30.0
     checkpointed: bool = True
     description: str = ""
+
+    def validate(self) -> "Campaign":
+        """Reject unrunnable campaigns with a precise error.
+
+        Returns:
+            self, for chaining.
+
+        Raises:
+            ChaosError: Non-positive/non-finite duration, a non-integer
+                seed, or an invalid scenario.
+        """
+        if not math.isfinite(self.duration) or self.duration <= 0.0:
+            raise ChaosError(
+                f"campaign {self.name!r}: duration must be finite and > 0, "
+                f"got {self.duration!r}"
+            )
+        if isinstance(self.seed, bool) or not isinstance(self.seed, int):
+            raise ChaosError(
+                f"campaign {self.name!r}: seed must be an int, got {self.seed!r}"
+            )
+        self.scenario.validate()
+        return self
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Serialize to a JSON-safe mapping (the corpus file format)."""
+        return {
+            "name": self.name,
+            "scenario": self.scenario.to_dict(),
+            "seed": self.seed,
+            "duration": self.duration,
+            "checkpointed": self.checkpointed,
+            "description": self.description,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "Campaign":
+        """Rebuild a campaign from its :meth:`to_dict` form.
+
+        Args:
+            data: ``{"name", "scenario", "seed", "duration",
+                "checkpointed", "description"}``.
+
+        Returns:
+            The reconstructed campaign.
+
+        Raises:
+            ChaosError: Malformed mapping or unknown perturbation kind.
+        """
+        try:
+            return cls(
+                name=data["name"],
+                scenario=Scenario.from_dict(data["scenario"]),
+                seed=int(data.get("seed", 42)),
+                duration=float(data.get("duration", 30.0)),
+                checkpointed=bool(data.get("checkpointed", True)),
+                description=data.get("description", ""),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ChaosError(f"malformed campaign mapping: {exc!r}") from exc
 
 
 # ---------------------------------------------------------------------------

@@ -164,6 +164,28 @@ class ResilienceScorecard:
     orca_handler_errors: int = 0
     dropped_in_flight: int = 0
     dropped_by_fault: int = 0
+    #: items discarded because their destination PE was down (per-run delta)
+    dropped_at_down_pe: int = 0
+    #: items sitting in victim operator buffers at crash instants (those
+    #: died with the process — restart-empty semantics, not a bug)
+    buffered_at_crash: int = 0
+
+    @property
+    def accounted_losses(self) -> int:
+        """Ceiling on explainable tuple loss (crash/fault accounting).
+
+        Every lost tuple must be covered by an in-flight condemnation, a
+        lossy link fault, a down-PE discard, or a crash-time operator
+        buffer — ``tuples_lost`` exceeding this sum means the system lost
+        data *without* any crash to blame, which is the fuzzer's
+        unaccounted-loss invariant violation.
+        """
+        return (
+            self.dropped_in_flight
+            + self.dropped_by_fault
+            + self.dropped_at_down_pe
+            + self.buffered_at_crash
+        )
 
     @property
     def mean_recovery(self) -> float:
@@ -202,7 +224,9 @@ class ResilienceScorecard:
             f"max={self.orca_latency_max:.4f}s "
             f"handler errors={self.orca_handler_errors}",
             f"transport: dropped_in_flight={self.dropped_in_flight} "
-            f"dropped_by_fault={self.dropped_by_fault}",
+            f"dropped_by_fault={self.dropped_by_fault} "
+            f"dropped_at_down_pe={self.dropped_at_down_pe} "
+            f"buffered_at_crash={self.buffered_at_crash}",
         ]
 
     def render(self) -> str:
@@ -258,8 +282,10 @@ def collect_scorecard(
     recovery_times: List[float] = []
     unrecovered = 0
     fractions: List[float] = []
+    buffered_at_crash = 0
     for injection in run.injections:
         by_kind[injection.kind] = by_kind.get(injection.kind, 0) + 1
+        buffered_at_crash += injection.detail.get("buffered_at_crash", 0)
         if injection.recovery_time is not None:
             recovery_times.append(injection.recovery_time)
         elif injection.kind in RECOVERABLE_KINDS:
@@ -315,6 +341,10 @@ def collect_scorecard(
             system.transport.dropped_by_fault
             - base.get("dropped_by_fault", 0)
         ),
+        dropped_at_down_pe=(
+            system.transport.total_dropped - base.get("total_dropped", 0)
+        ),
+        buffered_at_crash=buffered_at_crash,
     )
     system.chaos.publish_scorecard_gauges(run.scenario.name, scorecard.gauges())
     return scorecard

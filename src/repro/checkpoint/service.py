@@ -82,6 +82,11 @@ class CheckpointService:
         #: called with a CheckpointRecord after every *committed* epoch
         #: (the ORCA service registers here to emit checkpoint_committed)
         self.commit_listeners: List[Callable[[CheckpointRecord], None]] = []
+        #: called with every CheckpointRecord, committed *or torn* — the
+        #: instrumentation tap the chaos fuzzer mines for commit-barrier
+        #: timestamps (a crash landing between record and commit is the
+        #: interleaving it hunts)
+        self.attempt_listeners: List[Callable[[CheckpointRecord], None]] = []
         #: test hook: return True to skip the commit (simulates a crash
         #: between record and commit, leaving a torn epoch behind)
         self.commit_fault: Optional[Callable[["PERuntime"], bool]] = None
@@ -256,6 +261,8 @@ class CheckpointService:
             bytes_written=bytes_written,
         )
         self.records.append(record)
+        for listener in list(self.attempt_listeners):
+            listener(record)
         if committed:
             for listener in list(self.commit_listeners):
                 listener(record)

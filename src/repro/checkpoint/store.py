@@ -224,6 +224,15 @@ class CheckpointStore:
         """
         return list(self._chains.get((job_id, pe_id), []))
 
+    def all_chains(self) -> Dict[Tuple[str, str], List[CheckpointEpoch]]:
+        """Every retained epoch chain, keyed by ``(job_id, pe_id)``.
+
+        Returns:
+            A detached mapping of shallow chain copies — the view the
+            fuzzer's epoch-monotonicity oracle walks.
+        """
+        return {key: list(chain) for key, chain in self._chains.items()}
+
     def job_status(self, job_id: str) -> Dict[str, CheckpointEpoch]:
         """Return each of a job's PEs' newest committed epoch.
 

@@ -136,6 +136,27 @@ _Move = Tuple[int, int, int, str, Dict[Any, Any]]
 _GlobalMove = Tuple[int, int, str, Any]
 
 
+@dataclass(frozen=True)
+class BarrierEvent:
+    """One timestamped phase transition of the rescale protocol.
+
+    The controller records these for every rescale — ``quiesce`` (the
+    splitter stopped forwarding), ``drain_clean`` (the region proved
+    empty), ``migrate`` (keyed extraction began), ``rewire`` (graph/PE
+    surgery began), ``resume`` (the splitter resumed at the new width,
+    ``epoch`` assigned), and ``failed`` — and pushes them to registered
+    barrier listeners.  They are the instrumentation tap the chaos
+    fuzzer (:mod:`repro.chaos.fuzz`) mines for adversarial step times:
+    the nastiest fault interleavings land *exactly at* these instants.
+    """
+
+    job_id: str
+    region: str
+    phase: str
+    time: float
+    epoch: int = 0
+
+
 @dataclass
 class ChannelReroute:
     """A splitter mask/unmask issued because a channel's PE crashed or
@@ -265,6 +286,12 @@ class ElasticController:
         self.reroute_listeners: List[Callable[[ChannelReroute], None]] = []
         #: unmask-time reclaim records, newest last
         self.reclaims: List[StateReclaim] = []
+        #: timestamped rescale-phase transitions (quiesce / drain_clean /
+        #: migrate / rewire / resume / failed), newest last — the barrier
+        #: tap the chaos fuzzer targets mutations at
+        self.barrier_events: List[BarrierEvent] = []
+        #: callbacks invoked with every BarrierEvent as it is recorded
+        self.barrier_listeners: List[Callable[[BarrierEvent], None]] = []
         #: callbacks invoked for every StateReclaim (the ORCA service
         #: registers here to emit ``state_reclaimed`` events)
         self.reclaim_listeners: List[Callable[[StateReclaim], None]] = []
@@ -272,6 +299,21 @@ class ElasticController:
         #: a PE restart only unmasks (and reports) channels found here, so
         #: a graceful stop_pe + restart_pe never emits phantom reroutes
         self._masked_channels: Dict[Tuple[str, str], Set[int]] = {}
+
+    def _mark_barrier(
+        self, job_id: str, region: str, phase: str, epoch: int = 0
+    ) -> None:
+        """Record one rescale-phase transition and notify barrier listeners."""
+        event = BarrierEvent(
+            job_id=job_id,
+            region=region,
+            phase=phase,
+            time=self.kernel.now,
+            epoch=epoch,
+        )
+        self.barrier_events.append(event)
+        for listener in list(self.barrier_listeners):
+            listener(event)
 
     # -- public API --------------------------------------------------------------
 
@@ -286,6 +328,16 @@ class ElasticController:
             True while a set_channel_width() protocol run is in flight.
         """
         return (job_id, region) in self._active
+
+    def active_operations(self) -> List[RescaleOperation]:
+        """The rescale operations currently in flight, any job or region.
+
+        Returns:
+            In-flight operations sorted by (job id, region) — empty when
+            every started rescale has completed or failed (what the
+            fuzzer's no-stuck-rescale oracle asserts post-drain).
+        """
+        return [self._active[key] for key in sorted(self._active)]
 
     def set_channel_width(
         self,
@@ -352,6 +404,7 @@ class ElasticController:
         self._active[key] = op
         op.state = RescaleState.DRAINING
         splitter_pe.send_control(plan.splitter, "quiesce", {})
+        self._mark_barrier(job.job_id, region, "quiesce")
         self.kernel.schedule(
             self.drain_poll_interval,
             self._poll_drain,
@@ -455,6 +508,29 @@ class ElasticController:
                     tracked.add(channel)
                 else:
                     tracked.discard(channel)
+            if not masked and tracked:
+                # Channels of this region are still masked, and the
+                # rejoining channel is now their detour — but their
+                # mask-time seeding may have found no live channel to
+                # install on (every channel was down at once).  Seed the
+                # still-dead channels' committed state onto the now-live
+                # detours before any traffic flows, installing only keys
+                # the detour does not already hold; without this, the
+                # eventual unmask reclaim overwrites rehydrated state
+                # with base-less detour accruals (state loss found by
+                # the chaos fuzzer's conservation oracle).
+                for dead_channel in sorted(tracked):
+                    dead_pe = self._channel_pe(job, plan, dead_channel)
+                    if dead_pe is None:
+                        continue
+                    seeded += self._seed_detour_state(
+                        job,
+                        plan,
+                        dead_pe,
+                        {dead_channel},
+                        splitter_pe,
+                        only_missing=True,
+                    )
             if masked:
                 # With the dead channels now out of the ring, seed the
                 # detour channels from the crashed PE's last committed
@@ -484,6 +560,19 @@ class ElasticController:
                 self.reroutes.append(record)
                 for listener in list(self.reroute_listeners):
                     listener(record)
+
+    @staticmethod
+    def _channel_pe(
+        job: Job, plan: ParallelRegionPlan, channel: int
+    ) -> Optional[PERuntime]:
+        """The PE hosting a channel's first operator (None when gone)."""
+        ops = plan.channel_ops[channel]
+        if not ops:
+            return None
+        try:
+            return job.pe_of_operator(ops[0])
+        except Exception:
+            return None
 
     def _reclaim_detour_state(
         self, job: Job, plan: ParallelRegionPlan, channels: Set[int]
@@ -564,6 +653,7 @@ class ElasticController:
         dead_pe: PERuntime,
         channels: Set[int],
         splitter_pe: PERuntime,
+        only_missing: bool = False,
     ) -> int:
         """Install a dead channel's checkpointed keyed state on its detours.
 
@@ -577,8 +667,12 @@ class ElasticController:
             job: The job owning the region.
             plan: The (partitioned) region plan.
             dead_pe: The crashed channel PE whose checkpoint is seeded.
-            channels: The channels just masked.
+            channels: The channels just masked (or, for deferred seeding,
+                the channels still masked while a detour rejoined).
             splitter_pe: The splitter's PE (source of the live mask set).
+            only_missing: Install only keys the detour does not already
+                hold — the deferred-seeding mode, which must never
+                clobber live detour accruals or a mask-time seed.
 
         Returns:
             Number of keyed entries installed on detour channels (0 when
@@ -622,7 +716,16 @@ class ElasticController:
                     target_op = target_pe.operators.get(target_name)
                     if target_pe.state is not PEState.RUNNING or target_op is None:
                         continue
-                    target_op.state.keyed(state_name).install(seed_entries)
+                    target_state = target_op.state.keyed(state_name)
+                    if only_missing:
+                        seed_entries = {
+                            key: value
+                            for key, value in seed_entries.items()
+                            if key not in target_state
+                        }
+                        if not seed_entries:
+                            continue
+                    target_state.install(seed_entries)
                     seeded += len(seed_entries)
         return seeded
 
@@ -677,6 +780,7 @@ class ElasticController:
             return
         op.drain_polls += 1
         if self._region_backlog(job, plan) == 0:
+            self._mark_barrier(job.job_id, plan.name, "drain_clean")
             self._rewire_and_resume(job, plan, op, on_complete)
             return
         if self.kernel.now - op.started_at > self.drain_timeout:
@@ -709,6 +813,7 @@ class ElasticController:
         op.state = RescaleState.FAILED
         op.error = reason
         op.completed_at = self.kernel.now
+        self._mark_barrier(op.job_id, op.region, "failed")
         self._active.pop((op.job_id, op.region), None)
         self.history.append(op)
         # Resume the splitter at the old width so the region keeps flowing.
@@ -973,6 +1078,7 @@ class ElasticController:
             )
             if migrates_keyed or wants_global_merge:
                 op.state = RescaleState.MIGRATING
+                self._mark_barrier(job.job_id, plan.name, "migrate")
                 migration = StateMigration(
                     region=plan.name,
                     old_width=op.old_width,
@@ -991,6 +1097,7 @@ class ElasticController:
                 op.migration = migration
 
             op.state = RescaleState.REWIRING
+            self._mark_barrier(job.job_id, plan.name, "rewire")
             added_specs, removed_names = resize_region(graph, plan, op.new_width)
 
             # Physical plan surgery, then live PE set changes.
@@ -1048,6 +1155,7 @@ class ElasticController:
             splitter_pe.send_control(
                 plan.splitter, "resume", {"width": op.new_width, "epoch": op.epoch}
             )
+            self._mark_barrier(job.job_id, plan.name, "resume", epoch=op.epoch)
         except Exception as exc:
             # Never let a rewire error escape into the kernel: the splitter
             # must be resumed or the region would buffer forever.  Any

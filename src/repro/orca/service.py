@@ -1126,12 +1126,15 @@ class OrcaService:
         """Campaign and injector counters (the chaos inspection hook).
 
         Returns:
-            ``{"runs", "injections", "active_link_faults", "injector":
-            {"injected", "by_kind", "noops", "pending"}, "last_injection"}``
-            — the failure injector's per-kind counters and recorded
-            no-ops plus the chaos engine's journal summary, so routines
-            (and tests) can correlate their reactions with the fault mix
-            actually injected.
+            ``{"runs", "runs_done", "injections", "step_errors",
+            "cancelled_steps", "active_link_faults",
+            "active_link_faults_by_effect", "injector": {"injected",
+            "by_kind", "noops", "pending"}, "last_injection"}`` — the
+            failure injector's per-kind counters and recorded no-ops
+            plus the chaos engine's journal summary (with active link
+            faults broken down by latency/partition/loss effect), so
+            routines, tests, and mid-flight fuzz searches can correlate
+            their reactions with the fault mix actually injected.
         """
         return self.system.chaos.status()
 

@@ -203,6 +203,12 @@ class FailureInjector:
             if pe.state is PEState.RUNNING:
                 self._record_noop("restart_pe", pe.pe_id, "pe_running")
                 return
+            if all(p.pe_id != pe_id for p in job.pes):
+                # the PE was removed (e.g. a rescale shrank it away)
+                # between scheduling and firing: a recorded no-op, never
+                # an exception into the kernel
+                self._record_noop("restart_pe", pe.pe_id, "pe_removed")
+                return
             self._record("restart_pe")
             self.sam.restart_pe(job_id, pe_id, rehydrate=rehydrate)
 

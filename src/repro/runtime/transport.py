@@ -31,7 +31,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Dict, List, Optional, Tuple, Union
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Tuple, Union
 
 from repro.sim.kernel import Kernel
 from repro.spl.tuples import Punctuation, StreamTuple
@@ -40,6 +40,35 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.runtime.pe import PERuntime
 
 Item = Union[StreamTuple, Punctuation]
+
+
+@dataclass(frozen=True)
+class DeliveryRecord:
+    """One successful transport delivery, as seen by delivery taps.
+
+    ``link_seq`` is the item's per-link send index (links key on
+    ``(source PE id or "", destination PE id)``): the transport assigns
+    it at *original send time* — before any partition holds or flush
+    re-scheduling — so a tap observing deliveries whose ``link_seq``
+    ever decreases on one link has caught a genuine per-connection FIFO
+    violation, exactly what the chaos fuzzer's
+    :class:`~repro.chaos.fuzz.oracles.FifoProbe` checks.
+
+    Attributes:
+        src_key: Sending PE id ("" for registry-less senders).
+        dst_pe_id: Receiving PE id.
+        op_full_name: Destination operator full name.
+        port: Destination input port.
+        link_seq: Per-link send index (1-based, monotone per link).
+        time: Sim time of the delivery.
+    """
+
+    src_key: str
+    dst_pe_id: str
+    op_full_name: str
+    port: int
+    link_seq: int
+    time: float
 
 
 @dataclass
@@ -127,6 +156,15 @@ class Transport:
         #: (src pe id or "", dst pe id) -> latest scheduled arrival, so a
         #: fault expiring mid-stream cannot reorder a connection's items
         self._fifo_horizon: Dict[Tuple[str, str], float] = {}
+        #: (src pe id or "", dst pe id) -> send index of the last item
+        #: *sent* on that link — assigned before any hold/flush, stamped
+        #: onto deliveries for FIFO taps and used to keep flushed
+        #: partition queues merged in send order
+        self._link_send_seq: Dict[Tuple[str, str], int] = {}
+        #: callbacks invoked with a :class:`DeliveryRecord` after every
+        #: successful delivery — the chaos fuzzer's FIFO oracle registers
+        #: here; the hot path skips record construction while empty
+        self.delivery_taps: List[Callable[[DeliveryRecord], None]] = []
 
     # -- link faults --------------------------------------------------------
 
@@ -187,10 +225,18 @@ class Transport:
         held = self._held.pop(fault_id, [])
         if installed is None and not held:
             return
-        for src_pe, dst_pe, op_full_name, port, item, incarnation in held:
-            self._resend_held(
-                src_pe, dst_pe, op_full_name, port, item, incarnation
-            )
+        # Items re-held by a *still-open* untimed partition are collected
+        # per target fault and merged into its queue by original per-link
+        # send sequence: with overlapping partitions either fault may be
+        # cleared first, so neither plain append nor plain prepend keeps
+        # a link's items in send order — the send-time stamp does.
+        reheld: Dict[int, List[tuple]] = {}
+        for entry in held:
+            self._resend_held(*entry, reheld=reheld)
+        for target_id, group in reheld.items():
+            merged = group + self._held.get(target_id, [])
+            merged.sort(key=lambda entry: entry[6])
+            self._held[target_id] = merged
         self._prune_faults()
 
     def _resend_held(
@@ -201,15 +247,19 @@ class Transport:
         port: int,
         item: Item,
         incarnation: int,
+        link_seq: int,
+        reheld: Optional[Dict[int, List[tuple]]] = None,
     ) -> None:
         """Re-route one flushed item through the faults active *now*.
 
         Fault composition survives the flush: a still-open partition on
-        the same link re-holds the item (appended behind that fault's
-        queue, preserving link FIFO), a timed partition or latency spike
-        still in force delays it, and an unimpeded link delivers it with
-        the base latency.  Drop faults are not re-applied — the item
-        already survived its send.
+        the same link re-holds the item (collected into ``reheld`` so the
+        caller can merge the flushed group into that fault's queue by
+        original send sequence), a timed partition or latency spike still
+        in force delays it, and an unimpeded link delivers it with the
+        base latency.  Drop faults are not re-applied — the item already
+        survived its send.  ``link_seq`` is the item's original send-time
+        stamp and rides along unchanged.
         """
         faults = self._matching_faults(src_pe, dst_pe)
         latency = self.latency
@@ -218,9 +268,14 @@ class Transport:
             latency += fault.extra_latency
             if fault.partition:
                 if fault.until is None:
-                    self._held.setdefault(fault.fault_id, []).append(
-                        (src_pe, dst_pe, op_full_name, port, item, incarnation)
+                    entry = (
+                        src_pe, dst_pe, op_full_name, port, item,
+                        incarnation, link_seq,
                     )
+                    if reheld is not None:
+                        reheld.setdefault(fault.fault_id, []).append(entry)
+                    else:
+                        self._held.setdefault(fault.fault_id, []).append(entry)
                     return
                 hold_until = max(hold_until or 0.0, fault.until)
         deliver_at = self.kernel.now + latency
@@ -234,6 +289,7 @@ class Transport:
             port,
             item,
             incarnation=incarnation,
+            link_seq=link_seq,
         )
 
     def active_link_faults(self) -> List[LinkFault]:
@@ -323,11 +379,13 @@ class Transport:
         src_key = src_pe.pe_id if src_pe is not None else ""
         key = (dst_pe.pe_id, op_full_name, port)
         self._in_flight[key] = self._in_flight.get(key, 0) + 1
+        link_seq = self._next_link_seq(src_key, dst_pe.pe_id)
         if untimed_partition is not None:
-            # the destination incarnation is captured at *send* time (a
-            # crash during the partition must still condemn held items)
-            # and the source PE rides along so the flush can re-match
-            # faults and respect the same per-link FIFO as ordinary sends
+            # the destination incarnation and link send-sequence are
+            # captured at *send* time (a crash during the partition must
+            # still condemn held items; the seq keeps flushed queues in
+            # send order) and the source PE rides along so the flush can
+            # re-match faults like ordinary sends
             self._held.setdefault(untimed_partition.fault_id, []).append(
                 (
                     src_pe,
@@ -336,6 +394,7 @@ class Transport:
                     port,
                     item,
                     self._incarnations.get(dst_pe.pe_id, 0),
+                    link_seq,
                 )
             )
             return
@@ -343,8 +402,16 @@ class Transport:
         if hold_until is not None:
             deliver_at = max(deliver_at, hold_until + self.latency)
         self._schedule_delivery(
-            deliver_at, src_key, dst_pe, op_full_name, port, item
+            deliver_at, src_key, dst_pe, op_full_name, port, item,
+            link_seq=link_seq,
         )
+
+    def _next_link_seq(self, src_key: str, dst_pe_id: str) -> int:
+        """Allocate the next send-time sequence number of one link."""
+        link = (src_key, dst_pe_id)
+        seq = self._link_send_seq.get(link, 0) + 1
+        self._link_send_seq[link] = seq
+        return seq
 
     def _schedule_delivery(
         self,
@@ -355,11 +422,14 @@ class Transport:
         port: int,
         item: Item,
         incarnation: Optional[int] = None,
+        link_seq: Optional[int] = None,
     ) -> None:
         """Schedule one (already in-flight-counted) delivery, FIFO per link."""
         link = (src_key or "", dst_pe.pe_id)
         deliver_at = max(deliver_at, self._fifo_horizon.get(link, 0.0))
         self._fifo_horizon[link] = deliver_at
+        if link_seq is None:
+            link_seq = self._next_link_seq(link[0], link[1])
         if incarnation is None:
             incarnation = self._incarnations.get(dst_pe.pe_id, 0)
         self.kernel.schedule_at(
@@ -370,6 +440,8 @@ class Transport:
             port,
             item,
             incarnation,
+            link[0],
+            link_seq,
             label=f"transport->{op_full_name}[{port}]",
         )
 
@@ -380,6 +452,8 @@ class Transport:
         port: int,
         item: Item,
         incarnation: int = 0,
+        src_key: str = "",
+        link_seq: int = 0,
     ) -> None:
         key = (dst_pe.pe_id, op_full_name, port)
         count = self._in_flight.get(key, 0)
@@ -399,6 +473,17 @@ class Transport:
             self.total_dropped += 1
             return
         self.total_delivered += 1
+        if self.delivery_taps:
+            record = DeliveryRecord(
+                src_key=src_key,
+                dst_pe_id=dst_pe.pe_id,
+                op_full_name=op_full_name,
+                port=port,
+                link_seq=link_seq,
+                time=self.kernel.now,
+            )
+            for tap in list(self.delivery_taps):
+                tap(record)
         dst_pe.receive(op_full_name, port, item)
 
     def queue_size(self, pe_id: str, op_full_name: str, port: int) -> int:

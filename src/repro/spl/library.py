@@ -923,6 +923,11 @@ class ParallelSplitter(Operator):
     def pending_items(self) -> int:
         return len(self._buffer)
 
+    def pending_tuples(self) -> int:
+        # the quiesce buffer holds WINDOW punctuations alongside tuples;
+        # crash-loss accounting must not count those as condemned data
+        return sum(1 for item in self._buffer if isinstance(item, StreamTuple))
+
     # -- control (driven by the ElasticController) -----------------------------
 
     def _set_width(self, width: int) -> None:

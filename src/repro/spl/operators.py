@@ -256,6 +256,17 @@ class Operator:
         """
         return 0
 
+    def pending_tuples(self) -> int:
+        """Data tuples (punctuations excluded) in internal buffers.
+
+        Defaults to :meth:`pending_items`; operators whose buffers also
+        hold punctuations (the region splitter's quiesce buffer) override
+        this so crash-loss accounting (``buffered_at_crash`` in
+        :mod:`repro.chaos`) counts only items whose loss would show up as
+        missing data tuples.
+        """
+        return self.pending_items()
+
     # -- state snapshot / restore (framework entry points) ------------------------
 
     def snapshot(self) -> Dict[str, Any]:

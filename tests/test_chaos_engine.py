@@ -138,6 +138,26 @@ class TestFailureInjector:
         assert system.failures.injected == 0
         assert all(pe.state is PEState.RUNNING for pe in job.pes)
 
+    def test_scheduled_restart_of_removed_pe_is_recorded_noop(self):
+        """A flap's scheduled restart racing a rescale that removed the
+        PE must be a recorded no-op, never an exception into the kernel
+        (found by the corpus replay of the doomed-channel race)."""
+        system = chaos_system()
+        feed = ChaosFeed(seed=3)
+        job = system.submit_job(build_keyed_app(feed, width=3))
+        system.run_for(1.0)
+        doomed = job.pe_of_operator("work__c2")
+        doomed.crash("chaos")
+        system.failures.restart_pe(
+            job.job_id, doomed.pe_id, at=system.now + 3.0
+        )
+        system.elastic.set_channel_width(job, "region", 2)
+        system.run_for(5.0)  # the rescale removes the PE, then the restart fires
+        assert job.compiled.parallel_regions["region"].width == 2
+        noop = system.failures.noops[-1]
+        assert noop.kind == "restart_pe"
+        assert noop.reason == "pe_removed"
+
     def test_revive_host_roundtrip_and_noops(self):
         system = chaos_system()
         host = next(iter(system.hcs))
@@ -451,6 +471,37 @@ class TestOrcaChaosSurface:
             "restart_pe": 1,
         }
         assert status["last_injection"]["kind"] == "pe_flap"
+
+    def test_chaos_status_surfaces_link_faults_and_run_progress(self):
+        """The status snapshot must carry the injector's stats, an
+        active-link-fault breakdown by effect, and run progress totals —
+        what makes a long fuzz search inspectable from ORCA mid-flight."""
+        feed = ChaosFeed(seed=3)
+        system, service, logic = orchestrated_system(feed, ChaosScope("c"))
+        scenario = Scenario("inspect").add(
+            0.5, PEFlap(operator="work__c0", downtime=0.5)
+        ).add(
+            1.0, LatencySpike(extra=0.05, duration=30.0)
+        ).add(5.0, RateSurge(factor=0.0))  # invalid factor: a step error
+        system.chaos.run_scenario(scenario, job=logic.job, feed=feed)
+        system.run_for(8.0)
+        status = service.chaos_status()
+        assert status["runs"] == 1 and status["runs_done"] == 1
+        assert status["injections"] == 2
+        assert status["step_errors"] == 1
+        assert status["cancelled_steps"] == 0
+        assert status["active_link_faults"] == 1
+        assert status["active_link_faults_by_effect"] == {
+            "latency": 1,
+            "partition": 0,
+            "loss": 0,
+        }
+        # the injector's stats() payload rides along untruncated
+        assert status["injector"]["by_kind"] == {
+            "crash_pe": 1,
+            "restart_pe": 1,
+        }
+        assert status["injector"]["pending"] == 0
 
     def test_shutdown_unregisters_chaos_listener(self):
         feed = ChaosFeed(seed=3)

@@ -34,6 +34,11 @@ DOCSTYLE_FILES = [
     "src/repro/chaos/scenario.py",
     "src/repro/chaos/engine.py",
     "src/repro/chaos/scorecard.py",
+    "src/repro/chaos/fuzz/__init__.py",
+    "src/repro/chaos/fuzz/oracles.py",
+    "src/repro/chaos/fuzz/harness.py",
+    "src/repro/chaos/fuzz/search.py",
+    "src/repro/chaos/fuzz/shrink.py",
 ]
 
 

@@ -1,0 +1,79 @@
+"""The fuzz regression corpus replayer.
+
+Every ``tests/corpus/*.json`` entry is a serialized chaos campaign —
+the hand-found double-fault races of ``tests/test_double_faults.py``
+ported into the scenario DSL, plus whatever minimized repros future
+fuzz runs commit.  Each entry is replayed **twice** on fresh systems
+through the full invariant-oracle suite: the scorecards and oracle
+reports must be byte-identical across the two runs, and the current
+stack must clear every applicable oracle.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from dataclasses import replace
+
+import pytest
+
+from repro.chaos import Campaign
+from repro.chaos.fuzz import FuzzHarnessConfig, run_fuzz_case
+
+CORPUS_DIR = pathlib.Path(__file__).parent / "corpus"
+CORPUS = sorted(CORPUS_DIR.glob("*.json"))
+
+
+def load_entry(path: pathlib.Path):
+    """Parse one corpus file into its campaign and harness config."""
+    entry = json.loads(path.read_text())
+    campaign = Campaign.from_dict(entry["campaign"]).validate()
+    config = FuzzHarnessConfig.from_overrides(entry.get("harness", {}))
+    config = replace(
+        config, seed=campaign.seed, duration=campaign.duration
+    )
+    if not campaign.checkpointed:
+        config = replace(config, checkpoint_interval=0.0)
+    return entry, campaign, config
+
+
+def test_corpus_is_populated():
+    assert CORPUS, "the regression corpus must not be empty"
+    names = [json.loads(p.read_text())["campaign"]["name"] for p in CORPUS]
+    assert len(names) == len(set(names))  # unique campaign names
+    assert all(p.stem == name for p, name in zip(CORPUS, names))
+
+
+@pytest.mark.parametrize("path", CORPUS, ids=lambda p: p.stem)
+def test_corpus_entry_round_trips(path):
+    """Serialization stability: from_dict -> to_dict is the identity."""
+    entry, campaign, _ = load_entry(path)
+    assert campaign.to_dict() == entry["campaign"]
+
+
+@pytest.mark.parametrize("path", CORPUS, ids=lambda p: p.stem)
+def test_corpus_entry_replays_clean_twice(path):
+    """The acceptance bar: every corpus scenario replays with zero
+    oracle violations on the current stack, twice, with byte-identical
+    scorecards and oracle reports."""
+    entry, campaign, config = load_entry(path)
+    first = run_fuzz_case(campaign.scenario, config)
+    # a fresh deserialization for the repeat, so the run cannot lean on
+    # any state the first execution left on the scenario objects
+    _, campaign_again, config_again = load_entry(path)
+    second = run_fuzz_case(campaign_again.scenario, config_again)
+
+    assert first.report.ok, [v.detail for v in first.violations]
+    assert second.report.ok
+    assert first.scorecard.render() == second.scorecard.render()
+    assert first.report.lines() == second.report.lines()
+    assert first.objective == second.objective
+    # the disturbance actually landed (a corpus of no-ops proves nothing)
+    assert first.scorecard.injections == len(campaign.scenario.steps)
+
+
+def test_corpus_names_document_their_origin():
+    for path in CORPUS:
+        entry = json.loads(path.read_text())
+        assert entry.get("origin"), f"{path.name}: missing origin pointer"
+        assert entry["campaign"]["scenario"]["description"], path.name

@@ -1,0 +1,365 @@
+"""Invariant-oracle suite tests: profile conditioning (no false
+positives on restart-empty stacks — the PR 4 failover semantics), the
+FIFO probe and its transport regression, the new barrier/attempt
+instrumentation taps, and the deferred detour seeding the fuzzer's
+state-conservation oracle flushed out."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import SystemConfig, SystemS
+from repro.apps.workloads import ChaosFeed
+from repro.chaos import PEFlap, Scenario
+from repro.chaos.fuzz import (
+    FifoProbe,
+    FuzzHarnessConfig,
+    OracleProfile,
+    run_fuzz_case,
+)
+from repro.elastic.controller import ChannelReroute
+from repro.runtime.transport import DeliveryRecord
+from repro.spl.application import Application
+from repro.spl.library import CallbackSource, KeyedCounter, Sink
+from repro.spl.parallel import parallel
+
+
+def build_region_app(feed, width=2):
+    app = Application("OracleApp")
+    g = app.graph
+    src = g.add_operator(
+        "src",
+        CallbackSource,
+        params={"generator": feed.generator(), "period": 0.05},
+        partition="feed",
+    )
+    work = g.add_operator(
+        "work",
+        KeyedCounter,
+        params={"key": "key"},
+        parallel=parallel(
+            width=width,
+            name="region",
+            partition_by="key",
+            max_width=8,
+            reorder_grace=1.0,
+        ),
+    )
+    sink = g.add_operator("sink", Sink, partition="out")
+    g.connect(src.oport(0), work.iport(0))
+    g.connect(work.oport(0), sink.iport(0))
+    return app
+
+
+# ---------------------------------------------------------------------------
+# profile conditioning
+# ---------------------------------------------------------------------------
+
+
+class TestProfileConditioning:
+    def test_for_config_derivations(self):
+        full = OracleProfile.for_config(checkpointed=True)
+        assert full.zero_tuple_loss and full.state_recovery_bar is not None
+        assert full.checkpoint_liveness
+
+        empty = OracleProfile.for_config(checkpointed=False)
+        assert empty.name == "restart_empty"
+        assert not empty.zero_tuple_loss
+        assert empty.state_recovery_bar is None
+        assert not empty.checkpoint_liveness
+        assert empty.recovery_required  # flaps must still come back
+
+        lossy = OracleProfile.for_config(checkpointed=True, lossless_network=False)
+        assert not lossy.zero_tuple_loss and not lossy.zero_duplicates
+        assert lossy.state_recovery_bar is not None
+
+    def test_restart_empty_stack_raises_no_false_positives(self):
+        """The PR 4 failover semantics: no checkpoints, flaps restart
+        empty and genuinely lose keyed state — the oracle suite, keyed
+        off the configuration, must stay green."""
+        scenario = Scenario("failover_like").add(
+            1.02, PEFlap(operator="work__c0", downtime=1.0, rehydrate=False)
+        )
+        # the feed stops right after the restart-empty recovery, so the
+        # reset counters cannot recount their way past the loss
+        outcome = run_fuzz_case(
+            scenario,
+            FuzzHarnessConfig(checkpoint_interval=0.0, duration=3.2),
+        )
+        assert outcome.report.profile.name == "restart_empty"
+        assert outcome.report.ok, [v.detail for v in outcome.violations]
+        # the loss is real (restart-empty recovers nothing) ...
+        assert outcome.scorecard.state_recovery < 0.99
+        # ... and the exempting oracles say why they did not fire
+        assert "state_conservation" in outcome.report.skipped
+        assert "checkpoint_liveness" in outcome.report.skipped
+
+    def test_same_run_fails_under_the_checkpointed_profile(self):
+        """Forcing the checkpointed profile onto the restart-empty stack
+        must violate — proving the conditioning (not luck) is what keeps
+        the failover stack green."""
+        scenario = Scenario("failover_like").add(
+            1.02, PEFlap(operator="work__c0", downtime=1.0, rehydrate=False)
+        )
+        outcome = run_fuzz_case(
+            scenario,
+            FuzzHarnessConfig(
+                checkpoint_interval=0.0,
+                duration=8.0,
+                profile=OracleProfile(),
+            ),
+        )
+        assert not outcome.report.ok
+        assert "checkpoint_liveness" in {v.oracle for v in outcome.violations}
+
+    def test_clean_checkpointed_run_checks_everything(self):
+        scenario = Scenario("clean").add(
+            1.02, PEFlap(operator="work__c0", downtime=1.0)
+        )
+        outcome = run_fuzz_case(scenario, FuzzHarnessConfig(duration=8.0))
+        assert outcome.report.ok
+        checked = set(outcome.report.checked)
+        assert {
+            "zero_tuple_loss",
+            "no_unaccounted_loss",
+            "no_duplicates",
+            "state_conservation",
+            "checkpoint_liveness",
+            "recovery_completeness",
+            "epoch_monotonicity",
+            "fifo_per_connection",
+            "no_phantom_reroutes",
+            "no_stuck_rescale",
+            "no_step_errors",
+        } <= checked
+        # report text is deterministic and diff-stable
+        assert outcome.report.lines()[0].startswith("oracle profile:")
+
+
+# ---------------------------------------------------------------------------
+# per-connection FIFO: probe + transport regression
+# ---------------------------------------------------------------------------
+
+
+class TestFifo:
+    def test_probe_flags_reordered_deliveries(self):
+        system = SystemS(hosts=2)
+        probe = FifoProbe(system.transport)
+        record = lambda seq: DeliveryRecord(  # noqa: E731
+            src_key="pe_1",
+            dst_pe_id="pe_2",
+            op_full_name="work",
+            port=0,
+            link_seq=seq,
+            time=0.0,
+        )
+        probe._on_delivery(record(1))
+        probe._on_delivery(record(2))
+        probe._on_delivery(record(4))  # gap: fine (drops create gaps)
+        assert probe.violations == []
+        probe._on_delivery(record(3))  # went backwards: violation
+        assert probe.violations == [(("pe_1", "pe_2"), 4, 3)]
+        probe.detach()
+        assert probe._on_delivery not in system.transport.delivery_taps
+        probe.detach()  # idempotent
+
+    @staticmethod
+    def _overlapping_partitions_run(clear_older_first: bool):
+        """Two overlapping untimed partitions on one link, cleared in
+        either order; returns (probe, sink seqs, feed)."""
+        system = SystemS(hosts=4, seed=42)
+        feed = ChaosFeed(seed=3, base_rate=2, n_keys=6)
+        app = Application("FifoApp")
+        g = app.graph
+        src = g.add_operator(
+            "src",
+            CallbackSource,
+            params={"generator": feed.generator(), "period": 0.05},
+            partition="feed",
+        )
+        work = g.add_operator("work", KeyedCounter, params={"key": "key"})
+        sink = g.add_operator("sink", Sink, partition="out")
+        g.connect(src.oport(0), work.iport(0))
+        g.connect(work.oport(0), sink.iport(0))
+        job = system.submit_job(app)
+        probe = FifoProbe(system.transport)
+        system.run_for(1.0)
+        work_pe = job.pe_of_operator("work")
+        older = system.transport.install_link_fault(
+            partition=True, dst_pe=work_pe.pe_id
+        )
+        system.run_for(0.5)  # items pile up in the older partition
+        newer = system.transport.install_link_fault(
+            partition=True, dst_pe=work_pe.pe_id
+        )
+        system.run_for(0.5)  # newer items pile up in the newer one
+        order = [older, newer] if clear_older_first else [newer, older]
+        system.transport.clear_link_fault(order[0])
+        system.run_for(0.2)
+        system.transport.clear_link_fault(order[1])
+        feed.set_rate_factor(0.0)
+        system.run_for(2.0)
+        sink_op = job.operator_instance("sink")
+        return probe, [t["seq"] for t in sink_op.seen], feed
+
+    @pytest.mark.parametrize("clear_older_first", [True, False])
+    def test_overlapping_untimed_partitions_preserve_link_fifo(
+        self, clear_older_first
+    ):
+        """Regression for the reorder the FIFO oracle exposed: with two
+        overlapping untimed partitions, *either* fault may clear first —
+        flushed items that re-hold under the surviving fault must merge
+        into its queue by original send sequence, or a link delivers
+        later sends ahead of earlier ones."""
+        probe, seqs, feed = self._overlapping_partitions_run(clear_older_first)
+        assert probe.violations == []
+        assert seqs == sorted(seqs)  # the keyed stream arrived in order
+        assert len(set(seqs)) == feed.emitted  # and nothing was lost
+
+
+# ---------------------------------------------------------------------------
+# instrumentation taps
+# ---------------------------------------------------------------------------
+
+
+class TestBarrierTaps:
+    def test_rescale_emits_phase_timeline(self):
+        system = SystemS(
+            hosts=10, seed=42, config=SystemConfig(checkpoint_interval=0.25)
+        )
+        feed = ChaosFeed(seed=3, base_rate=2)
+        job = system.submit_job(build_region_app(feed))
+        seen = []
+        system.elastic.barrier_listeners.append(
+            lambda event: seen.append(event.phase)
+        )
+        system.run_for(2.0)
+        system.elastic.set_channel_width(job, "region", 4)
+        system.run_for(3.0)
+        phases = [
+            e.phase for e in system.elastic.barrier_events if e.region == "region"
+        ]
+        assert phases == ["quiesce", "drain_clean", "migrate", "rewire", "resume"]
+        assert seen == phases  # listeners saw the same timeline
+        resume = system.elastic.barrier_events[-1]
+        assert resume.epoch > 0 and resume.job_id == job.job_id
+        times = [e.time for e in system.elastic.barrier_events]
+        assert times == sorted(times)
+
+    def test_checkpoint_attempt_listeners_see_torn_records(self):
+        system = SystemS(
+            hosts=4, seed=42, config=SystemConfig(checkpoint_interval=0.2)
+        )
+        feed = ChaosFeed(seed=3, base_rate=2)
+        system.submit_job(build_region_app(feed))
+        attempts = []
+        system.checkpoints.attempt_listeners.append(attempts.append)
+        system.run_for(1.0)
+        assert attempts and all(r.committed for r in attempts)
+        system.checkpoints.commit_fault = lambda pe: True
+        before = len(attempts)
+        system.run_for(1.0)
+        system.checkpoints.commit_fault = None
+        torn = [r for r in attempts[before:] if not r.committed]
+        assert torn  # torn attempts reach the tap (commit_listeners skip them)
+
+
+# ---------------------------------------------------------------------------
+# the deferred-seeding fix (found by the state-conservation oracle)
+# ---------------------------------------------------------------------------
+
+
+class TestDeferredSeeding:
+    def test_all_channels_down_race_conserves_committed_state(self):
+        """Both channels of a width-2 region down at once: the second
+        victim's mask found no live detour to seed.  When the first
+        channel rejoins, the still-dead channel's committed state must be
+        seeded onto it — without that, the eventual unmask reclaim
+        overwrites rehydrated state with base-less detour accruals
+        (counts collapsing 12 -> 1), the exact loss the fuzzer found."""
+        scenario = (
+            Scenario("race")
+            .add(1.02, PEFlap(operator="work__c0", downtime=1.0))
+            .add(1.99, PEFlap(operator="work__c1", downtime=1.0))
+        )
+        outcome = run_fuzz_case(scenario, FuzzHarnessConfig(duration=11.0))
+        assert outcome.report.ok, [v.detail for v in outcome.violations]
+        # every tuple lost in the all-masked window is crash-accounted
+        assert outcome.scorecard.tuples_lost <= outcome.scorecard.accounted_losses
+
+    def test_unmask_record_reports_deferred_seeding(self):
+        system = SystemS(
+            hosts=10,
+            seed=42,
+            config=SystemConfig(
+                checkpoint_interval=0.25, failure_notification_delay=0.001
+            ),
+        )
+        feed = ChaosFeed(n_keys=12, base_rate=2, seed=5)
+        job = system.submit_job(build_region_app(feed))
+        system.run_for(3.0)
+        scenario = (
+            Scenario("race")
+            .add(1.02, PEFlap(operator="work__c0", downtime=1.0))
+            .add(1.99, PEFlap(operator="work__c1", downtime=1.0))
+        )
+        system.chaos.run_scenario(scenario, job=job, feed=feed)
+        system.run_for(6.0)
+        unmasks = [r for r in system.elastic.reroutes if not r.masked]
+        # the first channel to rejoin deferred-seeded the still-dead one
+        assert unmasks and unmasks[0].seeded_keys > 0
+
+
+# ---------------------------------------------------------------------------
+# phantom-reroute detection
+# ---------------------------------------------------------------------------
+
+
+class TestPhantomRerouteOracle:
+    def test_unmatched_unmask_is_flagged(self):
+        scenario = Scenario("clean").add(
+            1.02, PEFlap(operator="work__c0", downtime=1.0)
+        )
+        config = FuzzHarnessConfig(duration=6.0)
+        outcome = run_fuzz_case(scenario, config)
+        assert outcome.report.ok
+
+        # replay on a live system and plant a phantom unmask in the journal
+        from repro.chaos.fuzz.oracles import evaluate_oracles
+
+        system = SystemS(
+            hosts=10,
+            seed=42,
+            config=SystemConfig(
+                checkpoint_interval=0.25, failure_notification_delay=0.001
+            ),
+        )
+        feed = ChaosFeed(n_keys=12, base_rate=2, seed=5)
+        job = system.submit_job(build_region_app(feed))
+        system.run_for(3.0)
+        run = system.chaos.run_scenario(
+            Scenario("p").add(
+                1.02, PEFlap(operator="work__c0", downtime=1.0)
+            ),
+            job=job,
+            feed=feed,
+        )
+        system.run_for(6.0)
+        system.elastic.reroutes.append(
+            ChannelReroute(
+                job_id=job.job_id,
+                region="region",
+                channel=1,
+                masked=False,  # unmask that no mask preceded
+                reason="phantom",
+                width=2,
+                pe_id="pe_x",
+                time=system.now,
+            )
+        )
+        report = evaluate_oracles(
+            system, run, outcome.scorecard, OracleProfile()
+        )
+        assert any(
+            v.oracle == "no_phantom_reroutes" for v in report.violations
+        )

@@ -1,0 +1,162 @@
+"""Adversarial search + shrink acceptance: given a deliberately
+weakened configuration (checkpoint commits permanently torn via the
+existing ``commit_fault`` hook), the fuzzer must find an invariant
+violation within a small fixed-seed budget, shrink it to a <= 3 step
+repro, and do all of it deterministically — the CI ``chaos-fuzz`` job
+runs this file."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.chaos import (
+    KeySkewShift,
+    LatencySpike,
+    PEFlap,
+    RateSurge,
+    Scenario,
+)
+from repro.chaos.fuzz import (
+    FuzzBudget,
+    FuzzHarnessConfig,
+    fuzz_scenario,
+    mutate_step_time,
+    run_fuzz_case,
+    shrink_scenario,
+)
+
+
+def planted_scenario() -> Scenario:
+    """A noisy scenario whose only damaging step is the flap."""
+    return (
+        Scenario("planted", description="weakened-config hunt")
+        .add(0.5, LatencySpike(extra=0.05, duration=1.5))
+        .add(0.8, RateSurge(factor=2.0, duration=3.0))
+        .add(1.02, PEFlap(operator="work__c0", downtime=1.0))
+        .add(2.0, KeySkewShift(hot_fraction=0.8, hot_keys=("k0",), duration=2.0))
+    )
+
+
+WEAK = FuzzHarnessConfig(duration=8.0, torn_commits=True)
+BUDGET = FuzzBudget(seeds=(42, 7), mutation_rounds=2)
+
+
+def weak_runner(scenario, seed):
+    return run_fuzz_case(scenario, WEAK.with_seed(seed))
+
+
+def search_and_shrink():
+    """The whole pipeline: search -> shrink -> serialized repro."""
+    report = fuzz_scenario(planted_scenario(), weak_runner, BUDGET)
+    assert report.found_violation
+    worst = report.worst
+    shrunk = shrink_scenario(
+        worst.scenario,
+        lambda s: bool(weak_runner(s, worst.seed).violations),
+    )
+    return report, shrunk
+
+
+class TestPlantedWeakness:
+    def test_search_finds_violation_within_budget(self):
+        report = fuzz_scenario(planted_scenario(), weak_runner, BUDGET)
+        assert report.found_violation
+        assert report.runs_executed <= (1 + BUDGET.mutation_rounds) * len(
+            BUDGET.seeds
+        )
+        oracles = {v.oracle for v in report.worst.violations}
+        assert "checkpoint_liveness" in oracles  # commits never landed
+
+    def test_shrinks_to_minimal_repro(self):
+        _, shrunk = search_and_shrink()
+        assert shrunk.original_steps == 4
+        assert shrunk.steps <= 3  # the acceptance bar
+        assert shrunk.steps == 1  # and in fact minimal
+        assert len(shrunk.removed) == 3
+        # the minimized repro still fails on a fresh stack
+        final = weak_runner(shrunk.scenario, 42)
+        assert final.violations
+
+    def test_search_and_shrink_are_deterministic(self):
+        """Run the whole pipeline twice: identical summaries and an
+        identical serialized minimized scenario (what CI diffs)."""
+        first_report, first_shrunk = search_and_shrink()
+        second_report, second_shrunk = search_and_shrink()
+        assert first_report.summary_lines() == second_report.summary_lines()
+        assert (
+            first_shrunk.scenario.to_dict() == second_shrunk.scenario.to_dict()
+        )
+        assert first_shrunk.removed == second_shrunk.removed
+
+    def test_healthy_stack_passes_the_same_search(self):
+        """The violation comes from the planted weakness, not the
+        scenario: the identical search on the healthy stack is clean."""
+        healthy = FuzzHarnessConfig(duration=8.0)
+        report = fuzz_scenario(
+            planted_scenario(),
+            lambda s, seed: run_fuzz_case(s, healthy.with_seed(seed)),
+            FuzzBudget(seeds=(42,), mutation_rounds=1),
+        )
+        assert not report.found_violation
+        assert report.worst.report.ok
+
+
+class TestSearchMechanics:
+    def test_mutate_step_time_replaces_one_step_only(self):
+        scenario = planted_scenario()
+        mutated = mutate_step_time(scenario, 2, 5.5)
+        assert mutated is not scenario
+        assert mutated.name == scenario.name  # jitter stream unchanged
+        assert [s.at for s in scenario.steps] == [0.5, 0.8, 1.02, 2.0]
+        assert [s.at for s in mutated.steps] == [0.5, 0.8, 5.5, 2.0]
+        assert mutated.steps[2].perturbation is scenario.steps[2].perturbation
+        assert mutate_step_time(scenario, 0, -3.0).steps[0].at == 0.0
+
+    def test_search_validates_the_base_scenario(self):
+        from repro.chaos import ChaosError
+
+        with pytest.raises(ChaosError, match="no steps"):
+            fuzz_scenario(Scenario("empty"), weak_runner, BUDGET)
+
+    def test_mutations_target_observed_barriers(self):
+        healthy = FuzzHarnessConfig(duration=6.0)
+        report = fuzz_scenario(
+            Scenario("aim").add(1.02, PEFlap(operator="work__c0", downtime=1.0)),
+            lambda s, seed: run_fuzz_case(s, healthy.with_seed(seed)),
+            FuzzBudget(seeds=(42,), mutation_rounds=3),
+        )
+        result = report.results[0]
+        assert result.runs == 4  # base + 3 mutations
+        assert len(result.barriers_targeted) == 3
+        # every target is a label the instrumentation taps produce
+        assert all(
+            target.split(":")[0] in {"rescale", "checkpoint", "reroute"}
+            for target in result.barriers_targeted
+        )
+
+
+class TestShrinkMechanics:
+    def test_shrinker_minimizes_with_synthetic_predicate(self):
+        scenario = planted_scenario()
+        # failure iff the flap step (index 2's perturbation) is present
+        def fails(candidate):
+            return any(
+                s.perturbation.KIND == "pe_flap" for s in candidate.steps
+            )
+
+        result = shrink_scenario(scenario, fails)
+        assert result.steps == 1
+        assert result.scenario.steps[0].perturbation.KIND == "pe_flap"
+
+    def test_shrinker_respects_run_budget(self):
+        scenario = planted_scenario()
+        calls = []
+
+        def fails(candidate):
+            calls.append(1)
+            return True  # everything "fails": shrink to a single step
+
+        result = shrink_scenario(scenario, fails, max_runs=2)
+        assert len(calls) <= 2
+        assert result.runs <= 2
+        assert result.steps >= 1  # budget ran out before full minimization
