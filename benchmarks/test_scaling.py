@@ -35,9 +35,15 @@ class CountingOrca(Orchestrator):
         self.count += 1
 
 
-def run_event_throughput(n_events: int = 5000) -> float:
-    """Wall-clock events/second through enqueue -> match -> deliver."""
-    system = SystemS(hosts=1)
+def run_event_throughput(n_events: int = 5000, config=None) -> float:
+    """Wall-clock events/second through enqueue -> match -> deliver.
+
+    Args:
+        n_events: Events to inject.
+        config: Optional :class:`~repro.runtime.system.SystemConfig`
+            (the obs-overhead benchmark passes traced variants).
+    """
+    system = SystemS(hosts=1, config=config)
     logic = CountingOrca()
     service = system.submit_orchestrator(
         OrcaDescriptor(name="C", logic=lambda: logic, applications=[])

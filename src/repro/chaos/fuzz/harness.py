@@ -15,10 +15,18 @@ any crash-with-rehydrate then restarts empty and the state-conservation
 oracle must fire.  The CI ``chaos-fuzz`` job proves the search finds
 and shrinks exactly that.
 
-Barrier timestamps for the adversarial search come from the
-instrumentation taps this PR added: the elastic controller's
+Barrier timestamps for the adversarial search come from the runtime
+instrumentation taps — the elastic controller's
 :class:`~repro.elastic.controller.BarrierEvent` timeline, checkpoint
-commit/torn records, and splitter mask/unmask reroutes.
+commit/torn records, and splitter mask/unmask reroutes — subscribed
+live through :func:`repro.obs.listeners.subscribe_runtime` rather than
+by reaching into three subsystems after the run.
+
+Every case also runs with span tracing enabled by default
+(``trace=True``): the outcome carries the run's flight-recorder
+timeline (reason ``oracle_violation:<oracles>`` when the oracle suite
+fired, so every minimized corpus repro ships with its evidence trail)
+and the byte-stable Prometheus export of the run's metrics.
 """
 
 from __future__ import annotations
@@ -71,6 +79,8 @@ class FuzzHarnessConfig:
             the paper's restart-empty default).
         torn_commits: Plant the weakness: every checkpoint commit torn
             via the service's ``commit_fault`` hook.
+        trace: Run with span tracing enabled, so the outcome carries a
+            flight-recorder timeline and a Prometheus export.
         profile: Oracle profile override (None: derived from the
             configuration and scenario by
             :meth:`OracleProfile.for_config`).
@@ -89,6 +99,7 @@ class FuzzHarnessConfig:
     drain: float = 4.0
     checkpoint_interval: float = 0.25
     torn_commits: bool = False
+    trace: bool = True
     #: cadence of the live keyed-state probes the oracle suite judges
     #: crash snapshots against right after each recovery
     probe_interval: float = 0.25
@@ -128,6 +139,11 @@ class FuzzOutcome:
             start, sorted and deduplicated.
         objective: The search's score for this case (higher = worse for
             the stack = more interesting).
+        timeline: The run's rendered flight-recorder dump ("" when the
+            case ran with ``trace=False``); the dump reason records
+            whether the oracle suite fired.
+        prometheus: The run's metrics in Prometheus text format ("" when
+            untraced) — byte-stable for a fixed (scenario, config).
     """
 
     scenario: Scenario
@@ -136,6 +152,8 @@ class FuzzOutcome:
     report: OracleReport
     barriers: Tuple[Tuple[str, float], ...] = ()
     objective: float = 0.0
+    timeline: str = ""
+    prometheus: str = ""
 
     @property
     def violations(self):
@@ -203,31 +221,51 @@ def _build_app(feed, width: int, max_width: int):
     return app
 
 
-def _collect_barriers(system, run) -> Tuple[Tuple[str, float], ...]:
-    """Mine the run's runtime-barrier instants as mutation targets.
+def _mine_barriers(system) -> Tuple[List[Tuple[str, float]], Any]:
+    """Subscribe live to the runtime-barrier taps of one fresh system.
 
     Sources: the elastic controller's rescale-phase tap, checkpoint
-    commit/torn records, and splitter mask/unmask reroutes.  Offsets are
-    relative to the scenario start; pre-start instants are dropped, but
-    barriers observed after the last step (recovery and drain-phase
-    commits) are kept — faults aimed there are interleavings worth
-    exploring, and the harness stretches the run window to fit them.
+    commit/torn attempts, and splitter mask/unmask reroutes — all
+    registered through :func:`repro.obs.listeners.subscribe_runtime`
+    (one front door instead of post-hoc reads of three subsystems).
+
+    Returns:
+        ``(mined, subscription)``: the list ``(label, absolute time)``
+        tuples accumulate into while the run executes, and the
+        subscription to detach afterwards.
     """
-    start = run.started_at
-    raw: List[Tuple[str, float]] = []
-    for event in system.elastic.barrier_events:
-        raw.append((f"rescale:{event.phase}", event.time - start))
-    for record in system.checkpoints.records:
-        label = "checkpoint:commit" if record.committed else "checkpoint:torn"
-        raw.append((label, record.time - start))
-    for reroute in system.elastic.reroutes:
-        label = "reroute:mask" if reroute.masked else "reroute:unmask"
-        raw.append((label, reroute.time - start))
+    from repro.obs.listeners import subscribe_runtime
+
+    mined: List[Tuple[str, float]] = []
+    subscription = subscribe_runtime(
+        system,
+        on_barrier=lambda e: mined.append((f"rescale:{e.phase}", e.time)),
+        on_checkpoint_attempt=lambda r: mined.append(
+            ("checkpoint:commit" if r.committed else "checkpoint:torn", r.time)
+        ),
+        on_reroute=lambda r: mined.append(
+            ("reroute:mask" if r.masked else "reroute:unmask", r.time)
+        ),
+    )
+    return mined, subscription
+
+
+def _collect_barriers(
+    mined: List[Tuple[str, float]], start: float
+) -> Tuple[Tuple[str, float], ...]:
+    """Reduce mined barrier instants to the outcome's mutation targets.
+
+    Offsets are relative to the scenario start; pre-start instants are
+    dropped, but barriers observed after the last step (recovery and
+    drain-phase commits) are kept — faults aimed there are
+    interleavings worth exploring, and the harness stretches the run
+    window to fit them.
+    """
     barriers = sorted(
         {
-            (label, round(offset, 6))
-            for label, offset in raw
-            if offset >= 0.0
+            (label, round(time - start, 6))
+            for label, time in mined
+            if time - start >= 0.0
         },
         key=lambda entry: (entry[1], entry[0]),
     )
@@ -258,6 +296,7 @@ def run_fuzz_case(
         config=SystemConfig(
             checkpoint_interval=config.checkpoint_interval,
             failure_notification_delay=0.001,
+            trace_enabled=config.trace,
         ),
     )
     if config.torn_commits:
@@ -268,6 +307,7 @@ def run_fuzz_case(
     app = _build_app(feed, config.width, config.max_width)
     job = system.submit_job(app)
     probe = FifoProbe(system.transport)
+    mined, barrier_sub = _mine_barriers(system)
 
     # Periodic live keyed-state probes: the state-conservation oracle
     # judges each crash snapshot at the first probe after its recovery,
@@ -325,11 +365,27 @@ def run_fuzz_case(
         state_probes=state_probes,
     )
     probe.detach()
+    barrier_sub.detach()
+    timeline = ""
+    prometheus = ""
+    if config.trace:
+        # every traced case ships its evidence trail; an oracle violation
+        # names the tripped oracles in the dump reason (the auto-dump the
+        # corpus entries reference)
+        reason = "fuzz_case_complete"
+        if not report.ok:
+            tripped = ",".join(sorted({v.oracle for v in report.violations}))
+            reason = f"oracle_violation:{tripped}"
+        dump = system.obs.flight.dump(reason, system.now, job_id=job.job_id)
+        timeline = dump.render()
+        prometheus = system.obs.render_prometheus()
     return FuzzOutcome(
         scenario=scenario,
         seed=config.seed,
         scorecard=scorecard,
         report=report,
-        barriers=_collect_barriers(system, run),
+        barriers=_collect_barriers(mined, run.started_at),
         objective=objective_score(scorecard, report),
+        timeline=timeline,
+        prometheus=prometheus,
     )

@@ -1,0 +1,62 @@
+"""repro.obs — sim-time tracing, metrics registry, flight recorder.
+
+The observability layer of the simulated middleware, always
+constructed by :class:`~repro.runtime.system.SystemS` as
+``system.obs``:
+
+* :mod:`repro.obs.trace` — allocation-light :class:`Span` objects for
+  data-plane hops and control-plane operations, sampled
+  deterministically so traced runs stay byte-stable;
+* :mod:`repro.obs.metrics` — a labeled counter/gauge/histogram
+  registry with Prometheus-text and JSONL renders;
+* :mod:`repro.obs.naming` — the canonical ``repro_*`` metric-name
+  catalog and the legacy-name compatibility shim SRM queries use;
+* :mod:`repro.obs.flight` — bounded per-job span rings that dump
+  deterministic timeline artifacts on PE crash, stuck rescale, or
+  fuzz-oracle violation;
+* :mod:`repro.obs.listeners` — :func:`subscribe_runtime`, the one
+  front door to every runtime instrumentation tap;
+* :mod:`repro.obs.hub` — the :class:`ObsHub` wiring all of the above
+  to a running system.
+
+See ``docs/observability.md`` for the span model, the metric catalog,
+and the flight-recorder format; ``tools/timeline.py`` renders dumps as
+lane views.
+"""
+
+from repro.obs.flight import FlightDump, FlightRecorder
+from repro.obs.hub import ObsHub
+from repro.obs.listeners import RuntimeSubscription, subscribe_runtime
+from repro.obs.metrics import (
+    MetricsRegistry,
+    ObsCounter,
+    ObsGauge,
+    ObsHistogram,
+)
+from repro.obs.naming import (
+    CANONICAL_BY_LEGACY,
+    canonical_metric_name,
+    legacy_metric_name,
+    sanitize_metric_name,
+)
+from repro.obs.trace import CONTROL, DATA, Span, Tracer
+
+__all__ = [
+    "CANONICAL_BY_LEGACY",
+    "CONTROL",
+    "DATA",
+    "FlightDump",
+    "FlightRecorder",
+    "MetricsRegistry",
+    "ObsCounter",
+    "ObsGauge",
+    "ObsHistogram",
+    "ObsHub",
+    "RuntimeSubscription",
+    "Span",
+    "Tracer",
+    "canonical_metric_name",
+    "legacy_metric_name",
+    "sanitize_metric_name",
+    "subscribe_runtime",
+]

@@ -1,0 +1,147 @@
+"""The flight recorder: bounded span rings and byte-stable dumps.
+
+The recorder keeps the most recent spans in bounded per-job ring
+buffers (plus one system ring for spans that belong to no job), so a
+long campaign never grows memory without bound.  When something goes
+wrong — a PE crash, a stuck rescale, a fuzz-oracle violation — the hub
+asks for a :meth:`FlightRecorder.dump`, which snapshots the relevant
+rings into a :class:`FlightDump` whose :meth:`~FlightDump.render` is
+deterministic and byte-stable for a fixed seed: entries sort on sim
+time, every float formats with fixed precision, and no wall-clock
+value ever enters a dump.  The text renderer in
+:mod:`repro.tools.timeline` turns a dump into a lane view.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, Dict, List, Optional, Tuple
+
+from repro.obs.trace import Span
+
+#: ring key of spans without a ``job`` attribute
+SYSTEM_RING = ""
+
+
+def _format_attr(value: Any) -> str:
+    """Render one attribute value deterministically for dump lines."""
+    if isinstance(value, float):
+        return f"{value:.6f}"
+    return str(value)
+
+
+class FlightDump:
+    """One immutable snapshot taken by the flight recorder.
+
+    Attributes:
+        reason: Why the dump was taken (``pe_crash:pe3``,
+            ``oracle_violation:state_conservation``, ...).
+        time: Sim time of the dump.
+        job_id: The job the dump was filtered to (None: all rings).
+        entries: The snapshot's spans, sorted by time.
+    """
+
+    __slots__ = ("reason", "time", "job_id", "entries")
+
+    def __init__(
+        self,
+        reason: str,
+        time: float,
+        job_id: Optional[str],
+        entries: Tuple[Span, ...],
+    ) -> None:
+        self.reason = reason
+        self.time = time
+        self.job_id = job_id
+        self.entries = entries
+
+    def render(self) -> str:
+        """The dump as deterministic, byte-stable text.
+
+        One header block (reason, scope, sim time, entry count) then
+        one line per span: ``[start .. end] kind name k=v ...`` with all
+        times in fixed-precision sim seconds.
+
+        Returns:
+            The rendered timeline artifact (trailing newline included).
+        """
+        lines = [
+            "# flight-recorder dump",
+            f"# reason: {self.reason}",
+            f"# scope: {self.job_id if self.job_id is not None else 'all'}",
+            f"# sim_time: {self.time:.6f}",
+            f"# entries: {len(self.entries)}",
+        ]
+        for span in self.entries:
+            attrs = " ".join(
+                f"{k}={_format_attr(v)}" for k, v in span.attrs
+            )
+            line = (
+                f"[{span.start:12.6f} .. {span.end:12.6f}] "
+                f"{span.kind:<7} {span.name}"
+            )
+            lines.append(f"{line} {attrs}" if attrs else line)
+        return "\n".join(lines) + "\n"
+
+
+class FlightRecorder:
+    """Bounded per-job rings of recent spans, dumpable on incident."""
+
+    def __init__(self, capacity: int = 2048, max_dumps: int = 16) -> None:
+        """Create the recorder.
+
+        Args:
+            capacity: Spans retained per ring (per job, plus one system
+                ring); older spans fall off the back.
+            max_dumps: Dumps retained in :attr:`dumps` (older dumps fall
+                off, keeping crash storms bounded).
+        """
+        self.capacity = capacity
+        self._rings: Dict[str, Deque[Span]] = {}
+        #: dumps taken so far, oldest first, bounded by ``max_dumps``
+        self.dumps: Deque[FlightDump] = deque(maxlen=max_dumps)
+
+    def record(self, span: Span) -> None:
+        """Append one span to its job's ring (a tracer sink)."""
+        key = span.attr("job", SYSTEM_RING)
+        ring = self._rings.get(key)
+        if ring is None:
+            ring = self._rings[key] = deque(maxlen=self.capacity)
+        ring.append(span)
+
+    def span_count(self, job_id: Optional[str] = None) -> int:
+        """Spans currently retained (one job's ring, or all rings)."""
+        if job_id is not None:
+            ring = self._rings.get(job_id)
+            return len(ring) if ring is not None else 0
+        return sum(len(ring) for ring in self._rings.values())
+
+    def dump(
+        self, reason: str, time: float, job_id: Optional[str] = None
+    ) -> FlightDump:
+        """Snapshot the rings into a dump and retain it.
+
+        Args:
+            reason: Incident label recorded in the dump header.
+            time: Sim time of the dump.
+            job_id: Restrict to one job's ring plus the system ring
+                (None: every ring).
+
+        Returns:
+            The retained :class:`FlightDump`.
+        """
+        selected: List[Span] = []
+        if job_id is None:
+            for key in sorted(self._rings):
+                selected.extend(self._rings[key])
+        else:
+            for key in (SYSTEM_RING, job_id):
+                ring = self._rings.get(key)
+                if ring is not None:
+                    selected.extend(ring)
+        selected.sort(
+            key=lambda s: (s.start, s.end, s.kind, s.name, repr(s.attrs))
+        )
+        dump = FlightDump(reason, time, job_id, tuple(selected))
+        self.dumps.append(dump)
+        return dump

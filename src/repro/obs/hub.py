@@ -1,0 +1,459 @@
+"""The observability hub: one object wiring tracer, metrics, recorder.
+
+A :class:`SystemS` always constructs an :class:`ObsHub` and attaches it
+(``system.obs``).  Attachment has two tiers:
+
+* **Control plane, always on** — the hub subscribes to every runtime
+  instrumentation tap through
+  :func:`repro.obs.listeners.subscribe_runtime` and records rescale
+  barrier phases, channel mask/unmask reroutes (with mask-time
+  attribution), state reclaims, checkpoint attempts, chaos injections,
+  and PE crash/restart transitions as control spans and registry
+  metrics.  These are rare events; the cost is negligible.
+* **Data plane, gated by ``SystemConfig.trace_enabled``** — per-tuple
+  spans (emit -> transport -> process with per-operator latency
+  attribution) and the kernel event tap.  When tracing is off the hot
+  paths pay a single ``None`` check and nothing else; when on, tuples
+  are sampled deterministically every
+  ``SystemConfig.trace_sample_every``-th creation.
+
+Dumps: the flight recorder fires automatically on PE crash (tracing
+on), on a FAILED rescale, and — via the fuzz harness — on any oracle
+violation.  All artifacts (Prometheus text, JSONL, timeline renders)
+are byte-stable for a fixed seed because every value derives from the
+sim clock.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Dict, Optional, Tuple
+
+from repro.obs.flight import FlightDump, FlightRecorder
+from repro.obs.listeners import RuntimeSubscription, subscribe_runtime
+from repro.obs.metrics import MetricsRegistry, ObsCounter, ObsHistogram
+from repro.obs.naming import canonical_metric_name
+from repro.obs.trace import CONTROL, DATA, Tracer
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.chaos.engine import ChaosInjection
+    from repro.checkpoint.service import CheckpointRecord
+    from repro.elastic.controller import (
+        BarrierEvent,
+        ChannelReroute,
+        RescaleOperation,
+        StateReclaim,
+    )
+    from repro.runtime.pe import PERuntime
+    from repro.runtime.system import SystemS
+    from repro.sim.kernel import Kernel, ScheduledEvent
+
+
+def _label_family(label: str) -> str:
+    """Collapse a kernel event label to its stable family name.
+
+    ``transport->work__c0[0]`` -> ``transport``; ``pe3-opwork`` ->
+    ``pe-opwork``; digits are stripped so per-instance labels share one
+    counter series.
+    """
+    if not label:
+        return "unlabeled"
+    head = label.split("->", 1)[0].split("[", 1)[0]
+    family = "".join(ch for ch in head if not ch.isdigit())
+    return family or "unlabeled"
+
+
+class ObsHub:
+    """Tracer + metrics registry + flight recorder, attached to a system."""
+
+    def __init__(
+        self,
+        kernel: "Kernel",
+        trace_enabled: bool = False,
+        trace_sample_every: int = 1,
+        flight_capacity: int = 2048,
+    ) -> None:
+        """Create the hub (call :meth:`attach` to wire it to a system).
+
+        Args:
+            kernel: The simulation kernel (clock source, event tap host).
+            trace_enabled: Turn on data-plane tuple tracing and the
+                kernel event tap.
+            trace_sample_every: Trace every Nth created tuple.
+            flight_capacity: Flight-recorder ring capacity per job.
+        """
+        self.kernel = kernel
+        self.trace_enabled = trace_enabled
+        self.metrics = MetricsRegistry()
+        self.tracer = Tracer(sample_every=trace_sample_every)
+        self.flight = FlightRecorder(capacity=flight_capacity)
+        self.tracer.sinks.append(self.flight.record)
+        self._system: Optional["SystemS"] = None
+        self._subscription: Optional[RuntimeSubscription] = None
+        #: (job, region) -> quiesce time of the in-flight rescale
+        self._quiesce_open: Dict[Tuple[str, str], float] = {}
+        #: (job, region, channel) -> mask time of a masked channel
+        self._mask_open: Dict[Tuple[str, int, str], float] = {}
+        #: kernel label -> family (memoized; labels repeat heavily)
+        self._families: Dict[str, str] = {}
+        #: family -> its counter series (hot-path cache)
+        self._kernel_counters: Dict[str, ObsCounter] = {}
+        #: operator full name -> tuple-latency histogram (hot-path cache)
+        self._latency_hists: Dict[str, ObsHistogram] = {}
+
+    # -- wiring --------------------------------------------------------------
+
+    def attach(self, system: "SystemS") -> None:
+        """Subscribe the hub to a system's instrumentation taps.
+
+        Control-plane listeners always attach; the transport/operator
+        data-plane hooks and the kernel event tap only when
+        ``trace_enabled`` (so a tracing-off hot path stays one ``None``
+        check).
+
+        Args:
+            system: The system to observe.
+        """
+        self._system = system
+        self._subscription = subscribe_runtime(
+            system,
+            on_barrier=self._on_barrier,
+            on_reroute=self._on_reroute,
+            on_reclaim=self._on_reclaim,
+            on_rescale=self._on_rescale,
+            on_checkpoint_attempt=self._on_checkpoint_attempt,
+            on_pe_failure=self._on_pe_failure,
+            on_pe_restart=self._on_pe_restart,
+            on_injection=self._on_injection,
+        )
+        if self.trace_enabled:
+            system.transport.obs = self
+            self.kernel.event_tap = self._on_kernel_event
+
+    def detach(self) -> None:
+        """Unsubscribe from every tap and unhook the data plane."""
+        if self._subscription is not None:
+            self._subscription.detach()
+            self._subscription = None
+        if self._system is not None:
+            if self._system.transport.obs is self:
+                self._system.transport.obs = None
+            if self.kernel.event_tap == self._on_kernel_event:
+                self.kernel.event_tap = None
+        self._system = None
+
+    # -- data plane (called only for traced tuples / when tracing on) --------
+
+    def sample_tuple(self) -> bool:
+        """Deterministic every-Nth sampling decision for a new tuple."""
+        return self.tracer.sample()
+
+    def record_emit(
+        self, op: str, pe_id: Optional[str], job_id: str, time: float
+    ) -> None:
+        """Record a traced tuple's creation point."""
+        self.tracer.event(
+            "emit", time, kind=DATA, op=op, pe=pe_id or "", job=job_id
+        )
+
+    def record_transport(
+        self,
+        op: str,
+        src_key: str,
+        dst_pe_id: str,
+        job_id: str,
+        start: float,
+        end: float,
+    ) -> None:
+        """Record a traced tuple's transport hop (send -> delivery)."""
+        self.tracer.record(
+            "transport",
+            DATA,
+            start,
+            end,
+            op=op,
+            src=src_key,
+            dst=dst_pe_id,
+            job=job_id,
+        )
+
+    def record_process(
+        self,
+        op: str,
+        pe_id: str,
+        job_id: str,
+        created_at: float,
+        now: float,
+    ) -> None:
+        """Record a traced tuple's arrival at one operator.
+
+        The span covers creation -> processing, which in a simulator
+        with instantaneous operator work *is* the per-operator latency
+        attribution: the observation lands in the
+        ``repro_tuple_latency_seconds{op=...}`` histogram.
+        """
+        self.tracer.record(
+            "process", DATA, created_at, now, op=op, pe=pe_id, job=job_id
+        )
+        hist = self._latency_hists.get(op)
+        if hist is None:
+            hist = self._latency_hists[op] = self.metrics.histogram(
+                "repro_tuple_latency_seconds",
+                {"op": op},
+                help_text="creation-to-processing latency of sampled tuples",
+            )
+        hist.observe(now - created_at)
+
+    def record_orca_event(
+        self, orca_id: str, event_type: str, enqueued_at: float, now: float
+    ) -> None:
+        """Record one delivered ORCA event's queue residence as a span."""
+        self.tracer.record(
+            f"orca:{event_type}", CONTROL, enqueued_at, now, orca=orca_id
+        )
+
+    def _on_kernel_event(self, event: "ScheduledEvent") -> None:
+        """Kernel event tap: count executed callbacks per label family."""
+        label = event.label
+        family = self._families.get(label)
+        if family is None:
+            family = self._families[label] = _label_family(label)
+        counter = self._kernel_counters.get(family)
+        if counter is None:
+            counter = self._kernel_counters[family] = self.metrics.counter(
+                "repro_kernel_events_total",
+                {"family": family},
+                help_text="kernel callbacks executed per label family",
+            )
+        counter.inc()
+
+    # -- control plane -------------------------------------------------------
+
+    def record_control_event(self, name: str, time: float, **attrs: Any) -> None:
+        """Record an ad-hoc control-plane point event (chaos, tools)."""
+        self.tracer.event(name, time, kind=CONTROL, **attrs)
+
+    def _on_barrier(self, event: "BarrierEvent") -> None:
+        self.tracer.event(
+            f"rescale:{event.phase}",
+            event.time,
+            job=event.job_id,
+            region=event.region,
+            epoch=event.epoch,
+        )
+        self.metrics.counter(
+            "repro_rescale_barriers_total",
+            {"phase": event.phase},
+            help_text="rescale protocol phase transitions",
+        ).inc()
+        key = (event.job_id, event.region)
+        if event.phase == "quiesce":
+            self._quiesce_open[key] = event.time
+        elif event.phase in ("resume", "failed"):
+            started = self._quiesce_open.pop(key, None)
+            if started is not None:
+                self.tracer.record(
+                    "rescale",
+                    CONTROL,
+                    started,
+                    event.time,
+                    job=event.job_id,
+                    region=event.region,
+                    outcome=event.phase,
+                )
+                self.metrics.histogram(
+                    "repro_rescale_duration_seconds",
+                    {"region": event.region},
+                    help_text="quiesce-to-resume duration of rescales",
+                ).observe(event.time - started)
+
+    def _on_reroute(self, reroute: "ChannelReroute") -> None:
+        action = "mask" if reroute.masked else "unmask"
+        self.tracer.event(
+            f"reroute:{action}",
+            reroute.time,
+            job=reroute.job_id,
+            region=reroute.region,
+            channel=reroute.channel,
+            pe=reroute.pe_id,
+        )
+        self.metrics.counter(
+            "repro_channel_reroutes_total",
+            {"action": action},
+            help_text="splitter mask/unmask reroutes of region channels",
+        ).inc()
+        key = (reroute.job_id, reroute.channel, reroute.region)
+        if reroute.masked:
+            self._mask_open[key] = reroute.time
+        else:
+            masked_at = self._mask_open.pop(key, None)
+            if masked_at is not None:
+                self.tracer.record(
+                    "channel_masked",
+                    CONTROL,
+                    masked_at,
+                    reroute.time,
+                    job=reroute.job_id,
+                    region=reroute.region,
+                    channel=reroute.channel,
+                )
+                self.metrics.histogram(
+                    "repro_region_mask_time_seconds",
+                    {"region": reroute.region},
+                    help_text="mask-to-unmask time of rerouted channels",
+                ).observe(reroute.time - masked_at)
+
+    def _on_reclaim(self, reclaim: "StateReclaim") -> None:
+        self.tracer.event(
+            "state:reclaim",
+            reclaim.time,
+            job=reclaim.job_id,
+            region=reclaim.region,
+            pe=reclaim.pe_id,
+            keys=reclaim.keys_reclaimed,
+            epoch=reclaim.epoch,
+        )
+        self.metrics.counter(
+            "repro_state_keys_reclaimed_total",
+            help_text="keyed entries returned to unmasked channels",
+        ).inc(reclaim.keys_reclaimed)
+
+    def _on_rescale(self, op: "RescaleOperation") -> None:
+        state = getattr(op.state, "name", str(op.state)).lower()
+        self.metrics.counter(
+            "repro_rescales_total",
+            {"state": state},
+            help_text="finished rescale operations by outcome",
+        ).inc()
+        if state == "failed":
+            self.flight.dump(
+                f"stuck_rescale:{op.region}", self.kernel.now, job_id=op.job_id
+            )
+
+    def _on_checkpoint_attempt(self, record: "CheckpointRecord") -> None:
+        outcome = "commit" if record.committed else "torn"
+        self.tracer.event(
+            f"checkpoint:{outcome}",
+            record.time,
+            job=record.job_id,
+            pe=record.pe_id,
+            epoch=record.epoch,
+        )
+        self.metrics.counter(
+            "repro_checkpoint_attempts_total",
+            {"outcome": outcome},
+            help_text="checkpoint attempts by outcome",
+        ).inc()
+        if record.committed:
+            self.metrics.histogram(
+                "repro_checkpoint_bytes",
+                help_text="bytes written per committed checkpoint",
+                buckets=(64, 256, 1024, 4096, 16384, 65536, float("inf")),
+            ).observe(record.bytes_written)
+
+    def _on_pe_failure(self, pe: "PERuntime", reason: str) -> None:
+        self.tracer.event(
+            "pe:crash",
+            self.kernel.now,
+            job=pe.job.job_id,
+            pe=pe.pe_id,
+            reason=reason,
+        )
+        self.metrics.counter(
+            "repro_pe_crashes_total", help_text="PE crash notifications"
+        ).inc()
+        if self.trace_enabled:
+            self.flight.dump(
+                f"pe_crash:{pe.pe_id}", self.kernel.now, job_id=pe.job.job_id
+            )
+
+    def _on_pe_restart(self, pe: "PERuntime") -> None:
+        self.tracer.event(
+            "pe:restart", self.kernel.now, job=pe.job.job_id, pe=pe.pe_id
+        )
+        self.metrics.counter(
+            "repro_pe_restarts_completed_total",
+            help_text="completed PE restarts",
+        ).inc()
+
+    def _on_injection(self, injection: "ChaosInjection") -> None:
+        self.tracer.event(
+            f"chaos:{injection.kind}",
+            injection.time,
+            job=injection.job_id or "",
+            target=injection.target,
+            step=injection.step_index,
+        )
+        self.metrics.counter(
+            "repro_chaos_injections_total",
+            {"kind": injection.kind},
+            help_text="fired chaos perturbations by kind",
+        ).inc()
+
+    # -- export --------------------------------------------------------------
+
+    def scrape_srm(self) -> int:
+        """Mirror every SRM sample into the registry as a canonical gauge.
+
+        Sample names translate through
+        :func:`repro.obs.naming.canonical_metric_name`; labels carry
+        the SRM storage key (job, pe, operator, port).
+
+        Returns:
+            The number of samples mirrored.
+        """
+        system = self._system
+        if system is None:
+            return 0
+        samples = system.srm.get_metrics()
+        for sample in samples:
+            labels = {"job": sample.job_id, "pe": sample.pe_id}
+            if sample.operator is not None:
+                labels["operator"] = sample.operator
+            if sample.port is not None:
+                labels["port"] = str(sample.port)
+            self.metrics.gauge(
+                canonical_metric_name(sample.name),
+                labels,
+                help_text="mirrored SRM sample",
+            ).set(sample.value)
+        return len(samples)
+
+    def render_prometheus(self, scrape: bool = True) -> str:
+        """The hub's metrics in Prometheus text format (byte-stable).
+
+        Args:
+            scrape: Refresh the SRM mirror first.
+
+        Returns:
+            The exposition text.
+        """
+        if scrape:
+            self.scrape_srm()
+        return self.metrics.render_prometheus()
+
+    def render_jsonl(self, scrape: bool = True) -> str:
+        """The hub's metrics as JSONL (includes histogram p50/p95/p99).
+
+        Args:
+            scrape: Refresh the SRM mirror first.
+
+        Returns:
+            Newline-delimited JSON.
+        """
+        if scrape:
+            self.scrape_srm()
+        return self.metrics.render_jsonl()
+
+    def dump_flight(
+        self, reason: str, job_id: Optional[str] = None
+    ) -> FlightDump:
+        """Take a flight-recorder dump now (manual trigger).
+
+        Args:
+            reason: Incident label for the dump header.
+            job_id: Restrict to one job's ring (None: all).
+
+        Returns:
+            The retained dump.
+        """
+        return self.flight.dump(reason, self.kernel.now, job_id=job_id)

@@ -1,0 +1,136 @@
+"""One front door to every runtime instrumentation tap.
+
+The chaos/elastic/checkpoint work grew listener lists all over the
+runtime: ``ElasticController.barrier_listeners`` / ``reroute_listeners``
+/ ``reclaim_listeners`` / ``rescale_listeners``,
+``CheckpointService.attempt_listeners`` / ``commit_listeners``,
+``SAM.pe_failure_observers`` / ``pe_restart_observers``,
+``ChaosEngine.injection_listeners`` and ``Transport.delivery_taps``.
+Subscribers (the ORCA service, the fuzz harness, the observability hub)
+each reached into three or four subsystems by hand and had to remember
+the matching removals.
+
+:func:`subscribe_runtime` is the documented replacement: pass the
+callbacks you care about, get one :class:`RuntimeSubscription` back,
+call :meth:`~RuntimeSubscription.detach` once when done.  Registration
+and removal stay symmetric by construction.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Callable, List, Optional, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.chaos.engine import ChaosInjection
+    from repro.checkpoint.service import CheckpointRecord
+    from repro.elastic.controller import (
+        BarrierEvent,
+        ChannelReroute,
+        RescaleOperation,
+        StateReclaim,
+    )
+    from repro.runtime.pe import PERuntime
+    from repro.runtime.system import SystemS
+    from repro.runtime.transport import DeliveryRecord
+
+
+class RuntimeSubscription:
+    """A bundle of live listener registrations, detachable as one unit."""
+
+    def __init__(self, registrations: List[Tuple[list, Callable]]) -> None:
+        """Wrap already-appended ``(listener_list, callback)`` pairs."""
+        self._registrations = registrations
+        self._attached = True
+
+    @property
+    def attached(self) -> bool:
+        """Whether the subscription's callbacks are still registered."""
+        return self._attached
+
+    def __len__(self) -> int:
+        return len(self._registrations)
+
+    def detach(self) -> None:
+        """Remove every registered callback (idempotent)."""
+        if not self._attached:
+            return
+        self._attached = False
+        for registry, callback in self._registrations:
+            if callback in registry:
+                registry.remove(callback)
+
+
+def subscribe_runtime(
+    system: "SystemS",
+    *,
+    on_barrier: Optional[Callable[["BarrierEvent"], None]] = None,
+    on_reroute: Optional[Callable[["ChannelReroute"], None]] = None,
+    on_reclaim: Optional[Callable[["StateReclaim"], None]] = None,
+    on_rescale: Optional[Callable[["RescaleOperation"], None]] = None,
+    on_checkpoint_attempt: Optional[Callable[["CheckpointRecord"], None]] = None,
+    on_checkpoint_commit: Optional[Callable[["CheckpointRecord"], None]] = None,
+    on_pe_failure: Optional[Callable[["PERuntime", str], None]] = None,
+    on_pe_restart: Optional[Callable[["PERuntime"], None]] = None,
+    on_injection: Optional[Callable[["ChaosInjection"], None]] = None,
+    on_delivery: Optional[Callable[["DeliveryRecord"], None]] = None,
+) -> RuntimeSubscription:
+    """Register callbacks on the runtime's instrumentation taps.
+
+    Only the callbacks you pass are registered; everything lands on the
+    exact listener list the producing subsystem fires (see the module
+    docstring for the inventory).  Callback signatures match the
+    producing tap:
+
+    * ``on_barrier(BarrierEvent)`` — every rescale-phase transition
+      (quiesce / drain_clean / migrate / rewire / resume / failed);
+    * ``on_reroute(ChannelReroute)`` — splitter mask/unmask of a
+      crashed/restarted parallel-region channel;
+    * ``on_reclaim(StateReclaim)`` — keyed state returned to a channel
+      that rejoined the ring;
+    * ``on_rescale(RescaleOperation)`` — every finished rescale
+      (COMPLETED or FAILED), whoever initiated it;
+    * ``on_checkpoint_attempt(CheckpointRecord)`` — every checkpoint
+      attempt, committed or torn;
+    * ``on_checkpoint_commit(CheckpointRecord)`` — committed epochs only;
+    * ``on_pe_failure(PERuntime, reason)`` / ``on_pe_restart(PERuntime)``
+      — PE crash and completed-restart observers;
+    * ``on_injection(ChaosInjection)`` — every fired chaos step;
+    * ``on_delivery(DeliveryRecord)`` — every successful transport
+      delivery (hot path: register only when you must).
+
+    Args:
+        system: The :class:`~repro.runtime.system.SystemS` whose taps to
+            subscribe.
+        on_barrier: See above.
+        on_reroute: See above.
+        on_reclaim: See above.
+        on_rescale: See above.
+        on_checkpoint_attempt: See above.
+        on_checkpoint_commit: See above.
+        on_pe_failure: See above.
+        on_pe_restart: See above.
+        on_injection: See above.
+        on_delivery: See above.
+
+    Returns:
+        A :class:`RuntimeSubscription`; call ``detach()`` to remove
+        every registered callback at once.
+    """
+    wanted: List[Tuple[list, Optional[Callable[..., Any]]]] = [
+        (system.elastic.barrier_listeners, on_barrier),
+        (system.elastic.reroute_listeners, on_reroute),
+        (system.elastic.reclaim_listeners, on_reclaim),
+        (system.elastic.rescale_listeners, on_rescale),
+        (system.checkpoints.attempt_listeners, on_checkpoint_attempt),
+        (system.checkpoints.commit_listeners, on_checkpoint_commit),
+        (system.sam.pe_failure_observers, on_pe_failure),
+        (system.sam.pe_restart_observers, on_pe_restart),
+        (system.chaos.injection_listeners, on_injection),
+        (system.transport.delivery_taps, on_delivery),
+    ]
+    registrations: List[Tuple[list, Callable]] = []
+    for registry, callback in wanted:
+        if callback is not None:
+            registry.append(callback)
+            registrations.append((registry, callback))
+    return RuntimeSubscription(registrations)

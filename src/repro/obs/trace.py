@@ -1,0 +1,126 @@
+"""Sim-time spans: the tracing primitive of :mod:`repro.obs`.
+
+A :class:`Span` is an allocation-light record of one timed thing that
+happened on the simulation clock — a data-plane hop (``emit`` ->
+``transport`` -> ``process``) or a control-plane operation (a rescale
+barrier phase, a checkpoint attempt, a chaos injection, an ORCA
+event's queue residence).  Point events are spans whose ``end`` equals
+their ``start``.
+
+The :class:`Tracer` is deliberately thin: it stamps spans and hands
+them to registered sinks (the flight recorder, tests).  *Whether* a
+tuple is traced at all is decided once at tuple creation by
+:meth:`Tracer.sample` — a counter-based every-Nth decision, so tracing
+never consults randomness and a traced run stays byte-deterministic.
+When data tracing is off the hot path pays a single ``None`` check and
+no Span is ever constructed.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, Tuple
+
+#: span kind of data-plane hops (tuple lifecycle)
+DATA = "data"
+#: span kind of control-plane operations (rescale, checkpoint, chaos, orca)
+CONTROL = "control"
+
+
+class Span:
+    """One traced operation on the sim clock.
+
+    Attributes:
+        name: Operation name (``process``, ``rescale:quiesce``, ...).
+        kind: :data:`DATA` or :data:`CONTROL`.
+        start: Sim time the operation began.
+        end: Sim time it ended (== ``start`` for point events).
+        attrs: Sorted ``(key, value)`` pairs of attributes.
+    """
+
+    __slots__ = ("name", "kind", "start", "end", "attrs")
+
+    def __init__(
+        self,
+        name: str,
+        kind: str,
+        start: float,
+        end: float,
+        attrs: Tuple[Tuple[str, Any], ...] = (),
+    ) -> None:
+        self.name = name
+        self.kind = kind
+        self.start = start
+        self.end = end
+        self.attrs = attrs
+
+    @property
+    def duration(self) -> float:
+        """Seconds between start and end."""
+        return self.end - self.start
+
+    def attr(self, key: str, default: Any = None) -> Any:
+        """Look up one attribute value by key."""
+        for k, v in self.attrs:
+            if k == key:
+                return v
+        return default
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        inner = " ".join(f"{k}={v}" for k, v in self.attrs)
+        return (
+            f"Span({self.name} [{self.start:.6f}..{self.end:.6f}] {inner})"
+        )
+
+
+class Tracer:
+    """Stamps :class:`Span` objects and fans them out to sinks."""
+
+    __slots__ = ("sinks", "sample_every", "_tuple_count")
+
+    def __init__(self, sample_every: int = 1) -> None:
+        """Create a tracer.
+
+        Args:
+            sample_every: Trace every Nth newly created tuple (1 traces
+                all of them; the counter is deterministic, not random).
+        """
+        if sample_every < 1:
+            raise ValueError(f"sample_every must be >= 1, got {sample_every}")
+        #: callbacks receiving every recorded span, in registration order
+        self.sinks: List[Callable[[Span], None]] = []
+        self.sample_every = sample_every
+        self._tuple_count = 0
+
+    def sample(self) -> bool:
+        """Decide (deterministically) whether the next tuple is traced."""
+        self._tuple_count += 1
+        return self._tuple_count % self.sample_every == 0
+
+    def record(
+        self,
+        name: str,
+        kind: str,
+        start: float,
+        end: float,
+        **attrs: Any,
+    ) -> Span:
+        """Record one span and deliver it to every sink.
+
+        Args:
+            name: Operation name.
+            kind: :data:`DATA` or :data:`CONTROL`.
+            start: Sim time the operation began.
+            end: Sim time it ended.
+            **attrs: Span attributes (sorted into the span).
+
+        Returns:
+            The recorded span.
+        """
+        span = Span(name, kind, start, end, tuple(sorted(attrs.items())))
+        for sink in self.sinks:
+            sink(span)
+        return span
+
+    def event(self, name: str, time: float, kind: str = CONTROL, **attrs: Any) -> Span:
+        """Record a point event (a zero-duration span) at ``time``."""
+        return self.record(name, kind, time, time, **attrs)

@@ -53,6 +53,27 @@ class Orchestrator:
     def orca(self) -> "OrcaService":
         return self._orca
 
+    def emitTraceMarker(self, name: str, **attrs) -> None:  # noqa: N802
+        """Annotate the observability timeline from adaptation logic.
+
+        Records a ``user:<name>`` control event (stamped with this
+        orchestrator's id) through the system's :class:`repro.obs.hub.ObsHub`,
+        so user-defined adaptation decisions appear in flight-recorder
+        dumps alongside the runtime's own spans.  A no-op before the
+        service is bound.
+
+        Args:
+            name: Marker name (rendered as ``user:<name>``).
+            **attrs: Extra attributes for the span.
+        """
+        if self._orca is None:
+            return
+        obs = getattr(self._orca.system, "obs", None)
+        if obs is not None:
+            obs.record_control_event(
+                f"user:{name}", self._orca.now, orca=self._orca.orca_id, **attrs
+            )
+
     # -- lifecycle ---------------------------------------------------------------
 
     def handleOrcaStart(self, context: OrcaStartContext) -> None:  # noqa: N802

@@ -51,6 +51,7 @@ from repro.orca.contexts import (
     TimerContext,
     UserEventContext,
 )
+from repro.obs.listeners import RuntimeSubscription, subscribe_runtime
 from repro.orca.dependencies import DependencyManager
 from repro.orca.descriptor import ManagedApplication, OrcaDescriptor
 from repro.orca.epochs import FailureEpochTracker, MetricEpochCounter
@@ -117,6 +118,9 @@ class OrcaService:
         self._drain_scheduled = False
         self._current_txn = 0
         self._alive = True
+        #: runtime-tap registrations, attached in _boot / detached in
+        #: shutdown as one unit (repro.obs.listeners)
+        self._runtime_sub: Optional[RuntimeSubscription] = None
 
     # -- boot / shutdown ---------------------------------------------------------
 
@@ -133,23 +137,22 @@ class OrcaService:
         self._poll_handle = self.kernel.schedule(
             self._poll_interval, self._poll_metrics, label=f"{self.orca_id}-poll"
         )
-        # Crashed-channel reroutes (splitter masks) become ORCA events.
-        self.system.elastic.reroute_listeners.append(self._on_channel_rerouted)
-        # Every finished rescale of an owned job refreshes the stream
-        # graph and becomes events — including rescales driven outside
-        # this service (autoscalers, chaos campaigns, direct controller
-        # calls), which previously left the graph stale.
-        self.system.elastic.rescale_listeners.append(self._on_region_rescaled)
-        # Unmask-time state reclaims and checkpoint commits become events,
-        # and completed PE restarts are inspected for skipped rehydration.
-        self.system.elastic.reclaim_listeners.append(self._on_state_reclaimed)
-        self.system.checkpoints.commit_listeners.append(
-            self._on_checkpoint_committed
+        # Runtime instrumentation taps, registered through the one obs
+        # front door: crashed-channel reroutes, finished rescales (also
+        # those driven outside this service — autoscalers, chaos
+        # campaigns, direct controller calls), unmask-time state
+        # reclaims, checkpoint commits, completed PE restarts (inspected
+        # for skipped rehydration), and chaos injections all become ORCA
+        # events.
+        self._runtime_sub = subscribe_runtime(
+            self.system,
+            on_reroute=self._on_channel_rerouted,
+            on_rescale=self._on_region_rescaled,
+            on_reclaim=self._on_state_reclaimed,
+            on_checkpoint_commit=self._on_checkpoint_committed,
+            on_pe_restart=self._on_pe_restarted,
+            on_injection=self._on_chaos_injected,
         )
-        self.system.sam.pe_restart_observers.append(self._on_pe_restarted)
-        # Chaos-campaign injections become chaos_injected events (only
-        # delivered to logic that registered a ChaosScope).
-        self.system.chaos.injection_listeners.append(self._on_chaos_injected)
 
     def _register_application(self, managed: ManagedApplication) -> None:
         if managed.application is not None:
@@ -178,19 +181,9 @@ class OrcaService:
         if self._poll_handle is not None:
             self._poll_handle.cancel()
         self.timers.cancel_all()
-        for registry, callback in (
-            (self.system.elastic.reroute_listeners, self._on_channel_rerouted),
-            (self.system.elastic.rescale_listeners, self._on_region_rescaled),
-            (self.system.elastic.reclaim_listeners, self._on_state_reclaimed),
-            (
-                self.system.checkpoints.commit_listeners,
-                self._on_checkpoint_committed,
-            ),
-            (self.system.sam.pe_restart_observers, self._on_pe_restarted),
-            (self.system.chaos.injection_listeners, self._on_chaos_injected),
-        ):
-            if callback in registry:
-                registry.remove(callback)
+        if self._runtime_sub is not None:
+            self._runtime_sub.detach()
+            self._runtime_sub = None
 
     # -- time ------------------------------------------------------------------------
 
@@ -275,6 +268,14 @@ class OrcaService:
         handler_name, takes_scopes = self._DISPATCH[event.event_type]
         handler = getattr(self.logic, handler_name)
         self.queue.record_delivery(event, self.now)
+        obs = getattr(self.system, "obs", None)
+        if obs is not None and obs.trace_enabled:
+            # the event->actuation chain: this span covers the event's
+            # queue residence; actuations the handler issues are stamped
+            # with the same txn id by _log_actuation
+            obs.record_orca_event(
+                self.orca_id, event.event_type, event.enqueued_at, self.now
+            )
         self.event_journal.append(event)
         self._current_txn = event.txn_id
         try:
@@ -973,6 +974,15 @@ class OrcaService:
                 txn_id=self._current_txn, action=action, detail=detail, time=self.now
             )
         )
+        obs = getattr(self.system, "obs", None)
+        if obs is not None and obs.trace_enabled:
+            obs.record_control_event(
+                f"actuation:{action}",
+                self.now,
+                orca=self.orca_id,
+                txn=self._current_txn,
+                detail=detail,
+            )
 
     def actuations_for(self, txn_id: int) -> List[ActuationRecord]:
         """All actuations attributed to one event transaction (Sec. 7)."""

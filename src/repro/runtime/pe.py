@@ -71,6 +71,9 @@ class PERuntime:
         self.job = job
         self.kernel = kernel
         self.transport = transport
+        #: observability hub when span tracing is on (the transport holds
+        #: the system-wide reference; None keeps delivery at one check)
+        self.obs = transport.obs
         self.publish_export = publish_export
         self.host_name = host_name
         self.state = PEState.CONSTRUCTED
@@ -150,6 +153,7 @@ class PERuntime:
                 schedule_fn=self._schedule_guarded,
                 pe_id=self.pe_id,
             )
+            ctx.obs = self.obs
             operator = spec.op_class(ctx)
             if isinstance(operator, Export):
                 operator.bind_export(
@@ -339,6 +343,14 @@ class PERuntime:
             self.metrics.get(PEMetricName.N_TUPLE_BYTES_PROCESSED).increment(
                 item.size_bytes
             )
+            if self.obs is not None and item.traced:
+                self.obs.record_process(
+                    op_full_name,
+                    self.pe_id,
+                    self.job.job_id,
+                    item.created_at,
+                    self.kernel.now,
+                )
         operator._process(item, port)
 
     def deliver_import(self, op_full_name: str, item: Item) -> None:

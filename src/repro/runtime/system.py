@@ -67,6 +67,15 @@ class SystemConfig:
     #: committed checkpoint epochs retained per PE (>= 1; 2 keeps one
     #: fallback epoch behind the newest commit for torn-epoch recovery)
     checkpoint_retention: int = 2
+    #: repro.obs: data-plane span tracing (per-tuple emit/transport/
+    #: process spans and the kernel event tap); off keeps the hot path
+    #: at a single None check — control-plane recording is always on
+    trace_enabled: bool = False
+    #: trace every Nth newly created tuple (1 = all; deterministic
+    #: counter, never randomness)
+    trace_sample_every: int = 1
+    #: flight-recorder ring capacity (recent spans retained per job)
+    flight_capacity: int = 2048
 
 
 class SystemS:
@@ -163,6 +172,18 @@ class SystemS:
         # kernel, journals injections, and feeds chaos_injected events to
         # every orchestrator (see repro.chaos).
         self.chaos: "ChaosEngine" = ChaosEngine(self)
+        from repro.obs.hub import ObsHub  # late: obs observes every layer
+
+        # The observability hub: always constructed (control-plane spans,
+        # metrics registry, flight recorder); data-plane tuple tracing is
+        # wired only when config.trace_enabled (see repro.obs).
+        self.obs = ObsHub(
+            self.kernel,
+            trace_enabled=self.config.trace_enabled,
+            trace_sample_every=self.config.trace_sample_every,
+            flight_capacity=self.config.flight_capacity,
+        )
+        self.obs.attach(self)
         self.orcas: Dict[str, "OrcaService"] = {}
         self.srm.start()
         for hc in self.hcs.values():

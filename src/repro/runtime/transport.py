@@ -37,6 +37,7 @@ from repro.sim.kernel import Kernel
 from repro.spl.tuples import Punctuation, StreamTuple
 
 if TYPE_CHECKING:  # pragma: no cover
+    from repro.obs.hub import ObsHub
     from repro.runtime.pe import PERuntime
 
 Item = Union[StreamTuple, Punctuation]
@@ -165,6 +166,9 @@ class Transport:
         #: successful delivery — the chaos fuzzer's FIFO oracle registers
         #: here; the hot path skips record construction while empty
         self.delivery_taps: List[Callable[[DeliveryRecord], None]] = []
+        #: the observability hub, set by ObsHub.attach() only when span
+        #: tracing is enabled — None keeps the send path at one check
+        self.obs: Optional["ObsHub"] = None
 
     # -- link faults --------------------------------------------------------
 
@@ -432,6 +436,22 @@ class Transport:
             link_seq = self._next_link_seq(link[0], link[1])
         if incarnation is None:
             incarnation = self._incarnations.get(dst_pe.pe_id, 0)
+        if (
+            self.obs is not None
+            and isinstance(item, StreamTuple)
+            and item.traced
+        ):
+            # one span per scheduled hop: covers fresh sends and
+            # partition flushes alike; deliver_at is post-FIFO-clamp,
+            # so the span end is the true arrival time
+            self.obs.record_transport(
+                op_full_name,
+                link[0],
+                dst_pe.pe_id,
+                dst_pe.job.job_id,
+                self.kernel.now,
+                deliver_at,
+            )
         self.kernel.schedule_at(
             deliver_at,
             self._deliver,

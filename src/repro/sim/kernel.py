@@ -61,6 +61,10 @@ class Kernel:
         self._seq = 0
         self._events_processed = 0
         self._running = False
+        #: optional observer of every executed event (repro.obs installs
+        #: one when tracing is enabled); None keeps the loop at a single
+        #: attribute check per event
+        self.event_tap: Optional[Callable[[ScheduledEvent], None]] = None
 
     # -- scheduling ---------------------------------------------------------
 
@@ -119,6 +123,8 @@ class Kernel:
                 continue
             self.clock._advance_to(event.time)
             self._events_processed += 1
+            if self.event_tap is not None:
+                self.event_tap(event)
             event.callback(*event.args)
             return True
         return False
@@ -144,6 +150,8 @@ class Kernel:
                 heapq.heappop(self._heap)
                 self.clock._advance_to(event.time)
                 self._events_processed += 1
+                if self.event_tap is not None:
+                    self.event_tap(event)
                 event.callback(*event.args)
             self.clock._advance_to(time)
         finally:

@@ -57,6 +57,9 @@ class OperatorContext:
         self.pe_id = pe_id
         #: the operator instance's partitioned state (see repro.spl.state)
         self.state = StateStore()
+        #: observability hub when span tracing is on (set by the PE after
+        #: construction; None keeps Operator.submit at one check)
+        self.obs = None
         self._now_fn = now_fn
         self._submit_fn = submit_fn
         self._punct_fn = punct_fn
@@ -192,6 +195,18 @@ class Operator:
             tup = values
         else:
             tup = StreamTuple(values, created_at=self.now())
+            obs = self.ctx.obs
+            if obs is not None and obs.sample_tuple():
+                # sampling is decided once, here, at tuple creation; the
+                # flag rides the tuple (and its derived copies) so every
+                # downstream hop records a span without re-deciding
+                tup.traced = True
+                obs.record_emit(
+                    self.ctx.full_name,
+                    self.ctx.pe_id,
+                    self.ctx.job_id,
+                    tup.created_at,
+                )
         self.metrics.get(OperatorMetricName.N_TUPLES_SUBMITTED).increment()
         self.metrics.get(OperatorMetricName.N_TUPLES_SUBMITTED, port=port).increment()
         self.ctx.submit(port, tup)

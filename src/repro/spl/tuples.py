@@ -36,7 +36,7 @@ class StreamTuple:
     the ``nTupleBytesProcessed`` built-in PE metric cheaply.
     """
 
-    __slots__ = ("values", "created_at", "size_bytes")
+    __slots__ = ("values", "created_at", "size_bytes", "traced")
 
     #: Baseline per-tuple framing overhead, in bytes (header + ports).
     FRAME_OVERHEAD = 24
@@ -46,12 +46,17 @@ class StreamTuple:
         values: Mapping[str, Any],
         created_at: float = 0.0,
         size_bytes: Optional[int] = None,
+        traced: bool = False,
     ) -> None:
         self.values = dict(values)
         self.created_at = created_at
         if size_bytes is None:
             size_bytes = self.FRAME_OVERHEAD + _estimate_size(self.values)
         self.size_bytes = size_bytes
+        #: sampled for span tracing (repro.obs); decided once at creation
+        #: and propagated through derived copies so a traced tuple's whole
+        #: path shows up in the flight recorder
+        self.traced = traced
 
     def __getitem__(self, name: str) -> Any:
         return self.values[name]
@@ -66,12 +71,14 @@ class StreamTuple:
         """Return a copy of this tuple with some attributes replaced/added."""
         merged = dict(self.values)
         merged.update(updates)
-        return StreamTuple(merged, created_at=self.created_at)
+        return StreamTuple(merged, created_at=self.created_at, traced=self.traced)
 
     def project(self, *names: str) -> "StreamTuple":
         """Return a copy containing only the named attributes."""
         return StreamTuple(
-            {n: self.values[n] for n in names}, created_at=self.created_at
+            {n: self.values[n] for n in names},
+            created_at=self.created_at,
+            traced=self.traced,
         )
 
     def __eq__(self, other: object) -> bool:

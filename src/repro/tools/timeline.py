@@ -1,0 +1,165 @@
+"""Text renderer for flight-recorder dumps: a lane-per-span timeline.
+
+A :class:`~repro.obs.flight.FlightDump` artifact is already readable,
+but its fixed-width span list hides *shape*: which operations
+overlapped, where the rescale sat relative to the crash, how long a
+channel stayed masked.  This tool re-renders a dump as an ASCII gantt —
+one row per span, a scaled bar between the dump's earliest and latest
+instants, point events as a single tick:
+
+    rescale:quiesce        |----·----------------|
+    channel_masked         |      ▓▓▓▓▓▓▓        |
+
+Usage::
+
+    python -m repro.tools.timeline tests/corpus/<name>.timeline.txt
+
+The renderer is pure text-in/text-out (no runtime imports), so it
+works on committed artifacts from any run.
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+from typing import Dict, List, NamedTuple, Optional, Tuple
+
+#: one span line of a rendered FlightDump
+_ENTRY_RE = re.compile(
+    r"^\[\s*(?P<start>-?\d+\.\d+) \.\. \s*(?P<end>-?\d+\.\d+)\] "
+    r"(?P<kind>\S+)\s+(?P<name>\S+)(?: (?P<attrs>.*))?$"
+)
+
+
+class TimelineEntry(NamedTuple):
+    """One parsed span line of a dump."""
+
+    start: float
+    end: float
+    kind: str
+    name: str
+    attrs: str
+
+
+def parse_dump(text: str) -> Tuple[Dict[str, str], List[TimelineEntry]]:
+    """Parse a rendered flight dump into its header and span entries.
+
+    Args:
+        text: The artifact text (``FlightDump.render()`` output).
+
+    Returns:
+        ``(header, entries)``: the ``# key: value`` header fields and
+        the parsed span lines, in file order.
+
+    Raises:
+        ValueError: A non-comment line does not parse as a span.
+    """
+    header: Dict[str, str] = {}
+    entries: List[TimelineEntry] = []
+    for line in text.splitlines():
+        if not line.strip():
+            continue
+        if line.startswith("#"):
+            stripped = line.lstrip("# ")
+            if ":" in stripped:
+                key, _, value = stripped.partition(":")
+                header[key.strip()] = value.strip()
+            continue
+        match = _ENTRY_RE.match(line)
+        if match is None:
+            raise ValueError(f"unparseable dump line: {line!r}")
+        entries.append(
+            TimelineEntry(
+                start=float(match.group("start")),
+                end=float(match.group("end")),
+                kind=match.group("kind"),
+                name=match.group("name"),
+                attrs=match.group("attrs") or "",
+            )
+        )
+    return header, entries
+
+
+def _bar(entry: TimelineEntry, t0: float, span: float, width: int) -> str:
+    """The scaled lane cells of one entry."""
+    cells = [" "] * width
+    scale = (width - 1) / span if span > 0 else 0.0
+    lo = int(round((entry.start - t0) * scale))
+    hi = int(round((entry.end - t0) * scale))
+    lo = min(max(lo, 0), width - 1)
+    hi = min(max(hi, lo), width - 1)
+    if lo == hi:
+        cells[lo] = "|"
+    else:
+        for i in range(lo, hi + 1):
+            cells[i] = "="
+        cells[lo] = "["
+        cells[hi] = "]"
+    return "".join(cells)
+
+
+def render_timeline(
+    text: str, width: int = 60, kind: Optional[str] = None
+) -> str:
+    """Render one dump artifact as an ASCII lane timeline.
+
+    Args:
+        text: The artifact text.
+        width: Lane width in characters.
+        kind: Restrict to one span kind (``data``/``control``).
+
+    Returns:
+        The rendered timeline (header, axis, one row per span).
+    """
+    header, entries = parse_dump(text)
+    if kind is not None:
+        entries = [e for e in entries if e.kind == kind]
+    lines = [
+        f"flight timeline — reason: {header.get('reason', '?')}"
+        f"  scope: {header.get('scope', '?')}"
+        f"  spans: {len(entries)}",
+    ]
+    if not entries:
+        lines.append("(no spans)")
+        return "\n".join(lines) + "\n"
+    t0 = min(e.start for e in entries)
+    t1 = max(e.end for e in entries)
+    span = t1 - t0
+    label_width = min(max(len(e.name) for e in entries), 28)
+    axis = f"{t0:.3f}s".ljust(width - 8) + f"{t1:.3f}s"
+    lines.append(" " * (label_width + 2) + axis[: width + 8])
+    for e in entries:
+        label = e.name[:label_width].ljust(label_width)
+        lane = _bar(e, t0, span, width)
+        suffix = f" {e.attrs}" if e.attrs else ""
+        lines.append(f"{label}  {lane}{suffix}")
+    return "\n".join(lines) + "\n"
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point: render a dump artifact to stdout.
+
+    Args:
+        argv: Argument list (default ``sys.argv[1:]``).
+
+    Returns:
+        Process exit code.
+    """
+    parser = argparse.ArgumentParser(
+        description="render a flight-recorder dump as an ASCII timeline"
+    )
+    parser.add_argument("path", help="dump artifact (*.timeline.txt)")
+    parser.add_argument("--width", type=int, default=60, help="lane width")
+    parser.add_argument(
+        "--kind", choices=["data", "control"], help="only this span kind"
+    )
+    args = parser.parse_args(argv)
+    with open(args.path, "r") as handle:
+        text = handle.read()
+    sys.stdout.write(render_timeline(text, width=args.width, kind=args.kind))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

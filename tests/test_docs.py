@@ -39,6 +39,14 @@ DOCSTYLE_FILES = [
     "src/repro/chaos/fuzz/harness.py",
     "src/repro/chaos/fuzz/search.py",
     "src/repro/chaos/fuzz/shrink.py",
+    "src/repro/obs/__init__.py",
+    "src/repro/obs/naming.py",
+    "src/repro/obs/metrics.py",
+    "src/repro/obs/trace.py",
+    "src/repro/obs/flight.py",
+    "src/repro/obs/listeners.py",
+    "src/repro/obs/hub.py",
+    "src/repro/tools/timeline.py",
 ]
 
 

@@ -70,6 +70,12 @@ def test_corpus_entry_replays_clean_twice(path):
     assert first.objective == second.objective
     # the disturbance actually landed (a corpus of no-ops proves nothing)
     assert first.scorecard.injections == len(campaign.scenario.steps)
+    # every repro ships its evidence trail: the flight-recorder timeline
+    # is byte-identical across the two runs and matches the committed
+    # artifact the entry references
+    assert first.timeline == second.timeline
+    committed = (CORPUS_DIR / entry["timeline"]).read_text()
+    assert first.timeline == committed
 
 
 def test_corpus_names_document_their_origin():
@@ -77,3 +83,16 @@ def test_corpus_names_document_their_origin():
         entry = json.loads(path.read_text())
         assert entry.get("origin"), f"{path.name}: missing origin pointer"
         assert entry["campaign"]["scenario"]["description"], path.name
+
+
+def test_corpus_entries_reference_committed_timelines():
+    """Each entry points at its flight-recorder timeline artifact, and
+    the artifact is a well-formed dump for that entry's scope."""
+    for path in CORPUS:
+        entry = json.loads(path.read_text())
+        artifact = entry.get("timeline")
+        assert artifact, f"{path.name}: missing timeline artifact pointer"
+        assert artifact == f"{path.stem}.timeline.txt"
+        text = (CORPUS_DIR / artifact).read_text()
+        assert text.startswith("# flight-recorder dump"), artifact
+        assert "# reason: " in text

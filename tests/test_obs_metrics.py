@@ -1,0 +1,270 @@
+"""Tests for the repro.obs metrics registry and naming shim: counter/
+gauge/histogram semantics, deterministic quantiles, Prometheus and
+JSONL rendering, the canonical ``repro_*`` <-> legacy camelCase metric
+name translation (and that SRM queries accept both spellings), the
+``subscribe_runtime`` listener helper, and the hub's SRM export."""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    CANONICAL_BY_LEGACY,
+    MetricsRegistry,
+    canonical_metric_name,
+    legacy_metric_name,
+    sanitize_metric_name,
+    subscribe_runtime,
+)
+from tests.conftest import make_linear_app
+
+
+class TestRegistry:
+    def test_counter_get_or_create_identity(self):
+        reg = MetricsRegistry()
+        a = reg.counter("repro_hits_total", {"op": "x"})
+        b = reg.counter("repro_hits_total", {"op": "x"})
+        c = reg.counter("repro_hits_total", {"op": "y"})
+        assert a is b and a is not c
+        a.inc()
+        a.inc(2)
+        assert a.value == 3 and c.value == 0
+
+    def test_gauge_set(self):
+        reg = MetricsRegistry()
+        g = reg.gauge("repro_depth")
+        g.set(7.5)
+        assert g.value == 7.5
+
+    def test_kind_collision_rejected(self):
+        reg = MetricsRegistry()
+        reg.counter("repro_thing")
+        with pytest.raises(ValueError):
+            reg.gauge("repro_thing")
+
+    def test_histogram_quantiles_interpolate(self):
+        reg = MetricsRegistry()
+        h = reg.histogram(
+            "repro_lat", buckets=(1.0, 2.0, 4.0, float("inf"))
+        )
+        for v in (0.5, 1.5, 1.5, 3.0):
+            h.observe(v)
+        assert h.total == 4
+        assert h.sum == 6.5
+        assert h.min == 0.5 and h.max == 3.0
+        assert 0.0 < h.quantile(0.5) <= 2.0
+        assert h.quantile(0.99) <= 4.0
+        # quantiles are a pure function of the bucket counts
+        assert h.quantile(0.5) == h.quantile(0.5)
+
+    def test_histogram_inf_bucket_clamps_to_observed_max(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("repro_big", buckets=(1.0, float("inf")))
+        h.observe(50.0)
+        assert h.quantile(0.99) <= 50.0
+
+    def test_empty_histogram_quantile_is_zero(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("repro_none")
+        assert h.quantile(0.5) == 0.0
+
+
+class TestRendering:
+    def build(self):
+        reg = MetricsRegistry()
+        reg.counter(
+            "repro_hits_total", {"op": "b"}, help_text="hits"
+        ).inc(2)
+        reg.counter("repro_hits_total", {"op": "a"}, help_text="hits").inc()
+        reg.gauge("repro_depth", help_text="queue depth").set(3)
+        h = reg.histogram(
+            "repro_lat_seconds",
+            {"op": "a"},
+            help_text="latency",
+            buckets=(0.1, 1.0, float("inf")),
+        )
+        h.observe(0.05)
+        h.observe(0.5)
+        return reg
+
+    def test_prometheus_format(self):
+        text = self.build().render_prometheus()
+        lines = text.splitlines()
+        assert "# HELP repro_hits_total hits" in lines
+        assert "# TYPE repro_hits_total counter" in lines
+        # series sorted within a family, families sorted by name
+        assert lines.index('repro_hits_total{op="a"} 1') < lines.index(
+            'repro_hits_total{op="b"} 2'
+        )
+        assert 'repro_lat_seconds_bucket{op="a",le="0.1"} 1' in lines
+        assert 'repro_lat_seconds_bucket{op="a",le="+Inf"} 2' in lines
+        assert 'repro_lat_seconds_count{op="a"} 2' in lines
+        assert "repro_depth 3" in lines
+
+    def test_prometheus_is_byte_stable(self):
+        assert self.build().render_prometheus() == self.build().render_prometheus()
+
+    def test_jsonl_rows_carry_quantiles(self):
+        rows = [
+            json.loads(line)
+            for line in self.build().render_jsonl().splitlines()
+        ]
+        assert all(list(r) == sorted(r) for r in rows)  # sort_keys
+        hist = next(r for r in rows if r["type"] == "histogram")
+        assert hist["count"] == 2
+        assert {"p50", "p95", "p99", "min", "max"} <= set(hist)
+        counter = next(
+            r
+            for r in rows
+            if r["type"] == "counter" and r["labels"] == {"op": "b"}
+        )
+        assert counter["value"] == 2
+
+
+class TestNaming:
+    def test_catalog_round_trips(self):
+        for legacy, canonical in CANONICAL_BY_LEGACY.items():
+            assert canonical_metric_name(legacy) == canonical
+            assert legacy_metric_name(canonical) == legacy
+
+    def test_srm_builtins_are_catalogued(self):
+        assert canonical_metric_name("nTuplesProcessed") == (
+            "repro_tuples_processed_total"
+        )
+        assert canonical_metric_name("stateBytes") == "repro_pe_state_bytes"
+        assert canonical_metric_name("queueSize") == "repro_queue_depth"
+
+    def test_per_kind_injection_counters(self):
+        assert canonical_metric_name("chaosInjections.crash_pe") == (
+            "repro_chaos_injections_crash_pe"
+        )
+
+    def test_unknown_names_sanitize(self):
+        assert canonical_metric_name("nDiscarded") == "repro_n_discarded"
+        assert sanitize_metric_name("my.metric-2") == "my_metric_2"
+
+    def test_legacy_passthrough_for_unknown(self):
+        assert legacy_metric_name("nDiscarded") == "nDiscarded"
+        assert legacy_metric_name("repro_not_in_catalog") == (
+            "repro_not_in_catalog"
+        )
+
+
+class TestSRMShim:
+    """Satellite 2: SRM stores legacy spellings; queries resolve both."""
+
+    def push_metrics(self, system):
+        job = system.submit_job(make_linear_app())
+        system.run_for(system.config.metric_push_interval + 1.0)
+        pe = job.pe_of_operator("sink")
+        return job, pe
+
+    def test_point_query_accepts_both_spellings(self, system):
+        job, pe = self.push_metrics(system)
+        legacy = system.srm.metric_value(
+            job.job_id, pe.pe_id, "sink", "nTuplesProcessed"
+        )
+        canonical = system.srm.metric_value(
+            job.job_id, pe.pe_id, "sink", "repro_tuples_processed_total"
+        )
+        assert legacy is not None and legacy > 0
+        assert canonical == legacy
+
+    def test_aggregate_accepts_both_spellings(self, system):
+        job, _ = self.push_metrics(system)
+        legacy = system.srm.aggregate_operator_metric(
+            job.job_id, ["sink"], "nTuplesProcessed"
+        )
+        canonical = system.srm.aggregate_operator_metric(
+            job.job_id, ["sink"], "repro_tuples_processed_total"
+        )
+        assert legacy.total > 0
+        assert canonical.total == legacy.total
+
+    def test_group_sums_accept_both_spellings(self, system):
+        job, _ = self.push_metrics(system)
+        groups = {0: ["sink"]}
+        legacy = system.srm.sum_operator_metric_by_group(
+            job.job_id, groups, "nTuplesProcessed"
+        )
+        canonical = system.srm.sum_operator_metric_by_group(
+            job.job_id, groups, "repro_tuples_processed_total"
+        )
+        assert legacy == canonical and legacy[0] > 0
+
+    def test_storage_keeps_legacy_names(self, system):
+        """The shim sits at the query layer, not in storage: HC pushes
+        land under the legacy spelling so existing scope filters and
+        dashboards keep matching."""
+        job, _ = self.push_metrics(system)
+        names = {s.name for s in system.srm.get_metrics([job.job_id])}
+        assert "nTuplesProcessed" in names
+        assert "repro_tuples_processed_total" not in names
+
+
+class TestHubExport:
+    def test_scrape_mirrors_srm_under_canonical_names(self, system):
+        job = system.submit_job(make_linear_app())
+        system.run_for(system.config.metric_push_interval + 1.0)
+        assert system.obs.scrape_srm() > 0
+        text = system.obs.render_prometheus(scrape=False)
+        assert "repro_tuples_processed_total{" in text
+        assert f'job="{job.job_id}"' in text
+        assert "nTuplesProcessed" not in text
+
+    def test_jsonl_export_parses(self, system):
+        system.submit_job(make_linear_app())
+        system.run_for(4.0)
+        rows = [
+            json.loads(line)
+            for line in system.obs.render_jsonl().splitlines()
+        ]
+        assert rows
+        assert {"name", "type", "labels"} <= set(rows[0])
+
+
+class TestListenerHelper:
+    """Satellite 1: one documented registration surface for every
+    runtime instrumentation tap, with symmetric detach."""
+
+    def tap_lengths(self, system):
+        return (
+            len(system.elastic.barrier_listeners),
+            len(system.elastic.reroute_listeners),
+            len(system.elastic.reclaim_listeners),
+            len(system.elastic.rescale_listeners),
+            len(system.checkpoints.attempt_listeners),
+            len(system.checkpoints.commit_listeners),
+            len(system.sam.pe_failure_observers),
+            len(system.sam.pe_restart_observers),
+            len(system.chaos.injection_listeners),
+            len(system.transport.delivery_taps),
+        )
+
+    def test_attach_detach_is_symmetric(self, system):
+        before = self.tap_lengths(system)
+        seen = []
+        sub = subscribe_runtime(
+            system,
+            on_barrier=lambda e: seen.append(e),
+            on_checkpoint_commit=lambda r: seen.append(r),
+            on_pe_failure=lambda pe, reason: seen.append(reason),
+            on_injection=lambda inj: seen.append(inj),
+        )
+        assert sub.attached and len(sub) == 4
+        after = self.tap_lengths(system)
+        assert sum(after) == sum(before) + 4
+        sub.detach()
+        assert not sub.attached
+        assert self.tap_lengths(system) == before
+
+    def test_detach_is_idempotent(self, system):
+        sub = subscribe_runtime(system, on_injection=lambda inj: None)
+        sub.detach()
+        sub.detach()
+        assert not sub.attached
+
+    def test_no_callbacks_is_an_empty_subscription(self, system):
+        sub = subscribe_runtime(system)
+        assert len(sub) == 0
+        sub.detach()
