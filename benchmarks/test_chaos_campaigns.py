@@ -48,6 +48,7 @@ from repro.chaos import (
     rolling_host_outage,
     torn_checkpoints,
 )
+from repro.chaos.fuzz import FifoProbe
 from repro.orca.scopes import ChaosScope, CheckpointScope, ParallelRegionScope
 from repro.spl.application import Application
 from repro.spl.library import CallbackSource, KeyedCounter, Sink
@@ -116,13 +117,17 @@ def run_checkpointed_campaign(
     run_for: float,
     drain: float = 4.0,
     seed: int = SEED,
+    batch_max_size: int = 1,
+    batch_linger: float = 0.0,
 ) -> Tuple[ResilienceScorecard, Dict]:
     """Build the elastic+checkpoint stack, execute one scenario, score it.
 
     ``scenario_builder(job)`` receives the running job so presets can
     name live operators/hosts.  The feed is stopped (rate factor 0) and
     the pipeline drained before accounting, so in-flight tuples cannot
-    masquerade as losses.
+    masquerade as losses.  ``batch_max_size > 1`` runs the whole
+    campaign over the batched transport hot path; a FIFO probe rides
+    along either way and reports into the extras.
     """
     system = SystemS(
         hosts=10,
@@ -130,8 +135,11 @@ def run_checkpointed_campaign(
         config=SystemConfig(
             checkpoint_interval=0.25,
             failure_notification_delay=0.001,
+            batch_max_size=batch_max_size,
+            batch_linger=batch_linger,
         ),
     )
+    fifo = FifoProbe(system.transport)
     feed = ChaosFeed(n_keys=N_KEYS, base_rate=2, seed=5)
     app = build_region_app(feed)
     logic = _CampaignOrca()
@@ -159,12 +167,14 @@ def run_checkpointed_campaign(
         system, run, seed, seqs, feed.emitted, final_state=final_state,
         orca=service,
     )
+    fifo.detach()
     extras = {
         "width": plan.width,
         "chaos_events_seen": len(logic.chaos_events),
         "reroutes": len(system.elastic.reroutes),
         "reclaims": len(system.elastic.reclaims),
         "rescales": len(system.elastic.history),
+        "fifo_violations": len(fifo.violations),
     }
     return scorecard, extras
 
@@ -174,17 +184,18 @@ def run_checkpointed_campaign(
 # ---------------------------------------------------------------------------
 
 
-def campaign_rolling_channel_outage(seed=SEED):
+def campaign_rolling_channel_outage(seed=SEED, batch_max_size=1):
     return run_checkpointed_campaign(
         lambda job: rolling_channel_outage(
             ["work__c0", "work__c1"], start=1.02, stagger=5.0, downtime=1.0
         ),
         run_for=13.0,
         seed=seed,
+        batch_max_size=batch_max_size,
     )
 
 
-def campaign_gray_network(seed=SEED):
+def campaign_gray_network(seed=SEED, batch_max_size=1):
     return run_checkpointed_campaign(
         lambda job: gray_network(
             start=1.02,
@@ -196,10 +207,11 @@ def campaign_gray_network(seed=SEED):
         ),
         run_for=14.0,
         seed=seed,
+        batch_max_size=batch_max_size,
     )
 
 
-def campaign_flash_crowd(seed=SEED):
+def campaign_flash_crowd(seed=SEED, batch_max_size=1):
     return run_checkpointed_campaign(
         lambda job: flash_crowd(
             at=1.02,
@@ -212,10 +224,11 @@ def campaign_flash_crowd(seed=SEED):
         ),
         run_for=12.0,
         seed=seed,
+        batch_max_size=batch_max_size,
     )
 
 
-def campaign_torn_checkpoints(seed=SEED):
+def campaign_torn_checkpoints(seed=SEED, batch_max_size=1):
     return run_checkpointed_campaign(
         lambda job: torn_checkpoints(
             "work__c0",
@@ -226,6 +239,7 @@ def campaign_torn_checkpoints(seed=SEED):
         ),
         run_for=13.0,
         seed=seed,
+        batch_max_size=batch_max_size,
     )
 
 
@@ -261,7 +275,7 @@ def build_failover_app(name="ChaosFailover"):
     return app
 
 
-def campaign_rolling_host_outage(seed=SEED):
+def campaign_rolling_host_outage(seed=SEED, batch_max_size=1):
     """Host outage under the replica-failover orchestrator.
 
     The active replica's host dies; FailoverOrca promotes the oldest
@@ -270,7 +284,10 @@ def campaign_rolling_host_outage(seed=SEED):
     must be loss-free across the outage — while the crashed replica's
     restart-empty state recovery is reported as the honest contrast.
     """
-    system = SystemS(hosts=12, seed=seed)
+    system = SystemS(
+        hosts=12, seed=seed, config=SystemConfig(batch_max_size=batch_max_size)
+    )
+    fifo = FifoProbe(system.transport)
     app = build_failover_app()
     logic = FailoverOrca(app_name=app.name, n_replicas=3)
     service = system.submit_orchestrator(
@@ -312,10 +329,12 @@ def campaign_rolling_host_outage(seed=SEED):
         final_state=final_state,
         orca=service,
     )
+    fifo.detach()
     extras = {
         "failovers": len(logic.failovers),
         "promoted": promoted_id,
         "crashed": active_id,
+        "fifo_violations": len(fifo.violations),
     }
     return scorecard, extras
 
@@ -394,6 +413,37 @@ def test_chaos_campaigns(benchmark, results_dir):
     # restart-empty semantics: the crashed replica's state did NOT fully
     # recover — the contrast the checkpoint subsystem closes
     assert failover["card"].state_recovery < 0.99
+
+
+def test_chaos_campaigns_batched(results_dir):
+    """All five presets stay green over the batched transport hot path.
+
+    ``batch_max_size=8`` (linger 0: flush at the end of each kernel
+    instant, so crash instants placed between source ticks observe no
+    open batches) with the FIFO probe attached end to end.  The
+    checkpointed presets must keep the exact-loss and state-conservation
+    bars; every preset must deliver strictly FIFO per connection.
+    """
+    lines = []
+    for name, runner, checkpointed in CAMPAIGNS:
+        card, extras = runner(batch_max_size=8)
+        lines.append(f"===== campaign: {name} (batch_max_size=8) =====")
+        lines.extend(card.lines())
+        lines.append(f"extras: {extras}")
+        lines.append("")
+        assert card.injections > 0, name
+        assert card.step_errors == 0, name
+        assert card.orca_handler_errors == 0, name
+        assert extras["fifo_violations"] == 0, name
+        if checkpointed:
+            assert card.tuples_lost == 0, name
+            assert card.duplicates == 0, name
+            assert card.state_recovery >= 0.99, name
+            assert card.unrecovered_faults == 0, name
+        else:
+            # failover preset: the promoted replica is still loss-free
+            assert card.tuples_lost == 0, name
+    emit(results_dir, "chaos_campaigns_batched", lines)
 
 
 def test_chaos_smoke_determinism(results_dir):

@@ -81,6 +81,10 @@ class FuzzHarnessConfig:
             via the service's ``commit_fault`` hook.
         trace: Run with span tracing enabled, so the outcome carries a
             flight-recorder timeline and a Prometheus export.
+        batch_max_size: Transport batch size trigger (1 = one-at-a-time
+            delivery, the byte-stable corpus default; >1 runs the whole
+            case over the batched transport hot path).
+        batch_linger: Sim-time linger before a partial batch flushes.
         profile: Oracle profile override (None: derived from the
             configuration and scenario by
             :meth:`OracleProfile.for_config`).
@@ -100,6 +104,8 @@ class FuzzHarnessConfig:
     checkpoint_interval: float = 0.25
     torn_commits: bool = False
     trace: bool = True
+    batch_max_size: int = 1
+    batch_linger: float = 0.0
     #: cadence of the live keyed-state probes the oracle suite judges
     #: crash snapshots against right after each recovery
     probe_interval: float = 0.25
@@ -297,6 +303,8 @@ def run_fuzz_case(
             checkpoint_interval=config.checkpoint_interval,
             failure_notification_delay=0.001,
             trace_enabled=config.trace,
+            batch_max_size=config.batch_max_size,
+            batch_linger=config.batch_linger,
         ),
     )
     if config.torn_commits:

@@ -404,6 +404,10 @@ class ElasticController:
         self._active[key] = op
         op.state = RescaleState.DRAINING
         splitter_pe.send_control(plan.splitter, "quiesce", {})
+        # transport batching: tuples coalescing in open batches must be
+        # committed to the wire before the drain barrier starts counting,
+        # or the region could be declared empty while tuples sit buffered
+        self.transport.flush_open_batches()
         self._mark_barrier(job.job_id, region, "quiesce")
         self.kernel.schedule(
             self.drain_poll_interval,
@@ -779,6 +783,10 @@ class ElasticController:
             self._fail(job, plan, op, on_complete, "job left RUNNING during drain")
             return
         op.drain_polls += 1
+        # open batches count toward queue_size but would otherwise sit
+        # until their linger expires; force them onto the wire so every
+        # drain poll measures a region that is actually moving
+        self.transport.flush_open_batches()
         if self._region_backlog(job, plan) == 0:
             self._mark_barrier(job.job_id, plan.name, "drain_clean")
             self._rewire_and_resume(job, plan, op, on_complete)

@@ -99,6 +99,10 @@ class ObsHub:
         self._kernel_counters: Dict[str, ObsCounter] = {}
         #: operator full name -> tuple-latency histogram (hot-path cache)
         self._latency_hists: Dict[str, ObsHistogram] = {}
+        #: transport batch-size histogram, created lazily on the first
+        #: flush — eager creation would add an empty series to every
+        #: unbatched system's exposition and break artifact byte-stability
+        self._batch_hist: Optional[ObsHistogram] = None
 
     # -- wiring --------------------------------------------------------------
 
@@ -125,6 +129,10 @@ class ObsHub:
             on_pe_restart=self._on_pe_restart,
             on_injection=self._on_injection,
         )
+        # batch-size observations are control-plane (a counter bump per
+        # *batch*, not per tuple), so the hook attaches regardless of
+        # trace_enabled; unbatched systems never flush, never call it
+        system.transport.batch_observer = self.record_batch_flush
         if self.trace_enabled:
             system.transport.obs = self
             self.kernel.event_tap = self._on_kernel_event
@@ -137,6 +145,8 @@ class ObsHub:
         if self._system is not None:
             if self._system.transport.obs is self:
                 self._system.transport.obs = None
+            if self._system.transport.batch_observer == self.record_batch_flush:
+                self._system.transport.batch_observer = None
             if self.kernel.event_tap == self._on_kernel_event:
                 self.kernel.event_tap = None
         self._system = None
@@ -202,6 +212,23 @@ class ObsHub:
                 help_text="creation-to-processing latency of sampled tuples",
             )
         hist.observe(now - created_at)
+
+    def record_batch_flush(self, size: int) -> None:
+        """Record the member count of one flushed transport batch.
+
+        Observations land in the ``repro_transport_batch_size``
+        histogram.  The series is created lazily on the first flush so
+        systems that never batch (``batch_max_size`` 1, the default)
+        render byte-identical expositions with or without this hook.
+        """
+        hist = self._batch_hist
+        if hist is None:
+            hist = self._batch_hist = self.metrics.histogram(
+                "repro_transport_batch_size",
+                help_text="tuples per flushed transport batch",
+                buckets=(1, 2, 4, 8, 16, 32, 64, 128, float("inf")),
+            )
+        hist.observe(size)
 
     def record_orca_event(
         self, orca_id: str, event_type: str, enqueued_at: float, now: float

@@ -29,6 +29,7 @@ if TYPE_CHECKING:  # pragma: no cover
         RescaleOperation,
         StateReclaim,
     )
+    from repro.runtime.job import Job
     from repro.runtime.pe import PERuntime
     from repro.runtime.system import SystemS
     from repro.runtime.transport import DeliveryRecord
@@ -71,6 +72,7 @@ def subscribe_runtime(
     on_checkpoint_commit: Optional[Callable[["CheckpointRecord"], None]] = None,
     on_pe_failure: Optional[Callable[["PERuntime", str], None]] = None,
     on_pe_restart: Optional[Callable[["PERuntime"], None]] = None,
+    on_topology: Optional[Callable[["Job", str], None]] = None,
     on_injection: Optional[Callable[["ChaosInjection"], None]] = None,
     on_delivery: Optional[Callable[["DeliveryRecord"], None]] = None,
 ) -> RuntimeSubscription:
@@ -94,6 +96,10 @@ def subscribe_runtime(
     * ``on_checkpoint_commit(CheckpointRecord)`` — committed epochs only;
     * ``on_pe_failure(PERuntime, reason)`` / ``on_pe_restart(PERuntime)``
       — PE crash and completed-restart observers;
+    * ``on_topology(Job, change)`` — the job's PE set changed via
+      ``SAM.add_pes`` (``change == "add_pes"``) or ``SAM.remove_pes``
+      (``"remove_pes"``); fired after the change is fully applied so
+      subscribers can refresh materialized stream-graph views;
     * ``on_injection(ChaosInjection)`` — every fired chaos step;
     * ``on_delivery(DeliveryRecord)`` — every successful transport
       delivery (hot path: register only when you must).
@@ -109,6 +115,7 @@ def subscribe_runtime(
         on_checkpoint_commit: See above.
         on_pe_failure: See above.
         on_pe_restart: See above.
+        on_topology: See above.
         on_injection: See above.
         on_delivery: See above.
 
@@ -125,6 +132,7 @@ def subscribe_runtime(
         (system.checkpoints.commit_listeners, on_checkpoint_commit),
         (system.sam.pe_failure_observers, on_pe_failure),
         (system.sam.pe_restart_observers, on_pe_restart),
+        (system.sam.topology_observers, on_topology),
         (system.chaos.injection_listeners, on_injection),
         (system.transport.delivery_taps, on_delivery),
     ]

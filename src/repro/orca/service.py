@@ -143,11 +143,12 @@ class OrcaService:
         # campaigns, direct controller calls), unmask-time state
         # reclaims, checkpoint commits, completed PE restarts (inspected
         # for skipped rehydration), and chaos injections all become ORCA
-        # events.
+        # events; PE-set topology changes refresh the stream graph.
         self._runtime_sub = subscribe_runtime(
             self.system,
             on_reroute=self._on_channel_rerouted,
             on_rescale=self._on_region_rescaled,
+            on_topology=self._on_topology_changed,
             on_reclaim=self._on_state_reclaimed,
             on_checkpoint_commit=self._on_checkpoint_committed,
             on_pe_restart=self._on_pe_restarted,
@@ -769,6 +770,26 @@ class OrcaService:
             "event_kind": "region_rescaled",
         }
         self._enqueue("region_rescaled", context, attrs)
+
+    def _on_topology_changed(self, job, change: str) -> None:
+        """SAM topology observer: a job's PE set grew or shrank.
+
+        Fires for every ``SAM.add_pes`` / ``SAM.remove_pes``, including
+        ones driven entirely outside this service (an autoscaler, another
+        orchestrator, a direct controller call).  Without this refresh the
+        materialized stream graph would keep answering ``host_of_pe`` /
+        placement queries from a stale PE inventory until the *next*
+        rescale this service happens to observe.
+        """
+        if job.job_id not in self.jobs:
+            return  # not a job this orchestrator owns
+        del change  # add and remove refresh identically: re-register the job
+        self.graph.add_application(adl_from_xml(adl_to_xml(job.compiled)))
+        self.graph.register_job(
+            job.job_id,
+            job.app_name,
+            {pe.index: (pe.pe_id, pe.host_name) for pe in job.pes},
+        )
 
     def _on_channel_rerouted(self, record) -> None:
         """Elastic-controller listener: a splitter mask/unmask happened."""

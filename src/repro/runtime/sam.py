@@ -80,6 +80,11 @@ class SAM:
         #: region channels whose PE went down)
         self.pe_failure_observers: List[Callable[[PERuntime, str], None]] = []
         self.pe_restart_observers: List[Callable[[PERuntime], None]] = []
+        #: runtime-internal observers of PE-set topology changes: called with
+        #: (job, change kind) after add_pes/remove_pes so consumers holding a
+        #: materialized view of the stream graph (ORCA) can refresh it even
+        #: when the rescale was initiated by someone else
+        self.topology_observers: List[Callable[[Job, str], None]] = []
         srm.on_host_failure = self._on_host_failure
         for hc in hcs.values():
             hc.on_pe_crash = self._on_local_pe_crash
@@ -260,6 +265,8 @@ class SAM:
             job.pes.append(pe)
             pe.start()
             added.append(pe)
+        for observer in list(self.topology_observers):
+            observer(job, "add_pes")
         return added
 
     def remove_pes(self, job_id: str, pe_ids: List[str]) -> None:
@@ -284,6 +291,8 @@ class SAM:
                 self.checkpoint_store.drop_pe(job_id, pe.pe_id)
             if self.checkpoint_service is not None:
                 self.checkpoint_service.forget_pe(job_id, pe.pe_id)
+        for observer in list(self.topology_observers):
+            observer(job, "remove_pes")
 
     # -- failure notification path ----------------------------------------------------------
 

@@ -51,6 +51,15 @@ class SystemConfig:
     heartbeat_timeout: float = 3.0
     sweep_interval: float = 1.0
     transport_latency: float = 0.001
+    #: transport batching: values > 1 coalesce same-flow tuples into
+    #: :class:`~repro.spl.tuples.TupleBatch` units flushed at this size
+    #: (one kernel event and one operator dispatch per batch); 1 keeps
+    #: today's one-event-per-tuple semantics and is the default
+    batch_max_size: int = 1
+    #: sim-time linger before a partially filled batch flushes; 0.0
+    #: flushes at the end of the current kernel instant, which still
+    #: coalesces bursts emitted within one upstream activation
+    batch_linger: float = 0.0
     pe_spawn_delay: float = 0.1
     pe_restart_delay: float = 1.0
     failure_notification_delay: float = 0.05
@@ -106,6 +115,8 @@ class SystemS:
             # seeded stream: probabilistic link faults (chaos campaigns)
             # stay deterministic per system seed
             rng=self.random.stream("transport"),
+            batch_max_size=self.config.batch_max_size,
+            batch_linger=self.config.batch_linger,
         )
         self.import_export = ImportExportRegistry(
             self.kernel, latency=self.config.transport_latency

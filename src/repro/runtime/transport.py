@@ -33,14 +33,16 @@ import random
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Tuple, Union
 
-from repro.sim.kernel import Kernel
-from repro.spl.tuples import Punctuation, StreamTuple
+from repro.sim.kernel import Kernel, ScheduledEvent
+from repro.spl.tuples import Punctuation, StreamTuple, TupleBatch
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.obs.hub import ObsHub
     from repro.runtime.pe import PERuntime
 
 Item = Union[StreamTuple, Punctuation]
+#: what actually travels on the wire: a single item, or a coalesced batch
+Payload = Union[StreamTuple, Punctuation, TupleBatch]
 
 
 @dataclass(frozen=True)
@@ -49,8 +51,10 @@ class DeliveryRecord:
 
     ``link_seq`` is the item's per-link send index (links key on
     ``(source PE id or "", destination PE id)``): the transport assigns
-    it at *original send time* — before any partition holds or flush
-    re-scheduling — so a tap observing deliveries whose ``link_seq``
+    it when the item is committed to the wire — at send time for single
+    items, at flush time for batch members (one contiguous range per
+    batch) — and always before any partition holds or flush
+    re-scheduling, so a tap observing deliveries whose ``link_seq``
     ever decreases on one link has caught a genuine per-connection FIFO
     violation, exactly what the chaos fuzzer's
     :class:`~repro.chaos.fuzz.oracles.FifoProbe` checks.
@@ -121,17 +125,64 @@ class LinkFault:
         return True
 
 
+class _OpenBatch:
+    """One flow's not-yet-flushed tuple run (batching enabled only).
+
+    A *flow* is ``(src_key, dst_pe_id, op_full_name, port)`` — the finest
+    unit on which ordering matters.  The source/destination PE handles
+    ride along so the flush can re-match link faults exactly like an
+    ordinary send would have.
+    """
+
+    __slots__ = ("src_pe", "dst_pe", "tuples", "flush_event")
+
+    def __init__(
+        self, src_pe: Optional["PERuntime"], dst_pe: "PERuntime"
+    ) -> None:
+        self.src_pe = src_pe
+        self.dst_pe = dst_pe
+        self.tuples: List[StreamTuple] = []
+        self.flush_event: Optional[ScheduledEvent] = None
+
+
 class Transport:
-    """Delivers items between PEs with latency and in-flight accounting."""
+    """Delivers items between PEs with latency and in-flight accounting.
+
+    With ``batch_max_size > 1`` the transport additionally coalesces
+    same-flow tuples into :class:`~repro.spl.tuples.TupleBatch` units:
+    tuples append to a per-flow open batch that is committed to the wire
+    when it reaches ``batch_max_size``, when the ``batch_linger`` expires
+    (linger 0.0 = the end of the current kernel instant), when
+    punctuation follows on the same flow, or when
+    :meth:`flush_open_batches` forces it (drain barriers, crashes).  A
+    flushed batch consumes one contiguous ``link_seq`` range and one
+    kernel event, so per-connection FIFO, crash condemnation, and link
+    fault accounting operate on whole batches with unchanged observable
+    semantics.  ``batch_max_size <= 1`` (the default) never touches the
+    batch path at all.
+    """
 
     def __init__(
         self,
         kernel: Kernel,
         latency: float = 0.001,
         rng: Optional[random.Random] = None,
+        batch_max_size: int = 1,
+        batch_linger: float = 0.0,
     ) -> None:
         self.kernel = kernel
         self.latency = latency
+        #: batch size that forces a flush; <= 1 disables batching
+        self.batch_max_size = batch_max_size
+        #: sim-time linger before a partially filled batch flushes
+        self.batch_linger = batch_linger
+        #: flow key -> open (unflushed) batch; only populated when
+        #: batching is enabled
+        self._open_batches: Dict[Tuple[str, str, str, int], _OpenBatch] = {}
+        #: observer invoked with the member count of every flushed batch
+        #: (the obs hub points this at its batch-size histogram); None
+        #: keeps the flush path at one check
+        self.batch_observer: Optional[Callable[[int], None]] = None
         #: seeded stream for probabilistic link-fault drops (deterministic)
         self.rng = rng if rng is not None else random.Random(0)
         #: (pe_id, operator full name, port) -> items scheduled but not delivered
@@ -249,7 +300,7 @@ class Transport:
         dst_pe: "PERuntime",
         op_full_name: str,
         port: int,
-        item: Item,
+        item: Payload,
         incarnation: int,
         link_seq: int,
         reheld: Optional[Dict[int, List[tuple]]] = None,
@@ -338,6 +389,13 @@ class Transport:
         Args:
             pe_id: The crashed PE.
         """
+        if self._open_batches:
+            # tuples still buffered toward the crashed PE are committed
+            # to the wire *before* the incarnation bump, so they are
+            # condemned at delivery time exactly like items that were
+            # already in flight — no buffered tuple ever leaks into the
+            # restarted incarnation, and none goes unaccounted
+            self.flush_open_batches(dst_pe_id=pe_id)
         self._incarnations[pe_id] = self._incarnations.get(pe_id, 0) + 1
 
     # -- send / deliver ------------------------------------------------------
@@ -361,6 +419,17 @@ class Transport:
                 matching and per-connection FIFO (None for registry-less
                 senders such as tests).
         """
+        if self.batch_max_size > 1:
+            if isinstance(item, StreamTuple):
+                self._append_to_batch(src_pe, dst_pe, op_full_name, port, item)
+                return
+            # punctuation never rides in a batch: flush the flow's open
+            # batch first so the marker cannot overtake tuples buffered
+            # ahead of it, then fall through to the one-item path
+            src_key = src_pe.pe_id if src_pe is not None else ""
+            flow = (src_key, dst_pe.pe_id, op_full_name, port)
+            if flow in self._open_batches:
+                self._flush_flow(flow)
         self.total_sent += 1
         faults = self._matching_faults(src_pe, dst_pe)
         latency = self.latency
@@ -410,6 +479,214 @@ class Transport:
             link_seq=link_seq,
         )
 
+    # -- batching ------------------------------------------------------------
+
+    def send_batch(
+        self,
+        dst_pe: "PERuntime",
+        op_full_name: str,
+        port: int,
+        tuples: List[StreamTuple],
+        src_pe: Optional["PERuntime"] = None,
+    ) -> None:
+        """Send a run of tuples toward one input port in a single call.
+
+        With batching disabled this degenerates to a loop over
+        :meth:`send` (identical semantics, one kernel event per tuple);
+        with batching enabled the whole run lands on the flow's open
+        batch in one append and flushes by the usual size/linger rules.
+        A bulk append larger than ``batch_max_size`` flushes as one
+        oversized batch: size is a flush trigger, not a hard cap.
+
+        Args:
+            dst_pe: Destination PE runtime.
+            op_full_name: Destination operator full name.
+            port: Destination input port.
+            tuples: Tuples to deliver, in order.
+            src_pe: Sending PE, when known (see :meth:`send`).
+        """
+        if self.batch_max_size <= 1:
+            for tup in tuples:
+                self.send(dst_pe, op_full_name, port, tup, src_pe=src_pe)
+            return
+        if not tuples:
+            return
+        n = len(tuples)
+        self.total_sent += n
+        key = (dst_pe.pe_id, op_full_name, port)
+        self._in_flight[key] = self._in_flight.get(key, 0) + n
+        src_key = src_pe.pe_id if src_pe is not None else ""
+        flow = (src_key, dst_pe.pe_id, op_full_name, port)
+        batch = self._open_flow(flow, src_pe, dst_pe)
+        batch.tuples.extend(tuples)
+        if len(batch.tuples) >= self.batch_max_size:
+            self._flush_flow(flow)
+
+    def _append_to_batch(
+        self,
+        src_pe: Optional["PERuntime"],
+        dst_pe: "PERuntime",
+        op_full_name: str,
+        port: int,
+        tup: StreamTuple,
+    ) -> None:
+        """Buffer one tuple on its flow's open batch, flushing at size.
+
+        The tuple counts as sent and in flight from the moment it is
+        buffered, so ``queue_size`` (and through it the elastic drain
+        barrier's backlog probe) sees open-batch occupants.
+        """
+        self.total_sent += 1
+        key = (dst_pe.pe_id, op_full_name, port)
+        self._in_flight[key] = self._in_flight.get(key, 0) + 1
+        src_key = src_pe.pe_id if src_pe is not None else ""
+        flow = (src_key, dst_pe.pe_id, op_full_name, port)
+        batch = self._open_flow(flow, src_pe, dst_pe)
+        batch.tuples.append(tup)
+        if len(batch.tuples) >= self.batch_max_size:
+            self._flush_flow(flow)
+
+    def _open_flow(
+        self,
+        flow: Tuple[str, str, str, int],
+        src_pe: Optional["PERuntime"],
+        dst_pe: "PERuntime",
+    ) -> _OpenBatch:
+        """Return the flow's open batch, creating (and arming) it if needed.
+
+        The linger clock starts at the first buffered tuple.  A linger of
+        0.0 arms a ``call_soon`` flush instead: it fires at the end of
+        the current kernel instant, which still coalesces a burst emitted
+        within one upstream activation while never delaying delivery in
+        sim time — crash instants between kernel ticks therefore observe
+        no open batches, exactly like the unbatched transport.
+        """
+        batch = self._open_batches.get(flow)
+        if batch is None:
+            batch = _OpenBatch(src_pe, dst_pe)
+            self._open_batches[flow] = batch
+            if self.batch_linger > 0.0:
+                batch.flush_event = self.kernel.schedule(
+                    self.batch_linger,
+                    self._flush_flow,
+                    flow,
+                    label="transport-batch-linger",
+                )
+            else:
+                batch.flush_event = self.kernel.call_soon(
+                    self._flush_flow,
+                    flow,
+                    label="transport-batch-flush",
+                )
+        return batch
+
+    def _flush_flow(self, flow: Tuple[str, str, str, int]) -> None:
+        """Commit one flow's open batch to the wire (idempotent).
+
+        The batch re-runs the same fault pipeline an ordinary send would:
+        seeded drop rolls apply per member (casualties leave the batch
+        and the in-flight count), latencies compose once for the whole
+        batch, an untimed partition holds the batch as a single queue
+        entry, and a timed one delays it.  Survivors take one contiguous
+        ``link_seq`` range allocated here, at commit time — per-link
+        ranges are claimed in flush order, which is also per-link
+        delivery order, so FIFO taps observe strictly increasing
+        sequences exactly as before.
+        """
+        open_batch = self._open_batches.pop(flow, None)
+        if open_batch is None:
+            return
+        if open_batch.flush_event is not None:
+            open_batch.flush_event.cancel()
+        src_key, dst_pe_id, op_full_name, port = flow
+        src_pe, dst_pe = open_batch.src_pe, open_batch.dst_pe
+        items = open_batch.tuples
+        faults = self._matching_faults(src_pe, dst_pe)
+        latency = self.latency
+        hold_until: Optional[float] = None
+        untimed_partition: Optional[LinkFault] = None
+        for fault in faults:
+            if fault.drop_probability > 0.0 and items:
+                roll = self.rng.random
+                p = fault.drop_probability
+                kept: List[StreamTuple] = []
+                for tup in items:
+                    if roll() < p:
+                        self.dropped_by_fault += 1
+                    else:
+                        kept.append(tup)
+                items = kept
+            latency += fault.extra_latency
+            if fault.partition:
+                if fault.until is None:
+                    untimed_partition = fault
+                else:
+                    hold_until = max(hold_until or 0.0, fault.until)
+        dropped = len(open_batch.tuples) - len(items)
+        if dropped:
+            key = (dst_pe_id, op_full_name, port)
+            count = self._in_flight.get(key, 0) - dropped
+            if count <= 0:
+                self._in_flight.pop(key, None)
+            else:
+                self._in_flight[key] = count
+        if not items:
+            return
+        if self.batch_observer is not None:
+            self.batch_observer(len(items))
+        batch = TupleBatch(items)
+        link = (src_key, dst_pe_id)
+        base = self._link_send_seq.get(link, 0)
+        self._link_send_seq[link] = base + len(items)
+        first_seq = base + 1
+        if untimed_partition is not None:
+            # held as ONE queue entry carrying the whole batch; the
+            # first member's seq is the entry's sort key, so flushed
+            # queues merge with singles in commit order (see
+            # clear_link_fault) and the destination incarnation is
+            # captured now so a crash during the partition still
+            # condemns the held batch
+            self._held.setdefault(untimed_partition.fault_id, []).append(
+                (
+                    src_pe,
+                    dst_pe,
+                    op_full_name,
+                    port,
+                    batch,
+                    self._incarnations.get(dst_pe_id, 0),
+                    first_seq,
+                )
+            )
+            return
+        deliver_at = self.kernel.now + latency
+        if hold_until is not None:
+            deliver_at = max(deliver_at, hold_until + self.latency)
+        self._schedule_delivery(
+            deliver_at, src_key, dst_pe, op_full_name, port, batch,
+            link_seq=first_seq,
+        )
+
+    def flush_open_batches(self, dst_pe_id: Optional[str] = None) -> None:
+        """Force every open batch (optionally: toward one PE) onto the wire.
+
+        Called at drain/quiesce barriers (the elastic controller must not
+        declare a region drained while tuples sit in open batches) and by
+        :meth:`drop_in_flight` so crash condemnation covers buffered
+        tuples.  A no-op when batching is off or nothing is buffered.
+
+        Args:
+            dst_pe_id: Only flush flows toward this PE (None: all flows).
+        """
+        if not self._open_batches:
+            return
+        flows = [
+            flow
+            for flow in self._open_batches
+            if dst_pe_id is None or flow[1] == dst_pe_id
+        ]
+        for flow in flows:
+            self._flush_flow(flow)
+
     def _next_link_seq(self, src_key: str, dst_pe_id: str) -> int:
         """Allocate the next send-time sequence number of one link."""
         link = (src_key, dst_pe_id)
@@ -424,7 +701,7 @@ class Transport:
         dst_pe: "PERuntime",
         op_full_name: str,
         port: int,
-        item: Item,
+        item: Payload,
         incarnation: Optional[int] = None,
         link_seq: Optional[int] = None,
     ) -> None:
@@ -436,14 +713,12 @@ class Transport:
             link_seq = self._next_link_seq(link[0], link[1])
         if incarnation is None:
             incarnation = self._incarnations.get(dst_pe.pe_id, 0)
-        if (
-            self.obs is not None
-            and isinstance(item, StreamTuple)
-            and item.traced
-        ):
+        if self.obs is not None and getattr(item, "traced", False):
             # one span per scheduled hop: covers fresh sends and
             # partition flushes alike; deliver_at is post-FIFO-clamp,
-            # so the span end is the true arrival time
+            # so the span end is the true arrival time.  A traced batch
+            # records ONE span for the whole hop — tracing overhead
+            # shrinks alongside dispatch overhead
             self.obs.record_transport(
                 op_full_name,
                 link[0],
@@ -470,11 +745,16 @@ class Transport:
         dst_pe: "PERuntime",
         op_full_name: str,
         port: int,
-        item: Item,
+        item: Payload,
         incarnation: int = 0,
         src_key: str = "",
         link_seq: int = 0,
     ) -> None:
+        if isinstance(item, TupleBatch):
+            self._deliver_batch(
+                dst_pe, op_full_name, port, item, incarnation, src_key, link_seq
+            )
+            return
         key = (dst_pe.pe_id, op_full_name, port)
         count = self._in_flight.get(key, 0)
         if count <= 1:
@@ -505,6 +785,55 @@ class Transport:
             for tap in list(self.delivery_taps):
                 tap(record)
         dst_pe.receive(op_full_name, port, item)
+
+    def _deliver_batch(
+        self,
+        dst_pe: "PERuntime",
+        op_full_name: str,
+        port: int,
+        batch: TupleBatch,
+        incarnation: int,
+        src_key: str,
+        first_seq: int,
+    ) -> None:
+        """Deliver one batch: accounting in bulk, one receive call.
+
+        Counters move by the batch's member count — an incarnation
+        mismatch condemns the whole batch (it was committed before the
+        crash bump), a stopped destination loses it whole.  Delivery
+        taps still observe one :class:`DeliveryRecord` per member, with
+        the batch's contiguous seq range unrolled, so FIFO oracles need
+        no batch awareness.
+        """
+        n = len(batch.tuples)
+        key = (dst_pe.pe_id, op_full_name, port)
+        count = self._in_flight.get(key, 0)
+        if count <= n:
+            self._in_flight.pop(key, None)
+        else:
+            self._in_flight[key] = count - n
+        if incarnation != self._incarnations.get(dst_pe.pe_id, 0):
+            self.dropped_in_flight += n
+            return
+        if not dst_pe.is_running:
+            self.total_dropped += n
+            return
+        self.total_delivered += n
+        if self.delivery_taps:
+            now = self.kernel.now
+            taps = list(self.delivery_taps)
+            for offset in range(n):
+                record = DeliveryRecord(
+                    src_key=src_key,
+                    dst_pe_id=dst_pe.pe_id,
+                    op_full_name=op_full_name,
+                    port=port,
+                    link_seq=first_seq + offset,
+                    time=now,
+                )
+                for tap in taps:
+                    tap(record)
+        dst_pe.receive(op_full_name, port, batch)
 
     def queue_size(self, pe_id: str, op_full_name: str, port: int) -> int:
         """Items currently in flight toward one input port."""

@@ -147,6 +147,16 @@ class Filter(Operator):
         else:
             self.n_discarded.increment()
 
+    def process_batch(self, tuples: List[StreamTuple], port: int) -> None:
+        """Vectorized pass: one predicate sweep, one batched re-emit."""
+        predicate = self.predicate
+        kept = [tup for tup in tuples if predicate(tup)]
+        dropped = len(tuples) - len(kept)
+        if dropped:
+            self.n_discarded.increment(dropped)
+        if kept:
+            self.submit_batch(kept)
+
     def on_punct(self, punct: Punctuation, port: int) -> None:
         if punct is Punctuation.WINDOW:
             self.submit_punct(punct)
@@ -177,6 +187,48 @@ class Functor(Operator):
                 self.submit(item)
         else:
             self.submit(result)
+
+    def process_batch(self, tuples: List[StreamTuple], port: int) -> None:
+        """Vectorized pass: map the whole run, re-emit it as one batch."""
+        fn = self.fn
+        out: List[Submittable] = []
+        for tup in tuples:
+            result = fn(tup)
+            if result is None:
+                continue
+            if isinstance(result, (list, tuple)):
+                out.extend(result)
+            else:
+                out.append(result)
+        if out:
+            self.submit_batch(out)
+
+    def on_punct(self, punct: Punctuation, port: int) -> None:
+        if punct is Punctuation.WINDOW:
+            self.submit_punct(punct)
+
+
+class Projection(Operator):
+    """Keeps only the named attributes of each tuple.
+
+    Parameter ``attributes``: iterable of attribute names to retain.
+    Together with :class:`Filter` and :class:`Functor` this completes the
+    stateless relational trio whose chains dominate hot paths — all three
+    carry vectorized ``process_batch`` overrides, so a fused
+    Functor/Filter/Projection chain moves whole batches end to end.
+    """
+
+    def __init__(self, ctx: OperatorContext) -> None:
+        super().__init__(ctx)
+        self.attributes: Tuple[str, ...] = tuple(self.param("attributes"))
+
+    def on_tuple(self, tup: StreamTuple, port: int) -> None:
+        self.submit(tup.project(*self.attributes))
+
+    def process_batch(self, tuples: List[StreamTuple], port: int) -> None:
+        """Vectorized pass: project the whole run, re-emit it as one batch."""
+        attrs = self.attributes
+        self.submit_batch([tup.project(*attrs) for tup in tuples])
 
     def on_punct(self, punct: Punctuation, port: int) -> None:
         if punct is Punctuation.WINDOW:
@@ -210,6 +262,20 @@ class Split(Operator):
         for out_port in targets:
             self.submit(tup, port=out_port)
 
+    def process_batch(self, tuples: List[StreamTuple], port: int) -> None:
+        """Vectorized pass: one routing sweep into per-port sub-batches."""
+        router = self.router
+        by_port: Dict[int, List[StreamTuple]] = {}
+        for tup in tuples:
+            target = router(tup)
+            if isinstance(target, int):
+                by_port.setdefault(target, []).append(tup)
+            else:
+                for out_port in target:
+                    by_port.setdefault(out_port, []).append(tup)
+        for out_port in sorted(by_port):
+            self.submit_batch(by_port[out_port], port=out_port)
+
     def on_punct(self, punct: Punctuation, port: int) -> None:
         if punct is Punctuation.WINDOW:
             for out_port in range(self.n_outputs):
@@ -223,6 +289,10 @@ class Merge(Operator):
 
     def on_tuple(self, tup: StreamTuple, port: int) -> None:
         self.submit(tup)
+
+    def process_batch(self, tuples: List[StreamTuple], port: int) -> None:
+        """Pass-through: the whole run survives the funnel as one batch."""
+        self.submit_batch(tuples)
 
     def on_punct(self, punct: Punctuation, port: int) -> None:
         # WINDOW puncts are not meaningful across a merge; FINAL handling
@@ -541,6 +611,15 @@ class Sink(Operator):
             self.seen.append(tup)
         if self.consumer is not None:
             self.consumer(tup)
+
+    def process_batch(self, tuples: List[StreamTuple], port: int) -> None:
+        """Vectorized pass: bulk-extend the record, loop the consumer."""
+        if self.record:
+            self.seen.extend(tuples)
+        consumer = self.consumer
+        if consumer is not None:
+            for tup in tuples:
+                consumer(tup)
 
 
 class Export(Operator):
@@ -895,6 +974,39 @@ class ParallelSplitter(Operator):
         else:
             self._forward(tup)
 
+    def process_batch(self, tuples: List[StreamTuple], port: int) -> None:
+        """Route a whole batch in one hash pass into per-channel sub-batches.
+
+        Quiesced, the run joins the barrier buffer unchanged (a rescale
+        must not see tuples slip past).  Otherwise every member is hashed
+        exactly once, ordered regions stamp ``_pseq`` from one local
+        counter in arrival order (identical stamps to the per-tuple
+        path), and each channel receives its sub-batch through a single
+        batched submission — which the matching :class:`OrderedMerger`
+        consumes sub-batch by sub-batch.
+        """
+        if self._quiesced:
+            self._buffer.extend(tuples)
+            self.quiesced_gauge.set(len(self._buffer))
+            return
+        channel_of = self._channel_of
+        by_channel: Dict[int, List[StreamTuple]] = {}
+        if self.ordered:
+            seq = self._seq
+            for tup in tuples:
+                channel = channel_of(tup)
+                stamped = StreamTuple(
+                    {**tup.values, "_pseq": seq}, created_at=tup.created_at
+                )
+                seq += 1
+                by_channel.setdefault(channel, []).append(stamped)
+            self._seq = seq
+        else:
+            for tup in tuples:
+                by_channel.setdefault(channel_of(tup), []).append(tup)
+        for channel in sorted(by_channel):
+            self.submit_batch(by_channel[channel], port=channel)
+
     def _broadcast_window(self) -> None:
         for out_port in range(self.width):
             self.submit_punct(Punctuation.WINDOW, port=out_port)
@@ -1053,6 +1165,39 @@ class OrderedMerger(Operator):
             return
         self._pending[seq] = (tup, self.now())
         self._release_ready()
+
+    def process_batch(self, tuples: List[StreamTuple], port: int) -> None:
+        """Consume one sub-batch, releasing in-sequence runs as one batch.
+
+        Per-member semantics match :meth:`on_tuple` exactly (unstamped
+        tuples and stragglers behind a skipped gap pass straight
+        through); every tuple that becomes releasable while the batch is
+        consumed leaves through a single batched submission, in the same
+        order the per-tuple path would have emitted.
+        """
+        if not self.ordered:
+            self.submit_batch([self._strip(tup) for tup in tuples])
+            return
+        pending = self._pending
+        now = self.now()
+        out: List[StreamTuple] = []
+        for tup in tuples:
+            seq = tup.get("_pseq")
+            if seq is None:
+                out.append(tup)
+                continue
+            if seq < self._next:
+                out.append(self._strip(tup))
+                continue
+            pending[seq] = (tup, now)
+            while self._next in pending:
+                ready, _ = pending.pop(self._next)
+                out.append(self._strip(ready))
+                self._next += 1
+        if out:
+            self.submit_batch(out)
+        self.reorder_gauge.set(len(pending))
+        self._arm_guard()
 
     def _release_ready(self) -> None:
         while self._next in self._pending:

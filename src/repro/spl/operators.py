@@ -64,6 +64,12 @@ class OperatorContext:
         self._submit_fn = submit_fn
         self._punct_fn = punct_fn
         self._schedule_fn = schedule_fn
+        #: batched submission callback (set by the PE after construction,
+        #: like ``obs``); hand-built test contexts leave it None and
+        #: :meth:`submit_batch` falls back to a per-tuple loop
+        self.submit_batch_fn: Optional[
+            Callable[[int, "list[StreamTuple]"], None]
+        ] = None
 
     @property
     def full_name(self) -> str:
@@ -86,6 +92,15 @@ class OperatorContext:
 
     def submit_punct(self, port: int, punct: Punctuation) -> None:
         self._punct_fn(port, punct)
+
+    def submit_batch(self, port: int, tuples: "list[StreamTuple]") -> None:
+        """Emit a run of tuples on one port as a single unit of work."""
+        if self.submit_batch_fn is not None:
+            self.submit_batch_fn(port, tuples)
+            return
+        submit = self._submit_fn
+        for tup in tuples:
+            submit(port, tup)
 
     def schedule(self, delay: float, callback: Callable[[], None]) -> Any:
         """Schedule operator-local work; cancelled automatically on PE stop."""
@@ -211,6 +226,47 @@ class Operator:
         self.metrics.get(OperatorMetricName.N_TUPLES_SUBMITTED, port=port).increment()
         self.ctx.submit(port, tup)
 
+    def submit_batch(self, items: "list[Submittable]", port: int = 0) -> None:
+        """Emit a run of tuples on an output port as one unit of work.
+
+        The batched twin of :meth:`submit`: per-tuple semantics (dict
+        wrapping, trace sampling) are identical, but the submission
+        metrics move once per batch and the whole run travels downstream
+        through one routing/transport call.  Only worthwhile from
+        ``process_batch`` overrides; a batch only ever reaches the
+        transport as a unit when batching is enabled there.
+        """
+        if not items:
+            return
+        if port < 0 or port >= self.n_outputs:
+            raise GraphError(
+                f"{self.ctx.full_name}: invalid output port {port} "
+                f"(operator has {self.n_outputs})"
+            )
+        obs = self.ctx.obs
+        now = self.now()
+        tuples: "list[StreamTuple]" = []
+        for values in items:
+            if isinstance(values, StreamTuple):
+                tuples.append(values)
+                continue
+            tup = StreamTuple(values, created_at=now)
+            if obs is not None and obs.sample_tuple():
+                tup.traced = True
+                obs.record_emit(
+                    self.ctx.full_name,
+                    self.ctx.pe_id,
+                    self.ctx.job_id,
+                    tup.created_at,
+                )
+            tuples.append(tup)
+        n = len(tuples)
+        self.metrics.get(OperatorMetricName.N_TUPLES_SUBMITTED).increment(n)
+        self.metrics.get(
+            OperatorMetricName.N_TUPLES_SUBMITTED, port=port
+        ).increment(n)
+        self.ctx.submit_batch(port, tuples)
+
     def submit_punct(self, punct: Punctuation, port: int = 0) -> None:
         if port < 0 or port >= self.n_outputs:
             raise GraphError(
@@ -231,6 +287,19 @@ class Operator:
 
     def on_tuple(self, tup: StreamTuple, port: int) -> None:
         """Called for every arriving tuple."""
+
+    def process_batch(self, tuples: "list[StreamTuple]", port: int) -> None:
+        """Called with a whole tuple batch when transport batching is on.
+
+        The default preserves exact per-tuple semantics by looping over
+        :meth:`on_tuple`; stateless operators override it with a
+        vectorized pass (and typically re-emit via :meth:`submit_batch`
+        so the batch survives the hop).  Never called when batching is
+        disabled, so overrides cannot change size-1 behaviour.
+        """
+        on_tuple = self.on_tuple
+        for tup in tuples:
+            on_tuple(tup, port)
 
     def on_punct(self, punct: Punctuation, port: int) -> None:
         """Called for every arriving punctuation (before final bookkeeping)."""
@@ -329,6 +398,22 @@ class Operator:
                 self.on_all_ports_final()
                 if self.FORWARD_FINAL:
                     self.submit_final()
+
+    def _process_batch(self, tuples: "list[StreamTuple]", port: int) -> None:
+        """Framework entry for one delivered batch (tuples only).
+
+        Punctuation never rides in batches, so this is the tuple half of
+        :meth:`_process` with the metric increments amortized over the
+        whole run before :meth:`process_batch` dispatches once.
+        """
+        if self._finalized or not tuples:
+            return
+        n = len(tuples)
+        self.metrics.get(OperatorMetricName.N_TUPLES_PROCESSED).increment(n)
+        self.metrics.get(
+            OperatorMetricName.N_TUPLES_PROCESSED, port=port
+        ).increment(n)
+        self.process_batch(tuples, port)
 
     @property
     def is_finalized(self) -> bool:

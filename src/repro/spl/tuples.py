@@ -12,7 +12,7 @@ applications).
 from __future__ import annotations
 
 import enum
-from typing import Any, Mapping, Optional
+from typing import Any, Iterator, List, Mapping, Optional
 
 
 class Punctuation(enum.Enum):
@@ -92,6 +92,40 @@ class StreamTuple:
     def __repr__(self) -> str:
         inner = ", ".join(f"{k}={v!r}" for k, v in self.values.items())
         return f"StreamTuple({inner})"
+
+
+class TupleBatch:
+    """A contiguous run of tuples travelling as one unit of work.
+
+    When transport batching is on (``SystemConfig.batch_max_size > 1``)
+    the transport coalesces same-flow tuples into one of these, schedules
+    a *single* kernel event for the whole run, and the PE hands the run
+    to the destination operator through one ``process_batch`` call —
+    amortizing scheduling and dispatch overhead across every member.
+    Punctuation never rides in a batch: markers flush the open batch and
+    travel singly, so ordering relative to the tuples ahead of them is
+    preserved.
+
+    Aggregates (total wire size, whether any member is traced) are
+    computed once at construction; the member list is owned by the batch
+    after construction and must not be mutated.
+    """
+
+    __slots__ = ("tuples", "size_bytes", "traced")
+
+    def __init__(self, tuples: List[StreamTuple]) -> None:
+        self.tuples = tuples
+        self.size_bytes = sum(t.size_bytes for t in tuples)
+        self.traced = any(t.traced for t in tuples)
+
+    def __len__(self) -> int:
+        return len(self.tuples)
+
+    def __iter__(self) -> Iterator[StreamTuple]:
+        return iter(self.tuples)
+
+    def __repr__(self) -> str:
+        return f"TupleBatch(n={len(self.tuples)}, bytes={self.size_bytes})"
 
 
 def estimate_value_size(value: Any) -> int:

@@ -78,6 +78,30 @@ def test_corpus_entry_replays_clean_twice(path):
     assert first.timeline == committed
 
 
+@pytest.mark.parametrize("path", CORPUS, ids=lambda p: p.stem)
+def test_corpus_entry_replays_clean_batched(path):
+    """Every corpus scenario also replays clean over the batched
+    transport hot path (``batch_max_size=8``), twice, byte-identically —
+    and matches the committed batched scorecard artifact, so a batching
+    change that shifts any counter is caught as a diff, not just as an
+    oracle violation."""
+    _, campaign, config = load_entry(path)
+    config = replace(config, batch_max_size=8)
+    first = run_fuzz_case(campaign.scenario, config)
+    _, campaign_again, config_again = load_entry(path)
+    config_again = replace(config_again, batch_max_size=8)
+    second = run_fuzz_case(campaign_again.scenario, config_again)
+
+    assert first.report.ok, [v.detail for v in first.violations]
+    assert second.report.ok
+    assert first.scorecard.render() == second.scorecard.render()
+    assert first.report.lines() == second.report.lines()
+    assert first.objective == second.objective
+    assert first.scorecard.injections == len(campaign.scenario.steps)
+    committed = (CORPUS_DIR / f"{path.stem}.batched.scorecard.txt").read_text()
+    assert first.scorecard.render() == committed
+
+
 def test_corpus_names_document_their_origin():
     for path in CORPUS:
         entry = json.loads(path.read_text())

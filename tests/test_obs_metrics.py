@@ -222,6 +222,30 @@ class TestHubExport:
         assert rows
         assert {"name", "type", "labels"} <= set(rows[0])
 
+    def test_batch_size_histogram_only_when_batching(self, system):
+        """The batch-size histogram is created lazily on the first
+        flush, so an unbatched run's Prometheus render stays
+        byte-identical to the pre-batching artifacts."""
+        from repro.runtime import SystemConfig, SystemS
+
+        system.submit_job(make_linear_app())
+        system.run_for(4.0)
+        assert "repro_transport_batch_size" not in (
+            system.obs.render_prometheus()
+        )
+
+        batched = SystemS(
+            hosts=2, config=SystemConfig(batch_max_size=8)
+        )
+        batched.submit_job(make_linear_app())
+        batched.run_for(4.0)
+        text = batched.obs.render_prometheus()
+        assert "repro_transport_batch_size_count" in text
+        hist = batched.obs.metrics.histogram(
+            "repro_transport_batch_size"
+        )
+        assert hist.total > 0 and hist.max <= 8
+
 
 class TestListenerHelper:
     """Satellite 1: one documented registration surface for every
@@ -237,6 +261,7 @@ class TestListenerHelper:
             len(system.checkpoints.commit_listeners),
             len(system.sam.pe_failure_observers),
             len(system.sam.pe_restart_observers),
+            len(system.sam.topology_observers),
             len(system.chaos.injection_listeners),
             len(system.transport.delivery_taps),
         )
@@ -257,6 +282,25 @@ class TestListenerHelper:
         sub.detach()
         assert not sub.attached
         assert self.tap_lengths(system) == before
+
+    def test_topology_observer_fires_on_external_rescale(self, system):
+        from tests.test_elastic import build_region_app
+
+        job = system.submit_job(build_region_app(width=1, rate=50.0))
+        system.run_for(1.0)
+        changes = []
+        sub = subscribe_runtime(
+            system,
+            on_topology=lambda j, change: changes.append((j.job_id, change)),
+        )
+        system.elastic.set_channel_width(job, "region", 3)
+        system.run_for(20.0)
+        assert (job.job_id, "add_pes") in changes
+        system.elastic.set_channel_width(job, "region", 1)
+        system.run_for(20.0)
+        assert (job.job_id, "remove_pes") in changes
+        sub.detach()
+        assert system.sam.topology_observers == []
 
     def test_detach_is_idempotent(self, system):
         sub = subscribe_runtime(system, on_injection=lambda inj: None)

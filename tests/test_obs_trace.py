@@ -133,6 +133,21 @@ class TestDataPlaneCapture:
         system.obs.detach()
         assert system.transport.obs is None
         assert system.kernel.event_tap is None
+        assert system.transport.batch_observer is None
+
+    def test_batched_hop_records_one_transport_span(self):
+        """A traced batch crossing the wire is one transport span but
+        still one process span per member tuple."""
+        # the source emits one tuple per 0.05s activation, so a 0.2s
+        # linger coalesces several activations into each wire batch
+        system, job = traced_system(
+            trace_sample_every=1, batch_max_size=8, batch_linger=0.2
+        )
+        system.run_for(2.0)
+        entries = system.obs.dump_flight("inspect", job_id=job.job_id).entries
+        transport_spans = sum(1 for e in entries if e.name == "transport")
+        process_spans = sum(1 for e in entries if e.name == "process")
+        assert 0 < transport_spans < process_spans
 
 
 class TestOrchestratorMarkers:

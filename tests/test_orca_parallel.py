@@ -170,6 +170,26 @@ class TestSetChannelWidthActuation:
         assert service.metric_event_skips == 0
         assert not service.handler_errors
 
+    def test_external_rescale_refreshes_graph_via_topology_observer(self, system):
+        """A rescale driven outside the service still refreshes its graph.
+
+        The refresh must ride on the SAM topology observer alone, so the
+        orchestrator's own rescale-completion listener is removed first.
+        """
+        app = build_region_app(width=1, rate=30.0)
+        logic = RecordingRegionOrca()
+        service = submit_orca(system, logic, app)
+        system.run_for(2.0)
+        system.elastic.rescale_listeners.remove(service._on_region_rescaled)
+        job = system.sam.get_job(logic.job_id)
+        system.elastic.set_channel_width(job, "region", 2)
+        system.run_for(20.0)
+        # inspection reaches the new channel operator and its PE even though
+        # the rescale-completion refresh never ran
+        pe_id = service.pe_of_operator(logic.job_id, "work__c1")
+        assert "work__c1" in service.operators_in_pe(pe_id)
+        assert service.host_of_pe(pe_id) is not None
+
     def test_foreign_job_rejected(self, system):
         app = build_region_app(width=1)
         logic = RecordingRegionOrca()
