@@ -119,6 +119,7 @@ def run_checkpointed_campaign(
     seed: int = SEED,
     batch_max_size: int = 1,
     batch_linger: float = 0.0,
+    delivery: str = "best_effort",
 ) -> Tuple[ResilienceScorecard, Dict]:
     """Build the elastic+checkpoint stack, execute one scenario, score it.
 
@@ -127,7 +128,9 @@ def run_checkpointed_campaign(
     the pipeline drained before accounting, so in-flight tuples cannot
     masquerade as losses.  ``batch_max_size > 1`` runs the whole
     campaign over the batched transport hot path; a FIFO probe rides
-    along either way and reports into the extras.
+    along either way and reports into the extras.  ``delivery`` selects
+    the transport guarantee (the reliable modes ack, retransmit, and —
+    for ``exactly_once`` — replay from committed epochs).
     """
     system = SystemS(
         hosts=10,
@@ -137,6 +140,7 @@ def run_checkpointed_campaign(
             failure_notification_delay=0.001,
             batch_max_size=batch_max_size,
             batch_linger=batch_linger,
+            delivery=delivery,
         ),
     )
     fifo = FifoProbe(system.transport)
@@ -184,7 +188,8 @@ def run_checkpointed_campaign(
 # ---------------------------------------------------------------------------
 
 
-def campaign_rolling_channel_outage(seed=SEED, batch_max_size=1):
+def campaign_rolling_channel_outage(seed=SEED, batch_max_size=1,
+                                    delivery="best_effort"):
     return run_checkpointed_campaign(
         lambda job: rolling_channel_outage(
             ["work__c0", "work__c1"], start=1.02, stagger=5.0, downtime=1.0
@@ -192,10 +197,14 @@ def campaign_rolling_channel_outage(seed=SEED, batch_max_size=1):
         run_for=13.0,
         seed=seed,
         batch_max_size=batch_max_size,
+        delivery=delivery,
     )
 
 
-def campaign_gray_network(seed=SEED, batch_max_size=1):
+def campaign_gray_network(seed=SEED, batch_max_size=1, delivery="best_effort",
+                          loss_probability=0.0):
+    """``loss_probability > 0`` adds a seeded drop window to each wave —
+    the configuration the reliable-delivery modes exist to survive."""
     return run_checkpointed_campaign(
         lambda job: gray_network(
             start=1.02,
@@ -204,14 +213,16 @@ def campaign_gray_network(seed=SEED, batch_max_size=1):
             extra_latency=0.05,
             spike_length=1.5,
             partition_length=0.6,
+            loss_probability=loss_probability,
         ),
         run_for=14.0,
         seed=seed,
         batch_max_size=batch_max_size,
+        delivery=delivery,
     )
 
 
-def campaign_flash_crowd(seed=SEED, batch_max_size=1):
+def campaign_flash_crowd(seed=SEED, batch_max_size=1, delivery="best_effort"):
     return run_checkpointed_campaign(
         lambda job: flash_crowd(
             at=1.02,
@@ -225,10 +236,12 @@ def campaign_flash_crowd(seed=SEED, batch_max_size=1):
         run_for=12.0,
         seed=seed,
         batch_max_size=batch_max_size,
+        delivery=delivery,
     )
 
 
-def campaign_torn_checkpoints(seed=SEED, batch_max_size=1):
+def campaign_torn_checkpoints(seed=SEED, batch_max_size=1,
+                              delivery="best_effort"):
     return run_checkpointed_campaign(
         lambda job: torn_checkpoints(
             "work__c0",
@@ -240,6 +253,7 @@ def campaign_torn_checkpoints(seed=SEED, batch_max_size=1):
         run_for=13.0,
         seed=seed,
         batch_max_size=batch_max_size,
+        delivery=delivery,
     )
 
 
@@ -275,7 +289,8 @@ def build_failover_app(name="ChaosFailover"):
     return app
 
 
-def campaign_rolling_host_outage(seed=SEED, batch_max_size=1):
+def campaign_rolling_host_outage(seed=SEED, batch_max_size=1,
+                                 delivery="best_effort"):
     """Host outage under the replica-failover orchestrator.
 
     The active replica's host dies; FailoverOrca promotes the oldest
@@ -285,7 +300,9 @@ def campaign_rolling_host_outage(seed=SEED, batch_max_size=1):
     restart-empty state recovery is reported as the honest contrast.
     """
     system = SystemS(
-        hosts=12, seed=seed, config=SystemConfig(batch_max_size=batch_max_size)
+        hosts=12,
+        seed=seed,
+        config=SystemConfig(batch_max_size=batch_max_size, delivery=delivery),
     )
     fifo = FifoProbe(system.transport)
     app = build_failover_app()
@@ -455,3 +472,108 @@ def test_chaos_smoke_determinism(results_dir):
     assert first_card.tuples_lost == 0
     assert first_card.state_recovery >= 0.99
     emit(results_dir, "chaos_smoke", first_card.lines())
+
+
+# ---------------------------------------------------------------------------
+# delivery guarantees: exactly-once presets + the delivery matrix
+# ---------------------------------------------------------------------------
+
+EO_CAMPAIGNS = [
+    (
+        "rolling_channel_outage",
+        lambda: campaign_rolling_channel_outage(
+            batch_max_size=8, delivery="exactly_once"
+        ),
+        True,
+    ),
+    (
+        # the gray network turns actively lossy for the reliable run: a
+        # seeded drop window rides each wave, and the wire must recover
+        # every casualty
+        "gray_network",
+        lambda: campaign_gray_network(
+            batch_max_size=8, delivery="exactly_once", loss_probability=0.25
+        ),
+        True,
+    ),
+    (
+        "flash_crowd",
+        lambda: campaign_flash_crowd(batch_max_size=8, delivery="exactly_once"),
+        True,
+    ),
+    (
+        "torn_checkpoints",
+        lambda: campaign_torn_checkpoints(
+            batch_max_size=8, delivery="exactly_once"
+        ),
+        True,
+    ),
+    (
+        "rolling_host_outage",
+        lambda: campaign_rolling_host_outage(
+            batch_max_size=8, delivery="exactly_once"
+        ),
+        False,
+    ),
+]
+
+
+def test_chaos_campaigns_exactly_once(results_dir):
+    """All five presets under ``delivery="exactly_once"`` (batched, size
+    8), each run twice on fresh systems: byte-identical scorecards, zero
+    tuple loss, zero duplicates — with no loss-forgiveness path (the
+    scorecard's state-recovery fraction is judged against the at-crash
+    snapshots and must hold the full 1.0 bar for the checkpointed
+    presets).  Each preset's scorecard is committed as a
+    ``<name>.eo.scorecard.txt`` artifact."""
+    for name, runner, checkpointed in EO_CAMPAIGNS:
+        card, extras = runner()
+        repeat, _ = runner()
+        assert card.render() == repeat.render(), name
+        assert card.delivery == "exactly_once", name
+        assert card.injections > 0, name
+        assert card.step_errors == 0, name
+        assert card.orca_handler_errors == 0, name
+        assert extras["fifo_violations"] == 0, name
+        # the tightened bar: nothing lost, nothing duplicated — at-crash
+        # conservation with no forgiveness, not the best-effort
+        # "condemned losses are accounted" escape hatch
+        assert card.tuples_lost == 0, name
+        assert card.duplicates == 0, name
+        if checkpointed:
+            assert card.state_recovery == 1.0, name
+            assert card.unrecovered_faults == 0, name
+        emit(results_dir, f"{name}.eo.scorecard", card.lines())
+
+
+def test_delivery_matrix(results_dir):
+    """The CI delivery-matrix check: one fixed-seed lossy gray-network
+    campaign under all three delivery modes, each run twice —
+    byte-identical scorecards per mode, and the guarantees gate exactly
+    what each mode promises (best-effort loses for real, at-least-once
+    recovers the losses, exactly-once recovers them without a single
+    duplicate)."""
+    lines = []
+    cards = {}
+    for delivery in ("best_effort", "at_least_once", "exactly_once"):
+        run = lambda: campaign_gray_network(  # noqa: E731
+            batch_max_size=8, delivery=delivery, loss_probability=0.25
+        )
+        card, extras = run()
+        repeat, _ = run()
+        assert card.render() == repeat.render(), delivery
+        assert card.step_errors == 0, delivery
+        cards[delivery] = card
+        lines.append(f"===== delivery: {delivery} =====")
+        lines.extend(card.lines())
+        lines.append(f"extras: {extras}")
+        lines.append("")
+
+    assert cards["best_effort"].tuples_lost > 0  # the drops are real
+    assert cards["best_effort"].retransmissions == 0
+    assert cards["at_least_once"].tuples_lost == 0
+    assert cards["at_least_once"].retransmissions > 0
+    assert cards["exactly_once"].tuples_lost == 0  # the zero-loss gate
+    assert cards["exactly_once"].duplicates == 0
+    assert cards["exactly_once"].retransmissions > 0
+    emit(results_dir, "delivery_matrix", lines)

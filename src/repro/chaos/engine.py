@@ -195,6 +195,12 @@ class ChaosEngine:
                 "dropped_in_flight": self.system.transport.dropped_in_flight,
                 "dropped_by_fault": self.system.transport.dropped_by_fault,
                 "total_dropped": self.system.transport.total_dropped,
+                "retransmissions": self.system.transport.retransmissions,
+                "acks": self.system.transport.acks,
+                "duplicates_suppressed": (
+                    self.system.transport.duplicates_suppressed
+                ),
+                "replayed": self.system.transport.replayed,
             },
         )
         self._next_run += 1

@@ -85,6 +85,9 @@ class FuzzHarnessConfig:
             delivery, the byte-stable corpus default; >1 runs the whole
             case over the batched transport hot path).
         batch_linger: Sim-time linger before a partial batch flushes.
+        delivery: Transport delivery guarantee
+            (``SystemConfig.delivery``); the derived oracle profile
+            tightens or relaxes with it.
         profile: Oracle profile override (None: derived from the
             configuration and scenario by
             :meth:`OracleProfile.for_config`).
@@ -106,6 +109,7 @@ class FuzzHarnessConfig:
     trace: bool = True
     batch_max_size: int = 1
     batch_linger: float = 0.0
+    delivery: str = "best_effort"
     #: cadence of the live keyed-state probes the oracle suite judges
     #: crash snapshots against right after each recovery
     probe_interval: float = 0.25
@@ -305,6 +309,7 @@ def run_fuzz_case(
             trace_enabled=config.trace,
             batch_max_size=config.batch_max_size,
             batch_linger=config.batch_linger,
+            delivery=config.delivery,
         ),
     )
     if config.torn_commits:
@@ -363,6 +368,7 @@ def run_fuzz_case(
         profile = OracleProfile.for_config(
             checkpointed=config.checkpoint_interval > 0.0,
             lossless_network=lossless,
+            delivery=config.delivery,
         )
     report = evaluate_oracles(
         system,

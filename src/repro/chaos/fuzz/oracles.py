@@ -83,6 +83,25 @@ class OracleProfile:
         checkpoint_liveness: Commits must actually land during the run
             (a stack configured to checkpoint but never committing an
             epoch is broken even if nothing crashed).
+        loss_forgiveness: How the zero-loss oracle treats accounted
+            losses.  ``"condemned"`` (the historical best-effort rule)
+            skips the check whenever *any* crash/fault accounting is
+            nonzero — condemnation is restart-empty semantics, not a
+            bug.  ``"buffered"`` forgives only crash-time operator
+            buffers (an at-least-once transport recovers every wire
+            casualty, but tuples parked inside a dying operator are
+            beyond its reach).  ``"none"`` forgives nothing: an
+            exactly-once stack replays condemned traffic, so *any*
+            missing tuple is a violation no matter what the accounting
+            says.
+        at_crash_conservation: Judge each victim's *live at-crash*
+            keyed snapshot instead of its committed restore floor.
+            Only an exactly-once stack can promise this — epoch-aligned
+            replay re-processes everything past the restored epoch, so
+            checkpoint lag no longer excuses the un-committed tail.
+        fifo_order: The transport promises per-connection FIFO.  An
+            at-least-once receiver delivers retransmitted copies as
+            they arrive, so its profile waives the FIFO probe.
     """
 
     name: str = "checkpointed"
@@ -91,10 +110,16 @@ class OracleProfile:
     state_recovery_bar: Optional[float] = 0.90
     recovery_required: bool = True
     checkpoint_liveness: bool = True
+    loss_forgiveness: str = "condemned"
+    at_crash_conservation: bool = False
+    fifo_order: bool = True
 
     @classmethod
     def for_config(
-        cls, checkpointed: bool, lossless_network: bool = True
+        cls,
+        checkpointed: bool,
+        lossless_network: bool = True,
+        delivery: str = "best_effort",
     ) -> "OracleProfile":
         """Derive the promises from the stack configuration.
 
@@ -102,13 +127,55 @@ class OracleProfile:
             checkpointed: The stack runs periodic checkpointing (the
                 zero-loss / state-conservation acceptance bar applies).
             lossless_network: The scenario injects no ``LinkLoss``
-                faults (losses there are by design, not bugs).
+                faults (losses there are by design, not bugs — ignored
+                by the reliable-delivery profiles, which recover them).
+            delivery: The transport's delivery guarantee
+                (``SystemConfig.delivery``).
 
         Returns:
             The matching profile: a restart-empty stack promises neither
             zero loss nor state conservation — exactly why the PR 4
-            failover campaign must not raise false positives.
+            failover campaign must not raise false positives — while a
+            checkpointed exactly-once stack promises everything,
+            including zero loss on lossy networks and at-crash state
+            conservation with no forgiveness path.
         """
+        if delivery == "exactly_once":
+            if checkpointed:
+                return cls(
+                    name="exactly_once",
+                    zero_tuple_loss=True,
+                    zero_duplicates=True,
+                    state_recovery_bar=1.0,
+                    loss_forgiveness="none",
+                    at_crash_conservation=True,
+                )
+            return cls(
+                name="exactly_once_restart_empty",
+                zero_tuple_loss=False,
+                zero_duplicates=True,
+                state_recovery_bar=None,
+                checkpoint_liveness=False,
+                loss_forgiveness="buffered",
+            )
+        if delivery == "at_least_once":
+            if checkpointed:
+                return cls(
+                    name="at_least_once",
+                    zero_tuple_loss=False,
+                    zero_duplicates=False,
+                    fifo_order=False,
+                    loss_forgiveness="buffered",
+                )
+            return cls(
+                name="at_least_once_restart_empty",
+                zero_tuple_loss=False,
+                zero_duplicates=False,
+                state_recovery_bar=None,
+                checkpoint_liveness=False,
+                fifo_order=False,
+                loss_forgiveness="buffered",
+            )
         if not checkpointed:
             return cls(
                 name="restart_empty",
@@ -202,6 +269,12 @@ class FifoProbe:
     def _on_delivery(self, record: DeliveryRecord) -> None:
         link = (record.src_key, record.dst_pe_id)
         self.deliveries += 1
+        if record.redelivery:
+            # exactly-once crash replay legitimately rewinds a link to
+            # its restored watermark and re-walks it in order: re-anchor
+            # the monotonicity check instead of flagging the rewind
+            self._last[link] = record.link_seq
+            return
         last = self._last.get(link, 0)
         if record.link_seq <= last:
             self.violations.append((link, last, record.link_seq))
@@ -323,7 +396,10 @@ def evaluate_oracles(
         )
     if not profile.zero_tuple_loss:
         skip("zero_tuple_loss", "profile makes no loss promise")
-    elif scorecard.accounted_losses > 0:
+    elif (
+        profile.loss_forgiveness == "condemned"
+        and scorecard.accounted_losses > 0
+    ):
         # crash-time condemnations are restart-empty semantics, not a
         # bug — the strict zero bar only applies to runs where no crash
         # caught data mid-hop (the campaign timing discipline)
@@ -332,7 +408,19 @@ def evaluate_oracles(
             f"{scorecard.accounted_losses} item(s) condemned by "
             "crash/fault accounting",
         )
+    elif (
+        profile.loss_forgiveness == "buffered"
+        and scorecard.buffered_at_crash > 0
+    ):
+        skip(
+            "zero_tuple_loss",
+            f"{scorecard.buffered_at_crash} item(s) died in crash-time "
+            "operator buffers",
+        )
     else:
+        # loss_forgiveness == "none" lands here with any accounting: an
+        # exactly-once transport replays condemned traffic, so nothing
+        # excuses a missing tuple
         check("zero_tuple_loss")
         if scorecard.tuples_lost != 0:
             violate(
@@ -354,9 +442,22 @@ def evaluate_oracles(
         # captured at crash time) at the first probe after its recovery:
         # end-of-run scoring lets reset monotone counters recount past
         # the loss, and judging live at-crash state instead would flag
-        # ordinary checkpoint lag as a violation.
+        # ordinary checkpoint lag as a violation.  An exactly-once
+        # profile (at_crash_conservation) raises the reference to the
+        # live at-crash snapshot — epoch-aligned replay re-processes
+        # everything past the restored epoch, so lag is no excuse.
+        floor_key = (
+            "_state_at_crash"
+            if profile.at_crash_conservation
+            else "_committed_at_crash"
+        )
+        reference = (
+            "at-crash state"
+            if profile.at_crash_conservation
+            else "committed checkpoint"
+        )
         for injection in run.injections:
-            floor = injection.detail.get("_committed_at_crash")
+            floor = injection.detail.get(floor_key)
             if not floor or injection.recovered_at is None:
                 continue
             if injection.detail.get("rehydrate") is False:
@@ -369,7 +470,7 @@ def evaluate_oracles(
                     "state_conservation",
                     f"step {injection.step_index} ({injection.kind} -> "
                     f"{injection.target}): only {fraction:.4f} of the "
-                    "committed checkpoint was live right after recovery "
+                    f"{reference} was live right after recovery "
                     f"(bar {profile.state_recovery_bar:.2f})",
                 )
     else:
@@ -467,7 +568,9 @@ def evaluate_oracles(
             )
 
     # -- per-connection FIFO ------------------------------------------------
-    if fifo_probe is not None:
+    if not profile.fifo_order:
+        skip("fifo_per_connection", "profile makes no FIFO promise")
+    elif fifo_probe is not None:
         check("fifo_per_connection")
         for link, last, seq in fifo_probe.violations:
             violate(

@@ -442,9 +442,13 @@ class LinkPartition(Perturbation):
 class LinkLoss(Perturbation):
     """Drop a seeded fraction of items on matching links for a while.
 
-    Unlike :class:`LinkPartition` this *loses* data (counted in the
-    transport's ``dropped_by_fault``); keep it out of scenarios that
-    assert zero tuple loss.
+    Unlike :class:`LinkPartition` this *loses* data on a best-effort
+    transport (counted in the transport's ``dropped_by_fault``); keep it
+    out of best-effort scenarios that assert zero tuple loss.  The
+    reliable delivery modes (``SystemConfig.delivery`` of
+    ``"at_least_once"`` / ``"exactly_once"``) retransmit every dropped
+    unit until it is acknowledged, so under them the drops are still
+    *counted* but no tuple is ultimately lost.
 
     Attributes:
         drop_probability: Per-item drop chance in [0, 1].

@@ -31,6 +31,7 @@ from repro.chaos.perturbations import (
     HostFlap,
     KeySkewShift,
     LatencySpike,
+    LinkLoss,
     LinkPartition,
     PEFlap,
     Perturbation,
@@ -371,12 +372,17 @@ def gray_network(
     partition_length: float = 0.8,
     dst_host: Optional[str] = None,
     jitter: float = 0.0,
+    loss_probability: float = 0.0,
+    loss_length: float = 0.0,
 ) -> Scenario:
     """A degraded-but-not-dead network: latency waves + short partitions.
 
-    No data is lost (partitions hold and flush, TCP-style), but delivery
-    timing and ordering pressure spike — the scenario adaptive routines
-    misdiagnose most easily.
+    No data is lost by default (partitions hold and flush, TCP-style),
+    but delivery timing and ordering pressure spike — the scenario
+    adaptive routines misdiagnose most easily.  ``loss_probability > 0``
+    adds a per-wave ``LinkLoss`` window on top, which turns the scenario
+    genuinely lossy — run it on a reliable-delivery transport (or drop
+    the zero-loss expectation).
 
     Args:
         start: Offset of the first wave.
@@ -387,6 +393,10 @@ def gray_network(
         partition_length: Duration of each wave's partition.
         dst_host: Restrict faults to links toward this host (None: all).
         jitter: Seeded randomization window per step.
+        loss_probability: Per-item drop probability of each wave's
+            ``LinkLoss`` window (0 keeps the scenario lossless).
+        loss_length: Duration of each wave's loss window (0 falls back
+            to the partition length).
 
     Returns:
         The scenario.
@@ -409,6 +419,16 @@ def gray_network(
             LinkPartition(duration=partition_length, dst_host=dst_host),
             jitter=jitter,
         )
+        if loss_probability > 0.0:
+            scenario.add(
+                base + spike_length + partition_length,
+                LinkLoss(
+                    drop_probability=loss_probability,
+                    duration=loss_length or partition_length,
+                    dst_host=dst_host,
+                ),
+                jitter=jitter,
+            )
     return scenario
 
 

@@ -169,6 +169,20 @@ class ResilienceScorecard:
     #: items sitting in victim operator buffers at crash instants (those
     #: died with the process — restart-empty semantics, not a bug)
     buffered_at_crash: int = 0
+    #: transport delivery guarantee the run executed under; reliable
+    #: modes add a "delivery:" line to the render (best_effort keeps the
+    #: historical 7-line format byte-identical)
+    delivery: str = "best_effort"
+    #: reliable modes: wire units re-sent after an ack timeout (per-run delta)
+    retransmissions: int = 0
+    #: reliable modes: ack events received by senders (per-run delta)
+    acks: int = 0
+    #: exactly-once: arrivals suppressed by the receiver watermark (per-run
+    #: delta)
+    duplicates_suppressed: int = 0
+    #: exactly-once: units replayed from the buffer after a restart
+    #: (per-run delta)
+    replayed: int = 0
 
     @property
     def accounted_losses(self) -> int:
@@ -206,7 +220,7 @@ class ResilienceScorecard:
             for kind, count in sorted(self.injections_by_kind.items())
         )
         recoveries = ", ".join(f"{t:.3f}" for t in self.recovery_times)
-        return [
+        out = [
             f"scenario: {self.scenario} (seed {self.seed}, "
             f"{self.duration:.2f} sim-s)",
             f"injections: {self.injections} [{by_kind}] "
@@ -228,6 +242,15 @@ class ResilienceScorecard:
             f"dropped_at_down_pe={self.dropped_at_down_pe} "
             f"buffered_at_crash={self.buffered_at_crash}",
         ]
+        if self.delivery != "best_effort":
+            out.append(
+                f"delivery: {self.delivery} "
+                f"retransmissions={self.retransmissions} "
+                f"acks={self.acks} "
+                f"duplicates_suppressed={self.duplicates_suppressed} "
+                f"replayed={self.replayed}"
+            )
+        return out
 
     def render(self) -> str:
         """The full scorecard text (newline-terminated)."""
@@ -345,6 +368,16 @@ def collect_scorecard(
             system.transport.total_dropped - base.get("total_dropped", 0)
         ),
         buffered_at_crash=buffered_at_crash,
+        delivery=system.transport.delivery,
+        retransmissions=(
+            system.transport.retransmissions - base.get("retransmissions", 0)
+        ),
+        acks=system.transport.acks - base.get("acks", 0),
+        duplicates_suppressed=(
+            system.transport.duplicates_suppressed
+            - base.get("duplicates_suppressed", 0)
+        ),
+        replayed=system.transport.replayed - base.get("replayed", 0),
     )
     system.chaos.publish_scorecard_gauges(run.scenario.name, scorecard.gauges())
     return scorecard

@@ -229,6 +229,13 @@ class CheckpointService:
             }
         if not payloads:
             return None
+        # exactly-once transport: the PE's per-link delivery watermarks
+        # ride the epoch under a reserved key, so a restore rewinds the
+        # receiver to exactly the state the snapshot describes
+        transport = self.sam.transport
+        wm_payload = transport.checkpoint_watermarks(pe.pe_id)
+        if wm_payload is not None:
+            payloads["__transport__"] = wm_payload
         entry = self.store.record(
             pe.job.job_id,
             pe.pe_id,
@@ -248,6 +255,11 @@ class CheckpointService:
                 self._materialized[base_key] = materialized
             for clean in cleaners:
                 clean()
+            if wm_payload is not None:
+                floor = self.store.committed_watermark_floor(
+                    pe.job.job_id, pe.pe_id
+                )
+                transport.on_epoch_committed(pe.pe_id, floor or {})
         record = CheckpointRecord(
             job_id=pe.job.job_id,
             pe_id=pe.pe_id,
@@ -255,7 +267,7 @@ class CheckpointService:
             time=entry.time,
             committed=committed,
             full=any_full,
-            n_operators=len(payloads),
+            n_operators=len(payloads) - ("__transport__" in payloads),
             keys_dirty=keys_dirty,
             keys_total=keys_total,
             bytes_written=bytes_written,

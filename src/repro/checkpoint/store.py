@@ -212,6 +212,34 @@ class CheckpointStore:
         chain = self._chains.get((job_id, pe_id), [])
         return chain[-1] if chain else None
 
+    def committed_watermark_floor(
+        self, job_id: str, pe_id: str
+    ) -> Optional[Dict[str, int]]:
+        """Return the *oldest* retained committed epoch's link watermarks.
+
+        Exactly-once transport persists per-link delivery watermarks into
+        each checkpoint epoch under the reserved ``"__transport__"``
+        payload key.  Replay buffers may only be truncated up to the
+        oldest retained committed epoch — a torn newest commit makes
+        recovery fall back that far — so this returns that epoch's
+        ``{src_key: watermark}`` map.
+
+        Args:
+            job_id: Owning job.
+            pe_id: The PE whose floor is requested.
+
+        Returns:
+            The oldest retained committed epoch's watermark map, or None
+            when no committed epoch carries transport watermarks.
+        """
+        for entry in self._chains.get((job_id, pe_id), []):
+            if entry.committed:
+                payload = entry.payloads.get("__transport__")
+                if payload is None:
+                    return None
+                return dict(payload.get("watermarks", {}))
+        return None
+
     def epochs_of(self, job_id: str, pe_id: str) -> List[CheckpointEpoch]:
         """Return every retained epoch of one PE, oldest first.
 

@@ -112,6 +112,11 @@ class StateMigration:
     #: dropped with the crash semantics of the dead channel (it restarts
     #: empty anyway), not treated as a rescale failure
     keys_lost: int = 0
+    #: keyed entries whose new owner was down but *masked with a live
+    #: detour* at install time — installed on each key's detour channel
+    #: (where the splitter is already routing that key's traffic) so the
+    #: continuation survives; the unmask reclaim brings them home
+    keys_detoured: int = 0
     #: non-keyed (global) states dropped with removed channels — global
     #: state cannot be re-partitioned, mirroring the paper's no-checkpoint
     #: stance for anything that is not keyed (and not merged)
@@ -408,6 +413,9 @@ class ElasticController:
         # committed to the wire before the drain barrier starts counting,
         # or the region could be declared empty while tuples sit buffered
         self.transport.flush_open_batches()
+        # reliable delivery: retried units waiting out a backoff interval
+        # are in flight too — expedite them so the barrier sees them move
+        self.transport.expedite_pending()
         self._mark_barrier(job.job_id, region, "quiesce")
         self.kernel.schedule(
             self.drain_poll_interval,
@@ -787,6 +795,7 @@ class ElasticController:
         # until their linger expires; force them onto the wire so every
         # drain poll measures a region that is actually moving
         self.transport.flush_open_batches()
+        self.transport.expedite_pending()
         if self._region_backlog(job, plan) == 0:
             self._mark_barrier(job.job_id, plan.name, "drain_clean")
             self._rewire_and_resume(job, plan, op, on_complete)
@@ -981,10 +990,15 @@ class ElasticController:
 
         Runs after the rewire: ``plan.channel_ops`` is the *new* layout and
         freshly added channels already have live operator instances.  A
-        new owner whose PE is down (a crashed surviving channel) absorbs
-        its entries the way the crash itself would have: they are dropped
-        and counted — but kept in ``dropped`` so a rollback can still
-        return them to their (alive) source channel.
+        new owner whose PE is down but *masked with a live detour* hands
+        its entries to each key's detour channel — the splitter is already
+        routing those keys there, so dropping the state would fork the
+        continuation (the detour recounts from zero and the unmask reclaim
+        would later clobber the owner's checkpoint restore with the broken
+        fork).  A down owner with no detour absorbs its entries the way
+        the crash itself would have: they are dropped and counted — but
+        kept in ``dropped`` so a rollback can still return them to their
+        (alive) source channel.
 
         Each processed move shifts from ``moves`` into ``installed`` or
         ``dropped`` as it completes, so a mid-loop failure leaves the
@@ -997,8 +1011,13 @@ class ElasticController:
             target_name = plan.channel_ops[dst_channel][position]
             pe = job.pe_of_operator(target_name)
             if pe.state is not PEState.RUNNING:
-                migration.keys_lost += len(entries)
-                dropped.append(moves.pop(0))
+                move = moves.pop(0)
+                left = self._install_via_detour(
+                    job, plan, move, migration, installed
+                )
+                if left is not None:
+                    migration.keys_lost += len(left[4])
+                    dropped.append(left)
                 continue
             operator = pe.operators.get(target_name)
             if operator is None:
@@ -1007,6 +1026,56 @@ class ElasticController:
                 )
             operator.state.keyed(state_name).install(entries)
             installed.append(moves.pop(0))
+
+    def _install_via_detour(
+        self,
+        job: Job,
+        plan: ParallelRegionPlan,
+        move: _Move,
+        migration: StateMigration,
+        installed: List[_Move],
+    ) -> Optional[_Move]:
+        """Reroute a move whose new owner is down onto the live detours.
+
+        Only applies when the dead destination channel is currently masked
+        (the splitter is detouring its keys to survivors): each entry is
+        installed on the channel ``detour_channel_of`` picks for its key,
+        so migrated state lands exactly where that key's traffic is
+        flowing.  Rerouted buckets are appended to ``installed`` with the
+        detour channel as their destination, keeping rollback
+        (`_uninstall_keyed_partitions`) exact.  Returns a residual move
+        holding any entries that could not be rerouted (destination not
+        masked, or the detour target itself down) — ``None`` when every
+        entry found a home.
+        """
+        position, src_channel, dst_channel, state_name, entries = move
+        masked = self._masked_channels.get((job.job_id, plan.name)) or set()
+        if dst_channel not in masked:
+            return move
+        leftover: Dict[Any, Any] = {}
+        buckets: Dict[int, Dict[Any, Any]] = {}
+        for key, value in entries.items():
+            buckets.setdefault(
+                detour_channel_of(key, plan.width, masked), {}
+            )[key] = value
+        for detour_channel, bucket in sorted(buckets.items()):
+            if detour_channel == dst_channel:
+                leftover.update(bucket)  # no live detour exists
+                continue
+            target_name = plan.channel_ops[detour_channel][position]
+            target_pe = job.pe_of_operator(target_name)
+            target_op = target_pe.operators.get(target_name)
+            if target_pe.state is not PEState.RUNNING or target_op is None:
+                leftover.update(bucket)
+                continue
+            target_op.state.keyed(state_name).install(bucket)
+            migration.keys_detoured += len(bucket)
+            installed.append(
+                (position, src_channel, detour_channel, state_name, bucket)
+            )
+        if leftover:
+            return (position, src_channel, dst_channel, state_name, leftover)
+        return None
 
     def _uninstall_keyed_partitions(
         self, job: Job, plan: ParallelRegionPlan, installed: List[_Move]

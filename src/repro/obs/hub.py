@@ -103,6 +103,11 @@ class ObsHub:
         #: flush — eager creation would add an empty series to every
         #: unbatched system's exposition and break artifact byte-stability
         self._batch_hist: Optional[ObsHistogram] = None
+        #: reliable-delivery event kind -> counter, created lazily on the
+        #: first event for the same byte-stability reason: a best-effort
+        #: system never fires the hook and renders the historical
+        #: exposition unchanged
+        self._reliability_counters: Dict[str, ObsCounter] = {}
 
     # -- wiring --------------------------------------------------------------
 
@@ -133,6 +138,10 @@ class ObsHub:
         # *batch*, not per tuple), so the hook attaches regardless of
         # trace_enabled; unbatched systems never flush, never call it
         system.transport.batch_observer = self.record_batch_flush
+        # reliable-delivery events (retransmit/ack/dedup/replay) are
+        # control-plane too: rare, and only ever fired by the reliable
+        # modes — a best-effort transport never calls the hook
+        system.transport.reliability_observer = self.record_reliability_event
         if self.trace_enabled:
             system.transport.obs = self
             self.kernel.event_tap = self._on_kernel_event
@@ -147,6 +156,11 @@ class ObsHub:
                 self._system.transport.obs = None
             if self._system.transport.batch_observer == self.record_batch_flush:
                 self._system.transport.batch_observer = None
+            if (
+                self._system.transport.reliability_observer
+                == self.record_reliability_event
+            ):
+                self._system.transport.reliability_observer = None
             if self.kernel.event_tap == self._on_kernel_event:
                 self.kernel.event_tap = None
         self._system = None
@@ -229,6 +243,44 @@ class ObsHub:
                 buckets=(1, 2, 4, 8, 16, 32, 64, 128, float("inf")),
             )
         hist.observe(size)
+
+    def record_reliability_event(
+        self, kind: str, count: int, op: str, attempt: int, time: float
+    ) -> None:
+        """Record one reliable-delivery transport event.
+
+        ``kind`` is one of ``retransmit``, ``ack``,
+        ``duplicate_suppressed``, ``replay``; counts land in the matching
+        ``repro_transport_*_total`` counter (created lazily so
+        best-effort expositions stay byte-identical).  Retransmits are
+        additionally recorded as control-plane retry events carrying the
+        attempt number, so a flight-recorder timeline shows every backoff
+        step of a struggling link.
+        """
+        names = {
+            "retransmit": "repro_transport_retransmissions_total",
+            "ack": "repro_transport_acks_total",
+            "duplicate_suppressed": "repro_transport_duplicates_suppressed_total",
+            "replay": "repro_transport_replays_total",
+        }
+        helps = {
+            "retransmit": "wire units re-sent after an ack timeout",
+            "ack": "delivery acknowledgements received by senders",
+            "duplicate_suppressed": (
+                "arrivals suppressed by the exactly-once receiver watermark"
+            ),
+            "replay": "units replayed from the buffer after a PE restart",
+        }
+        counter = self._reliability_counters.get(kind)
+        if counter is None:
+            counter = self._reliability_counters[kind] = self.metrics.counter(
+                names[kind], help_text=helps[kind]
+            )
+        counter.inc(count)
+        if kind == "retransmit":
+            self.record_control_event(
+                "transport:retry", time, op=op, attempt=attempt
+            )
 
     def record_orca_event(
         self, orca_id: str, event_type: str, enqueued_at: float, now: float

@@ -1,0 +1,658 @@
+"""Reliable delivery plane: acks, retries, and epoch-aligned replay.
+
+:class:`~repro.runtime.transport.Transport` is best-effort by default:
+a lossy link fault permanently loses tuples and a crash condemns
+everything in flight.  This module implements the two reliable modes of
+the ``delivery`` config axis on
+:class:`~repro.runtime.system.SystemConfig`:
+
+* ``at_least_once`` — every wire unit (a single item, or one flushed
+  :class:`~repro.spl.tuples.TupleBatch`) registers a pending entry keyed
+  by ``(link, first link_seq)``.  The receiver acknowledges a unit when
+  it is first delivered; acks ride a lossless control channel (TCP-style
+  cumulative acks are never dropped or partitioned).  Until the ack
+  lands, a sim-time retry timer retransmits the unit with exponential
+  backoff, so a lossy link delays tuples instead of losing them.  The
+  receiver stays naive: every copy that arrives is delivered, so
+  duplicates are possible (a partition-delayed original and a retransmit
+  can both arrive at heal) and per-connection FIFO is no longer promised
+  after a loss-retransmit race.
+* ``exactly_once`` — the same sender-side machinery plus an in-order
+  receiver: each link delivers strictly by ``link_seq`` (out-of-order
+  arrivals wait in a reorder buffer; already-delivered sequences are
+  suppressed and counted in ``duplicates_suppressed``), and the per-link
+  delivered watermark is persisted into checkpoint epochs under the
+  reserved ``"__transport__"`` payload key.  Crash recovery restores the
+  victim to a committed epoch and the plane replays every retained unit
+  above the restored watermark: units the dead incarnation had already
+  processed are re-processed with downstream emissions suppressed (state
+  rebuilds without duplicate propagation, because their outputs already
+  left the PE before the crash), and condemned in-flight units are
+  re-sent instead of being counted in ``dropped_in_flight``.
+
+Loss attribution is **first-cause-wins**: a unit that loses a wire copy
+to a seeded drop fault counts in ``dropped_by_fault`` exactly once, on
+its first casualty, and a later condemnation (destination PE removed for
+good) must not recount it in ``dropped_in_flight`` — and vice versa.
+
+Everything here is sim-time scheduled and the only randomness is the
+transport's seeded drop-roll stream, so runs replay byte-identically.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+
+from repro.spl.tuples import TupleBatch
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.runtime.pe import PERuntime
+    from repro.runtime.transport import Payload, Transport
+
+#: a directed connection: (source PE id or "", destination PE id)
+Link = Tuple[str, str]
+
+
+class PendingEntry:
+    """One wire unit awaiting acknowledgement (or retained for replay).
+
+    A unit is a single item or a whole flushed batch: it occupies the
+    contiguous ``link_seq`` range ``[first_seq, first_seq + count - 1]``
+    on its link, is retransmitted atomically, and is acknowledged by one
+    ack — "one ack per flushed TupleBatch".
+    """
+
+    __slots__ = (
+        "src_pe",
+        "dst_pe",
+        "op_full_name",
+        "port",
+        "payload",
+        "link",
+        "first_seq",
+        "count",
+        "delivered",
+        "acked",
+        "condemned",
+        "attempts",
+        "loss_attributed",
+        "retry_event",
+        "next_arrival",
+    )
+
+    def __init__(
+        self,
+        src_pe: Optional["PERuntime"],
+        dst_pe: "PERuntime",
+        op_full_name: str,
+        port: int,
+        payload: "Payload",
+        link: Link,
+        first_seq: int,
+        count: int,
+    ) -> None:
+        self.src_pe = src_pe
+        self.dst_pe = dst_pe
+        self.op_full_name = op_full_name
+        self.port = port
+        self.payload = payload
+        self.link = link
+        self.first_seq = first_seq
+        self.count = count
+        #: the unit reached the application at least once (its outputs
+        #: exist downstream; a replay must suppress re-emission)
+        self.delivered = False
+        #: the sender saw the ack; the unit is off the pending registry
+        self.acked = False
+        #: the destination was removed for good; never retry again
+        self.condemned = False
+        #: completed retransmission attempts (drives the backoff)
+        self.attempts = 0
+        #: the unit has been counted in a loss counter (first-cause-wins)
+        self.loss_attributed = False
+        self.retry_event = None
+        #: scheduled arrival time of the newest live wire copy (None:
+        #: the last copy was dropped; +inf: held by an untimed partition)
+        self.next_arrival: Optional[float] = None
+
+
+class DeliveryPlane:
+    """Sender/receiver bookkeeping for the reliable delivery modes.
+
+    Owned by (and mutating the counters of) one
+    :class:`~repro.runtime.transport.Transport`; ``None`` on the
+    transport means best-effort and keeps every hot path at one check.
+    """
+
+    def __init__(
+        self,
+        transport: "Transport",
+        exactly_once: bool,
+        ack_timeout: float,
+        retry_backoff: float,
+        max_retry_interval: float,
+    ) -> None:
+        self.transport = transport
+        self.kernel = transport.kernel
+        self.exactly_once = exactly_once
+        self.ack_timeout = ack_timeout
+        self.retry_backoff = retry_backoff
+        self.max_retry_interval = max_retry_interval
+        #: (link, first_seq) -> unacknowledged unit
+        self.pending: Dict[Tuple[Link, int], PendingEntry] = {}
+        #: exactly-once receiver: link -> highest contiguously delivered seq
+        self.delivered_wm: Dict[Link, int] = {}
+        #: exactly-once receiver: link -> first_seq -> parked early arrival
+        self.reorder: Dict[Link, Dict[int, tuple]] = {}
+        #: exactly-once sender: link -> first_seq -> acked unit retained
+        #: until its seq range drops below every restorable epoch
+        self.replay_buffer: Dict[Link, Dict[int, PendingEntry]] = {}
+        #: link -> watermark the replay buffer was last truncated to (the
+        #: oldest retained committed epoch can always replay from here)
+        self.truncated_to: Dict[Link, int] = {}
+
+    # -- send path ----------------------------------------------------------
+
+    def send(
+        self,
+        src_pe: Optional["PERuntime"],
+        dst_pe: "PERuntime",
+        op_full_name: str,
+        port: int,
+        item: "Payload",
+    ) -> None:
+        """Register one single-item unit and put its first copy on the wire.
+
+        Unlike the best-effort path, the link sequence is allocated and
+        the pending entry registered *before* any drop roll: a dropped
+        copy keeps its seq and retries, so the in-order receiver stalls
+        the link until the retransmit fills the gap (FIFO preserved).
+        """
+        t = self.transport
+        key = (dst_pe.pe_id, op_full_name, port)
+        t._in_flight[key] = t._in_flight.get(key, 0) + 1
+        src_key = src_pe.pe_id if src_pe is not None else ""
+        link = (src_key, dst_pe.pe_id)
+        first_seq = t._next_link_seq(src_key, dst_pe.pe_id)
+        entry = PendingEntry(
+            src_pe, dst_pe, op_full_name, port, item, link, first_seq, 1
+        )
+        self.pending[(link, first_seq)] = entry
+        self._transmit(entry)
+        self._arm_retry(entry)
+
+    def send_flushed_batch(self, open_batch, flow: Tuple[str, str, str, int]) -> None:
+        """Commit one open batch to the wire as a single reliable unit.
+
+        The whole batch takes one contiguous seq range, one pending
+        entry, one ack, and retransmits atomically — so batching changes
+        granularity, never semantics.  Drop rolls apply to the wire copy
+        as a whole (a lost packet loses the whole batch), not per member
+        as in the best-effort flush.
+        """
+        t = self.transport
+        src_key, dst_pe_id, op_full_name, port = flow
+        items = open_batch.tuples
+        if not items:
+            return
+        if t.batch_observer is not None:
+            t.batch_observer(len(items))
+        link = (src_key, dst_pe_id)
+        base = t._link_send_seq.get(link, 0)
+        t._link_send_seq[link] = base + len(items)
+        entry = PendingEntry(
+            open_batch.src_pe,
+            open_batch.dst_pe,
+            op_full_name,
+            port,
+            TupleBatch(items),
+            link,
+            base + 1,
+            len(items),
+        )
+        self.pending[(link, base + 1)] = entry
+        self._transmit(entry)
+        self._arm_retry(entry)
+
+    def _transmit(self, entry: PendingEntry, redelivery: bool = False) -> None:
+        """Run one wire copy of a unit through the link-fault pipeline.
+
+        A seeded drop loses the copy (the unit stays pending and will be
+        retransmitted; ``dropped_by_fault`` moves only on the unit's
+        first casualty), partitions hold or delay it exactly like a
+        best-effort send, and a clean link schedules delivery after the
+        composed latency.  ``redelivery=True`` marks a post-restart
+        replay of an already-processed unit: the receiver will suppress
+        downstream emissions when it lands.
+        """
+        t = self.transport
+        faults = t._matching_faults(entry.src_pe, entry.dst_pe)
+        latency = t.latency
+        hold_until: Optional[float] = None
+        untimed = None
+        for fault in faults:
+            if fault.drop_probability > 0.0 and (
+                t.rng.random() < fault.drop_probability
+            ):
+                if not entry.loss_attributed:
+                    entry.loss_attributed = True
+                    t.dropped_by_fault += entry.count
+                entry.next_arrival = None
+                return
+            latency += fault.extra_latency
+            if fault.partition:
+                if fault.until is None:
+                    untimed = fault
+                else:
+                    hold_until = max(hold_until or 0.0, fault.until)
+        incarnation = t._incarnations.get(entry.dst_pe.pe_id, 0)
+        if untimed is not None:
+            t._held.setdefault(untimed.fault_id, []).append(
+                (
+                    entry.src_pe,
+                    entry.dst_pe,
+                    entry.op_full_name,
+                    entry.port,
+                    entry.payload,
+                    incarnation,
+                    entry.first_seq,
+                    redelivery,
+                )
+            )
+            entry.next_arrival = float("inf")
+            return
+        deliver_at = self.kernel.now + latency
+        if hold_until is not None:
+            deliver_at = max(deliver_at, hold_until + t.latency)
+        entry.next_arrival = t._schedule_delivery(
+            deliver_at,
+            entry.link[0],
+            entry.dst_pe,
+            entry.op_full_name,
+            entry.port,
+            entry.payload,
+            incarnation=incarnation,
+            link_seq=entry.first_seq,
+            redelivery=redelivery,
+        )
+
+    # -- retry timers -------------------------------------------------------
+
+    def _arm_retry(self, entry: PendingEntry) -> None:
+        delay = min(
+            self.ack_timeout * (self.retry_backoff ** entry.attempts),
+            self.max_retry_interval,
+        )
+        entry.retry_event = self.kernel.schedule(
+            delay, self._on_retry, entry, label="transport-retry"
+        )
+
+    def _on_retry(self, entry: PendingEntry) -> None:
+        """Ack timeout expired: retransmit (the sender cannot tell a lost
+        copy from a delayed one, so a copy stuck behind a partition gets a
+        sibling — the receiver's dedup absorbs whichever lands second)."""
+        entry.retry_event = None
+        if entry.acked or entry.condemned:
+            return
+        if entry.delivered:
+            # the ack rides the lossless control channel; it will land
+            return
+        entry.attempts += 1
+        if not entry.dst_pe.is_running:
+            # destination down: hold fire, keep the timer as a fallback
+            # (a restart expedites pending units immediately)
+            self._arm_retry(entry)
+            return
+        t = self.transport
+        t.retransmissions += 1
+        self._observe("retransmit", entry.count, entry.op_full_name, entry.attempts)
+        self._transmit(entry)
+        self._arm_retry(entry)
+
+    def expedite_pending(self, dst_pe_id: Optional[str] = None) -> None:
+        """Retransmit undelivered units now, bypassing their backoff.
+
+        Called at drain/quiesce barriers (polled) and on PE restart, so a
+        barrier never sits out a multi-second backoff.  Units with a live
+        copy still on the wire, held behind an active partition, or
+        headed to a stopped PE are left alone — the poll must not pile up
+        copies.
+        """
+        now = self.kernel.now
+        t = self.transport
+        for entry in list(self.pending.values()):
+            if dst_pe_id is not None and entry.dst_pe.pe_id != dst_pe_id:
+                continue
+            if entry.delivered or entry.acked or entry.condemned:
+                continue
+            if not entry.dst_pe.is_running:
+                continue
+            if entry.next_arrival is not None and now < entry.next_arrival:
+                continue
+            if any(
+                fault.partition
+                for fault in t._matching_faults(entry.src_pe, entry.dst_pe)
+            ):
+                continue
+            entry.attempts += 1
+            t.retransmissions += 1
+            self._observe(
+                "retransmit", entry.count, entry.op_full_name, entry.attempts
+            )
+            if entry.retry_event is not None:
+                entry.retry_event.cancel()
+            self._transmit(entry)
+            self._arm_retry(entry)
+
+    # -- receiver -----------------------------------------------------------
+
+    def on_arrival(
+        self,
+        dst_pe: "PERuntime",
+        op_full_name: str,
+        port: int,
+        payload: "Payload",
+        incarnation: int,
+        src_key: str,
+        first_seq: int,
+        redelivery: bool,
+    ) -> None:
+        """Handle one wire copy reaching the destination process.
+
+        Copies addressed to a dead incarnation or a stopped process are
+        ignored without accounting — the unit is still pending on the
+        sender and will be retransmitted, which is exactly the difference
+        from the best-effort transport (there, these copies are the loss).
+        """
+        t = self.transport
+        if incarnation != t._incarnations.get(dst_pe.pe_id, 0):
+            return
+        if not dst_pe.is_running:
+            return
+        count = len(payload.tuples) if isinstance(payload, TupleBatch) else 1
+        if self.exactly_once:
+            self._arrive_exactly_once(
+                dst_pe, op_full_name, port, payload, src_key, first_seq,
+                count, redelivery,
+            )
+        else:
+            self._arrive_at_least_once(
+                dst_pe, op_full_name, port, payload, src_key, first_seq, count
+            )
+
+    def _arrive_at_least_once(
+        self, dst_pe, op_full_name, port, payload, src_key, first_seq, count
+    ) -> None:
+        """Naive receiver: deliver every copy that arrives, dup or not."""
+        entry = self.pending.get(((src_key, dst_pe.pe_id), first_seq))
+        if entry is not None and not entry.delivered:
+            entry.delivered = True
+            self.transport._dec_in_flight(
+                (dst_pe.pe_id, op_full_name, port), count
+            )
+            self._schedule_ack(entry)
+        self._hand_over(
+            dst_pe, op_full_name, port, payload, src_key, first_seq, count,
+            redelivery=False,
+        )
+
+    def _arrive_exactly_once(
+        self,
+        dst_pe,
+        op_full_name,
+        port,
+        payload,
+        src_key,
+        first_seq,
+        count,
+        redelivery,
+    ) -> None:
+        """In-order receiver: strict per-link seq delivery with dedup."""
+        link = (src_key, dst_pe.pe_id)
+        wm = self.delivered_wm.get(link, 0)
+        if first_seq + count - 1 <= wm:
+            self.transport.duplicates_suppressed += count
+            self._observe("duplicate_suppressed", count, op_full_name)
+            return
+        if first_seq != wm + 1:
+            buf = self.reorder.setdefault(link, {})
+            if first_seq in buf:
+                self.transport.duplicates_suppressed += count
+                self._observe("duplicate_suppressed", count, op_full_name)
+            else:
+                buf[first_seq] = (
+                    op_full_name, port, payload, first_seq, count, redelivery
+                )
+            return
+        self._deliver_in_order(
+            link, dst_pe, op_full_name, port, payload, first_seq, count,
+            redelivery,
+        )
+        buf = self.reorder.get(link)
+        while buf:
+            parked = buf.pop(self.delivered_wm[link] + 1, None)
+            if parked is None:
+                break
+            self._deliver_in_order(link, dst_pe, *parked)
+        if buf is not None and not buf:
+            self.reorder.pop(link, None)
+
+    def _deliver_in_order(
+        self, link, dst_pe, op_full_name, port, payload, first_seq, count,
+        redelivery,
+    ) -> None:
+        self.delivered_wm[link] = first_seq + count - 1
+        entry = self.pending.get((link, first_seq))
+        if entry is not None and not entry.delivered:
+            entry.delivered = True
+            self.transport._dec_in_flight(
+                (dst_pe.pe_id, op_full_name, port), count
+            )
+            self._schedule_ack(entry)
+        self._hand_over(
+            dst_pe, op_full_name, port, payload, link[0], first_seq, count,
+            redelivery=redelivery,
+        )
+
+    def _hand_over(
+        self, dst_pe, op_full_name, port, payload, src_key, first_seq, count,
+        redelivery,
+    ) -> None:
+        """Count the delivery, fire taps, and hand the unit to the PE.
+
+        ``redelivery=True`` deliveries re-process with downstream
+        emissions suppressed: the unit's outputs already left the PE in a
+        previous incarnation, so only the state effect must be rebuilt.
+        """
+        t = self.transport
+        t.total_delivered += count
+        if t.delivery_taps:
+            from repro.runtime.transport import DeliveryRecord
+
+            now = self.kernel.now
+            taps = list(t.delivery_taps)
+            for offset in range(count):
+                record = DeliveryRecord(
+                    src_key=src_key,
+                    dst_pe_id=dst_pe.pe_id,
+                    op_full_name=op_full_name,
+                    port=port,
+                    link_seq=first_seq + offset,
+                    time=now,
+                    redelivery=redelivery,
+                )
+                for tap in taps:
+                    tap(record)
+        dst_pe.receive(op_full_name, port, payload, suppress_emissions=redelivery)
+
+    # -- acks ---------------------------------------------------------------
+
+    def _schedule_ack(self, entry: PendingEntry) -> None:
+        self.kernel.schedule(
+            self.transport.latency, self._on_ack, entry, label="transport-ack"
+        )
+
+    def _on_ack(self, entry: PendingEntry) -> None:
+        if entry.acked or entry.condemned:
+            return
+        entry.acked = True
+        t = self.transport
+        t.acks += 1
+        self._observe("ack", entry.count, entry.op_full_name)
+        if entry.retry_event is not None:
+            entry.retry_event.cancel()
+            entry.retry_event = None
+        self.pending.pop((entry.link, entry.first_seq), None)
+        if self.exactly_once:
+            self.replay_buffer.setdefault(entry.link, {})[entry.first_seq] = entry
+
+    # -- crash / restart / epochs -------------------------------------------
+
+    def on_pe_crashed(self, pe_id: str) -> None:
+        """Wipe arrived-but-undelivered copies toward the dead process.
+
+        Parked reorder-buffer copies died with the process; their units
+        are still pending on the senders and will be retransmitted to the
+        new incarnation, so nothing is condemned here — the whole point
+        of reliable delivery.
+        """
+        for link in [l for l in self.reorder if l[1] == pe_id]:
+            del self.reorder[link]
+
+    def on_pe_restarted(
+        self, pe: "PERuntime", restored: Optional[Dict[str, int]]
+    ) -> None:
+        """Reset receiver state and replay toward a restarted PE.
+
+        ``restored`` is the per-link watermark map of the epoch the PE
+        rehydrated from (None: restarted empty).  Each link rewinds to
+        ``max(restored watermark, truncation floor)`` and every retained
+        unit above it is re-sent in seq order: already-processed units
+        replay with emissions suppressed (``redelivery``), undelivered
+        units retransmit normally — so condemned in-flight tuples reach
+        the new incarnation instead of being counted as lost.
+        """
+        pe_id = pe.pe_id
+        t = self.transport
+        if not self.exactly_once:
+            self.expedite_pending(dst_pe_id=pe_id)
+            return
+        links = {l for l in self.delivered_wm if l[1] == pe_id}
+        links |= {l for l in self.replay_buffer if l[1] == pe_id}
+        links |= {link for (link, _seq) in self.pending if link[1] == pe_id}
+        restored = restored or {}
+        for link in sorted(links):
+            base = max(
+                restored.get(link[0], 0), self.truncated_to.get(link, 0)
+            )
+            self.delivered_wm[link] = base
+            self.reorder.pop(link, None)
+            # a restart is a fresh connection: do not inherit the dead
+            # incarnation's FIFO horizon (stale copies no-op on arrival)
+            t._fifo_horizon.pop(link, None)
+            units: List[PendingEntry] = [
+                entry
+                for seq, entry in self.replay_buffer.get(link, {}).items()
+                if seq > base
+            ]
+            units.extend(
+                entry
+                for (l, _seq), entry in self.pending.items()
+                if l == link
+            )
+            for entry in sorted(units, key=lambda e: e.first_seq):
+                if entry.delivered and entry.first_seq + entry.count - 1 <= base:
+                    continue  # covered by the restored state; ack will clear
+                if entry.retry_event is not None:
+                    entry.retry_event.cancel()
+                    entry.retry_event = None
+                if entry.delivered:
+                    t.replayed += entry.count
+                    self._observe("replay", entry.count, entry.op_full_name)
+                    self._transmit(entry, redelivery=True)
+                else:
+                    entry.attempts += 1
+                    t.retransmissions += 1
+                    self._observe(
+                        "retransmit", entry.count, entry.op_full_name,
+                        entry.attempts,
+                    )
+                    self._transmit(entry)
+                    self._arm_retry(entry)
+
+    def checkpoint_watermarks(self, pe_id: str) -> Optional[dict]:
+        """The ``"__transport__"`` payload riding this PE's epochs.
+
+        Exactly-once only: the per-link delivered watermarks at capture
+        time, which by construction cover precisely the units whose state
+        effects are in the captured operator snapshots.
+        """
+        if not self.exactly_once:
+            return None
+        return {
+            "watermarks": {
+                link[0]: wm
+                for link, wm in self.delivered_wm.items()
+                if link[1] == pe_id
+            }
+        }
+
+    def on_epoch_committed(self, pe_id: str, floor: Dict[str, int]) -> None:
+        """Truncate replay buffers to the oldest restorable epoch's floor.
+
+        ``floor`` maps source keys to the watermarks of the *oldest*
+        retained committed epoch — any retained epoch can still be chosen
+        for rehydration (torn-commit fallback), so replay must be able to
+        start from the oldest one, not the newest.
+        """
+        if not self.exactly_once:
+            return
+        for link in [l for l in self.replay_buffer if l[1] == pe_id]:
+            wm = floor.get(link[0], 0)
+            if wm <= self.truncated_to.get(link, 0):
+                continue
+            self.truncated_to[link] = wm
+            buf = self.replay_buffer[link]
+            for seq in [s for s, e in buf.items() if s + e.count - 1 <= wm]:
+                del buf[seq]
+            if not buf:
+                del self.replay_buffer[link]
+
+    def forget_pe(self, pe_id: str) -> None:
+        """Condemn every unit toward a PE that is removed for good.
+
+        Undelivered units count in ``dropped_in_flight`` — unless a drop
+        fault already claimed them (first-cause-wins); delivered units
+        were counted on delivery and are simply discarded.
+        """
+        t = self.transport
+        for key in [k for k in self.pending if k[0][1] == pe_id]:
+            entry = self.pending.pop(key)
+            entry.condemned = True
+            if entry.retry_event is not None:
+                entry.retry_event.cancel()
+                entry.retry_event = None
+            if not entry.delivered:
+                t._dec_in_flight(
+                    (pe_id, entry.op_full_name, entry.port), entry.count
+                )
+                if not entry.loss_attributed:
+                    entry.loss_attributed = True
+                    t.dropped_in_flight += entry.count
+        for mapping in (
+            self.delivered_wm,
+            self.reorder,
+            self.replay_buffer,
+            self.truncated_to,
+        ):
+            for link in [l for l in mapping if l[1] == pe_id]:
+                del mapping[link]
+
+    # -- observability ------------------------------------------------------
+
+    def _observe(
+        self, kind: str, count: int, op_full_name: str, attempt: int = 0
+    ) -> None:
+        observer = self.transport.reliability_observer
+        if observer is not None:
+            observer(kind, count, op_full_name, attempt, self.kernel.now)

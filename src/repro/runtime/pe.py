@@ -93,6 +93,11 @@ class PERuntime:
         self._pending: List[ScheduledEvent] = []
         self.last_crash_reason: Optional[str] = None
         self.on_crash: Optional[Callable[["PERuntime", str], None]] = None
+        #: exactly-once replay depth: while > 0, operator emissions are
+        #: swallowed in :meth:`_route`/:meth:`_route_batch` — the tuples
+        #: being re-processed already sent their outputs downstream in a
+        #: previous incarnation, so only the state effect may recur
+        self._suppress_emissions = 0
         self._routes = self._build_routes(job.compiled)
         self._create_pe_metrics()
 
@@ -201,16 +206,27 @@ class PERuntime:
             n_keys = sum(
                 self.operators[name].state.n_keys() for name in captured
             )
+            payloads = dict(captured)
+            # exactly-once: the transport's per-link delivered watermarks
+            # ride the epoch (reserved key, skipped by operator restore)
+            wm_payload = self.transport.checkpoint_watermarks(self.pe_id)
+            if wm_payload is not None:
+                payloads["__transport__"] = wm_payload
             entry = self.checkpoints.record(
                 self.job.job_id,
                 self.pe_id,
-                dict(captured),
+                payloads,
                 self.kernel.now,
                 full=True,
                 keys_dirty=n_keys,
                 keys_total=n_keys,
             )
             self.checkpoints.commit(self.job.job_id, self.pe_id, entry.epoch)
+            if wm_payload is not None:
+                floor = self.checkpoints.committed_watermark_floor(
+                    self.job.job_id, self.pe_id
+                )
+                self.transport.on_epoch_committed(self.pe_id, floor or {})
         return dict(self.state_registry)
 
     def crash(self, reason: str = "crash") -> None:
@@ -248,6 +264,7 @@ class PERuntime:
         self.metrics.get(PEMetricName.N_RESTARTS).increment()
         self._instantiate_operators()
         self.last_restore = None
+        restored_watermarks: Optional[Dict[str, int]] = None
         if rehydrate:
             payloads: Dict[str, dict] = {}
             source = "none"
@@ -266,6 +283,9 @@ class PERuntime:
                 if operator is not None:
                     operator.restore(payload)
                     restored.append(op_name)
+            wm_payload = payloads.get("__transport__")
+            if wm_payload is not None:
+                restored_watermarks = dict(wm_payload.get("watermarks", {}))
             self.last_restore = RestoreReport(
                 source=source if restored else "none",
                 epoch=epoch if restored else None,
@@ -275,6 +295,10 @@ class PERuntime:
         self.state = PEState.RUNNING
         for operator in self.operators.values():
             operator.on_initialize()
+        # reliable delivery: rewind the receiver to the restored epoch's
+        # watermarks and replay retained units toward the new incarnation
+        # (a no-op in best-effort mode)
+        self.transport.on_pe_restarted(self, restored_watermarks)
 
     def rebuild_routes(self) -> None:
         """Re-derive tuple routes after the job's compiled plan changed.
@@ -328,6 +352,8 @@ class PERuntime:
     def _route(self, src_op: str, src_port: int, item: Item) -> None:
         if self.state is not PEState.RUNNING:
             return
+        if self._suppress_emissions:
+            return
         if isinstance(item, StreamTuple):
             self.metrics.get(PEMetricName.N_TUPLES_SUBMITTED).increment()
         for dst_name, dst_port, dst_pe_index in self._routes.get((src_op, src_port), ()):
@@ -348,6 +374,8 @@ class PERuntime:
         """
         if self.state is not PEState.RUNNING or not tuples:
             return
+        if self._suppress_emissions:
+            return
         self.metrics.get(PEMetricName.N_TUPLES_SUBMITTED).increment(len(tuples))
         for dst_name, dst_port, dst_pe_index in self._routes.get(
             (src_op, src_port), ()
@@ -360,9 +388,32 @@ class PERuntime:
                     dst_pe, dst_name, dst_port, tuples, src_pe=self
                 )
 
-    def receive(self, op_full_name: str, port: int, item: Item) -> None:
-        """Entry point for the transport and the import registry."""
+    def receive(
+        self,
+        op_full_name: str,
+        port: int,
+        item: Item,
+        suppress_emissions: bool = False,
+    ) -> None:
+        """Entry point for the transport and the import registry.
+
+        ``suppress_emissions=True`` marks an exactly-once replay of a
+        unit this PE already processed in a dead incarnation: it is
+        re-processed so operator state rebuilds, but anything the
+        processing tries to emit is swallowed — its outputs already left
+        the PE before the crash and must not propagate twice.
+        """
         if self.state is not PEState.RUNNING:
+            return
+        if suppress_emissions:
+            self._suppress_emissions += 1
+            try:
+                if isinstance(item, TupleBatch):
+                    self._deliver_local_batch(op_full_name, port, item.tuples)
+                else:
+                    self._deliver_local(op_full_name, port, item)
+            finally:
+                self._suppress_emissions -= 1
             return
         if isinstance(item, TupleBatch):
             self._deliver_local_batch(op_full_name, port, item.tuples)

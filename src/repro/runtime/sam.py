@@ -291,6 +291,10 @@ class SAM:
                 self.checkpoint_store.drop_pe(job_id, pe.pe_id)
             if self.checkpoint_service is not None:
                 self.checkpoint_service.forget_pe(job_id, pe.pe_id)
+            # reliable delivery: condemn anything still pending toward the
+            # removed PE (first-cause-wins loss attribution) and drop its
+            # receiver-side watermarks/replay buffers
+            self.transport.forget_pe(pe.pe_id)
         for observer in list(self.topology_observers):
             observer(job, "remove_pes")
 

@@ -60,6 +60,23 @@ class SystemConfig:
     #: flushes at the end of the current kernel instant, which still
     #: coalesces bursts emitted within one upstream activation
     batch_linger: float = 0.0
+    #: transport delivery guarantee: "best_effort" (the paper's
+    #: semantics — lossy faults lose tuples, crashes condemn in-flight
+    #: items), "at_least_once" (per-link acks with sim-time retry/backoff
+    #: recover wire losses; duplicates possible), or "exactly_once"
+    #: (at-least-once plus in-order receivers with (link, seq) duplicate
+    #: suppression, watermarks persisted into checkpoint epochs, and
+    #: epoch-aligned crash replay) — see :mod:`repro.runtime.delivery`
+    delivery: str = "best_effort"
+    #: reliable modes: sim-seconds without an ack before the first
+    #: retransmit (the default clears ordinary latency spikes without
+    #: spurious retransmission but beats sub-second partitions)
+    ack_timeout: float = 0.25
+    #: reliable modes: multiplier applied to the retry interval after
+    #: every unacknowledged attempt
+    retry_backoff: float = 2.0
+    #: reliable modes: ceiling on the backed-off retry interval
+    max_retry_interval: float = 2.0
     pe_spawn_delay: float = 0.1
     pe_restart_delay: float = 1.0
     failure_notification_delay: float = 0.05
@@ -117,6 +134,10 @@ class SystemS:
             rng=self.random.stream("transport"),
             batch_max_size=self.config.batch_max_size,
             batch_linger=self.config.batch_linger,
+            delivery=self.config.delivery,
+            ack_timeout=self.config.ack_timeout,
+            retry_backoff=self.config.retry_backoff,
+            max_retry_interval=self.config.max_retry_interval,
         )
         self.import_export = ImportExportRegistry(
             self.kernel, latency=self.config.transport_latency

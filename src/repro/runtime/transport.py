@@ -25,6 +25,13 @@ Two fault surfaces extend the plain hop model for chaos experiments
   instead of being silently delivered to the next incarnation of the
   process (a crash-restart within one transport latency must not leak
   pre-crash items into the restarted PE).
+
+Both behaviours describe the default ``delivery="best_effort"`` mode.
+The ``at_least_once`` and ``exactly_once`` modes route sends through a
+:class:`~repro.runtime.delivery.DeliveryPlane` that layers per-link acks,
+sim-time retry/backoff timers, duplicate-suppression watermarks, and
+epoch-aligned crash replay on top of the same link-fault pipeline — see
+:mod:`repro.runtime.delivery` for the full contract per mode.
 """
 
 from __future__ import annotations
@@ -66,6 +73,11 @@ class DeliveryRecord:
         port: Destination input port.
         link_seq: Per-link send index (1-based, monotone per link).
         time: Sim time of the delivery.
+        redelivery: True for a post-restart replay of a unit the dead
+            incarnation had already processed (exactly-once mode): its
+            ``link_seq`` legitimately rewinds below the link's high-water
+            mark, and FIFO taps must treat that as a fresh baseline
+            rather than a per-connection ordering violation.
     """
 
     src_key: str
@@ -74,6 +86,7 @@ class DeliveryRecord:
     port: int
     link_seq: int
     time: float
+    redelivery: bool = False
 
 
 @dataclass
@@ -169,9 +182,17 @@ class Transport:
         rng: Optional[random.Random] = None,
         batch_max_size: int = 1,
         batch_linger: float = 0.0,
+        delivery: str = "best_effort",
+        ack_timeout: float = 0.25,
+        retry_backoff: float = 2.0,
+        max_retry_interval: float = 2.0,
     ) -> None:
+        if delivery not in ("best_effort", "at_least_once", "exactly_once"):
+            raise ValueError(f"unknown delivery mode {delivery!r}")
         self.kernel = kernel
         self.latency = latency
+        #: the delivery-guarantee mode this transport runs under
+        self.delivery = delivery
         #: batch size that forces a flush; <= 1 disables batching
         self.batch_max_size = batch_max_size
         #: sim-time linger before a partially filled batch flushes
@@ -192,10 +213,26 @@ class Transport:
         #: items that arrived at a non-running PE and were discarded
         self.total_dropped = 0
         #: items condemned because their destination PE crashed while they
-        #: were in flight (they never reach the restarted incarnation)
+        #: were in flight (they never reach the restarted incarnation);
+        #: under a reliable mode only a *removed-for-good* destination
+        #: condemns, and only units no drop fault already claimed
+        #: (first-cause-wins attribution)
         self.dropped_in_flight = 0
-        #: items lost to a lossy link fault (drop_probability)
+        #: items lost to a lossy link fault (drop_probability); under a
+        #: reliable mode: items whose wire copy was lost at least once —
+        #: counted on the first casualty only, and recovered by
+        #: retransmission unless the destination is removed for good
         self.dropped_by_fault = 0
+        #: reliable modes: wire units re-sent after an ack timeout
+        self.retransmissions = 0
+        #: reliable modes: acknowledgements processed (one per wire unit)
+        self.acks = 0
+        #: exactly-once: items whose copy arrived at or below the link's
+        #: delivered watermark and was suppressed by the in-order receiver
+        self.duplicates_suppressed = 0
+        #: exactly-once: items re-sent to a restarted PE with emission
+        #: suppression because the dead incarnation already processed them
+        self.replayed = 0
         #: destination PE id -> incarnation number; bumped on every crash
         #: so in-flight items addressed to the dead incarnation are dropped
         self._incarnations: Dict[str, int] = {}
@@ -220,6 +257,26 @@ class Transport:
         #: the observability hub, set by ObsHub.attach() only when span
         #: tracing is enabled — None keeps the send path at one check
         self.obs: Optional["ObsHub"] = None
+        #: reliability event callback ``(kind, count, op, attempt, time)``
+        #: with kind in {"retransmit", "ack", "duplicate_suppressed",
+        #: "replay"} — the obs hub registers here (lazily created series
+        #: keep best-effort expositions byte-identical)
+        self.reliability_observer: Optional[
+            Callable[[str, int, str, int, float], None]
+        ] = None
+        #: the reliable-delivery plane; None in best-effort mode keeps
+        #: every hot path at a single check
+        self.reliability = None
+        if delivery != "best_effort":
+            from repro.runtime.delivery import DeliveryPlane
+
+            self.reliability = DeliveryPlane(
+                self,
+                exactly_once=(delivery == "exactly_once"),
+                ack_timeout=ack_timeout,
+                retry_backoff=retry_backoff,
+                max_retry_interval=max_retry_interval,
+            )
 
     # -- link faults --------------------------------------------------------
 
@@ -303,6 +360,7 @@ class Transport:
         item: Payload,
         incarnation: int,
         link_seq: int,
+        redelivery: bool = False,
         reheld: Optional[Dict[int, List[tuple]]] = None,
     ) -> None:
         """Re-route one flushed item through the faults active *now*.
@@ -314,7 +372,8 @@ class Transport:
         in force delays it, and an unimpeded link delivers it with the
         base latency.  Drop faults are not re-applied — the item already
         survived its send.  ``link_seq`` is the item's original send-time
-        stamp and rides along unchanged.
+        stamp and rides along unchanged, as does the reliable modes'
+        ``redelivery`` marker.
         """
         faults = self._matching_faults(src_pe, dst_pe)
         latency = self.latency
@@ -325,7 +384,7 @@ class Transport:
                 if fault.until is None:
                     entry = (
                         src_pe, dst_pe, op_full_name, port, item,
-                        incarnation, link_seq,
+                        incarnation, link_seq, redelivery,
                     )
                     if reheld is not None:
                         reheld.setdefault(fault.fault_id, []).append(entry)
@@ -345,6 +404,7 @@ class Transport:
             item,
             incarnation=incarnation,
             link_seq=link_seq,
+            redelivery=redelivery,
         )
 
     def active_link_faults(self) -> List[LinkFault]:
@@ -397,6 +457,8 @@ class Transport:
             # restarted incarnation, and none goes unaccounted
             self.flush_open_batches(dst_pe_id=pe_id)
         self._incarnations[pe_id] = self._incarnations.get(pe_id, 0) + 1
+        if self.reliability is not None:
+            self.reliability.on_pe_crashed(pe_id)
 
     # -- send / deliver ------------------------------------------------------
 
@@ -431,6 +493,9 @@ class Transport:
             if flow in self._open_batches:
                 self._flush_flow(flow)
         self.total_sent += 1
+        if self.reliability is not None:
+            self.reliability.send(src_pe, dst_pe, op_full_name, port, item)
+            return
         faults = self._matching_faults(src_pe, dst_pe)
         latency = self.latency
         hold_until: Optional[float] = None
@@ -468,6 +533,7 @@ class Transport:
                     item,
                     self._incarnations.get(dst_pe.pe_id, 0),
                     link_seq,
+                    False,
                 )
             )
             return
@@ -598,6 +664,9 @@ class Transport:
             return
         if open_batch.flush_event is not None:
             open_batch.flush_event.cancel()
+        if self.reliability is not None:
+            self.reliability.send_flushed_batch(open_batch, flow)
+            return
         src_key, dst_pe_id, op_full_name, port = flow
         src_pe, dst_pe = open_batch.src_pe, open_batch.dst_pe
         items = open_batch.tuples
@@ -655,6 +724,7 @@ class Transport:
                     batch,
                     self._incarnations.get(dst_pe_id, 0),
                     first_seq,
+                    False,
                 )
             )
             return
@@ -704,8 +774,14 @@ class Transport:
         item: Payload,
         incarnation: Optional[int] = None,
         link_seq: Optional[int] = None,
-    ) -> None:
-        """Schedule one (already in-flight-counted) delivery, FIFO per link."""
+        redelivery: bool = False,
+    ) -> float:
+        """Schedule one (already in-flight-counted) delivery, FIFO per link.
+
+        Returns the actual (post-FIFO-clamp) arrival time, which the
+        reliable plane records so barrier expediting can tell a copy
+        still on the wire from one that was lost.
+        """
         link = (src_key or "", dst_pe.pe_id)
         deliver_at = max(deliver_at, self._fifo_horizon.get(link, 0.0))
         self._fifo_horizon[link] = deliver_at
@@ -737,8 +813,10 @@ class Transport:
             incarnation,
             link[0],
             link_seq,
+            redelivery,
             label=f"transport->{op_full_name}[{port}]",
         )
+        return deliver_at
 
     def _deliver(
         self,
@@ -749,10 +827,22 @@ class Transport:
         incarnation: int = 0,
         src_key: str = "",
         link_seq: int = 0,
+        redelivery: bool = False,
     ) -> None:
         if isinstance(item, TupleBatch):
             self._deliver_batch(
-                dst_pe, op_full_name, port, item, incarnation, src_key, link_seq
+                dst_pe, op_full_name, port, item, incarnation, src_key,
+                link_seq, redelivery,
+            )
+            return
+        if self.reliability is not None:
+            # the plane owns receiver semantics: in-flight accounting is
+            # tied to a unit's *first* delivery, stale copies are ignored
+            # without condemnation, and duplicates are suppressed or
+            # passed through per mode
+            self.reliability.on_arrival(
+                dst_pe, op_full_name, port, item, incarnation, src_key,
+                link_seq, redelivery,
             )
             return
         key = (dst_pe.pe_id, op_full_name, port)
@@ -795,6 +885,7 @@ class Transport:
         incarnation: int,
         src_key: str,
         first_seq: int,
+        redelivery: bool = False,
     ) -> None:
         """Deliver one batch: accounting in bulk, one receive call.
 
@@ -805,6 +896,12 @@ class Transport:
         the batch's contiguous seq range unrolled, so FIFO oracles need
         no batch awareness.
         """
+        if self.reliability is not None:
+            self.reliability.on_arrival(
+                dst_pe, op_full_name, port, batch, incarnation, src_key,
+                first_seq, redelivery,
+            )
+            return
         n = len(batch.tuples)
         key = (dst_pe.pe_id, op_full_name, port)
         count = self._in_flight.get(key, 0)
@@ -838,3 +935,73 @@ class Transport:
     def queue_size(self, pe_id: str, op_full_name: str, port: int) -> int:
         """Items currently in flight toward one input port."""
         return self._in_flight.get((pe_id, op_full_name, port), 0)
+
+    def _dec_in_flight(self, key: Tuple[str, str, int], n: int = 1) -> None:
+        """Drop one port's in-flight count by ``n`` (never below zero)."""
+        count = self._in_flight.get(key, 0)
+        if count <= n:
+            self._in_flight.pop(key, None)
+        else:
+            self._in_flight[key] = count - n
+
+    # -- reliable-delivery surface (no-ops in best-effort mode) --------------
+
+    def checkpoint_watermarks(self, pe_id: str) -> Optional[dict]:
+        """The ``"__transport__"`` epoch payload for one PE, or None.
+
+        Exactly-once mode persists each link's delivered watermark into
+        every checkpoint epoch so crash recovery can replay precisely the
+        units the restored state does not cover.
+        """
+        if self.reliability is None:
+            return None
+        return self.reliability.checkpoint_watermarks(pe_id)
+
+    def on_epoch_committed(self, pe_id: str, floor: Dict[str, int]) -> None:
+        """A checkpoint epoch committed: truncate replay buffers.
+
+        Args:
+            pe_id: The checkpointed PE.
+            floor: Per-source-key watermarks of the *oldest* retained
+                committed epoch (see
+                :meth:`~repro.checkpoint.store.CheckpointStore.committed_watermark_floor`).
+        """
+        if self.reliability is not None:
+            self.reliability.on_epoch_committed(pe_id, floor)
+
+    def on_pe_restarted(
+        self, pe: "PERuntime", restored: Optional[Dict[str, int]] = None
+    ) -> None:
+        """A PE came back: rewind receiver state and replay toward it.
+
+        Args:
+            pe: The restarted PE runtime.
+            restored: The watermark map of the epoch it rehydrated from
+                (None: restarted empty or best-effort mode).
+        """
+        if self.reliability is not None:
+            self.reliability.on_pe_restarted(pe, restored)
+
+    def expedite_pending(self, dst_pe_id: Optional[str] = None) -> None:
+        """Retransmit unacknowledged units now, bypassing retry backoff.
+
+        Drain/quiesce barriers call this next to
+        :meth:`flush_open_batches`: a barrier waits on the in-flight
+        backlog, and pending retries are part of it — quiescence must not
+        sit out a multi-second backoff timer.
+
+        Args:
+            dst_pe_id: Only expedite units toward this PE (None: all).
+        """
+        if self.reliability is not None:
+            self.reliability.expedite_pending(dst_pe_id)
+
+    def forget_pe(self, pe_id: str) -> None:
+        """Condemn pending units toward a PE removed for good (scale-in).
+
+        First-cause-wins: units a drop fault already claimed stay in
+        ``dropped_by_fault`` and are not recounted in
+        ``dropped_in_flight``.
+        """
+        if self.reliability is not None:
+            self.reliability.forget_pe(pe_id)

@@ -46,6 +46,7 @@ DOCSTYLE_FILES = [
     "src/repro/obs/flight.py",
     "src/repro/obs/listeners.py",
     "src/repro/obs/hub.py",
+    "src/repro/runtime/delivery.py",
     "src/repro/tools/timeline.py",
 ]
 

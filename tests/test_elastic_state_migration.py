@@ -376,6 +376,46 @@ class TestCrashedChannelRerouting:
             assert tail == sorted(tail)  # no backwards jump from stale state
 
 
+    def test_rescale_reroutes_migrated_state_to_detour_of_masked_owner(self):
+        """Regression: a rescale completing while a channel is masked
+        must not drop the entries whose *new* owner is that dead channel.
+        They are installed on each key's detour channel (where the
+        splitter is already routing that key's traffic), so the per-key
+        continuation survives the rescale and the unmask reclaim later
+        brings the grown values home instead of a from-zero fork."""
+        system = SystemS(hosts=12)
+        job = system.submit_job(build_keyed_app(width=3, limit=None, period=0.02))
+        system.run_for(2.0)
+        dead_pe = job.pe_of_operator("work__c0")
+        dead_pe.crash("test")
+        system.run_for(2.0)  # mask lands; detour traffic accrues c0's keys
+        moved_keys = {f"k{i}" for i in range(N_KEYS)
+                      if stable_channel_of(f"k{i}", 2) == 0
+                      and stable_channel_of(f"k{i}", 3) != 0}
+        assert moved_keys  # keys alive on survivors, owned by c0 at width 2
+        pre = {}
+        for channel in (1, 2):
+            counts = job.operator_instance(f"work__c{channel}").state.keyed("counts")
+            pre.update({k: counts.get(k) for k in moved_keys if k in counts})
+        operation = system.elastic.set_channel_width(job, "region", 2)
+        system.run_for(30.0)
+        assert operation.state is RescaleState.COMPLETED
+        migration = operation.migration
+        assert migration is not None
+        assert migration.keys_detoured > 0
+        assert migration.keys_lost == 0
+        # with c0 still masked the only live detour at width 2 is c1:
+        # every moved key kept (and grew) its pre-rescale value there
+        survivor = job.operator_instance("work__c1")
+        for key, count in pre.items():
+            assert survivor.state.keyed("counts").get(key, 0) >= count
+        system.sam.restart_pe(job.job_id, dead_pe.pe_id)
+        system.run_for(3.0)
+        restarted = job.operator_instance("work__c0")
+        for key, count in pre.items():
+            assert restarted.state.keyed("counts").get(key, 0) >= count
+
+
 class TestStateMetricsAndInspection:
     def make_orchestrated(self):
         system = SystemS(hosts=12)

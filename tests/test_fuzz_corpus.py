@@ -102,6 +102,34 @@ def test_corpus_entry_replays_clean_batched(path):
     assert first.scorecard.render() == committed
 
 
+@pytest.mark.parametrize("path", CORPUS, ids=lambda p: p.stem)
+def test_corpus_entry_replays_clean_exactly_once(path):
+    """Every corpus scenario also replays clean under the exactly-once
+    delivery guarantee on the batched hot path (``batch_max_size=8``),
+    twice, byte-identically — with zero tuple loss and zero duplicates
+    (the reliable wire retransmits and replays instead of condemning),
+    and matches the committed ``.eo.scorecard.txt`` artifact."""
+    _, campaign, config = load_entry(path)
+    config = replace(config, batch_max_size=8, delivery="exactly_once")
+    first = run_fuzz_case(campaign.scenario, config)
+    _, campaign_again, config_again = load_entry(path)
+    config_again = replace(
+        config_again, batch_max_size=8, delivery="exactly_once"
+    )
+    second = run_fuzz_case(campaign_again.scenario, config_again)
+
+    assert first.report.ok, [v.detail for v in first.violations]
+    assert second.report.ok
+    assert first.scorecard.render() == second.scorecard.render()
+    assert first.report.lines() == second.report.lines()
+    assert first.objective == second.objective
+    assert first.scorecard.injections == len(campaign.scenario.steps)
+    assert first.scorecard.tuples_lost == 0
+    assert first.scorecard.duplicates == 0
+    committed = (CORPUS_DIR / f"{path.stem}.eo.scorecard.txt").read_text()
+    assert first.scorecard.render() == committed
+
+
 def test_corpus_names_document_their_origin():
     for path in CORPUS:
         entry = json.loads(path.read_text())

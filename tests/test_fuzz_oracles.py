@@ -10,7 +10,7 @@ import pytest
 
 from repro import SystemConfig, SystemS
 from repro.apps.workloads import ChaosFeed
-from repro.chaos import PEFlap, Scenario
+from repro.chaos import LinkLoss, PEFlap, Scenario
 from repro.chaos.fuzz import (
     FifoProbe,
     FuzzHarnessConfig,
@@ -137,6 +137,115 @@ class TestProfileConditioning:
 
 
 # ---------------------------------------------------------------------------
+# delivery-guarantee profiles: both directions under seeded link loss
+# ---------------------------------------------------------------------------
+
+
+def lossy_scenario():
+    """A seeded 30% drop window over every link, healing mid-run."""
+    return Scenario("lossy").add(
+        1.02, LinkLoss(drop_probability=0.3, duration=2.0)
+    )
+
+
+class TestDeliveryProfiles:
+    def test_for_config_delivery_derivations(self):
+        eo = OracleProfile.for_config(checkpointed=True, delivery="exactly_once")
+        assert eo.name == "exactly_once"
+        assert eo.zero_tuple_loss and eo.zero_duplicates
+        assert eo.state_recovery_bar == 1.0
+        assert eo.loss_forgiveness == "none"
+        assert eo.at_crash_conservation
+        assert eo.fifo_order
+        # the exactly-once promises hold on lossy networks too
+        lossy_eo = OracleProfile.for_config(
+            checkpointed=True, lossless_network=False, delivery="exactly_once"
+        )
+        assert lossy_eo.zero_tuple_loss and lossy_eo.loss_forgiveness == "none"
+
+        eo_empty = OracleProfile.for_config(
+            checkpointed=False, delivery="exactly_once"
+        )
+        assert eo_empty.name == "exactly_once_restart_empty"
+        assert not eo_empty.zero_tuple_loss  # restart-empty still loses state
+        assert eo_empty.zero_duplicates  # but the wire never duplicates
+
+        alo = OracleProfile.for_config(
+            checkpointed=True, delivery="at_least_once"
+        )
+        assert alo.name == "at_least_once"
+        assert not alo.zero_duplicates  # duplicates are the mode's contract
+        assert not alo.fifo_order  # loss-retransmit races break link FIFO
+        assert alo.loss_forgiveness == "buffered"
+
+        alo_empty = OracleProfile.for_config(
+            checkpointed=False, delivery="at_least_once"
+        )
+        assert alo_empty.name == "at_least_once_restart_empty"
+        assert not alo_empty.checkpoint_liveness
+
+    def test_exactly_once_asserts_zero_loss_under_link_loss(self):
+        """Forward direction: under seeded drops the exactly-once stack
+        must genuinely deliver everything — the oracle checks zero loss
+        (no lossy-network forgiveness) and would violate on any gap."""
+        outcome = run_fuzz_case(
+            lossy_scenario(),
+            FuzzHarnessConfig(duration=8.0, delivery="exactly_once"),
+        )
+        assert outcome.report.profile.name == "exactly_once"
+        assert outcome.report.ok, [v.detail for v in outcome.violations]
+        assert "zero_tuple_loss" in outcome.report.checked
+        assert "zero_tuple_loss" not in outcome.report.skipped
+        assert outcome.scorecard.tuples_lost == 0
+        assert outcome.scorecard.duplicates == 0
+        # the drops were real: the sender had to retransmit through them
+        assert outcome.scorecard.retransmissions > 0
+
+    def test_at_least_once_recovers_loss_but_tolerates_duplicates(self):
+        outcome = run_fuzz_case(
+            lossy_scenario(),
+            FuzzHarnessConfig(duration=8.0, delivery="at_least_once"),
+        )
+        assert outcome.report.profile.name == "at_least_once"
+        assert outcome.report.ok, [v.detail for v in outcome.violations]
+        assert outcome.scorecard.tuples_lost == 0
+        assert "no_duplicates" in outcome.report.skipped
+        assert "fifo_per_connection" in outcome.report.skipped
+
+    def test_best_effort_link_loss_raises_no_false_positives(self):
+        """Reverse direction: the same seeded drops on the best-effort
+        stack lose tuples for real — and the lossy-net profile, keyed off
+        the configuration, must not flag the by-design loss."""
+        outcome = run_fuzz_case(
+            lossy_scenario(),
+            FuzzHarnessConfig(duration=8.0),
+        )
+        assert outcome.report.profile.name == "checkpointed_lossy_net"
+        assert outcome.report.ok, [v.detail for v in outcome.violations]
+        assert outcome.scorecard.tuples_lost > 0  # the loss is real
+        assert outcome.scorecard.retransmissions == 0
+
+    def test_exactly_once_crash_judged_at_crash_conservation(self):
+        """A crash mid-loss-window: the exactly-once profile judges state
+        conservation against the at-crash floor (no restore-epoch
+        forgiveness) and still must hold the 1.0 bar."""
+        scenario = (
+            Scenario("lossy_flap")
+            .add(1.02, LinkLoss(drop_probability=0.3, duration=2.0))
+            .add(2.02, PEFlap(operator="work__c0", downtime=1.0))
+        )
+        outcome = run_fuzz_case(
+            scenario,
+            FuzzHarnessConfig(duration=11.0, delivery="exactly_once"),
+        )
+        assert outcome.report.ok, [v.detail for v in outcome.violations]
+        assert "state_conservation" in outcome.report.checked
+        assert "state_conservation" not in outcome.report.skipped
+        assert outcome.scorecard.tuples_lost == 0
+        assert outcome.scorecard.duplicates == 0
+
+
+# ---------------------------------------------------------------------------
 # per-connection FIFO: probe + transport regression
 # ---------------------------------------------------------------------------
 
@@ -162,6 +271,30 @@ class TestFifo:
         probe.detach()
         assert probe._on_delivery not in system.transport.delivery_taps
         probe.detach()  # idempotent
+
+    def test_probe_reanchors_on_replay_redeliveries(self):
+        """An exactly-once restart rewinds a link and re-sends retained
+        units: those deliveries go backwards *by design*, so the probe
+        re-anchors on them instead of flagging — and keeps checking
+        forward from the replayed position."""
+        system = SystemS(hosts=2)
+        probe = FifoProbe(system.transport)
+        record = lambda seq, redelivery=False: DeliveryRecord(  # noqa: E731
+            src_key="pe_1",
+            dst_pe_id="pe_2",
+            op_full_name="work",
+            port=0,
+            link_seq=seq,
+            time=0.0,
+            redelivery=redelivery,
+        )
+        probe._on_delivery(record(5))
+        probe._on_delivery(record(2, redelivery=True))  # rewound replay
+        assert probe.violations == []
+        probe._on_delivery(record(3))  # forward from the new anchor: fine
+        probe._on_delivery(record(2))  # backwards again, not a replay
+        assert probe.violations == [(("pe_1", "pe_2"), 3, 2)]
+        probe.detach()
 
     @staticmethod
     def _overlapping_partitions_run(clear_older_first: bool):
