@@ -15,6 +15,13 @@ Two claims are measured:
 2. **Tracing on is bounded, and sampling thins it.**  The traced
    pipeline rate is reported at ``sample_every`` 1 and 16 so the
    knob's effect is visible in the committed result file.
+3. **The always-on health plane rides inside the same envelope.**  The
+   default config ticks :class:`~repro.obs.health.HealthMonitor` every
+   0.5 sim-seconds; the gate compares that against a run with the
+   plane disabled (``health_interval=0``) and — under
+   ``OBS_OVERHEAD_STRICT=1`` — fails if the always-on ticks cost more
+   than the same 5% budget.  A hot 0.1 s interval is reported alongside
+   so the knob's cost curve is visible.
 """
 
 from __future__ import annotations
@@ -101,6 +108,15 @@ def test_tracing_off_overhead_gate(results_dir):
             SystemConfig(trace_enabled=True, trace_sample_every=16)
         )
     )
+    # the default config already runs the health plane (0.5 s ticks),
+    # so ``pipe_off`` is the health-on number; measure it disabled and
+    # at an aggressively hot interval for the cost curve
+    pipe_no_health = best_of(
+        lambda: run_pipeline_throughput(SystemConfig(health_interval=0.0))
+    )
+    pipe_hot_health = best_of(
+        lambda: run_pipeline_throughput(SystemConfig(health_interval=0.1))
+    )
 
     lines = [
         f"committed event-throughput baseline: "
@@ -116,6 +132,13 @@ def test_tracing_off_overhead_gate(results_dir):
         f"{pipe_traced:,.0f} tuples/s ({pipe_traced / pipe_off:.2f}x of off)",
         f"tracing on (sample_every=16), tuple pipeline: "
         f"{pipe_sampled:,.0f} tuples/s ({pipe_sampled / pipe_off:.2f}x of off)",
+        f"health plane off (interval=0), tuple pipeline: "
+        f"{pipe_no_health:,.0f} tuples/s",
+        f"health plane on (interval=0.5, default), tuple pipeline: "
+        f"{pipe_off:,.0f} tuples/s ({pipe_off / pipe_no_health:.2f}x of off)",
+        f"health plane hot (interval=0.1), tuple pipeline: "
+        f"{pipe_hot_health:,.0f} tuples/s "
+        f"({pipe_hot_health / pipe_no_health:.2f}x of off)",
     ]
     emit(results_dir, "obs_overhead", lines)
 
@@ -136,4 +159,16 @@ def test_tracing_off_overhead_gate(results_dir):
             f"tracing-off throughput {off_rate:,.0f} events/s regressed "
             f">{MAX_REGRESSION:.0%} below the committed baseline "
             f"{baseline:,.0f} events/s"
+        )
+        # the always-on health plane must stay inside the same budget;
+        # re-measure before declaring a regression (wall-clock jitter)
+        health_floor = pipe_no_health * (1.0 - MAX_REGRESSION)
+        for _ in range(3):
+            if pipe_off >= health_floor:
+                break
+            pipe_off = max(pipe_off, best_of(run_pipeline_throughput))
+        assert pipe_off >= health_floor, (
+            f"always-on health plane costs >{MAX_REGRESSION:.0%}: "
+            f"{pipe_off:,.0f} tuples/s with 0.5s ticks vs "
+            f"{pipe_no_health:,.0f} tuples/s disabled"
         )

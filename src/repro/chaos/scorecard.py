@@ -28,6 +28,7 @@ from typing import TYPE_CHECKING, Any, Dict, Iterable, List, Optional, Sequence,
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.chaos.engine import ScenarioRun
+    from repro.obs.health import HealthMonitor
     from repro.orca.service import OrcaService
     from repro.runtime.job import Job
     from repro.runtime.system import SystemS
@@ -183,6 +184,17 @@ class ResilienceScorecard:
     #: exactly-once: units replayed from the buffer after a restart
     #: (per-run delta)
     replayed: int = 0
+    #: health plane: SLO alerts fired during the run (None: the caller
+    #: did not wire a monitor — the historical render stays byte-identical)
+    health_alerts: Optional[int] = None
+    #: health plane: alerts that escalated to page severity
+    health_pages: int = 0
+    #: health plane: worst per-link lag watermark seen at any tick
+    peak_link_lag: float = 0.0
+    #: health plane: worst per-link in-flight depth seen at any tick
+    peak_queue_depth: int = 0
+    #: health plane: final bottleneck attribution ("" when calm)
+    bottleneck: str = ""
 
     @property
     def accounted_losses(self) -> int:
@@ -250,6 +262,14 @@ class ResilienceScorecard:
                 f"duplicates_suppressed={self.duplicates_suppressed} "
                 f"replayed={self.replayed}"
             )
+        if self.health_alerts is not None:
+            out.append(
+                f"health: alerts={self.health_alerts} "
+                f"pages={self.health_pages} "
+                f"peak_lag={self.peak_link_lag:.6f} "
+                f"peak_queue={self.peak_queue_depth} "
+                f"bottleneck={self.bottleneck or '-'}"
+            )
         return out
 
     def render(self) -> str:
@@ -277,6 +297,7 @@ def collect_scorecard(
     expected: int,
     final_state: Optional[Dict[str, Dict[Any, Any]]] = None,
     orca: Optional["OrcaService"] = None,
+    health: Optional["HealthMonitor"] = None,
 ) -> ResilienceScorecard:
     """Assemble a scorecard from a finished scenario run.
 
@@ -294,6 +315,10 @@ def collect_scorecard(
             These are *service-lifetime* numbers (the queue does not
             track per-run baselines); transport and no-op counters, by
             contrast, are reported as per-run deltas.
+        health: Health monitor (``system.obs.health``) whose alert and
+            peak-pressure summary to include.  None omits the
+            ``health:`` line entirely, keeping historical scorecards
+            byte-identical.
 
     Returns:
         The populated :class:`ResilienceScorecard`.
@@ -378,6 +403,13 @@ def collect_scorecard(
             - base.get("duplicates_suppressed", 0)
         ),
         replayed=system.transport.replayed - base.get("replayed", 0),
+        health_alerts=(health.alerts_fired if health is not None else None),
+        health_pages=(health.pages_fired if health is not None else 0),
+        peak_link_lag=(health.peak_link_lag if health is not None else 0.0),
+        peak_queue_depth=(
+            health.peak_queue_depth if health is not None else 0
+        ),
+        bottleneck=(health.peak_bottleneck if health is not None else ""),
     )
     system.chaos.publish_scorecard_gauges(run.scenario.name, scorecard.gauges())
     return scorecard

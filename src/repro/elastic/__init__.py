@@ -28,6 +28,7 @@ from repro.elastic.controller import (
     StateReclaim,
 )
 from repro.elastic.policy import (
+    HealthAwareScalingPolicy,
     QueueSizeScalingPolicy,
     RegionObservation,
     ScalingPolicy,
@@ -38,6 +39,7 @@ from repro.elastic.policy import (
 __all__ = [
     "ChannelReroute",
     "ElasticController",
+    "HealthAwareScalingPolicy",
     "QueueSizeScalingPolicy",
     "RegionObservation",
     "RescaleOperation",

@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Dict, List, Optional
 
 
 @dataclass
@@ -174,3 +174,73 @@ class StateAwareScalingPolicy(ScalingPolicy):
         if self.estimated_migration_bytes(observation, target) > self.max_migration_bytes:
             return None
         return target
+
+
+class HealthAwareScalingPolicy(ScalingPolicy):
+    """Wraps another policy and reacts early on health-plane pressure.
+
+    Backlog-driven policies see congestion only after it has piled up in
+    operator queues *and* survived an SRM metric-push round trip.  The
+    health plane's lag watermark is live: it rolls per-link in-flight
+    depth, open-batch residency, and retry pressure into the sim-time a
+    tuple enqueued now should expect to wait (see
+    :class:`repro.obs.health.HealthMonitor`).  This policy scales out as
+    soon as the observed region's watermark burns past ``lag_objective``
+    — typically several metric pushes before the inner policy's backlog
+    watermark trips — and otherwise delegates, so scale-in and steady
+    state keep the inner policy's behavior (including a
+    :class:`StateAwareScalingPolicy` migration veto).
+
+    ``monitor`` is any object with ``region_lag(region) -> float``; pass
+    ``system.obs.health``.  A cooldown (sim-seconds of watermark calm
+    required between health-driven scale-outs, tracked via the
+    monitor's kernel clock when available) stops one sustained spike
+    from cascading straight to ``max_width``.
+    """
+
+    def __init__(
+        self,
+        inner: ScalingPolicy,
+        monitor,
+        lag_objective: float,
+        step: int = 1,
+        min_width: int = 1,
+        max_width: int = 8,
+        cooldown: float = 2.0,
+    ) -> None:
+        if lag_objective <= 0:
+            raise ValueError("lag_objective must be positive")
+        if step < 1:
+            raise ValueError("step must be >= 1")
+        self.inner = inner
+        self.monitor = monitor
+        self.lag_objective = lag_objective
+        self.step = step
+        self.min_width = min_width
+        self.max_width = max_width
+        self.cooldown = cooldown
+        self._last_reaction: Optional[float] = None
+        #: sim-times of health-driven scale-outs (first entry = the
+        #: time-to-first-reaction benchmarks measure)
+        self.reactions: List[float] = []
+
+    def _now(self) -> float:
+        kernel = getattr(self.monitor, "kernel", None)
+        return kernel.now if kernel is not None else 0.0
+
+    def decide(self, observation: RegionObservation) -> Optional[int]:
+        lag = self.monitor.region_lag(observation.region)
+        if lag > self.lag_objective and observation.width < self.max_width:
+            now = self._now()
+            if (
+                self._last_reaction is None
+                or now - self._last_reaction >= self.cooldown
+            ):
+                self._last_reaction = now
+                self.reactions.append(now)
+                return self._clamp(
+                    observation.width + self.step,
+                    self.min_width,
+                    self.max_width,
+                )
+        return self.inner.decide(observation)

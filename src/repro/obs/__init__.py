@@ -16,17 +16,33 @@ constructed by :class:`~repro.runtime.system.SystemS` as
   fuzz-oracle violation;
 * :mod:`repro.obs.listeners` — :func:`subscribe_runtime`, the one
   front door to every runtime instrumentation tap;
+* :mod:`repro.obs.health` — the always-on health plane: sim-time
+  sliding windows, per-link/per-region lag watermarks, and SLO
+  burn-rate alerting (``system.obs.health``);
+* :mod:`repro.obs.slo` — declarative :class:`Slo` objectives and the
+  multi-window burn-rate classifier;
+* :mod:`repro.obs.detect` — deterministic bottleneck attribution over
+  per-link pressure samples;
 * :mod:`repro.obs.hub` — the :class:`ObsHub` wiring all of the above
   to a running system.
 
 See ``docs/observability.md`` for the span model, the metric catalog,
-and the flight-recorder format; ``tools/timeline.py`` renders dumps as
-lane views.
+the health plane, and the flight-recorder format; ``tools/timeline.py``
+renders dumps as lane views and ``tools/healthwatch.py`` renders health
+snapshots as a dashboard.
 """
 
+from repro.obs.detect import Bottleneck, BottleneckDetector, PressureSample
 from repro.obs.flight import FlightDump, FlightRecorder
+from repro.obs.health import (
+    HealthMonitor,
+    HealthSnapshot,
+    LinkHealth,
+    SlidingWindow,
+)
 from repro.obs.hub import ObsHub
 from repro.obs.listeners import RuntimeSubscription, subscribe_runtime
+from repro.obs.slo import HealthAlert, Slo
 from repro.obs.metrics import (
     MetricsRegistry,
     ObsCounter,
@@ -42,17 +58,26 @@ from repro.obs.naming import (
 from repro.obs.trace import CONTROL, DATA, Span, Tracer
 
 __all__ = [
+    "Bottleneck",
+    "BottleneckDetector",
     "CANONICAL_BY_LEGACY",
     "CONTROL",
     "DATA",
     "FlightDump",
     "FlightRecorder",
+    "HealthAlert",
+    "HealthMonitor",
+    "HealthSnapshot",
+    "LinkHealth",
     "MetricsRegistry",
     "ObsCounter",
     "ObsGauge",
     "ObsHistogram",
     "ObsHub",
+    "PressureSample",
     "RuntimeSubscription",
+    "SlidingWindow",
+    "Slo",
     "Span",
     "Tracer",
     "canonical_metric_name",

@@ -1,0 +1,101 @@
+"""Deterministic bottleneck attribution over per-link pressure samples.
+
+Each health-plane evaluation tick turns the transport's sampled state
+into one :class:`PressureSample` per link and asks the detector *which
+link is the bottleneck right now, and why*.  The score multiplies the
+normalized pressure dimensions the elasticity literature agrees on —
+queue level, queue growth, service time, and retry pressure — so a
+link only wins by being worse than its peers on the dimensions that
+are actually differentiating in this tick:
+
+    score = depth_hat * (1 + growth_hat) * (1 + service_hat) * (1 + retry_hat)
+
+where each ``*_hat`` is the sample's value divided by the tick's
+fleet-wide maximum (0 when no link shows that pressure at all).  Links
+below ``min_queue_depth`` never qualify; ties break on the
+lexicographically smallest target name.  Everything is plain float
+arithmetic over deterministically-ordered samples, so attributions are
+byte-stable under fixed seeds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+
+@dataclass(frozen=True)
+class PressureSample:
+    """One link's (or operator's) pressure at an evaluation tick."""
+
+    #: printable name (``<op>@<pe>#<port>`` for links)
+    target: str
+    #: ``link`` today; ``operator`` once operator-level sampling lands
+    kind: str
+    #: tuples queued toward the target
+    queue_depth: float
+    #: window-smoothed queue growth, tuples per second
+    queue_growth: float
+    #: service-time p95 estimate, seconds (ack round trip when known)
+    service_p95: float
+    #: outstanding retransmission attempts
+    retry_pressure: float
+
+
+@dataclass(frozen=True)
+class Bottleneck:
+    """The detector's verdict: who is limiting the system, and why."""
+
+    target: str
+    kind: str
+    score: float
+    why: str
+
+
+class BottleneckDetector:
+    """Scores pressure samples and names the current bottleneck."""
+
+    def __init__(self, min_queue_depth: float = 1.0) -> None:
+        #: links with less queued than this never qualify (idle noise)
+        self.min_queue_depth = min_queue_depth
+
+    def evaluate(
+        self, samples: Sequence[PressureSample]
+    ) -> Optional[Bottleneck]:
+        """Pick the highest-pressure sample, or None when all is calm."""
+        eligible: List[PressureSample] = [
+            s for s in samples if s.queue_depth >= self.min_queue_depth
+        ]
+        if not eligible:
+            return None
+        max_depth = max(s.queue_depth for s in eligible)
+        max_growth = max(max(s.queue_growth, 0.0) for s in eligible)
+        max_service = max(s.service_p95 for s in eligible)
+        max_retry = max(s.retry_pressure for s in eligible)
+
+        def norm(value: float, peak: float) -> float:
+            return value / peak if peak > 0 else 0.0
+
+        best: Optional[PressureSample] = None
+        best_score = 0.0
+        # sorted by name so equal scores resolve deterministically
+        for sample in sorted(eligible, key=lambda s: s.target):
+            score = (
+                norm(sample.queue_depth, max_depth)
+                * (1.0 + norm(max(sample.queue_growth, 0.0), max_growth))
+                * (1.0 + norm(sample.service_p95, max_service))
+                * (1.0 + norm(sample.retry_pressure, max_retry))
+            )
+            if best is None or score > best_score:
+                best = sample
+                best_score = score
+        assert best is not None
+        why = (
+            f"queue={best.queue_depth:.0f}"
+            f" ({best.queue_growth:+.2f}/s)"
+            f" service_p95={best.service_p95 * 1000.0:.3f}ms"
+            f" retry_pressure={best.retry_pressure:.0f}"
+        )
+        return Bottleneck(
+            target=best.target, kind=best.kind, score=best_score, why=why
+        )

@@ -29,6 +29,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Any, Dict, Optional, Tuple
 
 from repro.obs.flight import FlightDump, FlightRecorder
+from repro.obs.health import HealthMonitor
 from repro.obs.listeners import RuntimeSubscription, subscribe_runtime
 from repro.obs.metrics import MetricsRegistry, ObsCounter, ObsHistogram
 from repro.obs.naming import canonical_metric_name
@@ -71,6 +72,9 @@ class ObsHub:
         trace_enabled: bool = False,
         trace_sample_every: int = 1,
         flight_capacity: int = 2048,
+        health_interval: float = 0.5,
+        health_short_window: float = 5.0,
+        health_long_window: float = 30.0,
     ) -> None:
         """Create the hub (call :meth:`attach` to wire it to a system).
 
@@ -80,6 +84,10 @@ class ObsHub:
                 kernel event tap.
             trace_sample_every: Trace every Nth created tuple.
             flight_capacity: Flight-recorder ring capacity per job.
+            health_interval: Health-plane evaluation tick, sim-seconds
+                (``<= 0`` disables the always-on health plane).
+            health_short_window: Burn-rate confirmation window.
+            health_long_window: Burn-rate sustain window.
         """
         self.kernel = kernel
         self.trace_enabled = trace_enabled
@@ -87,6 +95,16 @@ class ObsHub:
         self.tracer = Tracer(sample_every=trace_sample_every)
         self.flight = FlightRecorder(capacity=flight_capacity)
         self.tracer.sinks.append(self.flight.record)
+        #: the always-on health plane (windows, watermarks, SLO alerts);
+        #: it registers no metric series and emits no spans on its own,
+        #: so historical expositions stay byte-identical
+        self.health = HealthMonitor(
+            kernel,
+            interval=health_interval,
+            short_window=health_short_window,
+            long_window=health_long_window,
+        )
+        self.health.alert_listeners.append(self._on_health_alert)
         self._system: Optional["SystemS"] = None
         self._subscription: Optional[RuntimeSubscription] = None
         #: (job, region) -> quiesce time of the in-flight rescale
@@ -108,6 +126,12 @@ class ObsHub:
         #: system never fires the hook and renders the historical
         #: exposition unchanged
         self._reliability_counters: Dict[str, ObsCounter] = {}
+        #: replay-buffer gauge triple, created lazily at the first scrape
+        #: that sees a non-empty exactly-once replay buffer (best-effort
+        #: and at-least-once systems render unchanged)
+        self._replay_gauges: Optional[Tuple[object, object, object]] = None
+        #: links the replay gauges have reported (so drained links read 0)
+        self._replay_links: set = set()
 
     # -- wiring --------------------------------------------------------------
 
@@ -142,6 +166,11 @@ class ObsHub:
         # control-plane too: rare, and only ever fired by the reliable
         # modes — a best-effort transport never calls the hook
         system.transport.reliability_observer = self.record_reliability_event
+        # the health plane is always on: a kernel tick samples transport
+        # pressure, and the ack round-trip tap reports through one
+        # None-checked hook (only reliable modes ever fire it)
+        system.transport.pressure_observer = self.health.on_transport_pressure
+        self.health.attach(system)
         if self.trace_enabled:
             system.transport.obs = self
             self.kernel.event_tap = self._on_kernel_event
@@ -161,8 +190,14 @@ class ObsHub:
                 == self.record_reliability_event
             ):
                 self._system.transport.reliability_observer = None
+            if (
+                self._system.transport.pressure_observer
+                == self.health.on_transport_pressure
+            ):
+                self._system.transport.pressure_observer = None
             if self.kernel.event_tap == self._on_kernel_event:
                 self.kernel.event_tap = None
+        self.health.detach()
         self._system = None
 
     # -- data plane (called only for traced tuples / when tracing on) --------
@@ -310,6 +345,19 @@ class ObsHub:
     def record_control_event(self, name: str, time: float, **attrs: Any) -> None:
         """Record an ad-hoc control-plane point event (chaos, tools)."""
         self.tracer.event(name, time, kind=CONTROL, **attrs)
+
+    def _on_health_alert(self, alert) -> None:
+        # a raised SLO alert is a control-plane incident: span it so
+        # flight dumps show health degradation next to the crashes and
+        # rescales it predicts (fires only when SLOs are registered, so
+        # SLO-free systems keep their artifacts byte-identical)
+        self.record_control_event(
+            f"health:{alert.severity}",
+            alert.time,
+            slo=alert.slo,
+            signal=alert.signal,
+            bottleneck=alert.bottleneck or "-",
+        )
 
     def _on_barrier(self, event: "BarrierEvent") -> None:
         self.tracer.event(
@@ -495,7 +543,62 @@ class ObsHub:
                 labels,
                 help_text="mirrored SRM sample",
             ).set(sample.value)
+        self.scrape_transport()
         return len(samples)
+
+    def scrape_transport(self) -> None:
+        """Refresh transport-level gauges (exactly-once replay buffers).
+
+        The ROADMAP flags the replay buffer as unbounded between epoch
+        commits; these per-link gauges make that growth observable:
+        ``repro_transport_replay_buffer_items`` / ``_bytes`` track the
+        retained units above each link's truncation floor, and
+        ``repro_transport_replay_truncated_seq`` tracks the floor itself
+        (so a shrink at epoch commit shows as items down, floor up).
+        The gauge family is created lazily at the first scrape that sees
+        a non-empty replay buffer: best-effort and at-least-once systems
+        render their historical expositions byte-identically.
+        """
+        system = self._system
+        if system is None:
+            return
+        plane = system.transport.reliability
+        if plane is None:
+            return
+        if self._replay_gauges is None and not plane.replay_buffer:
+            return
+        if self._replay_gauges is None:
+            self._replay_gauges = (
+                lambda labels: self.metrics.gauge(
+                    "repro_transport_replay_buffer_items",
+                    labels,
+                    help_text="exactly-once units retained for replay",
+                ),
+                lambda labels: self.metrics.gauge(
+                    "repro_transport_replay_buffer_bytes",
+                    labels,
+                    help_text="payload bytes retained for replay",
+                ),
+                lambda labels: self.metrics.gauge(
+                    "repro_transport_replay_truncated_seq",
+                    labels,
+                    help_text="link seq the replay buffer truncated to",
+                ),
+            )
+        items_gauge, bytes_gauge, floor_gauge = self._replay_gauges
+        self._replay_links |= set(plane.replay_buffer)
+        self._replay_links |= set(plane.truncated_to)
+        for link in sorted(self._replay_links):
+            labels = {"src": link[0] or "-", "dst": link[1]}
+            retained = plane.replay_buffer.get(link, {})
+            items = sum(e.count for e in retained.values())
+            size = sum(
+                getattr(e.payload, "size_bytes", 0)
+                for e in retained.values()
+            )
+            items_gauge(labels).set(items)
+            bytes_gauge(labels).set(size)
+            floor_gauge(labels).set(plane.truncated_to.get(link, 0))
 
     def render_prometheus(self, scrape: bool = True) -> str:
         """The hub's metrics in Prometheus text format (byte-stable).

@@ -42,6 +42,10 @@ class RuntimeSubscription:
         """Wrap already-appended ``(listener_list, callback)`` pairs."""
         self._registrations = registrations
         self._attached = True
+        #: detach() calls that found the subscription already detached —
+        #: a recorded no-op, so shutdown-path double-frees are auditable
+        #: instead of silent (or, worse, a KeyError on a shared registry)
+        self.redundant_detaches = 0
 
     @property
     def attached(self) -> bool:
@@ -52,8 +56,9 @@ class RuntimeSubscription:
         return len(self._registrations)
 
     def detach(self) -> None:
-        """Remove every registered callback (idempotent)."""
+        """Remove every registered callback (recorded no-op when repeated)."""
         if not self._attached:
+            self.redundant_detaches += 1
             return
         self._attached = False
         for registry, callback in self._registrations:

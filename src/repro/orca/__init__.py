@@ -15,6 +15,7 @@ from repro.orca.contexts import (
     ChannelReroutedContext,
     ChaosInjectedContext,
     CheckpointCommittedContext,
+    HealthAlertContext,
     HostFailureContext,
     JobCancellationContext,
     JobSubmissionContext,
@@ -36,6 +37,7 @@ from repro.orca.orchestrator import Orchestrator
 from repro.orca.scopes import (
     ChaosScope,
     CheckpointScope,
+    HealthScope,
     HostFailureScope,
     JobCancellationScope,
     JobSubmissionScope,
@@ -62,6 +64,8 @@ __all__ = [
     "ChaosScope",
     "CheckpointCommittedContext",
     "CheckpointScope",
+    "HealthAlertContext",
+    "HealthScope",
     "HostFailureContext",
     "HostFailureScope",
     "JobCancellationContext",

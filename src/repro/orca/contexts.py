@@ -327,6 +327,32 @@ class ChaosInjectedContext:
 
 
 @dataclass(frozen=True)
+class HealthAlertContext:
+    """An SLO burn-rate alert raised by the health plane (repro.obs.health).
+
+    Published when a registered :class:`~repro.obs.slo.Slo` objective
+    burns through its budget on both the short (confirmation) and long
+    (sustain) windows, so adaptation routines can react to degradation
+    — congestion, retry storms, growing lag — *before* it becomes tuple
+    loss.  ``bottleneck``/``why`` carry the bottleneck detector's
+    attribution at raise time ("" when the system showed no eligible
+    pressure target).
+    """
+
+    slo: str  #: the violated objective's name
+    signal: str  #: ``latency_p95``, ``loss``, or ``lag``
+    severity: str  #: ``warn`` or ``page``
+    burn_short: float  #: short-window burn rate at raise time
+    burn_long: float  #: long-window burn rate at raise time
+    observed: float  #: short-window observed signal value
+    objective: float  #: the objective's budget
+    time: float
+    region: Optional[str] = None  #: region restriction (None: global)
+    bottleneck: str = ""  #: attributed bottleneck target
+    why: str = ""  #: the detector's why-string
+
+
+@dataclass(frozen=True)
 class TimerContext:
     """A timer created through the ORCA service expired."""
 

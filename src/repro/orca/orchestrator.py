@@ -22,6 +22,7 @@ from repro.orca.contexts import (
     ChannelReroutedContext,
     ChaosInjectedContext,
     CheckpointCommittedContext,
+    HealthAlertContext,
     HostFailureContext,
     JobCancellationContext,
     JobSubmissionContext,
@@ -166,6 +167,13 @@ class Orchestrator:
         self, context: ChaosInjectedContext, scopes: List[str]
     ) -> None:
         """A chaos-campaign perturbation was injected (ChaosScope only)."""
+
+    # -- health plane (repro.obs.health) -------------------------------------------------------
+
+    def handleHealthAlertEvent(  # noqa: N802
+        self, context: HealthAlertContext, scopes: List[str]
+    ) -> None:
+        """An SLO burn-rate alert raised or escalated (HealthScope only)."""
 
     # -- timers and user events ----------------------------------------------------------------
 

@@ -382,6 +382,40 @@ class ChaosScope(EventScope):
         return self
 
 
+class HealthScope(EventScope):
+    """SLO burn-rate alerts from the health plane (repro.obs.health).
+
+    A routine that registers this scope sees ``health_alert`` events
+    whenever a registered :class:`~repro.obs.slo.Slo` raises or
+    escalates; unsubscribed services drop the events like any other
+    type.  Filters compose conjunctively across attributes, so
+    ``HealthScope("lat").addSloFilter("p95").addSeverityFilter("page")``
+    only wakes the routine for pages of that one objective.
+    """
+
+    EVENT_TYPE = "health_alert"
+
+    def addSloFilter(self, names: Values) -> "HealthScope":  # noqa: N802
+        """Restrict to specific objectives by name."""
+        self._add("slo", names)
+        return self
+
+    def addSignalFilter(self, signals: Values) -> "HealthScope":  # noqa: N802
+        """Restrict to signals (``latency_p95``, ``loss``, ``lag``)."""
+        self._add("signal", signals)
+        return self
+
+    def addSeverityFilter(self, severities: Values) -> "HealthScope":  # noqa: N802
+        """Restrict to severities (``warn``, ``page``)."""
+        self._add("severity", severities)
+        return self
+
+    def addRegionFilter(self, regions: Values) -> "HealthScope":  # noqa: N802
+        """Restrict to alerts scoped to specific parallel regions."""
+        self._add("region", regions)
+        return self
+
+
 class ScopeRegistry:
     """The set of subscopes registered with one ORCA service.
 

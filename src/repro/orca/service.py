@@ -36,6 +36,7 @@ from repro.orca.contexts import (
     ChannelReroutedContext,
     ChaosInjectedContext,
     CheckpointCommittedContext,
+    HealthAlertContext,
     HostFailureContext,
     JobCancellationContext,
     JobSubmissionContext,
@@ -154,6 +155,9 @@ class OrcaService:
             on_pe_restart=self._on_pe_restarted,
             on_injection=self._on_chaos_injected,
         )
+        # health-plane alert fan-out: SLO burn-rate alerts become
+        # health_alert events (delivered only to registered HealthScopes)
+        self.system.obs.health.alert_listeners.append(self._on_health_alert)
 
     def _register_application(self, managed: ManagedApplication) -> None:
         if managed.application is not None:
@@ -185,6 +189,9 @@ class OrcaService:
         if self._runtime_sub is not None:
             self._runtime_sub.detach()
             self._runtime_sub = None
+        listeners = self.system.obs.health.alert_listeners
+        if self._on_health_alert in listeners:
+            listeners.remove(self._on_health_alert)
 
     # -- time ------------------------------------------------------------------------
 
@@ -263,6 +270,7 @@ class OrcaService:
         "state_reclaimed": ("handleStateReclaimedEvent", True),
         "rehydrate_skipped": ("handleRehydrateSkippedEvent", True),
         "chaos_injected": ("handleChaosInjectedEvent", True),
+        "health_alert": ("handleHealthAlertEvent", True),
     }
 
     def _deliver(self, event: OrcaEvent) -> None:
@@ -914,6 +922,37 @@ class OrcaService:
             attrs["application"] = job.app_name
         self._enqueue("chaos_injected", context, attrs)
 
+    def _on_health_alert(self, alert) -> None:
+        """Health-plane listener: an SLO alert raised or escalated.
+
+        Like chaos injections this forwards every alert (health is
+        system-level), and delivery still requires a registered
+        :class:`~repro.orca.scopes.HealthScope` — logic not opted in
+        stays blind to the health plane.
+        """
+        context = HealthAlertContext(
+            slo=alert.slo,
+            signal=alert.signal,
+            severity=alert.severity,
+            burn_short=alert.burn_short,
+            burn_long=alert.burn_long,
+            observed=alert.observed,
+            objective=alert.objective,
+            time=alert.time,
+            region=alert.region,
+            bottleneck=alert.bottleneck,
+            why=alert.why,
+        )
+        attrs: Dict[str, Any] = {
+            "slo": alert.slo,
+            "signal": alert.signal,
+            "severity": alert.severity,
+            "event_kind": "health_alert",
+        }
+        if alert.region is not None:
+            attrs["region"] = alert.region
+        self._enqueue("health_alert", context, attrs)
+
     def _on_pe_restarted(self, pe: PERuntime) -> None:
         """SAM observer: emit ``rehydrate_skipped`` for empty rehydrations."""
         job = self.jobs.get(pe.job.job_id)
@@ -1168,6 +1207,31 @@ class OrcaService:
             their reactions with the fault mix actually injected.
         """
         return self.system.chaos.status()
+
+    # -- inspection: health plane --------------------------------------------------------------
+
+    def health_status(self) -> Dict[str, Any]:
+        """The health plane's deterministic summary (the health hook).
+
+        Returns:
+            ``{"ticks", "interval", "alerts_fired", "pages_fired",
+            "active_alerts", "slos", "max_lag", "regions", "bottleneck",
+            "peak_link_lag", "peak_queue_depth",
+            "peak_retry_pressure"}`` — the monitor's windowed state at
+            the last evaluation tick, so routines can poll lag
+            watermarks and the current bottleneck attribution between
+            alerts.
+        """
+        return self.system.obs.health.status()
+
+    def register_slo(self, slo) -> Any:
+        """Register a health-plane SLO; its burn windows start now.
+
+        Alerts the objective raises are delivered as ``health_alert``
+        events to registered :class:`~repro.orca.scopes.HealthScope`
+        subscopes (and recorded on :meth:`health_status`).
+        """
+        return self.system.obs.health.add_slo(slo)
 
     def __repr__(self) -> str:
         return f"OrcaService({self.orca_id}, logic={type(self.logic).__name__})"

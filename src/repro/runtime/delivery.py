@@ -78,6 +78,7 @@ class PendingEntry:
         "loss_attributed",
         "retry_event",
         "next_arrival",
+        "sent_at",
     )
 
     def __init__(
@@ -114,6 +115,9 @@ class PendingEntry:
         #: scheduled arrival time of the newest live wire copy (None:
         #: the last copy was dropped; +inf: held by an untimed partition)
         self.next_arrival: Optional[float] = None
+        #: sim-time the unit first hit the wire — the health plane's ack
+        #: round-trip signal measures from here (set at registration)
+        self.sent_at = 0.0
 
 
 class DeliveryPlane:
@@ -177,6 +181,7 @@ class DeliveryPlane:
         entry = PendingEntry(
             src_pe, dst_pe, op_full_name, port, item, link, first_seq, 1
         )
+        entry.sent_at = self.kernel.now
         self.pending[(link, first_seq)] = entry
         self._transmit(entry)
         self._arm_retry(entry)
@@ -210,6 +215,7 @@ class DeliveryPlane:
             base + 1,
             len(items),
         )
+        entry.sent_at = self.kernel.now
         self.pending[(link, base + 1)] = entry
         self._transmit(entry)
         self._arm_retry(entry)
@@ -499,6 +505,12 @@ class DeliveryPlane:
         t = self.transport
         t.acks += 1
         self._observe("ack", entry.count, entry.op_full_name)
+        if t.pressure_observer is not None:
+            t.pressure_observer(
+                "ack_rtt",
+                self.kernel.now - entry.sent_at,
+                f"{entry.op_full_name}@{entry.dst_pe.pe_id}#{entry.port}",
+            )
         if entry.retry_event is not None:
             entry.retry_event.cancel()
             entry.retry_event = None

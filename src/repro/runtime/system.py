@@ -102,6 +102,14 @@ class SystemConfig:
     trace_sample_every: int = 1
     #: flight-recorder ring capacity (recent spans retained per job)
     flight_capacity: int = 2048
+    #: repro.obs.health: evaluation tick of the always-on health plane
+    #: (sliding windows, lag watermarks, bottleneck attribution, SLO
+    #: burn rates); <= 0 disables it for microbenchmarks
+    health_interval: float = 0.5
+    #: burn-rate confirmation window (sim-seconds)
+    health_short_window: float = 5.0
+    #: burn-rate sustain window (sim-seconds)
+    health_long_window: float = 30.0
 
 
 class SystemS:
@@ -214,6 +222,9 @@ class SystemS:
             trace_enabled=self.config.trace_enabled,
             trace_sample_every=self.config.trace_sample_every,
             flight_capacity=self.config.flight_capacity,
+            health_interval=self.config.health_interval,
+            health_short_window=self.config.health_short_window,
+            health_long_window=self.config.health_long_window,
         )
         self.obs.attach(self)
         self.orcas: Dict[str, "OrcaService"] = {}

@@ -147,15 +147,21 @@ class _OpenBatch:
     ordinary send would have.
     """
 
-    __slots__ = ("src_pe", "dst_pe", "tuples", "flush_event")
+    __slots__ = ("src_pe", "dst_pe", "tuples", "flush_event", "opened_at")
 
     def __init__(
-        self, src_pe: Optional["PERuntime"], dst_pe: "PERuntime"
+        self,
+        src_pe: Optional["PERuntime"],
+        dst_pe: "PERuntime",
+        opened_at: float = 0.0,
     ) -> None:
         self.src_pe = src_pe
         self.dst_pe = dst_pe
         self.tuples: List[StreamTuple] = []
         self.flush_event: Optional[ScheduledEvent] = None
+        #: sim-time the first tuple was buffered — the health plane's
+        #: open-batch residency signal measures from here
+        self.opened_at = opened_at
 
 
 class Transport:
@@ -263,6 +269,12 @@ class Transport:
         #: keep best-effort expositions byte-identical)
         self.reliability_observer: Optional[
             Callable[[str, int, str, int, float], None]
+        ] = None
+        #: health-plane pressure tap ``(kind, value, link_name)`` — the
+        #: reliable delivery plane reports each unit's ack round trip
+        #: here ("ack_rtt"); None keeps the ack path at one check
+        self.pressure_observer: Optional[
+            Callable[[str, float, str], None]
         ] = None
         #: the reliable-delivery plane; None in best-effort mode keeps
         #: every hot path at a single check
@@ -629,7 +641,7 @@ class Transport:
         """
         batch = self._open_batches.get(flow)
         if batch is None:
-            batch = _OpenBatch(src_pe, dst_pe)
+            batch = _OpenBatch(src_pe, dst_pe, opened_at=self.kernel.now)
             self._open_batches[flow] = batch
             if self.batch_linger > 0.0:
                 batch.flush_event = self.kernel.schedule(

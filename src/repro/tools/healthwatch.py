@@ -1,0 +1,242 @@
+"""Text dashboard for health-plane snapshots: pressure bars at a glance.
+
+A :class:`~repro.obs.health.HealthSnapshot` artifact is already
+readable, but its fixed-width numbers hide *proportion*: which link
+carries most of the lag, how close the worst region is to an SLO, and
+whether the bottleneck attribution matches where the bars pile up.
+This tool re-renders a snapshot as an ASCII dashboard — one bar per
+link and region scaled against the fleet maximum, the bottleneck row
+flagged, active alerts listed last:
+
+    source.gen@pe-2#0     lag  0.812s  ██████████████████████████  <- bottleneck
+    sink.probe@pe-4#0     lag  0.031s  █
+
+Usage::
+
+    python -m repro.tools.healthwatch benchmarks/results/<name>.health.txt
+
+The renderer is pure text-in/text-out (no runtime imports), so it
+works on committed artifacts from any run.
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+from typing import Dict, List, NamedTuple, Optional, Tuple
+
+#: one link line of a rendered HealthSnapshot
+_LINK_RE = re.compile(
+    r"^  (?P<name>\S+) depth=(?P<depth>\d+)"
+    r" open=(?P<open>-?\d+\.\d+)"
+    r" retries=(?P<retries>\d+)"
+    r" lag=(?P<lag>-?\d+\.\d+)$"
+)
+#: one region line
+_REGION_RE = re.compile(r"^  (?P<name>\S+) lag=(?P<lag>-?\d+\.\d+)$")
+#: the attributed-bottleneck line
+_BOTTLENECK_RE = re.compile(
+    r"^bottleneck: (?P<target>\S+) score=(?P<score>-?\d+\.\d+)"
+    r" why=(?P<why>.*)$"
+)
+
+
+class LinkRow(NamedTuple):
+    """One parsed link line of a snapshot."""
+
+    name: str
+    depth: int
+    open_age: float
+    retries: int
+    lag: float
+
+
+class HealthReport(NamedTuple):
+    """A fully parsed snapshot artifact."""
+
+    header: Dict[str, str]
+    links: List[LinkRow]
+    regions: List[Tuple[str, float]]
+    signals: Dict[str, float]
+    bottleneck: Optional[Tuple[str, float, str]]
+    alerts: List[str]
+
+
+def parse_snapshot(text: str) -> HealthReport:
+    """Parse a rendered health snapshot into its sections.
+
+    Args:
+        text: The artifact text (``HealthSnapshot.render()`` output).
+
+    Returns:
+        The parsed :class:`HealthReport`, sections in file order.
+
+    Raises:
+        ValueError: A section line does not parse.
+    """
+    header: Dict[str, str] = {}
+    links: List[LinkRow] = []
+    regions: List[Tuple[str, float]] = []
+    signals: Dict[str, float] = {}
+    bottleneck: Optional[Tuple[str, float, str]] = None
+    alerts: List[str] = []
+    section = ""
+    for line in text.splitlines():
+        if not line.strip():
+            continue
+        if line.startswith("#"):
+            stripped = line.lstrip("# ")
+            if ":" in stripped:
+                key, _, value = stripped.partition(":")
+                header[key.strip()] = value.strip()
+            continue
+        if line == "links:":
+            section = "links"
+            continue
+        if line == "regions:":
+            section = "regions"
+            continue
+        if line == "signals:":
+            section = "signals"
+            continue
+        if line in ("alerts:", "alerts: none"):
+            section = "alerts"
+            continue
+        if line == "bottleneck: none":
+            section = ""
+            continue
+        if line.startswith("bottleneck: "):
+            match = _BOTTLENECK_RE.match(line)
+            if match is None:
+                raise ValueError(f"unparseable bottleneck line: {line!r}")
+            bottleneck = (
+                match.group("target"),
+                float(match.group("score")),
+                match.group("why"),
+            )
+            section = ""
+            continue
+        if section == "links":
+            match = _LINK_RE.match(line)
+            if match is None:
+                raise ValueError(f"unparseable link line: {line!r}")
+            links.append(
+                LinkRow(
+                    name=match.group("name"),
+                    depth=int(match.group("depth")),
+                    open_age=float(match.group("open")),
+                    retries=int(match.group("retries")),
+                    lag=float(match.group("lag")),
+                )
+            )
+        elif section == "regions":
+            match = _REGION_RE.match(line)
+            if match is None:
+                raise ValueError(f"unparseable region line: {line!r}")
+            regions.append(
+                (match.group("name"), float(match.group("lag")))
+            )
+        elif section == "signals":
+            key, _, value = line.strip().partition(":")
+            signals[key.strip()] = float(value)
+        elif section == "alerts":
+            alerts.append(line.strip())
+        else:
+            raise ValueError(f"unparseable snapshot line: {line!r}")
+    return HealthReport(header, links, regions, signals, bottleneck, alerts)
+
+
+def _bar(value: float, peak: float, width: int) -> str:
+    """A left-aligned proportional bar (at least one cell when > 0)."""
+    if peak <= 0 or value <= 0:
+        return ""
+    cells = int(round(value / peak * width))
+    return "#" * max(cells, 1)
+
+
+def render_dashboard(text: str, width: int = 30) -> str:
+    """Render one snapshot artifact as an ASCII dashboard.
+
+    Args:
+        text: The artifact text.
+        width: Bar width (characters) of the fleet-maximum row.
+
+    Returns:
+        The rendered dashboard (header, link/region bars, signals,
+        alerts).
+    """
+    report = parse_snapshot(text)
+    lines = [
+        f"health @ {report.header.get('sim_time', '?')}s"
+        f"  ticks: {report.header.get('ticks', '?')}"
+        f"  links: {len(report.links)}"
+        f"  fired: {report.header.get('fired', '?')}",
+    ]
+    hot = report.bottleneck[0] if report.bottleneck else None
+    if report.links:
+        peak = max(link.lag for link in report.links)
+        label_width = min(max(len(link.name) for link in report.links), 36)
+        lines.append("links (lag watermark):")
+        for link in report.links:
+            label = link.name[:label_width].ljust(label_width)
+            mark = "  <- bottleneck" if link.name == hot else ""
+            lines.append(
+                f"  {label} lag {link.lag:8.3f}s"
+                f" depth={link.depth:<4d}"
+                f" retries={link.retries:<3d}"
+                f" {_bar(link.lag, peak, width)}{mark}"
+            )
+    else:
+        lines.append("links: none")
+    if report.regions:
+        peak = max(lag for _, lag in report.regions)
+        label_width = min(max(len(name) for name, _ in report.regions), 36)
+        lines.append("regions (lag watermark):")
+        for name, lag in report.regions:
+            label = name[:label_width].ljust(label_width)
+            lines.append(
+                f"  {label} lag {lag:8.3f}s {_bar(lag, peak, width)}"
+            )
+    if report.signals:
+        lines.append("signals:")
+        for name in sorted(report.signals):
+            lines.append(f"  {name}: {report.signals[name]:.6f}")
+    if report.bottleneck is not None:
+        target, score, why = report.bottleneck
+        lines.append(f"bottleneck: {target} score={score:.3f}")
+        lines.append(f"  why: {why}")
+    else:
+        lines.append("bottleneck: none")
+    if report.alerts:
+        lines.append("alerts:")
+        for alert in report.alerts:
+            lines.append(f"  {alert}")
+    else:
+        lines.append("alerts: none")
+    return "\n".join(lines) + "\n"
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point: render a snapshot artifact to stdout.
+
+    Args:
+        argv: Argument list (default ``sys.argv[1:]``).
+
+    Returns:
+        Process exit code.
+    """
+    parser = argparse.ArgumentParser(
+        description="render a health-plane snapshot as an ASCII dashboard"
+    )
+    parser.add_argument("path", help="snapshot artifact (*.health.txt)")
+    parser.add_argument("--width", type=int, default=30, help="bar width")
+    args = parser.parse_args(argv)
+    with open(args.path, "r") as handle:
+        text = handle.read()
+    sys.stdout.write(render_dashboard(text, width=args.width))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

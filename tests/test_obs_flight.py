@@ -1,0 +1,94 @@
+"""Tests for the flight recorder's bounded rings: wraparound ordering
+and eviction determinism on overflow, per-job ring isolation, and the
+byte-stable dump render at exactly the ring-capacity boundary."""
+
+from repro.obs.flight import FlightDump, FlightRecorder
+from repro.obs.trace import CONTROL, Span
+
+
+def span(i, job="job_0"):
+    """A point span at t=i with a deterministic name and job ring."""
+    return Span(
+        f"step:{i:03d}", CONTROL, float(i), float(i), (("job", job),)
+    )
+
+
+class TestRingWraparound:
+    def test_overflow_keeps_the_newest_spans(self):
+        recorder = FlightRecorder(capacity=4)
+        for i in range(10):
+            recorder.record(span(i))
+        assert recorder.span_count("job_0") == 4
+        dump = recorder.dump("overflow", 10.0, job_id="job_0")
+        assert [s.name for s in dump.entries] == [
+            "step:006", "step:007", "step:008", "step:009",
+        ]
+
+    def test_dump_at_exact_capacity_boundary(self):
+        """Exactly ``capacity`` spans: nothing evicted, and the render
+        is byte-stable (the wraparound edge case the ring must get
+        right — one more span would evict step:000)."""
+        recorder = FlightRecorder(capacity=4)
+        for i in range(4):
+            recorder.record(span(i))
+        assert recorder.span_count("job_0") == 4
+        text = recorder.dump("boundary", 4.0, job_id="job_0").render()
+        assert text == (
+            "# flight-recorder dump\n"
+            "# reason: boundary\n"
+            "# scope: job_0\n"
+            "# sim_time: 4.000000\n"
+            "# entries: 4\n"
+            "[    0.000000 ..     0.000000] control step:000 job=job_0\n"
+            "[    1.000000 ..     1.000000] control step:001 job=job_0\n"
+            "[    2.000000 ..     2.000000] control step:002 job=job_0\n"
+            "[    3.000000 ..     3.000000] control step:003 job=job_0\n"
+        )
+        # the very next span evicts the oldest, not anything else
+        recorder.record(span(4))
+        dump = recorder.dump("one-over", 5.0, job_id="job_0")
+        assert [s.name for s in dump.entries] == [
+            "step:001", "step:002", "step:003", "step:004",
+        ]
+
+    def test_eviction_is_deterministic(self):
+        """Two recorders fed the same overflowing stream retain the
+        same spans and render identical dumps."""
+
+        def build():
+            recorder = FlightRecorder(capacity=8)
+            for i in range(30):
+                recorder.record(span(i))
+            return recorder.dump("same", 30.0, job_id="job_0").render()
+
+        assert build() == build()
+
+    def test_rings_evict_per_job(self):
+        """Overflowing one job's ring never evicts another job's spans
+        or the system ring."""
+        recorder = FlightRecorder(capacity=2)
+        recorder.record(Span("system", CONTROL, 0.0, 0.0))
+        recorder.record(span(1, job="job_a"))
+        for i in range(2, 7):
+            recorder.record(span(i, job="job_b"))
+        assert recorder.span_count("job_a") == 1
+        assert recorder.span_count("job_b") == 2
+        assert recorder.span_count() == 4
+        dump = recorder.dump("scoped", 7.0, job_id="job_a")
+        assert [s.name for s in dump.entries] == ["system", "step:001"]
+
+    def test_unsorted_arrivals_render_in_time_order(self):
+        """Dumps sort on sim time, so a ring holding out-of-order
+        arrivals (late control events) still renders chronologically."""
+        recorder = FlightRecorder(capacity=4)
+        for i in (3, 1, 2, 0):
+            recorder.record(span(i))
+        dump = recorder.dump("sorted", 4.0, job_id="job_0")
+        assert [s.start for s in dump.entries] == [0.0, 1.0, 2.0, 3.0]
+
+    def test_dump_retention_is_bounded(self):
+        recorder = FlightRecorder(capacity=4, max_dumps=2)
+        for i in range(5):
+            recorder.dump(f"d{i}", float(i))
+        assert [d.reason for d in recorder.dumps] == ["d3", "d4"]
+        assert all(isinstance(d, FlightDump) for d in recorder.dumps)

@@ -308,6 +308,19 @@ class TestListenerHelper:
         sub.detach()
         assert not sub.attached
 
+    def test_redundant_detach_is_recorded(self, system):
+        """A double detach stays a no-op, but the subscription counts
+        it so teardown bugs surface in assertions instead of silently
+        passing."""
+        sub = subscribe_runtime(system, on_injection=lambda inj: None)
+        assert sub.redundant_detaches == 0
+        sub.detach()
+        assert sub.redundant_detaches == 0
+        sub.detach()
+        sub.detach()
+        assert sub.redundant_detaches == 2
+        assert not sub.attached
+
     def test_no_callbacks_is_an_empty_subscription(self, system):
         sub = subscribe_runtime(system)
         assert len(sub) == 0
