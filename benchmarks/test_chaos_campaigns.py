@@ -179,6 +179,11 @@ def run_checkpointed_campaign(
         "reclaims": len(system.elastic.reclaims),
         "rescales": len(system.elastic.history),
         "fifo_violations": len(fifo.violations),
+        # reliable-transport extras (0 on best_effort): link faults hit
+        # the ack path too, so a lossy campaign drops acks and the
+        # sender must retransmit-and-dedup its way back to exactly-once
+        "acks_dropped": system.transport.acks_dropped,
+        "replay_stalls": system.transport.replay_stalls,
     }
     return scorecard, extras
 
@@ -548,23 +553,40 @@ def test_chaos_campaigns_exactly_once(results_dir):
 
 def test_delivery_matrix(results_dir):
     """The CI delivery-matrix check: one fixed-seed lossy gray-network
-    campaign under all three delivery modes, each run twice —
-    byte-identical scorecards per mode, and the guarantees gate exactly
-    what each mode promises (best-effort loses for real, at-least-once
-    recovers the losses, exactly-once recovers them without a single
-    duplicate)."""
+    campaign under all three delivery modes — plus a lossy-ack variant
+    that doubles the drop probability — each run twice: byte-identical
+    scorecards per mode, and the guarantees gate exactly what each mode
+    promises (best-effort loses for real, at-least-once recovers the
+    losses, exactly-once recovers them without a single duplicate).
+
+    Link faults apply to *both* directions of a link, so every lossy
+    row also loses acknowledgements: the reliable rows must retransmit
+    through lost acks, and the exactly-once rows must dedup the
+    resulting redundant copies without dropping or double-delivering a
+    single tuple."""
     lines = []
     cards = {}
-    for delivery in ("best_effort", "at_least_once", "exactly_once"):
+    extras_by_mode = {}
+    matrix = [
+        ("best_effort", 0.25),
+        ("at_least_once", 0.25),
+        ("exactly_once", 0.25),
+        # the lossy-ack variant: at p=0.5 per wave, ack losses (and the
+        # retransmit storms they cause) dominate the recovery path
+        ("exactly_once@heavy_loss", 0.5),
+    ]
+    for label, loss in matrix:
+        delivery = label.split("@")[0]
         run = lambda: campaign_gray_network(  # noqa: E731
-            batch_max_size=8, delivery=delivery, loss_probability=0.25
+            batch_max_size=8, delivery=delivery, loss_probability=loss
         )
         card, extras = run()
         repeat, _ = run()
-        assert card.render() == repeat.render(), delivery
-        assert card.step_errors == 0, delivery
-        cards[delivery] = card
-        lines.append(f"===== delivery: {delivery} =====")
+        assert card.render() == repeat.render(), label
+        assert card.step_errors == 0, label
+        cards[label] = card
+        extras_by_mode[label] = extras
+        lines.append(f"===== delivery: {label} =====")
         lines.extend(card.lines())
         lines.append(f"extras: {extras}")
         lines.append("")
@@ -576,4 +598,10 @@ def test_delivery_matrix(results_dir):
     assert cards["exactly_once"].tuples_lost == 0  # the zero-loss gate
     assert cards["exactly_once"].duplicates == 0
     assert cards["exactly_once"].retransmissions > 0
+    # the lossy-ack oracles: acks really were lost, and exactly-once
+    # still converged to zero loss and zero duplicates
+    for label in ("exactly_once", "exactly_once@heavy_loss"):
+        assert extras_by_mode[label]["acks_dropped"] > 0, label
+        assert cards[label].tuples_lost == 0, label
+        assert cards[label].duplicates == 0, label
     emit(results_dir, "delivery_matrix", lines)

@@ -1,0 +1,87 @@
+"""Real-time executor benchmark — the wall-clock backend under load.
+
+Unlike every simulated benchmark in this directory, the numbers here are
+*real*: tuples per wall-clock second through a keyed parallel-region
+pipeline on the ``wallclock`` executor, the real-millisecond latency of
+a live 2 -> 4 rescale, the real-millisecond recovery time of a channel-PE
+crash with checkpoint rehydration, and the aggregate throughput of a
+multiprocess cluster (one complete wall-clock System S per OS process,
+reporting over a ``multiprocessing`` queue).
+
+Absolute numbers vary with the host; the assertions pin the qualitative
+shape only (liveness, sane latency ceilings, every worker reporting).
+The committed ``results/realtime_backend.txt`` is a snapshot from one
+run, regenerated on every benchmark invocation.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import emit
+from repro.runtime.exec import run_worker_cluster, wallclock_pipeline_worker
+
+#: real-seconds budget per measured section; the whole module stays in
+#: single-digit seconds so it can ride in the tier-1 suite
+DURATION = 1.5
+WORKERS = 3
+
+
+class TestRealtimeBackend:
+    def test_realtime_throughput_rescale_recovery(self, results_dir):
+        lines = ["section  metric  value"]
+
+        # -- single-process wall-clock throughput ---------------------------
+        steady = wallclock_pipeline_worker(
+            0, duration=DURATION, period=0.001, time_scale=1.0
+        )
+        lines.append(
+            f"single   tuples/s          {steady.tuples_per_second:9.1f}"
+        )
+        lines.append(
+            f"single   events/s          "
+            f"{steady.events / steady.wall_seconds:9.1f}"
+        )
+        assert steady.tuples > 0
+        # a 1 ms source tick must clear well over 100 tuples/s even on a
+        # loaded CI host
+        assert steady.tuples_per_second > 100.0
+
+        # -- live rescale + crash recovery, in real milliseconds ------------
+        adaptive = wallclock_pipeline_worker(
+            0,
+            duration=DURATION,
+            period=0.001,
+            time_scale=1.0,
+            rescale=True,
+            crash=True,
+        )
+        rescale_ms = adaptive.extra["rescale_ms"]
+        recovery_ms = adaptive.extra["recovery_ms"]
+        lines.append(f"single   rescale_ms        {rescale_ms:9.1f}")
+        lines.append(f"single   recovery_ms       {recovery_ms:9.1f}")
+        assert adaptive.tuples > 0
+        # both complete while the pipeline keeps running, far inside the
+        # section budget (generous ceilings: shape, not speed, is pinned)
+        assert 0.0 < rescale_ms < DURATION * 1000.0
+        assert 0.0 < recovery_ms < DURATION * 1000.0
+
+        # -- multiprocess cluster -------------------------------------------
+        reports = run_worker_cluster(
+            wallclock_pipeline_worker,
+            workers=WORKERS,
+            timeout=30.0,
+            duration=DURATION,
+            period=0.001,
+            time_scale=1.0,
+        )
+        assert len(reports) == WORKERS
+        total_tps = sum(r.tuples_per_second for r in reports)
+        for r in reports:
+            assert r.tuples > 0
+            lines.append(
+                f"cluster  worker{r.worker_id}_tuples/s "
+                f"{r.tuples_per_second:9.1f}"
+            )
+        lines.append(f"cluster  total_tuples/s    {total_tps:9.1f}")
+        lines.append(f"cluster  workers           {WORKERS:9d}")
+
+        emit(results_dir, "realtime_backend", lines)

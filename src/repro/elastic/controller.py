@@ -838,6 +838,9 @@ class ElasticController:
             splitter_pe = job.pe_of_operator(plan.splitter)
             if splitter_pe.state is PEState.RUNNING:
                 splitter_pe.send_control(plan.splitter, "resume", {})
+        # rollback restored the old mapping — still a topology event for
+        # subscribers that refreshed mid-protocol
+        self.sam.notify_topology_changed(job, "rescale_rollback")
         if on_complete is not None:
             on_complete(op)
         for listener in list(self.rescale_listeners):
@@ -1269,6 +1272,10 @@ class ElasticController:
         op.completed_at = self.kernel.now
         self._active.pop((op.job_id, op.region), None)
         self.history.append(op)
+        # the rewired channel->PE mapping is only final now: announce it
+        # through SAM so *every* subscriber refreshes, owning
+        # orchestrator or not (the externally-driven-rescale gap)
+        self.sam.notify_topology_changed(job, "rescale")
         if on_complete is not None:
             on_complete(op)
         for listener in list(self.rescale_listeners):

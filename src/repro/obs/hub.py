@@ -285,7 +285,8 @@ class ObsHub:
         """Record one reliable-delivery transport event.
 
         ``kind`` is one of ``retransmit``, ``ack``,
-        ``duplicate_suppressed``, ``replay``; counts land in the matching
+        ``duplicate_suppressed``, ``replay``, ``ack_dropped``,
+        ``replay_stall``; counts land in the matching
         ``repro_transport_*_total`` counter (created lazily so
         best-effort expositions stay byte-identical).  Retransmits are
         additionally recorded as control-plane retry events carrying the
@@ -297,6 +298,8 @@ class ObsHub:
             "ack": "repro_transport_acks_total",
             "duplicate_suppressed": "repro_transport_duplicates_suppressed_total",
             "replay": "repro_transport_replays_total",
+            "ack_dropped": "repro_transport_acks_dropped_total",
+            "replay_stall": "repro_transport_replay_stalls_total",
         }
         helps = {
             "retransmit": "wire units re-sent after an ack timeout",
@@ -305,6 +308,10 @@ class ObsHub:
                 "arrivals suppressed by the exactly-once receiver watermark"
             ),
             "replay": "units replayed from the buffer after a PE restart",
+            "ack_dropped": "acknowledgements lost to reverse-link faults",
+            "replay_stall": (
+                "items parked by replay-buffer byte-cap backpressure"
+            ),
         }
         counter = self._reliability_counters.get(kind)
         if counter is None:

@@ -9,14 +9,19 @@ the ``delivery`` config axis on
 * ``at_least_once`` — every wire unit (a single item, or one flushed
   :class:`~repro.spl.tuples.TupleBatch`) registers a pending entry keyed
   by ``(link, first link_seq)``.  The receiver acknowledges a unit when
-  it is first delivered; acks ride a lossless control channel (TCP-style
-  cumulative acks are never dropped or partitioned).  Until the ack
-  lands, a sim-time retry timer retransmits the unit with exponential
-  backoff, so a lossy link delays tuples instead of losing them.  The
-  receiver stays naive: every copy that arrives is delivered, so
-  duplicates are possible (a partition-delayed original and a retransmit
-  can both arrive at heal) and per-connection FIFO is no longer promised
-  after a loss-retransmit race.
+  it is first delivered; acks travel the *reverse* link and are subject
+  to the same seeded link faults as data (a ``LinkLoss`` covering the
+  reverse direction drops acks on the transport's dedicated ack rng
+  stream; partitions hold or swallow them).  A lost ack leaves the unit
+  pending, so the retry timer retransmits it and the receiver re-acks
+  the duplicate — delivery converges without a lossless side channel.
+  Until the ack lands, a sim-time retry timer retransmits the unit with
+  exponential backoff, so a lossy link delays tuples instead of losing
+  them.  The receiver stays naive: every copy that arrives is
+  delivered, so duplicates are possible (a partition-delayed original
+  and a retransmit can both arrive at heal, and an ack loss forces a
+  duplicate delivery by design) and per-connection FIFO is no longer
+  promised after a loss-retransmit race.
 * ``exactly_once`` — the same sender-side machinery plus an in-order
   receiver: each link delivers strictly by ``link_seq`` (out-of-order
   arrivals wait in a reorder buffer; already-delivered sequences are
@@ -30,18 +35,28 @@ the ``delivery`` config axis on
   left the PE before the crash), and condemned in-flight units are
   re-sent instead of being counted in ``dropped_in_flight``.
 
+Replay buffers are bounded: ``replay_buffer_max_bytes`` (0 = unbounded)
+caps the payload bytes retained per link between epoch commits.  A link
+at its cap applies *sender-side backpressure*: new units park in a
+per-link stall queue before their link sequence is allocated (so FIFO is
+preserved — sequences are claimed at release, in park order), the
+``replay_stalls`` counter moves, and the units still count as in flight
+so drain barriers and the health plane see the backlog.  The next epoch
+commit truncates the buffer and releases the queue in order.
+
 Loss attribution is **first-cause-wins**: a unit that loses a wire copy
 to a seeded drop fault counts in ``dropped_by_fault`` exactly once, on
 its first casualty, and a later condemnation (destination PE removed for
 good) must not recount it in ``dropped_in_flight`` — and vice versa.
 
 Everything here is sim-time scheduled and the only randomness is the
-transport's seeded drop-roll stream, so runs replay byte-identically.
+transport's seeded drop-roll and ack-roll streams, so runs replay
+byte-identically.
 """
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Set, Tuple
 
 from repro.spl.tuples import TupleBatch
 
@@ -76,6 +91,7 @@ class PendingEntry:
         "condemned",
         "attempts",
         "loss_attributed",
+        "ack_lost",
         "retry_event",
         "next_arrival",
         "sent_at",
@@ -111,6 +127,10 @@ class PendingEntry:
         self.attempts = 0
         #: the unit has been counted in a loss counter (first-cause-wins)
         self.loss_attributed = False
+        #: the most recent ack attempt was lost to a reverse-link fault;
+        #: the retry timer must retransmit (provoking a re-ack) instead
+        #: of waiting for an ack that will never land
+        self.ack_lost = False
         self.retry_event = None
         #: scheduled arrival time of the newest live wire copy (None:
         #: the last copy was dropped; +inf: held by an untimed partition)
@@ -135,6 +155,7 @@ class DeliveryPlane:
         ack_timeout: float,
         retry_backoff: float,
         max_retry_interval: float,
+        replay_buffer_max_bytes: int = 0,
     ) -> None:
         self.transport = transport
         self.kernel = transport.kernel
@@ -142,6 +163,9 @@ class DeliveryPlane:
         self.ack_timeout = ack_timeout
         self.retry_backoff = retry_backoff
         self.max_retry_interval = max_retry_interval
+        #: exactly-once: per-link cap on replay-buffer payload bytes
+        #: (0 = unbounded, the historical behavior)
+        self.replay_buffer_max_bytes = replay_buffer_max_bytes
         #: (link, first_seq) -> unacknowledged unit
         self.pending: Dict[Tuple[Link, int], PendingEntry] = {}
         #: exactly-once receiver: link -> highest contiguously delivered seq
@@ -154,6 +178,21 @@ class DeliveryPlane:
         #: link -> watermark the replay buffer was last truncated to (the
         #: oldest retained committed epoch can always replay from here)
         self.truncated_to: Dict[Link, int] = {}
+        #: link -> payload bytes currently retained in ``replay_buffer``
+        self.replay_bytes: Dict[Link, int] = {}
+        #: link -> units parked by the replay cap *before* link-seq
+        #: allocation (sequences are claimed at release, in park order,
+        #: so per-link FIFO survives the stall); each entry is
+        #: ``(src_pe, dst_pe, op_full_name, port, payload, count)``
+        self.stalled: Dict[Link, List[tuple]] = {}
+        #: PEs that have committed at least one epoch — the only
+        #: destinations the replay cap may stall.  A link toward a PE
+        #: that never commits (stateless sink, splitter, checkpointing
+        #: disabled) can never truncate its replay buffer, so stalling
+        #: it would deadlock the flow; those links keep the historical
+        #: unbounded retention their replay-from-zero restart semantics
+        #: require anyway.
+        self.committing_pes: Set[str] = set()
 
     # -- send path ----------------------------------------------------------
 
@@ -177,14 +216,10 @@ class DeliveryPlane:
         t._in_flight[key] = t._in_flight.get(key, 0) + 1
         src_key = src_pe.pe_id if src_pe is not None else ""
         link = (src_key, dst_pe.pe_id)
-        first_seq = t._next_link_seq(src_key, dst_pe.pe_id)
-        entry = PendingEntry(
-            src_pe, dst_pe, op_full_name, port, item, link, first_seq, 1
-        )
-        entry.sent_at = self.kernel.now
-        self.pending[(link, first_seq)] = entry
-        self._transmit(entry)
-        self._arm_retry(entry)
+        if self._must_stall(link):
+            self._park(link, src_pe, dst_pe, op_full_name, port, item, 1)
+            return
+        self._dispatch(src_pe, dst_pe, op_full_name, port, item, 1)
 
     def send_flushed_batch(self, open_batch, flow: Tuple[str, str, str, int]) -> None:
         """Commit one open batch to the wire as a single reliable unit.
@@ -203,22 +238,109 @@ class DeliveryPlane:
         if t.batch_observer is not None:
             t.batch_observer(len(items))
         link = (src_key, dst_pe_id)
-        base = t._link_send_seq.get(link, 0)
-        t._link_send_seq[link] = base + len(items)
-        entry = PendingEntry(
+        if self._must_stall(link):
+            self._park(
+                link,
+                open_batch.src_pe,
+                open_batch.dst_pe,
+                op_full_name,
+                port,
+                TupleBatch(items),
+                len(items),
+            )
+            return
+        self._dispatch(
             open_batch.src_pe,
             open_batch.dst_pe,
             op_full_name,
             port,
             TupleBatch(items),
-            link,
-            base + 1,
             len(items),
+        )
+
+    def _dispatch(
+        self,
+        src_pe: Optional["PERuntime"],
+        dst_pe: "PERuntime",
+        op_full_name: str,
+        port: int,
+        payload: "Payload",
+        count: int,
+    ) -> None:
+        """Allocate the unit's seq range, register it, and transmit.
+
+        The single commit point of the reliable send path: link
+        sequences are claimed here — after any stall — so parked units
+        keep per-link FIFO when released.
+        """
+        t = self.transport
+        src_key = src_pe.pe_id if src_pe is not None else ""
+        link = (src_key, dst_pe.pe_id)
+        base = t._link_send_seq.get(link, 0)
+        t._link_send_seq[link] = base + count
+        entry = PendingEntry(
+            src_pe, dst_pe, op_full_name, port, payload, link, base + 1, count
         )
         entry.sent_at = self.kernel.now
         self.pending[(link, base + 1)] = entry
         self._transmit(entry)
         self._arm_retry(entry)
+
+    # -- replay-buffer backpressure -----------------------------------------
+
+    def _must_stall(self, link: Link) -> bool:
+        """True when the link's replay buffer is at its byte cap.
+
+        A link with parked units stalls unconditionally — newer units
+        must queue behind the backlog or FIFO would break at release.
+        Only links toward a destination that has *committed an epoch*
+        are ever stalled: backpressure is released exclusively by
+        epoch-commit truncation, so stalling a never-committing
+        destination (stateless PE, checkpointing off) would deadlock
+        the flow rather than bound it.
+        """
+        if not self.exactly_once or self.replay_buffer_max_bytes <= 0:
+            return False
+        if link[1] not in self.committing_pes:
+            return False
+        if link in self.stalled:
+            return True
+        return self.replay_bytes.get(link, 0) >= self.replay_buffer_max_bytes
+
+    def _park(
+        self,
+        link: Link,
+        src_pe: Optional["PERuntime"],
+        dst_pe: "PERuntime",
+        op_full_name: str,
+        port: int,
+        payload: "Payload",
+        count: int,
+    ) -> None:
+        """Queue one unit behind the link's replay-cap backpressure.
+
+        The unit already counts as in flight (its sender incremented the
+        in-flight gauge), so drain barriers and the health plane see the
+        stalled backlog; the link seq is *not* allocated yet.
+        """
+        self.stalled.setdefault(link, []).append(
+            (src_pe, dst_pe, op_full_name, port, payload, count)
+        )
+        t = self.transport
+        t.replay_stalls += count
+        self._observe("replay_stall", count, op_full_name)
+
+    def _release_stalled(self, link: Link) -> None:
+        """Dispatch parked units in order while the link is under its cap."""
+        queue = self.stalled.get(link)
+        if not queue:
+            return
+        cap = self.replay_buffer_max_bytes
+        while queue and self.replay_bytes.get(link, 0) < cap:
+            src_pe, dst_pe, op_full_name, port, payload, count = queue.pop(0)
+            self._dispatch(src_pe, dst_pe, op_full_name, port, payload, count)
+        if not queue:
+            del self.stalled[link]
 
     def _transmit(self, entry: PendingEntry, redelivery: bool = False) -> None:
         """Run one wire copy of a unit through the link-fault pipeline.
@@ -300,8 +422,9 @@ class DeliveryPlane:
         entry.retry_event = None
         if entry.acked or entry.condemned:
             return
-        if entry.delivered:
-            # the ack rides the lossless control channel; it will land
+        if entry.delivered and not entry.ack_lost:
+            # an ack copy survived the reverse-link fault pipeline and
+            # is on its way; it will land
             return
         entry.attempts += 1
         if not entry.dst_pe.is_running:
@@ -397,6 +520,9 @@ class DeliveryPlane:
                 (dst_pe.pe_id, op_full_name, port), count
             )
             self._schedule_ack(entry)
+        elif entry is not None and entry.ack_lost:
+            # a retransmit provoked by a lost ack: re-ack this copy
+            self._schedule_ack(entry)
         self._hand_over(
             dst_pe, op_full_name, port, payload, src_key, first_seq, count,
             redelivery=False,
@@ -419,6 +545,7 @@ class DeliveryPlane:
         if first_seq + count - 1 <= wm:
             self.transport.duplicates_suppressed += count
             self._observe("duplicate_suppressed", count, op_full_name)
+            self._reack_if_lost(link, first_seq)
             return
         if first_seq != wm + 1:
             buf = self.reorder.setdefault(link, {})
@@ -454,6 +581,8 @@ class DeliveryPlane:
             self.transport._dec_in_flight(
                 (dst_pe.pe_id, op_full_name, port), count
             )
+            self._schedule_ack(entry)
+        elif entry is not None and entry.ack_lost:
             self._schedule_ack(entry)
         self._hand_over(
             dst_pe, op_full_name, port, payload, link[0], first_seq, count,
@@ -494,9 +623,43 @@ class DeliveryPlane:
     # -- acks ---------------------------------------------------------------
 
     def _schedule_ack(self, entry: PendingEntry) -> None:
-        self.kernel.schedule(
-            self.transport.latency, self._on_ack, entry, label="transport-ack"
-        )
+        """Put one ack on the reverse link, through its fault pipeline.
+
+        Acks are data on the wire, not a lossless side channel: faults
+        matching the *reverse* direction (receiver back to sender) apply.
+        Drop rolls draw from the transport's dedicated ``ack_rng`` stream
+        so forward-path rolls — and therefore every committed sim
+        artifact without reverse-link faults — are untouched.  A dropped
+        or partition-swallowed ack marks the entry ``ack_lost``, which
+        re-arms the sender's retransmit path; the receiver re-acks the
+        resulting duplicate, so delivery converges.
+        """
+        t = self.transport
+        latency = t.latency
+        entry.ack_lost = False
+        if t._link_faults and entry.src_pe is not None:
+            hold_until: Optional[float] = None
+            for fault in t._matching_faults(entry.dst_pe, entry.src_pe):
+                if fault.drop_probability > 0.0 and (
+                    t.ack_rng.random() < fault.drop_probability
+                ):
+                    entry.ack_lost = True
+                    t.acks_dropped += 1
+                    self._observe("ack_dropped", 1, entry.op_full_name)
+                    return
+                latency += fault.extra_latency
+                if fault.partition:
+                    if fault.until is None:
+                        # an untimed partition swallows the ack: the
+                        # retransmit after heal provokes a fresh one
+                        entry.ack_lost = True
+                        t.acks_dropped += 1
+                        self._observe("ack_dropped", 1, entry.op_full_name)
+                        return
+                    hold_until = max(hold_until or 0.0, fault.until)
+            if hold_until is not None:
+                latency = max(latency, hold_until + t.latency - self.kernel.now)
+        self.kernel.schedule(latency, self._on_ack, entry, label="transport-ack")
 
     def _on_ack(self, entry: PendingEntry) -> None:
         if entry.acked or entry.condemned:
@@ -517,6 +680,20 @@ class DeliveryPlane:
         self.pending.pop((entry.link, entry.first_seq), None)
         if self.exactly_once:
             self.replay_buffer.setdefault(entry.link, {})[entry.first_seq] = entry
+            self.replay_bytes[entry.link] = self.replay_bytes.get(
+                entry.link, 0
+            ) + getattr(entry.payload, "size_bytes", 0)
+
+    def _reack_if_lost(self, link: Link, first_seq: int) -> None:
+        """Re-ack a suppressed duplicate whose original ack was lost.
+
+        Without this the sender retransmits forever: the in-order
+        receiver suppresses every duplicate copy, so only a fresh ack
+        can break the livelock.
+        """
+        entry = self.pending.get((link, first_seq))
+        if entry is not None and entry.delivered and entry.ack_lost:
+            self._schedule_ack(entry)
 
     # -- crash / restart / epochs -------------------------------------------
 
@@ -619,16 +796,28 @@ class DeliveryPlane:
         """
         if not self.exactly_once:
             return
+        self.committing_pes.add(pe_id)
         for link in [l for l in self.replay_buffer if l[1] == pe_id]:
             wm = floor.get(link[0], 0)
             if wm <= self.truncated_to.get(link, 0):
                 continue
             self.truncated_to[link] = wm
             buf = self.replay_buffer[link]
+            freed = 0
             for seq in [s for s, e in buf.items() if s + e.count - 1 <= wm]:
+                freed += getattr(buf[seq].payload, "size_bytes", 0)
                 del buf[seq]
             if not buf:
                 del self.replay_buffer[link]
+            if freed:
+                remaining = self.replay_bytes.get(link, 0) - freed
+                if remaining > 0:
+                    self.replay_bytes[link] = remaining
+                else:
+                    self.replay_bytes.pop(link, None)
+                # truncation lifted the backpressure: let parked units
+                # claim their sequences and hit the wire, in park order
+                self._release_stalled(link)
 
     def forget_pe(self, pe_id: str) -> None:
         """Condemn every unit toward a PE that is removed for good.
@@ -651,14 +840,24 @@ class DeliveryPlane:
                 if not entry.loss_attributed:
                     entry.loss_attributed = True
                     t.dropped_in_flight += entry.count
+        for link in [l for l in self.stalled if l[1] == pe_id]:
+            # parked units never reached the wire; condemn them like
+            # pending ones (they are counted in flight since parking)
+            for _src, _dst, op_full_name, port, _payload, count in self.stalled.pop(
+                link
+            ):
+                t._dec_in_flight((pe_id, op_full_name, port), count)
+                t.dropped_in_flight += count
         for mapping in (
             self.delivered_wm,
             self.reorder,
             self.replay_buffer,
             self.truncated_to,
+            self.replay_bytes,
         ):
             for link in [l for l in mapping if l[1] == pe_id]:
                 del mapping[link]
+        self.committing_pes.discard(pe_id)
 
     # -- observability ------------------------------------------------------
 

@@ -1,0 +1,27 @@
+"""The simulated kernel as an executor backend.
+
+:class:`SimExecutor` is simply :class:`repro.sim.kernel.Kernel` — the
+deterministic discrete-event twin — re-exported under the executor
+naming so ``build_executor`` treats both backends uniformly.  The kernel
+itself lives in :mod:`repro.sim` and must not import this package (the
+layer graph puts ``repro.sim`` below ``repro.runtime``), so the
+conformance relationship is declared here: the kernel is registered as a
+virtual subclass of :class:`repro.runtime.exec.base.Executor`.
+"""
+
+from __future__ import annotations
+
+from repro.sim.clock import Clock
+from repro.sim.kernel import Kernel
+
+from repro.runtime.exec.base import Executor
+
+Executor.register(Kernel)
+
+#: the deterministic backend is the unmodified simulated kernel
+SimExecutor = Kernel
+
+
+def build_sim_executor() -> Kernel:
+    """Construct a fresh deterministic sim-kernel backend at time 0."""
+    return Kernel(Clock())

@@ -265,8 +265,7 @@ class SAM:
             job.pes.append(pe)
             pe.start()
             added.append(pe)
-        for observer in list(self.topology_observers):
-            observer(job, "add_pes")
+        self.notify_topology_changed(job, "add_pes")
         return added
 
     def remove_pes(self, job_id: str, pe_ids: List[str]) -> None:
@@ -295,8 +294,24 @@ class SAM:
             # removed PE (first-cause-wins loss attribution) and drop its
             # receiver-side watermarks/replay buffers
             self.transport.forget_pe(pe.pe_id)
+        self.notify_topology_changed(job, "remove_pes")
+
+    def notify_topology_changed(self, job: Job, kind: str) -> None:
+        """Fan one topology-change notification out to every subscriber.
+
+        The single announcement point for anything that changes a job's
+        PE set or channel-to-PE mapping: :meth:`add_pes` and
+        :meth:`remove_pes` call it, and the elastic controller calls it
+        when a rescale protocol finishes (completed *or* rolled back) —
+        the rewired mapping is only final then, so a subscriber that
+        refreshed at the mid-protocol ``add_pes`` would otherwise keep a
+        stale materialized view whenever the rescale was driven from
+        outside it (a chaos perturbation, an autoscaler, another
+        orchestrator).  ``kind`` is advisory ("add_pes", "remove_pes",
+        "rescale", ...); subscribers refresh identically for all kinds.
+        """
         for observer in list(self.topology_observers):
-            observer(job, "remove_pes")
+            observer(job, kind)
 
     # -- failure notification path ----------------------------------------------------------
 

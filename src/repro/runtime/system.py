@@ -14,9 +14,8 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Union
 
 from repro.checkpoint import CheckpointService, CheckpointStore
-from repro.sim.clock import Clock
-from repro.sim.kernel import Kernel
 from repro.sim.rand import RandomStreams
+from repro.runtime.exec import build_executor
 from repro.spl.application import Application
 from repro.spl.compiler import CompiledApplication, SPLCompiler
 from repro.runtime.failures import FailureInjector
@@ -46,6 +45,14 @@ class SystemConfig:
     pushed immediately, costing one extra RPC.
     """
 
+    #: scheduler backend: "sim" (deterministic discrete-event kernel,
+    #: the default and the testing twin) or "wallclock" (real-time
+    #: executor over ``time.monotonic()`` — see :mod:`repro.runtime.exec`)
+    executor: str = "sim"
+    #: wallclock backend only: virtual seconds per real second (> 1
+    #: compresses campaign timelines for fast real-time smoke tests;
+    #: benchmarks report at 1.0)
+    wallclock_time_scale: float = 1.0
     metric_push_interval: float = 3.0
     heartbeat_interval: float = 1.0
     heartbeat_timeout: float = 3.0
@@ -77,6 +84,14 @@ class SystemConfig:
     retry_backoff: float = 2.0
     #: reliable modes: ceiling on the backed-off retry interval
     max_retry_interval: float = 2.0
+    #: exactly-once: per-link byte cap on the replay buffer retained
+    #: between epoch commits; a link at the cap parks new units in a
+    #: sender-side stall queue (backpressure) until the next commit
+    #: truncates the buffer; 0 = unbounded (the historical behavior).
+    #: Only links toward PEs that commit epochs (stateful, checkpointed)
+    #: are capped — a never-committing destination could never release
+    #: the stall, so those links keep unbounded retention
+    replay_buffer_max_bytes: int = 0
     pe_spawn_delay: float = 0.1
     pe_restart_delay: float = 1.0
     failure_notification_delay: float = 0.05
@@ -122,7 +137,9 @@ class SystemS:
         seed: int = 42,
     ) -> None:
         self.config = config or SystemConfig()
-        self.kernel = Kernel(Clock())
+        # the executor backend (sim kernel or wall-clock) — every
+        # component below schedules against the same contract
+        self.kernel = build_executor(self.config)
         self.random = RandomStreams(seed)
         self.ids = IdRegistry()
         if isinstance(hosts, int):
@@ -146,6 +163,10 @@ class SystemS:
             ack_timeout=self.config.ack_timeout,
             retry_backoff=self.config.retry_backoff,
             max_retry_interval=self.config.max_retry_interval,
+            # separate seeded stream: ack drop rolls must not perturb
+            # the forward-path roll sequence
+            ack_rng=self.random.stream("transport_acks"),
+            replay_buffer_max_bytes=self.config.replay_buffer_max_bytes,
         )
         self.import_export = ImportExportRegistry(
             self.kernel, latency=self.config.transport_latency

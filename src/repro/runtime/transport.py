@@ -192,6 +192,8 @@ class Transport:
         ack_timeout: float = 0.25,
         retry_backoff: float = 2.0,
         max_retry_interval: float = 2.0,
+        ack_rng: Optional[random.Random] = None,
+        replay_buffer_max_bytes: int = 0,
     ) -> None:
         if delivery not in ("best_effort", "at_least_once", "exactly_once"):
             raise ValueError(f"unknown delivery mode {delivery!r}")
@@ -212,6 +214,11 @@ class Transport:
         self.batch_observer: Optional[Callable[[int], None]] = None
         #: seeded stream for probabilistic link-fault drops (deterministic)
         self.rng = rng if rng is not None else random.Random(0)
+        #: dedicated seeded stream for reverse-link ack drop rolls — a
+        #: separate stream so making acks lossy never perturbs the
+        #: forward-path roll sequence (committed artifacts without
+        #: reverse-link faults stay byte-identical)
+        self.ack_rng = ack_rng if ack_rng is not None else random.Random(10007)
         #: (pe_id, operator full name, port) -> items scheduled but not delivered
         self._in_flight: Dict[Tuple[str, str, int], int] = {}
         self.total_sent = 0
@@ -239,6 +246,13 @@ class Transport:
         #: exactly-once: items re-sent to a restarted PE with emission
         #: suppression because the dead incarnation already processed them
         self.replayed = 0
+        #: reliable modes: acknowledgements lost to a reverse-link fault
+        #: (the sender retransmits; the receiver re-acks the duplicate)
+        self.acks_dropped = 0
+        #: exactly-once: items parked by replay-buffer backpressure
+        #: (``replay_buffer_max_bytes``) until an epoch commit truncates
+        #: the link's buffer
+        self.replay_stalls = 0
         #: destination PE id -> incarnation number; bumped on every crash
         #: so in-flight items addressed to the dead incarnation are dropped
         self._incarnations: Dict[str, int] = {}
@@ -265,8 +279,9 @@ class Transport:
         self.obs: Optional["ObsHub"] = None
         #: reliability event callback ``(kind, count, op, attempt, time)``
         #: with kind in {"retransmit", "ack", "duplicate_suppressed",
-        #: "replay"} — the obs hub registers here (lazily created series
-        #: keep best-effort expositions byte-identical)
+        #: "replay", "ack_dropped", "replay_stall"} — the obs hub
+        #: registers here (lazily created series keep best-effort
+        #: expositions byte-identical)
         self.reliability_observer: Optional[
             Callable[[str, int, str, int, float], None]
         ] = None
@@ -288,6 +303,7 @@ class Transport:
                 ack_timeout=ack_timeout,
                 retry_backoff=retry_backoff,
                 max_retry_interval=max_retry_interval,
+                replay_buffer_max_bytes=replay_buffer_max_bytes,
             )
 
     # -- link faults --------------------------------------------------------

@@ -57,7 +57,18 @@ class ScheduledEvent:
 
 
 class Kernel:
-    """Deterministic discrete-event scheduler over a shared :class:`Clock`."""
+    """Deterministic discrete-event scheduler over a shared :class:`Clock`.
+
+    Also the reference implementation of the executor contract
+    (:class:`repro.runtime.exec.base.Executor`, where it is registered
+    as a virtual subclass — this module must not import upward).
+    """
+
+    #: executor contract: virtual time, not the host's monotonic clock
+    wall_clock = False
+
+    #: executor contract: short backend name for logs and artifacts
+    backend_name = "sim"
 
     def __init__(self, clock: Optional[Clock] = None) -> None:
         self.clock = clock if clock is not None else Clock()

@@ -1,0 +1,340 @@
+"""Backend-conformance suite for the executor contract.
+
+Both backends — the deterministic sim kernel and the wall-clock
+executor — are held to the same observable semantics through the exact
+surface documented in :mod:`repro.runtime.exec.base`: event ordering,
+timer scheduling and cancellation, the event tap, drain behavior, and
+(at the system level) identical pipeline results, batch barrier
+flushes, crash condemnation with checkpoint rehydration, and an
+unmodified chaos campaign.
+
+Wall-clock cases run at ``time_scale=50`` (50 virtual seconds per real
+second), so the whole suite stays fast while every relative ordering is
+preserved.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import SystemConfig, SystemS
+from repro.chaos import PEFlap, RateSurge, Scenario
+from repro.apps.workloads import ChaosFeed
+from repro.runtime.exec import (
+    EXECUTOR_BACKENDS,
+    Executor,
+    WallClockExecutor,
+    build_executor,
+    build_sim_executor,
+)
+from repro.spl.application import Application
+from repro.spl.library import CallbackSource, KeyedCounter, Sink
+from repro.spl.parallel import parallel
+
+#: virtual seconds per real second for every wall-clock case
+SCALE = 50.0
+
+BACKENDS = list(EXECUTOR_BACKENDS)
+
+
+def make_executor(backend):
+    if backend == "sim":
+        return build_sim_executor()
+    return WallClockExecutor(time_scale=SCALE)
+
+
+def backend_system(backend, seed=42, hosts=4, **config_kwargs):
+    config_kwargs.setdefault("failure_notification_delay", 0.001)
+    return SystemS(
+        hosts=hosts,
+        seed=seed,
+        config=SystemConfig(
+            executor=backend,
+            wallclock_time_scale=SCALE if backend == "wallclock" else 1.0,
+            **config_kwargs,
+        ),
+    )
+
+
+def build_counter_app(limit=100, period=0.05, width=2, name="Conf"):
+    """Keyed pipeline whose output is a pure function of tick *count*.
+
+    The feed closes over the emitted count, never the clock, so the sim
+    and wall-clock backends must produce identical tuple streams.
+    """
+
+    def feed(now, count):
+        if count >= limit:
+            return []
+        return [{"seq": count, "key": f"k{count % 4}"}]
+
+    app = Application(name)
+    g = app.graph
+    src = g.add_operator(
+        "src",
+        CallbackSource,
+        params={"generator": feed, "period": period},
+        partition="feed",
+    )
+    work = g.add_operator(
+        "work",
+        KeyedCounter,
+        params={"key": "key"},
+        parallel=parallel(width=width, name="region", partition_by="key", max_width=8),
+    )
+    sink = g.add_operator("sink", Sink, partition="out")
+    g.connect(src.oport(0), work.iport(0))
+    g.connect(work.oport(0), sink.iport(0))
+    return app
+
+
+def per_key_counts(sink):
+    """Map key -> ordered list of KeyedCounter counts seen at the sink."""
+    out = {}
+    for t in sink.seen:
+        out.setdefault(t["key"], []).append(t["count"])
+    return out
+
+
+# ---------------------------------------------------------------------------
+# scheduler contract (executor built directly)
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture(params=BACKENDS)
+def executor(request):
+    return make_executor(request.param)
+
+
+class TestSchedulerContract:
+    def test_backends_satisfy_the_abc(self, executor):
+        # the sim kernel via virtual-subclass registration, the
+        # wall-clock executor by inheritance
+        assert isinstance(executor, Executor)
+        assert executor.backend_name in BACKENDS
+        assert executor.events_processed == 0
+        assert executor.pending_count() == 0
+
+    def test_events_run_in_deadline_then_schedule_order(self, executor):
+        ran = []
+        base = executor.now
+        executor.schedule(0.10, ran.append, "late")
+        executor.schedule(0.02, ran.append, "early")
+        executor.schedule_at(base + 0.06, ran.append, "mid-a")
+        executor.schedule_at(base + 0.06, ran.append, "mid-b")  # same deadline
+        executor.run_until(base + 0.2)
+        assert ran == ["early", "mid-a", "mid-b", "late"]
+        assert executor.events_processed == 4
+        assert executor.now >= base + 0.2
+        assert executor.pending_count() == 0
+
+    def test_cancellation_is_honored_and_idempotent(self, executor):
+        ran = []
+        handle = executor.schedule(0.02, ran.append, "cancelled")
+        keep = executor.schedule(0.04, ran.append, "kept")
+        assert handle.time > 0 or executor.wall_clock
+        handle.cancel()
+        handle.cancel()  # idempotent
+        executor.run_for(0.1)
+        assert ran == ["kept"]
+        assert keep.time <= executor.now
+
+    def test_call_soon_runs_behind_pending_same_time_work(self, executor):
+        ran = []
+        executor.schedule(0.0, ran.append, "first")
+        executor.call_soon(ran.append, "second")
+        executor.run_for(0.02)
+        assert ran == ["first", "second"]
+
+    def test_chained_periodic_events_advance_within_horizon(self, executor):
+        ticks = []
+
+        def tick():
+            ticks.append(executor.now)
+            if len(ticks) < 5:
+                executor.schedule(0.01, tick)
+
+        executor.schedule(0.01, tick)
+        executor.run_for(0.2)
+        assert len(ticks) == 5
+        assert ticks == sorted(ticks)
+
+    def test_step_executes_one_event_then_reports_empty(self, executor):
+        ran = []
+        executor.schedule(0.0, ran.append, 1)
+        executor.schedule(0.01, ran.append, 2)
+        assert executor.step() is True
+        assert ran == [1]
+        assert executor.step() is True
+        assert ran == [1, 2]
+        assert executor.step() is False
+
+    def test_run_drains_the_queue(self, executor):
+        ran = []
+        for i in range(4):
+            executor.schedule(0.002 * i, ran.append, i)
+        executor.run()
+        assert ran == [0, 1, 2, 3]
+
+    def test_event_tap_sees_every_executed_event(self, executor):
+        tapped = []
+        executor.event_tap = tapped.append
+        executor.schedule(0.0, lambda: None, label="a")
+        executor.schedule(0.01, lambda: None, label="b")
+        executor.run_for(0.05)
+        assert [e.label for e in tapped] == ["a", "b"]
+        assert executor.events_processed == 2
+
+    def test_negative_delay_is_rejected(self, executor):
+        with pytest.raises(ValueError):
+            executor.schedule(-0.1, lambda: None)
+
+    def test_past_deadline_policy(self, executor):
+        """Sim rejects the past (determinism needs a total order); the
+        wall-clock backend clamps it to "as soon as possible" because
+        real time advances between computing and checking a deadline."""
+        executor.schedule(0.01, lambda: None)
+        executor.run_for(0.02)
+        past = executor.now - 0.005
+        if executor.wall_clock:
+            ran = []
+            executor.schedule_at(past, ran.append, "overdue")
+            executor.run_for(0.01)
+            assert ran == ["overdue"]
+        else:
+            with pytest.raises(ValueError):
+                executor.schedule_at(past, lambda: None)
+
+
+# ---------------------------------------------------------------------------
+# system-level conformance (full middleware on each backend)
+# ---------------------------------------------------------------------------
+
+
+class TestSystemConformance:
+    def _run_pipeline(self, backend, **config_kwargs):
+        system = backend_system(backend, **config_kwargs)
+        job = system.submit_job(build_counter_app())
+        system.run_for(8.0)  # feed exhausts at 5.0 virtual seconds
+        return system, job, job.operator_instance("sink")
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_pipeline_delivers_every_tuple_exactly_once(self, backend):
+        system, job, sink = self._run_pipeline(backend)
+        assert sorted(t["seq"] for t in sink.seen) == list(range(100))
+        # keyed state sequenced each key contiguously on both backends
+        for counts in per_key_counts(sink).values():
+            assert counts == list(range(1, len(counts) + 1))
+
+    def test_both_backends_produce_identical_results(self):
+        outputs = {}
+        for backend in BACKENDS:
+            _system, _job, sink = self._run_pipeline(backend)
+            outputs[backend] = per_key_counts(sink)
+        assert outputs["sim"] == outputs["wallclock"]
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_barrier_flushes_partial_batches(self, backend):
+        """A batch bigger than the trickle only ships via linger/barrier
+        flushes; every tuple must still arrive, on either backend."""
+        system, job, sink = self._run_pipeline(
+            backend, batch_max_size=64, batch_linger=0.2
+        )
+        assert sorted(t["seq"] for t in sink.seen) == list(range(100))
+        assert sum(system.transport._in_flight.values()) == 0
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_crash_condemnation_and_rehydration(self, backend):
+        """A crashed channel PE bumps its incarnation (condemning stale
+        in-flight units) and rehydrates from its checkpoint: per-key
+        counts stay contiguous — zero state loss, zero duplicates."""
+        system = backend_system(
+            backend, checkpoint_interval=0.25, delivery="exactly_once"
+        )
+        job = system.submit_job(build_counter_app(limit=200, period=0.02))
+        system.run_for(1.0)  # several epochs committed
+        target = job.pe_of_operator("work__c0")
+        incarnation_before = system.transport._incarnations.get(target.pe_id, 0)
+        target.crash("conformance")
+        system.failures.restart_pe(job.job_id, target.pe_id, rehydrate=True)
+        system.run_for(8.0)
+        sink = job.operator_instance("sink")
+        assert system.transport._incarnations[target.pe_id] > incarnation_before
+        assert sorted(t["seq"] for t in sink.seen) == list(range(200))
+        for counts in per_key_counts(sink).values():
+            assert counts == list(range(1, len(counts) + 1))
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_checkpoint_timers_fire_on_cadence(self, backend):
+        system = backend_system(backend, checkpoint_interval=0.25)
+        system.submit_job(build_counter_app(limit=50, period=0.02))
+        system.run_for(2.0)
+        committed = [r for r in system.checkpoints.records if r.committed]
+        assert len(committed) >= 4
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_chaos_campaign_runs_unmodified(self, backend):
+        """The same chaos scenario script — a PE flap plus a rate surge —
+        drives either backend through the same engine APIs."""
+        system = backend_system(
+            backend, checkpoint_interval=0.25, delivery="exactly_once", hosts=6
+        )
+        feed = ChaosFeed(seed=3, n_keys=8)
+        app = Application("ConfChaos")
+        g = app.graph
+        src = g.add_operator(
+            "src",
+            CallbackSource,
+            params={"generator": feed.generator(), "period": 0.05},
+            partition="feed",
+        )
+        work = g.add_operator(
+            "work",
+            KeyedCounter,
+            params={"key": "key"},
+            parallel=parallel(
+                width=2, name="region", partition_by="key", max_width=8
+            ),
+        )
+        sink = g.add_operator("sink", Sink, partition="out")
+        g.connect(src.oport(0), work.iport(0))
+        g.connect(work.oport(0), sink.iport(0))
+        job = system.submit_job(app)
+        system.run_for(1.0)
+        scenario = (
+            Scenario("conformance")
+            .add(0.5, PEFlap(operator="work__c0", downtime=0.5))
+            .add(1.5, RateSurge(factor=3.0, duration=1.0))
+        )
+        run = system.chaos.run_scenario(scenario, job=job, feed=feed)
+        system.run_for(6.0)
+        assert run.done
+        assert [i.kind for i in run.injections] == ["pe_flap", "rate_surge"]
+        assert run.injections[0].recovery_time is not None
+        assert len(job.operator_instance("sink").seen) > 0
+
+
+# ---------------------------------------------------------------------------
+# backend selection plumbing
+# ---------------------------------------------------------------------------
+
+
+class TestBackendSelection:
+    def test_build_executor_dispatches_on_config(self):
+        sim = build_executor(SystemConfig())
+        wall = build_executor(SystemConfig(executor="wallclock"))
+        assert sim.backend_name == "sim" and not sim.wall_clock
+        assert wall.backend_name == "wallclock" and wall.wall_clock
+
+    def test_unknown_backend_is_rejected(self):
+        with pytest.raises(ValueError, match="unknown executor backend"):
+            build_executor(SystemConfig(executor="quantum"))
+
+    def test_wallclock_time_scale_must_be_positive(self):
+        with pytest.raises(ValueError, match="time_scale"):
+            WallClockExecutor(time_scale=0.0)
+
+    def test_system_exposes_selected_backend(self):
+        system = backend_system("wallclock")
+        assert system.kernel.backend_name == "wallclock"
+        assert isinstance(system.kernel, Executor)

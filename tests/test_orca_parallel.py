@@ -190,6 +190,42 @@ class TestSetChannelWidthActuation:
         assert "work__c1" in service.operators_in_pe(pe_id)
         assert service.host_of_pe(pe_id) is not None
 
+    def test_chaos_rescale_notifies_topology_at_completion(self, system):
+        """ROADMAP carryover: a chaos-driven rescale refreshes everyone.
+
+        The rescale is injected by the chaos engine (the paradigmatic
+        outside-the-orchestrator driver), the service's own
+        rescale-completion listener is removed, and the rewired mapping
+        must still reach the service — through SAM's topology-change
+        notification, which also fires a final ``"rescale"`` kind at
+        protocol completion (when the channel->PE mapping is final,
+        unlike the mid-protocol ``add_pes`` refresh).
+        """
+        from repro.chaos.perturbations import Rescale
+        from repro.chaos.scenario import Scenario
+
+        app = build_region_app(width=1, rate=30.0)
+        logic = RecordingRegionOrca()
+        service = submit_orca(system, logic, app)
+        system.run_for(2.0)
+        system.elastic.rescale_listeners.remove(service._on_region_rescaled)
+        kinds = []
+        system.sam.topology_observers.append(
+            lambda job, kind: kinds.append(kind)
+        )
+        job = system.sam.get_job(logic.job_id)
+        scenario = Scenario("external-rescale").add(
+            0.1, Rescale(region="region", width=2)
+        )
+        system.chaos.run_scenario(scenario, job=job)
+        system.run_for(20.0)
+        assert "add_pes" in kinds
+        assert "rescale" in kinds  # the completion-time announcement
+        # the service's materialized graph answers from the new topology
+        pe_id = service.pe_of_operator(logic.job_id, "work__c1")
+        assert "work__c1" in service.operators_in_pe(pe_id)
+        assert service.host_of_pe(pe_id) is not None
+
     def test_foreign_job_rejected(self, system):
         app = build_region_app(width=1)
         logic = RecordingRegionOrca()

@@ -20,6 +20,7 @@ def reliable_system(
     retry_backoff=2.0,
     max_retry_interval=2.0,
     hosts=4,
+    replay_buffer_max_bytes=0,
 ):
     return SystemS(
         hosts=hosts,
@@ -31,6 +32,7 @@ def reliable_system(
             ack_timeout=ack_timeout,
             retry_backoff=retry_backoff,
             max_retry_interval=max_retry_interval,
+            replay_buffer_max_bytes=replay_buffer_max_bytes,
         ),
     )
 
@@ -341,3 +343,211 @@ class TestFirstCauseWins:
         assert transport.dropped_by_fault == 0
         system.run_for(0.5)
         assert sink.seen == []  # condemned: the late copy is ignored
+
+
+class TestLossyAcks:
+    """Acks travel the reverse link through the fault pipeline — the
+    control channel is no longer assumed lossless (delivery.py bugfix)."""
+
+    def test_lost_ack_retransmits_and_receiver_reacks(self):
+        system = reliable_system("exactly_once", ack_timeout=0.1)
+        transport, src_pe, sink_pe, sink = wire_fixture(system)
+        # reverse-direction fault: data src->sink is clean, acks
+        # sink->src are all dropped while the fault is up
+        fault = transport.install_link_fault(
+            drop_probability=1.0, src_pe=sink_pe.pe_id, dst_pe=src_pe.pe_id
+        )
+        for i in range(3):
+            transport.send(sink_pe, "sink", 0, tup(i), src_pe=src_pe)
+        system.run_for(1.0)
+        # delivered exactly once to the app despite every ack being lost
+        assert [t["iter"] for t in sink.seen] == [0, 1, 2]
+        assert transport.acks_dropped >= 3
+        # the sender could not tell: it retransmitted delivered units...
+        assert transport.retransmissions >= 3
+        # ...and the in-order receiver suppressed every duplicate copy
+        assert transport.duplicates_suppressed >= 3
+        assert transport.dropped_by_fault == 0  # forward path untouched
+        transport.clear_link_fault(fault)
+        system.run_for(2.0)
+        # after heal the re-acked duplicates drain the pending registry
+        assert transport.reliability.pending == {}
+        assert transport.acks == 3
+        assert [t["iter"] for t in sink.seen] == [0, 1, 2]
+
+    def test_lost_ack_at_least_once_duplicates_then_converges(self):
+        system = reliable_system("at_least_once", ack_timeout=0.1)
+        transport, src_pe, sink_pe, sink = wire_fixture(system)
+        fault = transport.install_link_fault(
+            drop_probability=1.0, src_pe=sink_pe.pe_id, dst_pe=src_pe.pe_id
+        )
+        transport.send(sink_pe, "sink", 0, tup(0), src_pe=src_pe)
+        system.run_for(0.5)
+        # the naive receiver delivers the ack-loss-provoked duplicates
+        assert len(sink.seen) >= 2
+        assert all(t["iter"] == 0 for t in sink.seen)
+        assert transport.acks_dropped >= 1
+        transport.clear_link_fault(fault)
+        system.run_for(2.0)
+        assert transport.reliability.pending == {}
+
+    def test_untimed_reverse_partition_swallows_acks(self):
+        system = reliable_system("exactly_once", ack_timeout=0.1)
+        transport, src_pe, sink_pe, sink = wire_fixture(system)
+        fault = transport.install_link_fault(
+            partition=True, src_pe=sink_pe.pe_id, dst_pe=src_pe.pe_id
+        )
+        transport.send(sink_pe, "sink", 0, tup(0), src_pe=src_pe)
+        system.run_for(0.5)
+        assert [t["iter"] for t in sink.seen] == [0]
+        assert transport.acks_dropped >= 1
+        assert transport.acks == 0
+        transport.clear_link_fault(fault)
+        system.run_for(2.0)
+        assert transport.reliability.pending == {}
+        assert transport.acks == 1
+
+    def test_lossless_acks_draw_nothing_from_ack_stream(self):
+        """Without reverse-link faults the ack rng is never consumed, so
+        committed sim artifacts stay byte-identical."""
+        system = reliable_system("exactly_once")
+        transport, src_pe, sink_pe, sink = wire_fixture(system)
+        state_before = transport.ack_rng.getstate()
+        for i in range(5):
+            transport.send(sink_pe, "sink", 0, tup(i), src_pe=src_pe)
+        system.run_for(1.0)
+        assert transport.ack_rng.getstate() == state_before
+        assert transport.acks_dropped == 0
+        assert transport.acks == 5
+
+
+class TestReplayBufferCap:
+    """``replay_buffer_max_bytes`` bounds the exactly-once replay buffer
+    with sender-side backpressure (delivery.py bugfix)."""
+
+    def test_cap_stalls_sender_and_commit_releases_in_order(self):
+        system = reliable_system("exactly_once", replay_buffer_max_bytes=1)
+        transport, src_pe, sink_pe, sink = wire_fixture(system)
+        plane = transport.reliability
+        link = (src_pe.pe_id, sink_pe.pe_id)
+        # the cap only stalls links toward destinations that commit
+        # epochs; mark the sink as one (an empty floor truncates nothing)
+        transport.on_epoch_committed(sink_pe.pe_id, {})
+        # two units deliver, ack, and land in the replay buffer: the
+        # 1-byte cap is now exceeded
+        for i in range(2):
+            transport.send(sink_pe, "sink", 0, tup(i), src_pe=src_pe)
+        system.run_for(0.5)
+        assert plane.replay_bytes[link] >= 1
+        # the next three sends park before seq allocation
+        for i in range(2, 5):
+            transport.send(sink_pe, "sink", 0, tup(i), src_pe=src_pe)
+        system.run_for(0.5)
+        assert transport.replay_stalls == 3
+        assert len(plane.stalled[link]) == 3
+        assert [t["iter"] for t in sink.seen] == [0, 1]
+        # the backlog stays visible to drain barriers / the health plane
+        assert transport.queue_size(sink_pe.pe_id, "sink", 0) == 3
+        # an epoch commit truncates the buffer and releases the queue
+        transport.on_epoch_committed(sink_pe.pe_id, {src_pe.pe_id: 2})
+        assert link not in plane.stalled
+        system.run_for(1.0)
+        # zero loss, strict FIFO across the stall boundary
+        assert [t["iter"] for t in sink.seen] == [0, 1, 2, 3, 4]
+        assert transport.dropped_in_flight == 0
+        assert transport.queue_size(sink_pe.pe_id, "sink", 0) == 0
+
+    def test_unbounded_default_never_stalls(self):
+        system = reliable_system("exactly_once")
+        transport, src_pe, sink_pe, sink = wire_fixture(system)
+        for i in range(50):
+            transport.send(sink_pe, "sink", 0, tup(i), src_pe=src_pe)
+        system.run_for(1.0)
+        assert transport.replay_stalls == 0
+        assert transport.reliability.stalled == {}
+        assert len(sink.seen) == 50
+
+    def test_never_committing_destination_is_never_stalled(self):
+        """A destination that never commits an epoch could never release
+        the stall, so its links keep the historical unbounded retention
+        instead of deadlocking."""
+        system = reliable_system("exactly_once", replay_buffer_max_bytes=1)
+        transport, src_pe, sink_pe, sink = wire_fixture(system)
+        for i in range(20):
+            transport.send(sink_pe, "sink", 0, tup(i), src_pe=src_pe)
+        system.run_for(1.0)
+        assert transport.replay_stalls == 0
+        assert transport.reliability.stalled == {}
+        assert len(sink.seen) == 20
+
+    def test_forget_pe_condemns_stalled_units(self):
+        system = reliable_system("exactly_once", replay_buffer_max_bytes=1)
+        transport, src_pe, sink_pe, sink = wire_fixture(system)
+        transport.on_epoch_committed(sink_pe.pe_id, {})
+        for i in range(2):
+            transport.send(sink_pe, "sink", 0, tup(i), src_pe=src_pe)
+        system.run_for(0.5)
+        transport.send(sink_pe, "sink", 0, tup(2), src_pe=src_pe)
+        assert transport.replay_stalls == 1
+        transport.forget_pe(sink_pe.pe_id)
+        assert transport.dropped_in_flight == 1
+        assert transport.reliability.stalled == {}
+        assert transport.queue_size(sink_pe.pe_id, "sink", 0) == 0
+
+    def test_commit_starved_pipeline_stalls_without_loss(self):
+        """Acceptance gate: a live pipeline whose epoch commits are rare
+        (commit-starved) hits the cap toward its stateful region, applies
+        backpressure, and still loses nothing once commits catch up."""
+        from repro.spl.application import Application
+        from repro.spl.library import CallbackSource, KeyedCounter, Sink
+        from repro.spl.parallel import parallel
+
+        limit = 200
+
+        def feed(now, count):
+            if count >= limit:
+                return []
+            return [
+                {"key": f"k{(count + i) % 4}", "seq": count + i}
+                for i in range(min(5, limit - count))
+            ]
+
+        app = Application("Starved")
+        g = app.graph
+        src = g.add_operator(
+            "src",
+            CallbackSource,
+            params={"generator": feed, "period": 0.05},
+            partition="feed",
+        )
+        work = g.add_operator(
+            "work",
+            KeyedCounter,
+            params={"key": "key"},
+            parallel=parallel(width=2, name="region", partition_by="key"),
+        )
+        snk = g.add_operator("sink", Sink, partition="out")
+        g.connect(src.oport(0), work.iport(0))
+        g.connect(work.oport(0), snk.iport(0))
+
+        system = SystemS(
+            hosts=6,
+            seed=42,
+            config=SystemConfig(
+                delivery="exactly_once",
+                # starved: one commit per 2 sim-seconds against a cap
+                # that a fraction of a second of traffic exceeds
+                checkpoint_interval=2.0,
+                replay_buffer_max_bytes=500,
+            ),
+        )
+        job = system.submit_job(app)
+        # run past several commit cycles so parked units drain at each
+        # truncation; the feed itself finishes in ~2 sim-seconds
+        system.run_for(20.0)
+        sink = job.operator_instance("sink")
+        assert system.transport.replay_stalls > 0  # the cap engaged
+        seqs = sorted(t["seq"] for t in sink.seen)
+        assert seqs == list(range(limit))  # zero loss, zero duplicates
+        assert system.transport.dropped_in_flight == 0
+        assert system.transport.dropped_by_fault == 0
