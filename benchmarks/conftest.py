@@ -27,6 +27,12 @@ def results_dir() -> pathlib.Path:
     return RESULTS_DIR
 
 
+def best_of(fn, rounds: int = 3) -> float:
+    """Best (max) rate over a few rounds — throughput benchmarks take
+    the fastest round so scheduler noise only ever hurts, never helps."""
+    return max(fn() for _ in range(rounds))
+
+
 def emit(results_dir: pathlib.Path, name: str, lines: list[str]) -> None:
     """Print a figure's series and persist it under benchmarks/results/."""
     text = "\n".join(lines)

@@ -36,7 +36,7 @@ from repro.runtime.system import SystemConfig
 from repro.spl.application import Application
 from repro.spl.library import CallbackSource, KeyedCounter, Sink
 
-from benchmarks.conftest import RESULTS_DIR, emit
+from benchmarks.conftest import RESULTS_DIR, best_of, emit
 from benchmarks.test_scaling import run_event_throughput
 
 #: CI regression budget vs the committed event-throughput baseline
@@ -54,12 +54,6 @@ def committed_baseline() -> Optional[float]:
     if match is None:
         return None
     return float(match.group(1).replace(",", ""))
-
-
-def best_of(fn, rounds: int = 3) -> float:
-    """Best (max) rate over a few rounds — throughput benchmarks take
-    the fastest round so scheduler noise only ever hurts, never helps."""
-    return max(fn() for _ in range(rounds))
 
 
 def pipeline_app(n_tuples: int) -> Application:

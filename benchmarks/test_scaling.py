@@ -34,7 +34,7 @@ from repro.spl.application import Application
 from repro.spl.library import Beacon, Custom, Sink
 from repro.spl.tuples import StreamTuple
 
-from benchmarks.conftest import emit
+from benchmarks.conftest import best_of, emit
 
 #: strict speedup floor, enforced when BATCH_PERF_STRICT=1 (the CI
 #: batch-perf-smoke job); outside CI a lenient floor guards against
@@ -125,9 +125,15 @@ def run_tuple_delivery_throughput(
 
 
 def test_event_delivery_throughput(benchmark, results_dir):
-    rate = benchmark.pedantic(run_event_throughput, rounds=1, iterations=1)
-    unbatched = run_tuple_delivery_throughput(batch_max_size=1)
-    batched = run_tuple_delivery_throughput(batch_max_size=64)
+    # Every rate is a best-of-3 (see conftest.best_of): this file is the
+    # committed baseline the obs-overhead CI gate enforces a 5% floor
+    # against, so a single round polluted by unrelated machine load
+    # would silently lower that floor for every future run.
+    rate = benchmark.pedantic(
+        lambda: best_of(run_event_throughput), rounds=1, iterations=1
+    )
+    unbatched = best_of(lambda: run_tuple_delivery_throughput(batch_max_size=1))
+    batched = best_of(lambda: run_tuple_delivery_throughput(batch_max_size=64))
     speedup = batched / unbatched
     emit(
         results_dir,
